@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Ablation — the three error sources of Section 8.3, isolated. The
+ * CH4-dynamics benchmark runs under both flows with each noise-model
+ * component (duration-proportional decoherence, per-calibrated-pulse
+ * error, amplitude-dependent leakage) switched off in turn, showing
+ * how much of the total error — and of the optimized flow's advantage
+ * — each source carries.
+ */
+#include <cstdio>
+
+#include "algos/circuits.h"
+#include "algos/hamiltonians.h"
+#include "bench_util.h"
+#include "common/table.h"
+#include "metrics/metrics.h"
+#include "noisesim/statevector.h"
+
+using namespace qpulse;
+
+namespace {
+
+double
+runWith(const PulseCompiler &compiler, const QuantumCircuit &circuit,
+        const std::vector<double> &ideal, const NoiseSwitches &switches,
+        Rng &rng)
+{
+    DensitySimulator simulator = compiler.makeSimulator();
+    simulator.setSwitches(switches);
+    QuantumCircuit measured = circuit;
+    measured.measureAll();
+    const NoisyRunResult run =
+        simulator.run(compiler.transpile(measured));
+    const auto counts = simulator.sampleCounts(run, 8000, rng);
+    return hellingerDistance(countsToProbabilities(counts), ideal);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Ablation: the three fidelity-improvement sources (Section 8.3)",
+        "shorter pulses / fewer calibrated pulses / smaller amplitudes "
+        "each contribute; shorter pulses dominate (~70%)");
+
+    const BackendConfig config = almadenLineConfig(2);
+    const auto backend = makeCalibratedBackend(config);
+    const PulseCompiler standard(backend, CompileMode::Standard);
+    const PulseCompiler optimized(backend, CompileMode::Optimized);
+
+    const QuantumCircuit circuit =
+        trotterCircuit(methaneHamiltonian(), 1.0, 6);
+    const std::vector<double> ideal = idealDistribution(circuit);
+    Rng rng(0xAB1);
+
+    struct Config
+    {
+        const char *label;
+        NoiseSwitches switches;
+    };
+    std::vector<Config> configs;
+    configs.push_back({"all sources on", {true, true, true}});
+    configs.push_back({"no decoherence", {false, true, true}});
+    configs.push_back({"no per-pulse error", {true, false, true}});
+    configs.push_back({"no amplitude error", {true, true, false}});
+    configs.push_back({"decoherence only", {true, false, false}});
+    configs.push_back({"noise-free", {false, false, false}});
+
+    TextTable table({"noise model", "std error", "opt error",
+                     "opt advantage"});
+    double full_advantage = 0.0, no_decoherence_advantage = 0.0;
+    for (const auto &entry : configs) {
+        const double std_err =
+            runWith(standard, circuit, ideal, entry.switches, rng);
+        const double opt_err =
+            runWith(optimized, circuit, ideal, entry.switches, rng);
+        const double advantage = std_err - opt_err;
+        if (std::string(entry.label) == "all sources on")
+            full_advantage = advantage;
+        if (std::string(entry.label) == "no decoherence")
+            no_decoherence_advantage = advantage;
+        table.addRow({entry.label, fmtPercent(std_err, 1),
+                      fmtPercent(opt_err, 1),
+                      fmtPercent(advantage, 1)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    const double share =
+        full_advantage > 0.0
+            ? 1.0 - no_decoherence_advantage / full_advantage
+            : 0.0;
+    std::printf("share of the optimized-flow advantage from shorter "
+                "schedules (decoherence): %.0f%% (paper attributes "
+                "~70%% of RB gains to shorter pulses)\n",
+                100.0 * share);
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Extension — zero-noise extrapolation via pulse stretching (the
+ * paper's reference [8] application of OpenPulse, built on this
+ * compiler's stretching machinery): measure the ZZ parity of a
+ * Trotterised evolution at stretch factors c = 1, 1.5, 2, and
+ * Richardson-extrapolate to c = 0. Run for both compiler flows: the
+ * optimized flow starts closer to ideal AND extrapolates better
+ * (its shorter schedules leave less noise to extrapolate away).
+ */
+#include <cstdio>
+
+#include "algos/hamiltonians.h"
+#include "bench_util.h"
+#include "common/table.h"
+#include "compile/zne.h"
+
+using namespace qpulse;
+
+int
+main()
+{
+    bench::banner(
+        "Extension: zero-noise extrapolation by pulse stretching",
+        "reference [8] (Garmon et al.): OpenPulse noise extrapolation; "
+        "stretch c = 1 / 1.5 / 2, Richardson to c = 0");
+
+    BackendConfig config = almadenLineConfig(2);
+    for (auto &readout : config.readout)
+        readout = ReadoutError{0.0, 0.0}; // Isolate gate noise.
+    const auto backend = makeCalibratedBackend(config);
+
+    // A ZZ-parity-conserving workload with a known ideal value:
+    // repeated pi ZZ rotations (barriers keep the pulses in place).
+    QuantumCircuit circuit(2);
+    circuit.x(0);
+    for (int k = 0; k < 6; ++k) {
+        circuit.barrier();
+        circuit.rzz(kPi, 0, 1);
+    }
+    circuit.barrier();
+    circuit.x(0);
+    const DiagonalObservable zz = {1.0, -1.0, -1.0, 1.0};
+    const double ideal = 1.0;
+
+    Rng rng(0x2E1);
+    TextTable table({"flow", "c=1.0", "c=1.5", "c=2.0",
+                     "extrapolated", "raw error", "mitigated error"});
+    for (const CompileMode mode :
+         {CompileMode::Standard, CompileMode::Optimized}) {
+        const PulseCompiler compiler(backend, mode);
+        const ZneResult result = zeroNoiseExtrapolate(
+            compiler, circuit, zz, {1.0, 1.5, 2.0}, 100000, rng);
+        table.addRow(
+            {mode == CompileMode::Standard ? "standard" : "optimized",
+             fmtFixed(result.measured[0], 4),
+             fmtFixed(result.measured[1], 4),
+             fmtFixed(result.measured[2], 4),
+             fmtFixed(result.extrapolated, 4),
+             fmtFixed(std::abs(result.unmitigated - ideal), 4),
+             fmtFixed(std::abs(result.extrapolated - ideal), 4)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("ideal <ZZ> = %.1f; extrapolation recovers most of "
+                "the noise-induced bias for both flows, on top of the "
+                "optimized flow's head start.\n",
+                ideal);
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Figure 10 — state fidelity of the ZZ interaction, standard
+ * compilation (CNOT . Rz . CNOT) vs optimized compilation
+ * (H . CR(theta) . H), for theta = 0..90 deg in 4.5 deg steps with
+ * 2000 shots per point (21 x 2 x 2000 = 84k). The paper measures
+ * 98.4% vs 99.0% average fidelity — a 60% error reduction — with the
+ * win coming from the stretched pulse being ~2x shorter.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "metrics/metrics.h"
+#include "readout/readout.h"
+
+using namespace qpulse;
+
+int
+main()
+{
+    bench::banner(
+        "Figure 10: ZZ-interaction state fidelity (84k shots)",
+        "standard 98.4% vs optimized 99.0% -> 60% less error");
+
+    const BackendConfig config = almadenLineConfig(2);
+    const auto backend = makeCalibratedBackend(config);
+    const PulseCompiler standard(backend, CompileMode::Standard);
+    const PulseCompiler optimized(backend, CompileMode::Optimized);
+    Rng rng(0xF1A);
+
+    // The experiment: prepare |++>, apply ZZ(theta), rotate back and
+    // compare the outcome distribution against the ideal one —
+    // summarised as a state fidelity (Hellinger fidelity of the
+    // 2000-shot sampled distribution vs ideal).
+    auto run_point = [&](const PulseCompiler &compiler, double theta) {
+        QuantumCircuit circuit(2);
+        circuit.h(0);
+        circuit.h(1);
+        circuit.cx(0, 1);
+        circuit.rz(theta, 1);
+        circuit.cx(0, 1);
+        circuit.h(0);
+        circuit.h(1);
+        const std::vector<double> ideal = [&] {
+            QuantumCircuit pure = circuit;
+            Vector state = pure.runStatevector();
+            std::vector<double> probs(4);
+            for (std::size_t i = 0; i < 4; ++i)
+                probs[i] = std::norm(state[i]);
+            return probs;
+        }();
+
+        DensitySimulator simulator = compiler.makeSimulator();
+        QuantumCircuit measured = circuit;
+        measured.measureAll();
+        const NoisyRunResult run =
+            simulator.run(compiler.transpile(measured));
+        const auto counts =
+            simulator.sampleCounts(run, shots::kZzPerPoint, rng);
+        // Measurement-error mitigation, as in Section 2.4.
+        const MeasurementMitigator mitigator =
+            MeasurementMitigator::forQubits(
+                {{config.readout[0].probFlip0to1,
+                  config.readout[0].probFlip1to0},
+                 {config.readout[1].probFlip0to1,
+                  config.readout[1].probFlip1to0}});
+        return hellingerFidelity(
+            mitigator.mitigate(countsToProbabilities(counts)), ideal);
+    };
+
+    TextTable table({"theta (deg)", "standard F", "optimized F"});
+    double std_total = 0.0, opt_total = 0.0;
+    int points = 0;
+    for (int k = 0; k <= 20; ++k) {
+        const double theta = deg(4.5 * k);
+        const double std_f = run_point(standard, theta);
+        const double opt_f = run_point(optimized, theta);
+        std_total += std_f;
+        opt_total += opt_f;
+        ++points;
+        table.addRow({fmtFixed(4.5 * k, 1), fmtFixed(std_f, 4),
+                      fmtFixed(opt_f, 4)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    const double std_mean = std_total / points;
+    const double opt_mean = opt_total / points;
+    std::printf("average fidelity: standard %s (paper 98.4%%), "
+                "optimized %s (paper 99.0%%)\n",
+                fmtPercent(std_mean, 2).c_str(),
+                fmtPercent(opt_mean, 2).c_str());
+    std::printf("error reduction: %.0f%% (paper: 60%%)\n",
+                100.0 * (1.0 - (1.0 - opt_mean) / (1.0 - std_mean)));
+    std::printf("total shots: %d x 2 x %ld = %ldk (paper: 84k)\n",
+                points, shots::kZzPerPoint,
+                points * 2 * shots::kZzPerPoint / 1000);
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Figure 5 — gate-level vs pulse-level rotation about the X axis:
+ * for a sweep of angles, the standard two-pulse realisation and the
+ * direct scaled-pulse realisation are executed on the pulse simulator
+ * with decoherence, their final states reconstructed by shot-sampled
+ * state tomography, and the state fidelity against the ideal Rx(theta)
+ * target compared. The paper reports 2x speedup and 16% lower error
+ * on average for the direct pulses.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "metrics/metrics.h"
+
+using namespace qpulse;
+
+int
+main()
+{
+    bench::banner(
+        "Figure 5: Rx(theta) fidelity, standard vs optimized pulses",
+        "optimized is 2x faster with ~16% lower error on average");
+
+    const BackendConfig config = almadenLineConfig(1);
+    const auto backend = makeCalibratedBackend(config);
+    const PulseCompiler standard(backend, CompileMode::Standard);
+    const PulseCompiler optimized(backend, CompileMode::Optimized);
+
+    Calibrator calibrator(config);
+    PulseSimulator sim(calibrator.qubitModel(0));
+    Rng rng(0xF15);
+
+    // Decoherence during the pulses is included via the Lindblad path.
+    auto run_mode = [&](const PulseCompiler &compiler, double theta) {
+        QuantumCircuit circuit(1);
+        circuit.rx(theta, 0);
+        const CompileResult result = compiler.compile(circuit);
+        Matrix rho0(3, 3);
+        rho0(0, 0) = Complex{1.0, 0.0};
+        const Matrix rho = sim.evolveLindblad(result.schedule, rho0);
+        // Qubit-subspace Bloch vector with sampled tomography noise.
+        Matrix qubit(2, 2);
+        for (std::size_t r = 0; r < 2; ++r)
+            for (std::size_t c = 0; c < 2; ++c)
+                qubit(r, c) = rho(r, c);
+        BlochVector bloch = blochFromDensity(qubit);
+        // Tomography axes follow the software frame: fold the pending
+        // virtual-Z frame back in (rotate x + iy by -frame), exactly
+        // what effectiveUnitary does for unitaries.
+        double frame = 0.0;
+        for (const auto &inst : result.schedule.instructions())
+            if (inst.kind == PulseInstructionKind::ShiftPhase &&
+                inst.channel == driveChannel(0))
+                frame += inst.phase;
+        const double cos_f = std::cos(-frame);
+        const double sin_f = std::sin(-frame);
+        const double x_rot = bloch.x * cos_f - bloch.y * sin_f;
+        const double y_rot = bloch.x * sin_f + bloch.y * cos_f;
+        bloch.x = x_rot;
+        bloch.y = y_rot;
+        // Sampled tomography (1000 shots/axis, as in the paper's
+        // figure) shows the per-point jitter; the mean-error
+        // statistics below use the exact expectation values, which a
+        // simulator can provide without the statistical floor.
+        BlochVector sampled = bloch;
+        auto sample_axis = [&](double expectation) {
+            const long shots = shots::kDirectRxPerPoint;
+            const long plus =
+                rng.binomial(shots, (1.0 + expectation) / 2.0);
+            return 2.0 * static_cast<double>(plus) / shots - 1.0;
+        };
+        sampled.x = sample_axis(bloch.x);
+        sampled.y = sample_axis(bloch.y);
+        sampled.z = sample_axis(bloch.z);
+        const BlochVector ideal{0.0, -std::sin(theta),
+                                std::cos(theta)};
+        struct PointResult
+        {
+            double exactFidelity;
+            double sampledFidelity;
+            long duration;
+        };
+        return PointResult{blochStateFidelity(bloch, ideal),
+                           blochStateFidelity(sampled, ideal),
+                           result.durationDt};
+    };
+
+    TextTable table({"theta (deg)", "std F (1k shots)",
+                     "opt F (1k shots)", "std F (exact)",
+                     "opt F (exact)", "std dur", "opt dur"});
+    double std_err_total = 0.0, opt_err_total = 0.0;
+    int points = 0;
+    for (int k = 1; k <= 40; ++k) {
+        const double theta = deg(4.5 * k);
+        const auto std_point = run_mode(standard, theta);
+        const auto opt_point = run_mode(optimized, theta);
+        std_err_total += 1.0 - std_point.exactFidelity;
+        opt_err_total += 1.0 - opt_point.exactFidelity;
+        ++points;
+        if (k % 5 == 0)
+            table.addRow({fmtFixed(4.5 * k, 1),
+                          fmtFixed(std_point.sampledFidelity, 4),
+                          fmtFixed(opt_point.sampledFidelity, 4),
+                          fmtFixed(std_point.exactFidelity, 5),
+                          fmtFixed(opt_point.exactFidelity, 5),
+                          std::to_string(std_point.duration),
+                          std::to_string(opt_point.duration)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    const double std_mean = std_err_total / points;
+    const double opt_mean = opt_err_total / points;
+    std::printf("mean error: standard %.4f, optimized %.4f\n", std_mean,
+                opt_mean);
+    std::printf("error reduction: %.1f%% (paper: 16%% lower on "
+                "average)\n",
+                100.0 * (1.0 - opt_mean / std_mean));
+    std::printf("shots per tomography axis: %ld (paper: 1000)\n",
+                shots::kDirectRxPerPoint);
+    return 0;
+}

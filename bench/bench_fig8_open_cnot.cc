@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Figure 8 / Section 5.2 — the open-CNOT under both flows: the
+ * optimized compiler's cross-gate pulse cancellation removes the X
+ * pulses adjacent to the CNOT echo, cutting the schedule duration by
+ * ~24% (1984 dt -> 1504 dt in the paper; our calibrated echo is a
+ * little longer but the proportional saving matches). The success
+ * probability of both variants is measured over 16k shots.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+using namespace qpulse;
+
+int
+main()
+{
+    bench::banner(
+        "Figure 8: open-CNOT pulse schedules, standard vs optimized",
+        "24% duration reduction (1984 dt -> 1504 dt); success "
+        "87.1(9)% -> 87.3(9)% over 16k shots");
+
+    const BackendConfig config = almadenLineConfig(2);
+    const auto backend = makeCalibratedBackend(config);
+    const PulseCompiler standard(backend, CompileMode::Standard);
+    const PulseCompiler optimized(backend, CompileMode::Optimized);
+
+    QuantumCircuit circuit(2);
+    circuit.openCx(0, 1);
+    const CompileResult std_result = standard.compile(circuit);
+    const CompileResult opt_result = optimized.compile(circuit);
+
+    std::printf("\nstandard schedule:\n%s",
+                std_result.schedule.render().c_str());
+    std::printf("\noptimized schedule:\n%s\n",
+                opt_result.schedule.render().c_str());
+    std::printf("optimized basis circuit (X cancellations visible):\n%s\n",
+                opt_result.basisCircuit.toString().c_str());
+
+    const double reduction =
+        100.0 * (1.0 - static_cast<double>(opt_result.durationDt) /
+                           static_cast<double>(std_result.durationDt));
+
+    TextTable table({"flow", "pulses", "duration (dt)", "paper (dt)"});
+    table.addRow({"standard", std::to_string(std_result.pulseCount),
+                  std::to_string(std_result.durationDt), "1984"});
+    table.addRow({"optimized", std::to_string(opt_result.pulseCount),
+                  std::to_string(opt_result.durationDt), "1504"});
+    std::printf("%s", table.render().c_str());
+    std::printf("\nduration reduction: %.1f%% (paper: 24%%)\n\n",
+                reduction);
+
+    // Success probability over 16k shots through the noisy simulator:
+    // from |00>, the open-CNOT should produce |01>.
+    Rng rng(0xF18);
+    TextTable success({"flow", "success probability", "sigma", "paper"});
+    const std::pair<const PulseCompiler *, const char *> modes[] = {
+        {&standard, "standard"}, {&optimized, "optimized"}};
+    for (const auto &entry : modes) {
+        DensitySimulator simulator = entry.first->makeSimulator();
+        QuantumCircuit measured(2);
+        measured.openCx(0, 1);
+        measured.measureAll();
+        const NoisyRunResult run =
+            simulator.run(entry.first->transpile(measured));
+        const auto counts =
+            simulator.sampleCounts(run, shots::kOpenCnot, rng);
+        const double p = static_cast<double>(counts[1]) /
+                         static_cast<double>(shots::kOpenCnot);
+        const double sigma =
+            std::sqrt(p * (1.0 - p) /
+                      static_cast<double>(shots::kOpenCnot));
+        success.addRow({entry.second, fmtPercent(p, 2),
+                        fmtPercent(sigma, 2),
+                        std::string(entry.second) == "standard"
+                            ? "87.1(9)%"
+                            : "87.3(9)%"});
+    }
+    std::printf("%s\n", success.render().c_str());
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Engineering micro-benchmarks (google-benchmark): throughput of the
+ * transpiler pipelines, schedule assembly, the pulse simulator and
+ * the noisy density simulator. Not a paper figure — this tracks the
+ * performance of the infrastructure itself.
+ */
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "algos/circuits.h"
+#include "algos/hamiltonians.h"
+#include "bench_util.h"
+
+using namespace qpulse;
+
+namespace {
+
+/** Shared calibrated backend (calibration excluded from timings). */
+const std::shared_ptr<const PulseBackend> &
+sharedBackend()
+{
+    static const std::shared_ptr<const PulseBackend> backend =
+        makeCalibratedBackend(almadenLineConfig(2));
+    return backend;
+}
+
+QuantumCircuit
+trotterBench()
+{
+    return trotterCircuit(methaneHamiltonian(), 1.0, 6);
+}
+
+void
+BM_TranspileStandard(benchmark::State &state)
+{
+    const PulseCompiler compiler(sharedBackend(), CompileMode::Standard);
+    const QuantumCircuit circuit = trotterBench();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(compiler.transpile(circuit));
+}
+BENCHMARK(BM_TranspileStandard)->Unit(benchmark::kMillisecond);
+
+void
+BM_TranspileOptimized(benchmark::State &state)
+{
+    const PulseCompiler compiler(sharedBackend(),
+                                 CompileMode::Optimized);
+    const QuantumCircuit circuit = trotterBench();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(compiler.transpile(circuit));
+}
+BENCHMARK(BM_TranspileOptimized)->Unit(benchmark::kMillisecond);
+
+void
+BM_FullCompileOptimized(benchmark::State &state)
+{
+    const PulseCompiler compiler(sharedBackend(),
+                                 CompileMode::Optimized);
+    const QuantumCircuit circuit = trotterBench();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(compiler.compile(circuit));
+}
+BENCHMARK(BM_FullCompileOptimized)->Unit(benchmark::kMillisecond);
+
+void
+BM_ScheduleAssembly(benchmark::State &state)
+{
+    const PulseCompiler compiler(sharedBackend(),
+                                 CompileMode::Optimized);
+    const QuantumCircuit basis =
+        compiler.transpile(trotterBench());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            sharedBackend()->scheduleCircuit(basis));
+}
+BENCHMARK(BM_ScheduleAssembly)->Unit(benchmark::kMillisecond);
+
+void
+BM_PulseSimCnot(benchmark::State &state)
+{
+    Calibrator calibrator(almadenLineConfig(2));
+    PulseSimulator sim = calibrator.pairSimulator(0, 1);
+    const Schedule schedule =
+        sharedBackend()->schedule(makeGate(GateType::Cnot, {0, 1}));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim.evolveUnitary(schedule));
+}
+BENCHMARK(BM_PulseSimCnot)->Unit(benchmark::kMillisecond);
+
+void
+BM_DensitySimTrotter(benchmark::State &state)
+{
+    const PulseCompiler compiler(sharedBackend(),
+                                 CompileMode::Optimized);
+    DensitySimulator simulator = compiler.makeSimulator();
+    QuantumCircuit circuit = trotterBench();
+    circuit.measureAll();
+    const QuantumCircuit basis = compiler.transpile(circuit);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(simulator.run(basis));
+}
+BENCHMARK(BM_DensitySimTrotter)->Unit(benchmark::kMillisecond);
+
+void
+BM_QubitCalibration(benchmark::State &state)
+{
+    const BackendConfig config = almadenLineConfig(1);
+    for (auto _ : state) {
+        Calibrator calibrator(config); // Fresh cache each iteration.
+        benchmark::DoNotOptimize(calibrator.calibrateQubit(0));
+    }
+}
+BENCHMARK(BM_QubitCalibration)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Table 1 — the four stages of a quantum compiler, demonstrated by
+ * lowering the same program through each stage: programming-language
+ * level (a QFT call), assembly (1-2 qubit gates), basis gates
+ * (hardware-aware set, both flows) and the final pulse schedule.
+ */
+#include <cstdio>
+
+#include "algos/circuits.h"
+#include "bench_util.h"
+#include "common/table.h"
+
+using namespace qpulse;
+
+int
+main()
+{
+    bench::banner("Table 1: the four stages of a quantum compiler",
+                  "PL -> assembly -> basis gates -> pulse schedule");
+
+    // Stage 1: programming language. qft(qc) on 2 qubits.
+    const QuantumCircuit assembly = qftCircuit(2);
+    std::printf("\n[stage 1] programming language: qft(qc) on 2 qubits\n");
+
+    // Stage 2: assembly (1-2 qubit gates, hardware-agnostic).
+    std::printf("\n[stage 2] assembly (%zu gates):\n%s", assembly.size(),
+                assembly.toString().c_str());
+
+    // Stage 3: basis gates under both flows.
+    const BackendConfig config = almadenLineConfig(2);
+    const auto backend = makeCalibratedBackend(config);
+    const PulseCompiler standard(backend, CompileMode::Standard);
+    const PulseCompiler optimized(backend, CompileMode::Optimized);
+    const QuantumCircuit std_basis = standard.transpile(assembly);
+    const QuantumCircuit opt_basis = optimized.transpile(assembly);
+    std::printf("\n[stage 3] standard basis gates (%zu gates):\n%s",
+                std_basis.size(), std_basis.toString().c_str());
+    std::printf("\n[stage 3'] augmented basis gates (%zu gates):\n%s",
+                opt_basis.size(), opt_basis.toString().c_str());
+
+    // Stage 4: pulse schedules.
+    const CompileResult std_result = standard.compile(assembly);
+    const CompileResult opt_result = optimized.compile(assembly);
+    std::printf("\n[stage 4] standard pulse schedule:\n%s",
+                std_result.schedule.render().c_str());
+    std::printf("\n[stage 4'] optimized pulse schedule:\n%s",
+                opt_result.schedule.render().c_str());
+
+    TextTable table({"flow", "basis gates", "pulses", "frame changes",
+                     "duration (dt)", "duration (ns)"});
+    table.addRow({"standard", std::to_string(std_basis.size()),
+                  std::to_string(std_result.pulseCount),
+                  std::to_string(std_result.frameChangeCount),
+                  std::to_string(std_result.durationDt),
+                  fmtFixed(std_result.durationNs(), 1)});
+    table.addRow({"optimized", std::to_string(opt_basis.size()),
+                  std::to_string(opt_result.pulseCount),
+                  std::to_string(opt_result.frameChangeCount),
+                  std::to_string(opt_result.durationDt),
+                  fmtFixed(opt_result.durationNs(), 1)});
+    std::printf("\n%s\n", table.render().c_str());
+    return 0;
+}

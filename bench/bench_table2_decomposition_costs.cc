@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Table 2 — costs of two-qubit operations by native gate, regenerated
+ * computationally with the numeric decomposer: for discrete native
+ * gates, the minimum application count reaching >= 99.9% fidelity
+ * (sqrt(iSWAP) applications cost 0.5 each); for the parametrized
+ * CR(theta) gate, the COBYLA-style minimum of sum(|theta|)/90deg
+ * under the same fidelity constraint.
+ *
+ * Paper reference values (Table 2):
+ *   operation     CNOT CR90 iSWAP bSWAP MAP  sqrt(iSWAP) CR(theta)
+ *   CNOT           1    1    2     2    1    1           1
+ *   SWAP           3    3    3     3    3    1.5         3
+ *   ZZ(theta)      2    2    2     2    2    1           theta/90
+ *   FermionicSim   3    3    3     3    3    1.5         3
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "synth/decomposer.h"
+
+using namespace qpulse;
+
+namespace {
+
+struct TargetRow
+{
+    const char *name;
+    Matrix matrix;
+    double paper[7]; // CNOT, CR90, iSWAP, bSWAP, MAP, sqrtISWAP, CRtheta.
+};
+
+std::string
+costCell(const Decomposition &result)
+{
+    if (!result.feasible)
+        return ">3";
+    return fmtFixed(result.cost, 2) + " (F=" +
+           fmtFixed(result.fidelity, 4) + ")";
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Table 2: two-qubit decomposition costs by native gate",
+        "parity across discrete gates; sqrt(iSWAP) halves costs; "
+        "CR(theta) makes ZZ(theta) cost theta/90");
+
+    const std::vector<NativeGate> natives = {
+        nativeCnot(),   nativeCr90(), nativeIswap(), nativeBswap(),
+        nativeMap(),    nativeSqrtIswap(), nativeCrTheta()};
+
+    // The ZZ row uses a generic angle (60 deg): exactly at 90 deg the
+    // ZZ interaction degenerates into the CNOT/CZ class and a single
+    // CNOT suffices, which is not the regime the table is about. The
+    // paper's circuit has a free Rz(theta), i.e. generic theta.
+    std::vector<TargetRow> targets;
+    targets.push_back({"CNOT", targetCnot(), {1, 1, 2, 2, 1, 1, 1}});
+    targets.push_back({"SWAP", targetSwap(), {3, 3, 3, 3, 3, 1.5, 3}});
+    targets.push_back({"ZZ(60deg)", targetZzInteraction(deg(60)),
+                       {2, 2, 2, 2, 2, 1, 60.0 / 90.0}});
+    targets.push_back({"FermionicSim", targetFermionicSimulation(),
+                       {3, 3, 3, 3, 3, 1.5, 3}});
+
+    DecomposerOptions options;
+    options.maxApplications = 3;
+    options.restartsPerLayer = 14;
+
+    TextTable table({"operation", "native", "paper cost",
+                     "measured cost"});
+    for (const auto &target : targets) {
+        for (std::size_t n = 0; n < natives.size(); ++n) {
+            DecomposerOptions opt_for = options;
+            if (natives[n].parametrized)
+                opt_for.restartsPerLayer = 10;
+            const Decomposition result =
+                decompose(target.matrix, natives[n], opt_for);
+            table.addRow({target.name, natives[n].name,
+                          fmtFixed(target.paper[n], 1),
+                          costCell(result)});
+            std::printf("  %-13s via %-12s -> %s\n", target.name,
+                        natives[n].name.c_str(),
+                        costCell(result).c_str());
+            std::fflush(stdout);
+        }
+    }
+    std::printf("\n%s\n", table.render().c_str());
+
+    // The headline of Section 6: ZZ(theta) cost scales linearly with
+    // theta under the parametrized CR gate.
+    std::printf("ZZ(theta) via CR(theta) cost sweep "
+                "(paper: theta/90deg):\n");
+    TextTable sweep({"theta (deg)", "paper cost", "measured cost",
+                     "fidelity"});
+    for (double degrees : {22.5, 45.0, 67.5, 90.0}) {
+        DecomposerOptions opt_for = options;
+        opt_for.maxApplications = 1;
+        opt_for.restartsPerLayer = 10;
+        const Decomposition result = decompose(
+            targetZzInteraction(deg(degrees)), nativeCrTheta(), opt_for);
+        sweep.addRow({fmtFixed(degrees, 1), fmtFixed(degrees / 90.0, 3),
+                      result.feasible ? fmtFixed(result.cost, 3) : ">1",
+                      fmtFixed(result.fidelity, 4)});
+    }
+    std::printf("%s\n", sweep.render().c_str());
+    return 0;
+}

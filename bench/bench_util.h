@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches: calibrated
+ * backend construction, qubit-subspace projection and schedule
+ * fidelity measurement on the pulse simulator, and banner printing.
+ */
+#ifndef QPULSE_BENCH_BENCH_UTIL_H
+#define QPULSE_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "compile/compiler.h"
+#include "device/calibration.h"
+#include "linalg/gates.h"
+
+namespace qpulse {
+namespace bench {
+
+/** Print the standard bench banner. */
+inline void
+banner(const std::string &what, const std::string &paper_claim)
+{
+    std::printf("==========================================================="
+                "=====================\n");
+    std::printf("%s\n", what.c_str());
+    std::printf("paper: %s\n", paper_claim.c_str());
+    std::printf("==========================================================="
+                "=====================\n");
+}
+
+/** Project a 9x9 two-transmon propagator onto the 2x2 (x) 2x2 block. */
+inline Matrix
+projectQubits2(const Matrix &u)
+{
+    const std::size_t idx[4] = {0, 1, 3, 4};
+    Matrix p(4, 4);
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 4; ++c)
+            p(r, c) = u(idx[r], idx[c]);
+    return p;
+}
+
+/** Project a 3x3 single-transmon propagator onto the qubit block. */
+inline Matrix
+projectQubit1(const Matrix &u)
+{
+    Matrix p(2, 2);
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 2; ++c)
+            p(r, c) = u(r, c);
+    return p;
+}
+
+/** Fidelity of a 2q schedule against a 4x4 target on a pair sim. */
+inline double
+scheduleFidelity2q(const PulseSimulator &sim, const Schedule &schedule,
+                   const Matrix &target)
+{
+    const UnitaryResult result = sim.evolveUnitary(schedule);
+    return averageGateFidelity(
+        projectQubits2(sim.effectiveUnitary(result)), target);
+}
+
+} // namespace bench
+} // namespace qpulse
+
+#endif // QPULSE_BENCH_BENCH_UTIL_H

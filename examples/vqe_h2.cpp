@@ -1,0 +1,96 @@
+/**
+ * @file
+ * VQE for the H2 molecule (the paper's first Figure 12 benchmark):
+ * train the two-qubit UCC ansatz against the 2-qubit-reduced H2
+ * Hamiltonian, then execute the trained circuit under both compiler
+ * flows and compare the measured energies and Hellinger errors.
+ *
+ * Build & run:  ./build/examples/vqe_h2
+ */
+#include <cstdio>
+
+#include "algos/circuits.h"
+#include "algos/hamiltonians.h"
+#include "algos/vqe.h"
+#include "compile/compiler.h"
+#include "metrics/metrics.h"
+#include "noisesim/statevector.h"
+#include "readout/readout.h"
+
+using namespace qpulse;
+
+int
+main()
+{
+    // --- Train (noise-free expectation values). ---
+    const PauliOperator h = h2Hamiltonian();
+    const VariationalResult trained = runVqe2q(h);
+    std::printf("H2 VQE training:\n");
+    std::printf("  optimal exchange angle: %.4f rad\n",
+                trained.params[0]);
+    std::printf("  variational energy:     %.6f Ha\n", trained.value);
+    std::printf("  exact ground energy:    %.6f Ha\n\n",
+                trained.reference);
+
+    // --- Execute the trained ansatz on the noisy backend. ---
+    const BackendConfig config = almadenLineConfig(2);
+    const auto backend = makeCalibratedBackend(config);
+    const QuantumCircuit ansatz = uccAnsatz2q(trained.params[0]);
+    const std::vector<double> ideal = idealDistribution(ansatz);
+
+    Rng rng(7);
+    for (const CompileMode mode :
+         {CompileMode::Standard, CompileMode::Optimized}) {
+        const PulseCompiler compiler(backend, mode);
+        const CompileResult compiled = compiler.compile(ansatz);
+
+        DensitySimulator simulator = compiler.makeSimulator();
+        QuantumCircuit measured = ansatz;
+        measured.measureAll();
+        const NoisyRunResult run =
+            simulator.run(compiler.transpile(measured));
+        const auto counts = simulator.sampleCounts(run, 8000, rng);
+
+        // Measurement-error mitigation as in the paper.
+        const MeasurementMitigator mitigator =
+            MeasurementMitigator::forQubits(
+                {{config.readout[0].probFlip0to1,
+                  config.readout[0].probFlip1to0},
+                 {config.readout[1].probFlip0to1,
+                  config.readout[1].probFlip1to0}});
+        const auto probs =
+            mitigator.mitigate(countsToProbabilities(counts));
+
+        // The ZZ/Z parts of the energy are measurable from the Z-basis
+        // distribution directly.
+        double z_energy = 0.0;
+        for (const auto &term : h.terms()) {
+            bool diagonal = true;
+            for (std::size_t q = 0; q < 2; ++q)
+                if (term.string.op(q) == PauliOp::X ||
+                    term.string.op(q) == PauliOp::Y)
+                    diagonal = false;
+            if (!diagonal)
+                continue;
+            for (std::size_t bits = 0; bits < 4; ++bits) {
+                double eigen = 1.0;
+                for (std::size_t q = 0; q < 2; ++q)
+                    if (term.string.op(q) == PauliOp::Z &&
+                        ((bits >> (1 - q)) & 1))
+                        eigen = -eigen;
+                z_energy += term.coefficient * probs[bits] * eigen;
+            }
+        }
+
+        std::printf("%s flow:\n",
+                    mode == CompileMode::Standard ? "standard"
+                                                  : "optimized");
+        std::printf("  schedule: %ld dt (%.0f ns), %zu pulses\n",
+                    compiled.durationDt, compiled.durationNs(),
+                    compiled.pulseCount);
+        std::printf("  Hellinger error vs ideal: %.4f\n",
+                    hellingerDistance(probs, ideal));
+        std::printf("  diagonal energy part:     %.6f Ha\n\n", z_energy);
+    }
+    return 0;
+}

@@ -1,0 +1,285 @@
+#include "algos/circuits.h"
+
+#include <cmath>
+
+#include "common/constants.h"
+
+namespace qpulse {
+
+namespace {
+
+/** Qubits a Pauli string touches non-trivially. */
+std::vector<std::size_t>
+support(const PauliString &string)
+{
+    std::vector<std::size_t> wires;
+    for (std::size_t q = 0; q < string.numQubits(); ++q)
+        if (string.op(q) != PauliOp::I)
+            wires.push_back(q);
+    return wires;
+}
+
+/** Basis change taking the string's factors onto Z (forward = true)
+ *  or back (forward = false). */
+void
+appendBasisChange(QuantumCircuit &circuit, const PauliString &string,
+                  bool forward)
+{
+    for (std::size_t q = 0; q < string.numQubits(); ++q) {
+        switch (string.op(q)) {
+          case PauliOp::X:
+            circuit.h(q);
+            break;
+          case PauliOp::Y:
+            // Y -> Z via Sdg then H (forward), H then S (back).
+            if (forward) {
+                circuit.sdg(q);
+                circuit.h(q);
+            } else {
+                circuit.h(q);
+                circuit.s(q);
+            }
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+} // namespace
+
+void
+appendTrotterStep(QuantumCircuit &circuit, const PauliOperator &h,
+                  double dt)
+{
+    for (const auto &term : h.terms()) {
+        const auto wires = support(term.string);
+        if (wires.empty())
+            continue; // Identity: global phase only.
+        const double angle = 2.0 * term.coefficient * dt;
+        if (std::abs(angle) < 1e-14)
+            continue;
+
+        appendBasisChange(circuit, term.string, true);
+        if (wires.size() == 1) {
+            circuit.rz(angle, wires[0]);
+        } else {
+            // CX ladder onto the last wire, Rz, unladder — the
+            // "textbook" exp(-i theta/2 Z...Z) circuit whose inner
+            // CX . Rz . CX pair is the compiler's ZZ template.
+            for (std::size_t k = 0; k + 1 < wires.size(); ++k)
+                circuit.cx(wires[k], wires[k + 1]);
+            circuit.rz(angle, wires.back());
+            for (std::size_t k = wires.size() - 1; k-- > 0;)
+                circuit.cx(wires[k], wires[k + 1]);
+        }
+        appendBasisChange(circuit, term.string, false);
+    }
+}
+
+QuantumCircuit
+trotterCircuit(const PauliOperator &h, double total_time, int steps)
+{
+    qpulseRequire(steps > 0, "trotterCircuit needs >= 1 step");
+    QuantumCircuit circuit(h.numQubits());
+    const double dt = total_time / static_cast<double>(steps);
+    for (int s = 0; s < steps; ++s)
+        appendTrotterStep(circuit, h, dt);
+    return circuit;
+}
+
+QuantumCircuit
+uccAnsatz2q(double theta)
+{
+    // Reference |01> then the two-parameter-free exchange rotation
+    // exp(-i theta (X0 Y1 - Y0 X1) / 2) in textbook gates.
+    QuantumCircuit circuit(2);
+    circuit.x(1);
+    // exp(-i theta/2 * X (x) Y):
+    circuit.h(0);
+    circuit.sdg(1);
+    circuit.h(1);
+    circuit.cx(0, 1);
+    circuit.rz(theta, 1);
+    circuit.cx(0, 1);
+    circuit.h(0);
+    circuit.h(1);
+    circuit.s(1);
+    // exp(+i theta/2 * Y (x) X):
+    circuit.sdg(0);
+    circuit.h(0);
+    circuit.h(1);
+    circuit.cx(0, 1);
+    circuit.rz(-theta, 1);
+    circuit.cx(0, 1);
+    circuit.h(0);
+    circuit.s(0);
+    circuit.h(1);
+    return circuit;
+}
+
+QuantumCircuit
+qaoaLineCircuit(std::size_t n_qubits, const std::vector<double> &gammas,
+                const std::vector<double> &betas)
+{
+    qpulseRequire(gammas.size() == betas.size() && !gammas.empty(),
+                  "QAOA needs matching, nonempty angle lists");
+    QuantumCircuit circuit(n_qubits);
+    for (std::size_t q = 0; q < n_qubits; ++q)
+        circuit.h(q);
+    for (std::size_t layer = 0; layer < gammas.size(); ++layer) {
+        // Cost unitary: exp(-i gamma sum ZZ/2)-style phase separation,
+        // written with textbook CX . Rz . CX pairs.
+        for (std::size_t q = 0; q + 1 < n_qubits; ++q) {
+            circuit.cx(q, q + 1);
+            circuit.rz(gammas[layer], q + 1);
+            circuit.cx(q, q + 1);
+        }
+        // Mixer.
+        for (std::size_t q = 0; q < n_qubits; ++q)
+            circuit.rx(2.0 * betas[layer], q);
+    }
+    return circuit;
+}
+
+QuantumCircuit
+qftCircuit(std::size_t n_qubits)
+{
+    QuantumCircuit circuit(n_qubits);
+    for (std::size_t i = 0; i < n_qubits; ++i) {
+        circuit.h(i);
+        for (std::size_t j = i + 1; j < n_qubits; ++j) {
+            // Controlled phase via the textbook CX sandwich.
+            const double angle = kPi / std::pow(2.0, double(j - i));
+            circuit.rz(angle / 2, i);
+            circuit.cx(j, i);
+            circuit.rz(-angle / 2, i);
+            circuit.cx(j, i);
+            circuit.rz(angle / 2, j);
+        }
+    }
+    for (std::size_t i = 0; i < n_qubits / 2; ++i)
+        circuit.swap(i, n_qubits - 1 - i);
+    return circuit;
+}
+
+QuantumCircuit
+hiddenShiftCircuit(std::size_t n_qubits, std::size_t shift)
+{
+    qpulseRequire(n_qubits >= 2 && n_qubits % 2 == 0,
+                  "hidden shift needs an even qubit count");
+    qpulseRequire(shift < (std::size_t{1} << n_qubits),
+                  "shift out of range");
+    const std::size_t m = n_qubits / 2;
+    QuantumCircuit circuit(n_qubits);
+
+    auto apply_shift = [&] {
+        for (std::size_t q = 0; q < n_qubits; ++q)
+            if ((shift >> (n_qubits - 1 - q)) & 1)
+                circuit.x(q);
+    };
+    auto oracle = [&] {
+        // Maiorana-McFarland bent function f(x, y) = x . y: CZ pairs.
+        for (std::size_t i = 0; i < m; ++i)
+            circuit.cz(i, i + m);
+    };
+
+    // H^n . O_f~ . H^n . O_g with g(z) = f(z - s): yields |s>.
+    for (std::size_t q = 0; q < n_qubits; ++q)
+        circuit.h(q);
+    apply_shift();
+    oracle();
+    apply_shift();
+    for (std::size_t q = 0; q < n_qubits; ++q)
+        circuit.h(q);
+    oracle();
+    for (std::size_t q = 0; q < n_qubits; ++q)
+        circuit.h(q);
+    return circuit;
+}
+
+namespace {
+
+/** Standard 6-CNOT + T-ladder Toffoli decomposition. */
+void
+appendToffoli(QuantumCircuit &circuit, std::size_t a, std::size_t b,
+              std::size_t c)
+{
+    circuit.h(c);
+    circuit.cx(b, c);
+    circuit.tdg(c);
+    circuit.cx(a, c);
+    circuit.t(c);
+    circuit.cx(b, c);
+    circuit.tdg(c);
+    circuit.cx(a, c);
+    circuit.t(b);
+    circuit.t(c);
+    circuit.h(c);
+    circuit.cx(a, b);
+    circuit.t(a);
+    circuit.tdg(b);
+    circuit.cx(a, b);
+}
+
+} // namespace
+
+QuantumCircuit
+adderCircuit(std::size_t bits_per_register, std::size_t a_value,
+             std::size_t b_value)
+{
+    const std::size_t w = bits_per_register;
+    qpulseRequire(w >= 1 && w <= 4, "adderCircuit supports 1..4 bits");
+    qpulseRequire(a_value < (std::size_t{1} << w) &&
+                      b_value < (std::size_t{1} << w),
+                  "adder inputs out of range");
+
+    // Layout: [0, w) = a (little-endian), [w, 2w) = b, 2w = ancilla.
+    QuantumCircuit circuit(2 * w + 1);
+    for (std::size_t bit = 0; bit < w; ++bit) {
+        if ((a_value >> bit) & 1)
+            circuit.x(bit);
+        if ((b_value >> bit) & 1)
+            circuit.x(w + bit);
+    }
+
+    // Cuccaro ripple adder without carry-out: b <- a + b mod 2^w.
+    const std::size_t ancilla = 2 * w;
+    auto maj = [&](std::size_t x, std::size_t y, std::size_t z) {
+        circuit.cx(z, y);
+        circuit.cx(z, x);
+        appendToffoli(circuit, x, y, z);
+    };
+    auto uma = [&](std::size_t x, std::size_t y, std::size_t z) {
+        appendToffoli(circuit, x, y, z);
+        circuit.cx(z, x);
+        circuit.cx(x, y);
+    };
+
+    // MAJ chain: carries ripple through the a register.
+    maj(ancilla, w + 0, 0);
+    for (std::size_t bit = 1; bit < w; ++bit)
+        maj(bit - 1, w + bit, bit);
+    // UMA chain restores a and completes the sum bits in b.
+    for (std::size_t bit = w; bit-- > 1;)
+        uma(bit - 1, w + bit, bit);
+    uma(ancilla, w + 0, 0);
+    return circuit;
+}
+
+QuantumCircuit
+bernsteinVaziraniCircuit(std::size_t n_qubits, std::size_t hidden)
+{
+    // Phase-kickback form without an ancilla: H^n . Z_s . H^n.
+    QuantumCircuit circuit(n_qubits);
+    for (std::size_t q = 0; q < n_qubits; ++q)
+        circuit.h(q);
+    for (std::size_t q = 0; q < n_qubits; ++q)
+        if ((hidden >> (n_qubits - 1 - q)) & 1)
+            circuit.z(q);
+    for (std::size_t q = 0; q < n_qubits; ++q)
+        circuit.h(q);
+    return circuit;
+}
+
+} // namespace qpulse

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Algorithm circuit generators: Trotterized Hamiltonian evolution and
+ * the UCC-style two-qubit ansatz for the VQE benchmarks, QAOA-MAXCUT
+ * circuits on line graphs (Section 8.1), plus the far-term kernels
+ * (QFT, Bernstein-Vazirani) the paper contrasts against in its
+ * benchmark discussion.
+ *
+ * All circuits are emitted in hardware-agnostic assembly — notably,
+ * every ZZ interaction is written in the "textbook" CX . Rz . CX form
+ * so that detecting it is genuinely the compiler's job (Section 6.2).
+ */
+#ifndef QPULSE_ALGOS_CIRCUITS_H
+#define QPULSE_ALGOS_CIRCUITS_H
+
+#include "circuit/circuit.h"
+#include "pauli/pauli.h"
+
+namespace qpulse {
+
+/**
+ * One first-order Trotter step of exp(-i H dt): each Pauli term is
+ * basis-rotated onto Z...Z, evolved with a CX-ladder + Rz, and rotated
+ * back. Identity terms contribute only a global phase and are skipped.
+ */
+void appendTrotterStep(QuantumCircuit &circuit, const PauliOperator &h,
+                       double dt);
+
+/** Full Trotterized evolution circuit with the given step count. */
+QuantumCircuit trotterCircuit(const PauliOperator &h, double total_time,
+                              int steps);
+
+/**
+ * Two-qubit unitary-coupled-cluster-style ansatz used by the H2/LiH
+ * VQE benchmarks: |01> reference, exchange rotation
+ * exp(-i theta (XY - YX)/2) implemented with textbook gates.
+ */
+QuantumCircuit uccAnsatz2q(double theta);
+
+/**
+ * QAOA-MAXCUT circuit on an n-qubit line graph with p layers:
+ * alternating cost (ZZ) and mixer (Rx) unitaries over a uniform
+ * superposition.
+ *
+ * @param gammas Cost angles (size p).
+ * @param betas  Mixer angles (size p).
+ */
+QuantumCircuit qaoaLineCircuit(std::size_t n_qubits,
+                               const std::vector<double> &gammas,
+                               const std::vector<double> &betas);
+
+/** Quantum Fourier transform on n qubits (far-term comparison). */
+QuantumCircuit qftCircuit(std::size_t n_qubits);
+
+/** Bernstein-Vazirani circuit for a hidden bitstring. */
+QuantumCircuit bernsteinVaziraniCircuit(std::size_t n_qubits,
+                                        std::size_t hidden);
+
+/**
+ * Hidden-shift circuit for a bent-function instance (Childs & van
+ * Dam style): for the Maiorana-McFarland bent function on n = 2m
+ * qubits f(x, y) = x . y, the circuit H^n . O_shifted . (CZ layer) .
+ * H^n returns the hidden shift s with certainty.
+ */
+QuantumCircuit hiddenShiftCircuit(std::size_t n_qubits,
+                                  std::size_t shift);
+
+/**
+ * Ripple-carry majority-based adder (Cuccaro style) computing
+ * a + b for two w-bit registers: qubits [0, w) hold a, [w, 2w) hold
+ * b (a is overwritten with the sum, little-endian within each
+ * register, no carry ancilla: addition is mod 2^w).
+ */
+QuantumCircuit adderCircuit(std::size_t bits_per_register,
+                            std::size_t a_value, std::size_t b_value);
+
+} // namespace qpulse
+
+#endif // QPULSE_ALGOS_CIRCUITS_H

@@ -1,0 +1,97 @@
+#include "algos/hamiltonians.h"
+
+#include "common/logging.h"
+
+namespace qpulse {
+
+PauliOperator
+h2Hamiltonian()
+{
+    // Two-qubit reduced H2 near equilibrium bond length, in the
+    // g0 II + g1 ZI + g2 IZ + g3 ZZ + g4 XX + g5 YY form standard for
+    // two-electron / two-orbital problems (coefficients in Hartree).
+    PauliOperator h(2);
+    h.addTerm(-0.3980, "II");
+    h.addTerm(0.3593, "ZI");
+    h.addTerm(-0.3593, "IZ");
+    h.addTerm(-0.0113, "ZZ");
+    h.addTerm(0.1810, "XX");
+    h.addTerm(0.1810, "YY");
+    return h;
+}
+
+PauliOperator
+lihHamiltonian()
+{
+    // Two-qubit reduced LiH (frozen-core + symmetry reduction),
+    // dominated by single-Z and ZZ terms with a weaker exchange part.
+    PauliOperator h(2);
+    h.addTerm(-7.4989, "II");
+    h.addTerm(0.0129, "ZI");
+    h.addTerm(0.0129, "IZ");
+    h.addTerm(0.1535, "ZZ");
+    h.addTerm(0.0933, "XX");
+    h.addTerm(0.0933, "YY");
+    h.addTerm(-0.0033, "XZ");
+    h.addTerm(-0.0033, "ZX");
+    return h;
+}
+
+PauliOperator
+methaneHamiltonian()
+{
+    // Two-qubit reduced CH4 dynamics kernel (orbital-reduced).
+    PauliOperator h(2);
+    h.addTerm(-13.8410, "II");
+    h.addTerm(0.2628, "ZI");
+    h.addTerm(-0.2628, "IZ");
+    h.addTerm(0.1942, "ZZ");
+    h.addTerm(0.0862, "XX");
+    return h;
+}
+
+PauliOperator
+waterHamiltonian()
+{
+    // Two-qubit reduced H2O dynamics kernel (orbital-reduced).
+    PauliOperator h(2);
+    h.addTerm(-74.3821, "II");
+    h.addTerm(0.3421, "ZI");
+    h.addTerm(-0.3421, "IZ");
+    h.addTerm(0.2305, "ZZ");
+    h.addTerm(0.1124, "XX");
+    h.addTerm(0.1124, "YY");
+    return h;
+}
+
+PauliOperator
+maxcutLineHamiltonian(std::size_t n_qubits)
+{
+    qpulseRequire(n_qubits >= 2, "MAXCUT needs >= 2 qubits");
+    PauliOperator cost(n_qubits);
+    // C = sum over edges of (1 - Z_i Z_j) / 2.
+    cost.addTerm(0.5 * static_cast<double>(n_qubits - 1),
+                 PauliString(n_qubits));
+    for (std::size_t i = 0; i + 1 < n_qubits; ++i) {
+        PauliString zz(n_qubits);
+        zz.setOp(i, PauliOp::Z);
+        zz.setOp(i + 1, PauliOp::Z);
+        cost.addTerm(-0.5, zz);
+    }
+    return cost;
+}
+
+int
+maxcutLineValue(std::size_t n_qubits, std::size_t bitstring)
+{
+    int cut = 0;
+    for (std::size_t i = 0; i + 1 < n_qubits; ++i) {
+        const bool a = (bitstring >> (n_qubits - 1 - i)) & 1;
+        const bool b = (bitstring >> (n_qubits - 2 - i)) & 1;
+        if (a != b)
+            ++cut;
+    }
+    return cut;
+}
+
+} // namespace qpulse

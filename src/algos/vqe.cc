@@ -1,0 +1,69 @@
+#include "algos/vqe.h"
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "opt/nelder_mead.h"
+
+namespace qpulse {
+
+VariationalResult
+runVqe2q(const PauliOperator &hamiltonian)
+{
+    qpulseRequire(hamiltonian.numQubits() == 2,
+                  "runVqe2q expects a two-qubit Hamiltonian");
+
+    Objective energy = [&](const std::vector<double> &params) {
+        const QuantumCircuit ansatz = uccAnsatz2q(params[0]);
+        return hamiltonian.expectation(ansatz.runStatevector());
+    };
+
+    Rng seeded(0x5EED);
+    const OptResult best =
+        nelderMeadMultiStart(energy, {0.1}, 8, kPi, seeded);
+
+    VariationalResult result;
+    result.params = best.x;
+    result.value = best.fun;
+    result.reference = hamiltonian.groundStateEnergy();
+    return result;
+}
+
+VariationalResult
+runQaoaLine(std::size_t n_qubits, int layers)
+{
+    qpulseRequire(layers >= 1, "QAOA needs >= 1 layer");
+    const PauliOperator cost = maxcutLineHamiltonian(n_qubits);
+
+    Objective negative_cut = [&](const std::vector<double> &params) {
+        std::vector<double> gammas(params.begin(),
+                                   params.begin() + layers);
+        std::vector<double> betas(params.begin() + layers, params.end());
+        const QuantumCircuit circuit =
+            qaoaLineCircuit(n_qubits, gammas, betas);
+        return -cost.expectation(circuit.runStatevector());
+    };
+
+    Rng seeded(0x9A0A);
+    std::vector<double> x0(2 * static_cast<std::size_t>(layers), 0.4);
+    const OptResult best =
+        nelderMeadMultiStart(negative_cut, x0, 12, kPi, seeded);
+
+    VariationalResult result;
+    result.params = best.x;
+    result.value = -best.fun;
+    result.reference = static_cast<double>(n_qubits - 1);
+    return result;
+}
+
+double
+expectedCutValue(std::size_t n_qubits, const std::vector<double> &probs)
+{
+    double total = 0.0;
+    for (std::size_t bits = 0; bits < probs.size(); ++bits)
+        total += probs[bits] *
+                 static_cast<double>(maxcutLineValue(n_qubits, bits));
+    return total;
+}
+
+} // namespace qpulse

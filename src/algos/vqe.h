@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Variational drivers for the Figure 12 benchmarks: a VQE loop over
+ * the two-qubit UCC ansatz (H2/LiH ground-state estimation) and a
+ * QAOA-MAXCUT driver on line graphs. Training runs against ideal
+ * (noise-free) expectation values — the paper's benchmarks compare
+ * compiled executions of the *trained* circuits — with SPSA available
+ * for shot-noise-robust training experiments.
+ */
+#ifndef QPULSE_ALGOS_VQE_H
+#define QPULSE_ALGOS_VQE_H
+
+#include "algos/circuits.h"
+#include "algos/hamiltonians.h"
+#include "opt/spsa.h"
+
+namespace qpulse {
+
+/** Outcome of a variational optimisation. */
+struct VariationalResult
+{
+    std::vector<double> params; ///< Optimal parameters found.
+    double value = 0.0;         ///< Objective at the optimum.
+    double reference = 0.0;     ///< Exact target (ground energy / cut).
+};
+
+/**
+ * Train the two-qubit UCC ansatz against a molecular Hamiltonian.
+ * Returns the optimal exchange angle and the achieved energy, with
+ * the exact ground-state energy as reference.
+ */
+VariationalResult runVqe2q(const PauliOperator &hamiltonian);
+
+/**
+ * Train p-layer QAOA-MAXCUT on an n-qubit line graph (noise-free
+ * expectation maximisation over gammas/betas). The reference value is
+ * the true MAXCUT size (n - 1 for a line).
+ */
+VariationalResult runQaoaLine(std::size_t n_qubits, int layers);
+
+/** Expected cut value <C> of a distribution over bitstrings. */
+double expectedCutValue(std::size_t n_qubits,
+                        const std::vector<double> &probs);
+
+} // namespace qpulse
+
+#endif // QPULSE_ALGOS_VQE_H

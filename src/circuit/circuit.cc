@@ -1,0 +1,142 @@
+#include "circuit/circuit.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "linalg/gates.h"
+
+namespace qpulse {
+
+QuantumCircuit::QuantumCircuit(std::size_t n_qubits) : numQubits_(n_qubits)
+{
+    qpulseRequire(n_qubits > 0, "circuit needs at least one qubit");
+}
+
+void
+QuantumCircuit::append(Gate gate)
+{
+    for (std::size_t wire : gate.qubits)
+        qpulseRequire(wire < numQubits_, "gate ", gate.toString(),
+                      " targets out-of-range wire on a ", numQubits_,
+                      "-qubit circuit");
+    if (gate.qubits.size() == 2)
+        qpulseRequire(gate.qubits[0] != gate.qubits[1],
+                      "two-qubit gate on identical wires");
+    gates_.push_back(std::move(gate));
+}
+
+void
+QuantumCircuit::extend(const QuantumCircuit &other)
+{
+    qpulseRequire(other.numQubits_ <= numQubits_,
+                  "extend with a wider circuit");
+    for (const auto &gate : other.gates_)
+        append(gate);
+}
+
+void
+QuantumCircuit::measureAll()
+{
+    for (std::size_t q = 0; q < numQubits_; ++q)
+        measure(q);
+}
+
+void
+QuantumCircuit::barrier()
+{
+    gates_.push_back(Gate{GateType::Barrier, {}, {}});
+}
+
+std::size_t
+QuantumCircuit::countType(GateType type) const
+{
+    return static_cast<std::size_t>(
+        std::count_if(gates_.begin(), gates_.end(),
+                      [&](const Gate &g) { return g.type == type; }));
+}
+
+std::size_t
+QuantumCircuit::twoQubitGateCount() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(gates_.begin(), gates_.end(), [](const Gate &g) {
+            return !gateIsDirective(g.type) && g.qubits.size() == 2;
+        }));
+}
+
+QuantumCircuit
+QuantumCircuit::withoutDirectives() const
+{
+    QuantumCircuit result(numQubits_);
+    for (const auto &gate : gates_)
+        if (!gateIsDirective(gate.type))
+            result.append(gate);
+    return result;
+}
+
+Matrix
+QuantumCircuit::unitary() const
+{
+    const std::size_t dim = std::size_t{1} << numQubits_;
+    Matrix result = Matrix::identity(dim);
+    for (const auto &gate : gates_) {
+        if (gateIsDirective(gate.type))
+            continue;
+        Matrix embedded;
+        if (gate.qubits.size() == 1) {
+            embedded = gates::embed1q(gate.matrix(), gate.qubits[0],
+                                      numQubits_);
+        } else {
+            embedded = gates::embed2q(gate.matrix(), gate.qubits[0],
+                                      gate.qubits[1], numQubits_);
+        }
+        result = embedded * result;
+    }
+    return result;
+}
+
+Vector
+QuantumCircuit::runStatevector() const
+{
+    const std::size_t dim = std::size_t{1} << numQubits_;
+    Vector state(dim);
+    state[0] = Complex{1.0, 0.0};
+    for (const auto &gate : gates_) {
+        if (gateIsDirective(gate.type))
+            continue;
+        Matrix embedded;
+        if (gate.qubits.size() == 1) {
+            embedded = gates::embed1q(gate.matrix(), gate.qubits[0],
+                                      numQubits_);
+        } else {
+            embedded = gates::embed2q(gate.matrix(), gate.qubits[0],
+                                      gate.qubits[1], numQubits_);
+        }
+        state = embedded.apply(state);
+    }
+    return state;
+}
+
+QuantumCircuit
+QuantumCircuit::inverse() const
+{
+    QuantumCircuit result(numQubits_);
+    for (auto it = gates_.rbegin(); it != gates_.rend(); ++it) {
+        if (gateIsDirective(it->type))
+            continue;
+        result.append(it->inverse());
+    }
+    return result;
+}
+
+std::string
+QuantumCircuit::toString() const
+{
+    std::ostringstream os;
+    os << "qreg q[" << numQubits_ << "];\n";
+    for (const auto &gate : gates_)
+        os << gate.toString() << ";\n";
+    return os.str();
+}
+
+} // namespace qpulse

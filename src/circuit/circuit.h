@@ -1,0 +1,135 @@
+/**
+ * @file
+ * QuantumCircuit: an ordered gate list over an n-qubit register, with
+ * builder helpers for every assembly gate, unitary evaluation, and a
+ * QASM-flavoured text dump. The circuit is the "assembly" stage of
+ * Table 1; the transpiler (src/transpile) rewrites it toward the basis
+ * and augmented-basis stages.
+ */
+#ifndef QPULSE_CIRCUIT_CIRCUIT_H
+#define QPULSE_CIRCUIT_CIRCUIT_H
+
+#include <string>
+#include <vector>
+
+#include "circuit/gate.h"
+#include "linalg/matrix.h"
+
+namespace qpulse {
+
+/**
+ * Ordered sequence of gates on a fixed-width qubit register.
+ */
+class QuantumCircuit
+{
+  public:
+    /** Circuit over n qubits, initially empty. */
+    explicit QuantumCircuit(std::size_t n_qubits);
+
+    std::size_t numQubits() const { return numQubits_; }
+
+    /** Append a pre-built gate (validates wire indices). */
+    void append(Gate gate);
+
+    /** Append all gates of another circuit (widths must match). */
+    void extend(const QuantumCircuit &other);
+
+    // Builder helpers, one per assembly gate.
+    void i(std::size_t q)   { append(makeGate(GateType::I, {q})); }
+    void h(std::size_t q)   { append(makeGate(GateType::H, {q})); }
+    void x(std::size_t q)   { append(makeGate(GateType::X, {q})); }
+    void y(std::size_t q)   { append(makeGate(GateType::Y, {q})); }
+    void z(std::size_t q)   { append(makeGate(GateType::Z, {q})); }
+    void s(std::size_t q)   { append(makeGate(GateType::S, {q})); }
+    void sdg(std::size_t q) { append(makeGate(GateType::Sdg, {q})); }
+    void t(std::size_t q)   { append(makeGate(GateType::T, {q})); }
+    void tdg(std::size_t q) { append(makeGate(GateType::Tdg, {q})); }
+    void rx(double theta, std::size_t q)
+    {
+        append(makeGate(GateType::Rx, {q}, {theta}));
+    }
+    void ry(double theta, std::size_t q)
+    {
+        append(makeGate(GateType::Ry, {q}, {theta}));
+    }
+    void rz(double theta, std::size_t q)
+    {
+        append(makeGate(GateType::Rz, {q}, {theta}));
+    }
+    void u1(double lambda, std::size_t q)
+    {
+        append(makeGate(GateType::U1, {q}, {lambda}));
+    }
+    void u2(double phi, double lambda, std::size_t q)
+    {
+        append(makeGate(GateType::U2, {q}, {phi, lambda}));
+    }
+    void u3(double theta, double phi, double lambda, std::size_t q)
+    {
+        append(makeGate(GateType::U3, {q}, {theta, phi, lambda}));
+    }
+    void cx(std::size_t control, std::size_t target)
+    {
+        append(makeGate(GateType::Cnot, {control, target}));
+    }
+    void cz(std::size_t a, std::size_t b)
+    {
+        append(makeGate(GateType::Cz, {a, b}));
+    }
+    void swap(std::size_t a, std::size_t b)
+    {
+        append(makeGate(GateType::Swap, {a, b}));
+    }
+    void rzz(double theta, std::size_t a, std::size_t b)
+    {
+        append(makeGate(GateType::Rzz, {a, b}, {theta}));
+    }
+    void openCx(std::size_t control, std::size_t target)
+    {
+        append(makeGate(GateType::OpenCnot, {control, target}));
+    }
+    void measure(std::size_t q)
+    {
+        append(makeGate(GateType::Measure, {q}));
+    }
+    void measureAll();
+    void barrier();
+
+    const std::vector<Gate> &gates() const { return gates_; }
+    std::vector<Gate> &gates() { return gates_; }
+
+    /** Number of gates (including directives). */
+    std::size_t size() const { return gates_.size(); }
+
+    /** Count of gates of one type. */
+    std::size_t countType(GateType type) const;
+
+    /** Count of two-qubit (entangling) gates. */
+    std::size_t twoQubitGateCount() const;
+
+    /** Drop all Measure/Barrier directives (for unitary evaluation). */
+    QuantumCircuit withoutDirectives() const;
+
+    /**
+     * Full-register unitary of the circuit (directives skipped).
+     * Qubit 0 is the most significant bit of the basis index.
+     */
+    Matrix unitary() const;
+
+    /** State produced by applying the circuit to |0...0>. */
+    Vector runStatevector() const;
+
+    /** Inverse circuit (reversed order, inverted gates). */
+    QuantumCircuit inverse() const;
+
+    /** QASM-flavoured multi-line dump. */
+    std::string toString() const;
+
+  private:
+    std::size_t numQubits_;
+    std::vector<Gate> gates_;
+};
+
+} // namespace qpulse
+
+#endif // QPULSE_CIRCUIT_CIRCUIT_H

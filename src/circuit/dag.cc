@@ -1,0 +1,248 @@
+#include "circuit/dag.h"
+
+#include <algorithm>
+
+namespace qpulse {
+
+CircuitDag::CircuitDag(const QuantumCircuit &circuit)
+    : numQubits_(circuit.numQubits()),
+      front_(circuit.numQubits(), kNoNode),
+      back_(circuit.numQubits(), kNoNode)
+{
+    nodes_.reserve(circuit.size());
+    for (const auto &gate : circuit.gates()) {
+        Gate stored = gate;
+        if (stored.type == GateType::Barrier && stored.qubits.empty()) {
+            // A bare barrier spans the whole register.
+            stored.qubits.resize(numQubits_);
+            for (std::size_t q = 0; q < numQubits_; ++q)
+                stored.qubits[q] = q;
+        }
+        DagNode node;
+        node.gate = std::move(stored);
+        node.prev.assign(node.gate.qubits.size(), kNoNode);
+        node.next.assign(node.gate.qubits.size(), kNoNode);
+        nodes_.push_back(std::move(node));
+        linkAtEnd(nodes_.size() - 1);
+    }
+}
+
+void
+CircuitDag::linkAtEnd(std::size_t id)
+{
+    DagNode &node = nodes_[id];
+    for (std::size_t slot = 0; slot < node.gate.qubits.size(); ++slot) {
+        const std::size_t wire = node.gate.qubits[slot];
+        const std::size_t tail = back_[wire];
+        node.prev[slot] = tail;
+        if (tail == kNoNode) {
+            front_[wire] = id;
+        } else {
+            DagNode &prev_node = nodes_[tail];
+            prev_node.next[operandIndex(tail, wire)] = id;
+        }
+        back_[wire] = id;
+    }
+}
+
+std::size_t
+CircuitDag::aliveCount() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(nodes_.begin(), nodes_.end(),
+                      [](const DagNode &n) { return n.alive; }));
+}
+
+std::size_t
+CircuitDag::operandIndex(std::size_t id, std::size_t wire) const
+{
+    const DagNode &node = nodes_[id];
+    for (std::size_t slot = 0; slot < node.gate.qubits.size(); ++slot)
+        if (node.gate.qubits[slot] == wire)
+            return slot;
+    qpulsePanic("node ", id, " does not touch wire ", wire);
+}
+
+std::size_t
+CircuitDag::nextOnWire(std::size_t id, std::size_t wire) const
+{
+    return nodes_[id].next[operandIndex(id, wire)];
+}
+
+std::size_t
+CircuitDag::prevOnWire(std::size_t id, std::size_t wire) const
+{
+    return nodes_[id].prev[operandIndex(id, wire)];
+}
+
+void
+CircuitDag::removeNode(std::size_t id)
+{
+    DagNode &node = nodes_[id];
+    qpulseAssert(node.alive, "removing a dead node");
+    for (std::size_t slot = 0; slot < node.gate.qubits.size(); ++slot) {
+        const std::size_t wire = node.gate.qubits[slot];
+        const std::size_t before = node.prev[slot];
+        const std::size_t after = node.next[slot];
+        if (before == kNoNode)
+            front_[wire] = after;
+        else
+            nodes_[before].next[operandIndex(before, wire)] = after;
+        if (after == kNoNode)
+            back_[wire] = before;
+        else
+            nodes_[after].prev[operandIndex(after, wire)] = before;
+    }
+    node.alive = false;
+}
+
+std::vector<std::size_t>
+CircuitDag::replaceNode(std::size_t id, const std::vector<Gate> &gates)
+{
+    const DagNode original = nodes_[id];
+    qpulseAssert(original.alive, "replacing a dead node");
+    for (const auto &gate : gates)
+        for (std::size_t wire : gate.qubits)
+            qpulseAssert(std::find(original.gate.qubits.begin(),
+                                   original.gate.qubits.end(), wire) !=
+                             original.gate.qubits.end(),
+                         "replacement gate leaves the original wires");
+
+    // Per wire, track the node the next insertion should hang after.
+    std::vector<std::size_t> tail_on_wire(numQubits_, kNoNode);
+    std::vector<bool> wire_touched(numQubits_, false);
+    for (std::size_t slot = 0; slot < original.gate.qubits.size();
+         ++slot) {
+        const std::size_t wire = original.gate.qubits[slot];
+        tail_on_wire[wire] = original.prev[slot];
+        wire_touched[wire] = true;
+    }
+
+    removeNode(id);
+
+    std::vector<std::size_t> inserted;
+    inserted.reserve(gates.size());
+    for (const auto &gate : gates) {
+        DagNode node;
+        node.gate = gate;
+        node.prev.assign(gate.qubits.size(), kNoNode);
+        node.next.assign(gate.qubits.size(), kNoNode);
+        nodes_.push_back(std::move(node));
+        const std::size_t new_id = nodes_.size() - 1;
+        // Splice onto each wire after the current tail.
+        DagNode &fresh = nodes_[new_id];
+        for (std::size_t slot = 0; slot < fresh.gate.qubits.size();
+             ++slot) {
+            const std::size_t wire = fresh.gate.qubits[slot];
+            const std::size_t before = tail_on_wire[wire];
+            std::size_t after;
+            if (before == kNoNode)
+                after = front_[wire];
+            else
+                after = nodes_[before].next[operandIndex(before, wire)];
+            // Rewire the wire gap around the original position: the gap
+            // on this wire is (before -> after); insert fresh between.
+            fresh.prev[slot] = before;
+            fresh.next[slot] = after;
+            if (before == kNoNode)
+                front_[wire] = new_id;
+            else
+                nodes_[before].next[operandIndex(before, wire)] = new_id;
+            if (after == kNoNode)
+                back_[wire] = new_id;
+            else
+                nodes_[after].prev[operandIndex(after, wire)] = new_id;
+            tail_on_wire[wire] = new_id;
+        }
+        inserted.push_back(new_id);
+    }
+    return inserted;
+}
+
+void
+CircuitDag::swapAdjacent(std::size_t id, std::size_t wire)
+{
+    const std::size_t after = nextOnWire(id, wire);
+    qpulseAssert(after != kNoNode, "swapAdjacent at wire tail");
+
+    DagNode &a = nodes_[id];
+    DagNode &b = nodes_[after];
+
+    // Both nodes must touch no shared wire other than `wire`, otherwise
+    // the swap would not be a pure reordering on a single wire.
+    for (std::size_t wa : a.gate.qubits)
+        for (std::size_t wb : b.gate.qubits)
+            qpulseAssert(wa != wb || wa == wire,
+                         "swapAdjacent nodes share an extra wire");
+
+    const std::size_t slot_a = operandIndex(id, wire);
+    const std::size_t slot_b = operandIndex(after, wire);
+    const std::size_t before = a.prev[slot_a];
+    const std::size_t beyond = b.next[slot_b];
+
+    // before -> b -> a -> beyond on this wire.
+    if (before == kNoNode)
+        front_[wire] = after;
+    else
+        nodes_[before].next[operandIndex(before, wire)] = after;
+    b.prev[slot_b] = before;
+    b.next[slot_b] = id;
+    a.prev[slot_a] = after;
+    a.next[slot_a] = beyond;
+    if (beyond == kNoNode)
+        back_[wire] = id;
+    else
+        nodes_[beyond].prev[operandIndex(beyond, wire)] = id;
+}
+
+QuantumCircuit
+CircuitDag::toCircuit() const
+{
+    QuantumCircuit circuit(numQubits_);
+
+    // Kahn-style topological linearisation that prefers original node
+    // order for determinism.
+    std::vector<std::size_t> pending_inputs(nodes_.size(), 0);
+    std::vector<std::size_t> ready;
+    for (std::size_t id = 0; id < nodes_.size(); ++id) {
+        const DagNode &node = nodes_[id];
+        if (!node.alive)
+            continue;
+        std::size_t count = 0;
+        for (std::size_t p : node.prev)
+            if (p != kNoNode)
+                ++count;
+        pending_inputs[id] = count;
+        if (count == 0)
+            ready.push_back(id);
+    }
+
+    std::size_t emitted = 0;
+    while (!ready.empty()) {
+        // Smallest id first for stable output.
+        const auto it = std::min_element(ready.begin(), ready.end());
+        const std::size_t id = *it;
+        ready.erase(it);
+
+        const DagNode &node = nodes_[id];
+        Gate gate = node.gate;
+        if (gate.type == GateType::Barrier)
+            gate.qubits.clear();
+        circuit.append(std::move(gate));
+        ++emitted;
+
+        for (std::size_t successor : node.next) {
+            if (successor == kNoNode)
+                continue;
+            qpulseAssert(pending_inputs[successor] > 0,
+                         "DAG inconsistency in toCircuit");
+            if (--pending_inputs[successor] == 0)
+                ready.push_back(successor);
+        }
+    }
+    qpulseAssert(emitted == aliveCount(),
+                 "DAG linearisation dropped nodes: cycle?");
+    return circuit;
+}
+
+} // namespace qpulse

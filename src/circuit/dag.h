@@ -1,0 +1,98 @@
+/**
+ * @file
+ * DAG representation of a quantum circuit.
+ *
+ * The transpiler passes of Section 3.3 operate on a DAG whose nodes are
+ * gates and whose edges are the per-wire data dependencies. Nodes are
+ * stored in a stable vector with alive flags so passes can remove and
+ * replace nodes without invalidating indices mid-walk; conversion back
+ * to a QuantumCircuit performs a topological linearisation.
+ */
+#ifndef QPULSE_CIRCUIT_DAG_H
+#define QPULSE_CIRCUIT_DAG_H
+
+#include <optional>
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace qpulse {
+
+/** Sentinel meaning "no node". */
+inline constexpr std::size_t kNoNode = static_cast<std::size_t>(-1);
+
+/** One node of the circuit DAG. */
+struct DagNode
+{
+    Gate gate;
+    bool alive = true;
+    /** Per operand wire: previous node index on that wire (kNoNode). */
+    std::vector<std::size_t> prev;
+    /** Per operand wire: next node index on that wire (kNoNode). */
+    std::vector<std::size_t> next;
+};
+
+/**
+ * Circuit DAG with per-wire linked structure.
+ */
+class CircuitDag
+{
+  public:
+    /** Build the DAG from a circuit (barriers act as full-width gates). */
+    explicit CircuitDag(const QuantumCircuit &circuit);
+
+    std::size_t numQubits() const { return numQubits_; }
+
+    /** All node slots, including dead ones. */
+    const std::vector<DagNode> &nodes() const { return nodes_; }
+    DagNode &node(std::size_t id) { return nodes_[id]; }
+    const DagNode &node(std::size_t id) const { return nodes_[id]; }
+
+    /** Number of alive nodes. */
+    std::size_t aliveCount() const;
+
+    /** First alive node on the wire, or kNoNode. */
+    std::size_t wireFront(std::size_t wire) const { return front_[wire]; }
+
+    /** Successor of a node along one of its wires, or kNoNode. */
+    std::size_t nextOnWire(std::size_t id, std::size_t wire) const;
+
+    /** Predecessor of a node along one of its wires, or kNoNode. */
+    std::size_t prevOnWire(std::size_t id, std::size_t wire) const;
+
+    /** Remove a node, stitching its per-wire neighbours together. */
+    void removeNode(std::size_t id);
+
+    /**
+     * Replace a node by a sequence of gates acting on (a subset of) the
+     * same wires, preserving the node's position in every wire order.
+     * @return Indices of the inserted nodes, in order.
+     */
+    std::vector<std::size_t> replaceNode(std::size_t id,
+                                         const std::vector<Gate> &gates);
+
+    /**
+     * Swap a node with its successor on the given wire (both must be
+     * single-wire-adjacent, i.e. share exactly that wire). Used by the
+     * commutativity-detection pass to float gates past each other.
+     */
+    void swapAdjacent(std::size_t id, std::size_t wire);
+
+    /** Topologically linearised circuit. */
+    QuantumCircuit toCircuit() const;
+
+    /** Index of the operand slot of `wire` within node `id`. */
+    std::size_t operandIndex(std::size_t id, std::size_t wire) const;
+
+  private:
+    void linkAtEnd(std::size_t id);
+
+    std::size_t numQubits_;
+    std::vector<DagNode> nodes_;
+    std::vector<std::size_t> front_; ///< First node per wire.
+    std::vector<std::size_t> back_;  ///< Last node per wire.
+};
+
+} // namespace qpulse
+
+#endif // QPULSE_CIRCUIT_DAG_H

@@ -1,0 +1,231 @@
+#include "circuit/gate.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/constants.h"
+#include "linalg/gates.h"
+
+namespace qpulse {
+
+std::string
+gateName(GateType type)
+{
+    switch (type) {
+      case GateType::I:        return "id";
+      case GateType::H:        return "h";
+      case GateType::X:        return "x";
+      case GateType::Y:        return "y";
+      case GateType::Z:        return "z";
+      case GateType::S:        return "s";
+      case GateType::Sdg:      return "sdg";
+      case GateType::T:        return "t";
+      case GateType::Tdg:      return "tdg";
+      case GateType::Rx:       return "rx";
+      case GateType::Ry:       return "ry";
+      case GateType::Rz:       return "rz";
+      case GateType::U1:       return "u1";
+      case GateType::U2:       return "u2";
+      case GateType::U3:       return "u3";
+      case GateType::Cnot:     return "cx";
+      case GateType::Cz:       return "cz";
+      case GateType::Swap:     return "swap";
+      case GateType::Rzz:      return "rzz";
+      case GateType::OpenCnot: return "open_cx";
+      case GateType::X90:      return "x90";
+      case GateType::DirectX:  return "direct_x";
+      case GateType::DirectRx: return "direct_rx";
+      case GateType::Cr:       return "cr";
+      case GateType::CrHalf:   return "cr_half";
+      case GateType::Measure:  return "measure";
+      case GateType::Barrier:  return "barrier";
+    }
+    qpulsePanic("unknown gate type");
+}
+
+std::size_t
+gateArity(GateType type)
+{
+    switch (type) {
+      case GateType::Cnot:
+      case GateType::Cz:
+      case GateType::Swap:
+      case GateType::Rzz:
+      case GateType::OpenCnot:
+      case GateType::Cr:
+      case GateType::CrHalf:
+        return 2;
+      case GateType::Barrier:
+        return 0;
+      default:
+        return 1;
+    }
+}
+
+std::size_t
+gateParamCount(GateType type)
+{
+    switch (type) {
+      case GateType::Rx:
+      case GateType::Ry:
+      case GateType::Rz:
+      case GateType::U1:
+      case GateType::Rzz:
+      case GateType::DirectRx:
+      case GateType::Cr:
+      case GateType::CrHalf:
+        return 1;
+      case GateType::U2:
+        return 2;
+      case GateType::U3:
+        return 3;
+      default:
+        return 0;
+    }
+}
+
+bool
+gateIsDirective(GateType type)
+{
+    return type == GateType::Measure || type == GateType::Barrier;
+}
+
+bool
+gateIsAugmented(GateType type)
+{
+    switch (type) {
+      case GateType::DirectX:
+      case GateType::DirectRx:
+      case GateType::Cr:
+      case GateType::CrHalf:
+        return true;
+      default:
+        return false;
+    }
+}
+
+Matrix
+Gate::matrix() const
+{
+    qpulseRequire(!gateIsDirective(type),
+                  "directive gate has no matrix: ", gateName(type));
+    switch (type) {
+      case GateType::I:        return gates::i2();
+      case GateType::H:        return gates::h();
+      case GateType::X:        return gates::x();
+      case GateType::Y:        return gates::y();
+      case GateType::Z:        return gates::z();
+      case GateType::S:        return gates::s();
+      case GateType::Sdg:      return gates::sdg();
+      case GateType::T:        return gates::t();
+      case GateType::Tdg:      return gates::tdg();
+      case GateType::Rx:       return gates::rx(params[0]);
+      case GateType::Ry:       return gates::ry(params[0]);
+      case GateType::Rz:       return gates::rz(params[0]);
+      case GateType::U1:       return gates::u1(params[0]);
+      case GateType::U2:
+        return gates::u3(kPi / 2, params[0], params[1]);
+      case GateType::U3:
+        return gates::u3(params[0], params[1], params[2]);
+      case GateType::Cnot:     return gates::cnot();
+      case GateType::Cz:       return gates::cz();
+      case GateType::Swap:     return gates::swap();
+      case GateType::Rzz:      return gates::zz(params[0]);
+      case GateType::OpenCnot: return gates::openCnot();
+      case GateType::X90:      return gates::rx(kPi / 2);
+      case GateType::DirectX:  return gates::rx(kPi);
+      case GateType::DirectRx: return gates::rx(params[0]);
+      case GateType::Cr:       return gates::cr(params[0]);
+      case GateType::CrHalf:   return gates::cr(params[0]);
+      case GateType::Measure:
+      case GateType::Barrier:
+        break;
+    }
+    qpulsePanic("unhandled gate type in matrix()");
+}
+
+Gate
+Gate::inverse() const
+{
+    qpulseRequire(!gateIsDirective(type),
+                  "directive gate has no inverse: ", gateName(type));
+    Gate inv = *this;
+    switch (type) {
+      case GateType::S:   inv.type = GateType::Sdg; return inv;
+      case GateType::Sdg: inv.type = GateType::S; return inv;
+      case GateType::T:   inv.type = GateType::Tdg; return inv;
+      case GateType::Tdg: inv.type = GateType::T; return inv;
+      case GateType::Rx:
+      case GateType::Ry:
+      case GateType::Rz:
+      case GateType::U1:
+      case GateType::Rzz:
+      case GateType::DirectRx:
+      case GateType::Cr:
+      case GateType::CrHalf:
+        inv.params[0] = -params[0];
+        return inv;
+      case GateType::X90:
+        // Inverse of Rx(90) is Rx(-90): represent as DirectRx(-pi/2).
+        inv.type = GateType::DirectRx;
+        inv.params = {-kPi / 2};
+        return inv;
+      case GateType::U2:
+        // u2(phi, lambda) = u3(pi/2, phi, lambda); the U3 inverse rule
+        // gives u3(-pi/2, -lambda, -phi).
+        inv.type = GateType::U3;
+        inv.params = {-kPi / 2, -params[1], -params[0]};
+        return inv;
+      case GateType::U3:
+        inv.params = {-params[0], -params[2], -params[1]};
+        return inv;
+      default:
+        // Self-inverse gates (I, H, X, Y, Z, CX, CZ, SWAP, OpenCnot,
+        // DirectX).
+        return inv;
+    }
+}
+
+std::string
+Gate::toString() const
+{
+    std::ostringstream os;
+    os << gateName(type);
+    if (!params.empty()) {
+        os << "(";
+        for (std::size_t i = 0; i < params.size(); ++i)
+            os << (i ? "," : "") << params[i];
+        os << ")";
+    }
+    for (std::size_t i = 0; i < qubits.size(); ++i)
+        os << (i ? "," : " ") << "q[" << qubits[i] << "]";
+    return os.str();
+}
+
+bool
+Gate::operator==(const Gate &other) const
+{
+    if (type != other.type || qubits != other.qubits ||
+        params.size() != other.params.size())
+        return false;
+    for (std::size_t i = 0; i < params.size(); ++i)
+        if (std::abs(params[i] - other.params[i]) > 1e-12)
+            return false;
+    return true;
+}
+
+Gate
+makeGate(GateType type, std::vector<std::size_t> qubits,
+         std::vector<double> params)
+{
+    const std::size_t arity = gateArity(type);
+    if (arity != 0)
+        qpulseRequire(qubits.size() == arity, "gate ", gateName(type),
+                      " expects ", arity, " qubits, got ", qubits.size());
+    qpulseRequire(params.size() == gateParamCount(type), "gate ",
+                  gateName(type), " expects ", gateParamCount(type),
+                  " params, got ", params.size());
+    return Gate{type, std::move(qubits), std::move(params)};
+}
+
+} // namespace qpulse

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Gate vocabulary for the three circuit-level stages of Table 1:
+ * assembly gates (hardware-agnostic), the standard basis gates that
+ * IBM-style backends expose (u1/u2/u3/cx), and the augmented basis
+ * gates this paper introduces (DirectX, DirectRx, CR(theta), and the
+ * echoed-CR atomic primitives).
+ */
+#ifndef QPULSE_CIRCUIT_GATE_H
+#define QPULSE_CIRCUIT_GATE_H
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace qpulse {
+
+/**
+ * Every operation the compiler ever materialises. The comment per
+ * enumerator gives arity / parameter count.
+ */
+enum class GateType
+{
+    // --- assembly-level gates (Section 3.1.2) ---
+    I,        ///< 1q / 0p identity (explicit idle)
+    H,        ///< 1q / 0p Hadamard
+    X,        ///< 1q / 0p NOT
+    Y,        ///< 1q / 0p
+    Z,        ///< 1q / 0p
+    S,        ///< 1q / 0p
+    Sdg,      ///< 1q / 0p
+    T,        ///< 1q / 0p
+    Tdg,      ///< 1q / 0p
+    Rx,       ///< 1q / 1p rotation about X
+    Ry,       ///< 1q / 1p rotation about Y
+    Rz,       ///< 1q / 1p rotation about Z (virtual, zero cost)
+    U1,       ///< 1q / 1p phase gate
+    U2,       ///< 1q / 2p sqrt-X class gate
+    U3,       ///< 1q / 3p generic single-qubit gate
+    Cnot,     ///< 2q / 0p controlled-NOT (control first)
+    Cz,       ///< 2q / 0p controlled-Z
+    Swap,     ///< 2q / 0p
+    Rzz,      ///< 2q / 1p ZZ interaction exp(-i theta/2 ZZ) (Section 6)
+    OpenCnot, ///< 2q / 0p 0-controlled NOT (Section 5.2)
+
+    // --- standard basis gates (Section 3.1.3, IBM backend set) ---
+    X90,      ///< 1q / 0p calibrated Rx(90 deg) pulse-backed gate
+
+    // --- augmented basis gates (this paper) ---
+    DirectX,  ///< 1q / 0p pre-calibrated Rx(180 deg) pulse (Section 4.1)
+    DirectRx, ///< 1q / 1p amplitude-scaled Rx(theta) pulse (Section 4.2)
+    Cr,       ///< 2q / 1p echoed cross-resonance CR(theta) (Section 6)
+    CrHalf,   ///< 2q / 1p single (unechoed) CR pulse half (Section 5.1)
+
+    // --- non-unitary markers ---
+    Measure,  ///< 1q / 0p computational-basis measurement
+    Barrier,  ///< nq / 0p scheduling barrier
+};
+
+/** Human-readable lowercase mnemonic, e.g. "cx", "direct_rx". */
+std::string gateName(GateType type);
+
+/** Number of qubits the gate acts on (0 means variadic: Barrier). */
+std::size_t gateArity(GateType type);
+
+/** Number of real parameters the gate carries. */
+std::size_t gateParamCount(GateType type);
+
+/** True for Measure/Barrier, which have no unitary matrix. */
+bool gateIsDirective(GateType type);
+
+/** True for the augmented basis gates introduced by the paper. */
+bool gateIsAugmented(GateType type);
+
+/**
+ * One gate application in a circuit: type, target wires and parameters
+ * (angles in radians).
+ */
+struct Gate
+{
+    GateType type;
+    std::vector<std::size_t> qubits;
+    std::vector<double> params;
+
+    /** Unitary matrix of the bare gate (2x2 or 4x4). */
+    Matrix matrix() const;
+
+    /** The inverse gate (panics for directives). */
+    Gate inverse() const;
+
+    /** Text form, e.g. "rz(1.5708) q[2]". */
+    std::string toString() const;
+
+    bool operator==(const Gate &other) const;
+};
+
+/** Construct helpers. */
+Gate makeGate(GateType type, std::vector<std::size_t> qubits,
+              std::vector<double> params = {});
+
+} // namespace qpulse
+
+#endif // QPULSE_CIRCUIT_GATE_H

@@ -1,0 +1,347 @@
+#include "circuit/qasm.h"
+
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "common/constants.h"
+#include "common/logging.h"
+
+namespace qpulse {
+
+namespace {
+
+/**
+ * Recursive-descent evaluator for angle expressions:
+ * expr := term (('+'|'-') term)*
+ * term := factor (('*'|'/') factor)*
+ * factor := number | 'pi' | '-' factor | '(' expr ')'
+ */
+class ExprParser
+{
+  public:
+    explicit ExprParser(const std::string &text) : text_(text) {}
+
+    double parse()
+    {
+        const double value = parseExpr();
+        skipSpace();
+        qpulseRequire(pos_ == text_.size(),
+                      "trailing characters in angle expression \"",
+                      text_, "\"");
+        return value;
+    }
+
+  private:
+    void skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool eat(char c)
+    {
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    double parseExpr()
+    {
+        double value = parseTerm();
+        while (true) {
+            if (eat('+'))
+                value += parseTerm();
+            else if (eat('-'))
+                value -= parseTerm();
+            else
+                return value;
+        }
+    }
+
+    double parseTerm()
+    {
+        double value = parseFactor();
+        while (true) {
+            if (eat('*'))
+                value *= parseFactor();
+            else if (eat('/')) {
+                const double rhs = parseFactor();
+                qpulseRequire(rhs != 0.0,
+                              "division by zero in angle expression");
+                value /= rhs;
+            } else
+                return value;
+        }
+    }
+
+    double parseFactor()
+    {
+        skipSpace();
+        if (eat('-'))
+            return -parseFactor();
+        if (eat('('))
+        {
+            const double value = parseExpr();
+            qpulseRequire(eat(')'), "missing ')' in angle expression \"",
+                          text_, "\"");
+            return value;
+        }
+        if (text_.compare(pos_, 2, "pi") == 0) {
+            pos_ += 2;
+            return kPi;
+        }
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' ||
+                ((text_[pos_] == '+' || text_[pos_] == '-') && pos_ > start &&
+                 (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E'))))
+            ++pos_;
+        qpulseRequire(pos_ > start, "expected a number in \"", text_,
+                      "\" at offset ", start);
+        return std::stod(text_.substr(start, pos_ - start));
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+/** Strip // comments and split the source into ';'-terminated
+ *  statements. */
+std::vector<std::string>
+splitStatements(const std::string &source)
+{
+    std::string cleaned;
+    cleaned.reserve(source.size());
+    for (std::size_t i = 0; i < source.size(); ++i) {
+        if (source[i] == '/' && i + 1 < source.size() &&
+            source[i + 1] == '/') {
+            while (i < source.size() && source[i] != '\n')
+                ++i;
+            continue;
+        }
+        cleaned += source[i];
+    }
+
+    std::vector<std::string> statements;
+    std::string current;
+    for (char c : cleaned) {
+        if (c == ';') {
+            statements.push_back(current);
+            current.clear();
+        } else {
+            current += c;
+        }
+    }
+    // Trailing non-';' content must be blank.
+    for (char c : current)
+        qpulseRequire(std::isspace(static_cast<unsigned char>(c)),
+                      "QASM source does not end with ';'");
+    return statements;
+}
+
+std::string
+trim(const std::string &text)
+{
+    std::size_t begin = 0, end = text.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(text[begin])))
+        ++begin;
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1])))
+        --end;
+    return text.substr(begin, end - begin);
+}
+
+/** Parse "q[3]" (register name ignored, must match the qreg). */
+std::size_t
+parseQubitRef(const std::string &text, const std::string &reg_name)
+{
+    const std::string t = trim(text);
+    const std::size_t open = t.find('[');
+    const std::size_t close = t.find(']');
+    qpulseRequire(open != std::string::npos && close != std::string::npos &&
+                      close > open,
+                  "malformed qubit reference \"", text, "\"");
+    const std::string name = trim(t.substr(0, open));
+    qpulseRequire(name == reg_name, "unknown register \"", name,
+                  "\" (declared: \"", reg_name, "\")");
+    return static_cast<std::size_t>(
+        std::stoul(t.substr(open + 1, close - open - 1)));
+}
+
+/** Split "a,b,c" at top level (no nested parens expected here). */
+std::vector<std::string>
+splitArgs(const std::string &text)
+{
+    std::vector<std::string> parts;
+    std::string current;
+    int depth = 0;
+    for (char c : text) {
+        if (c == '(')
+            ++depth;
+        if (c == ')')
+            --depth;
+        if (c == ',' && depth == 0) {
+            parts.push_back(current);
+            current.clear();
+        } else {
+            current += c;
+        }
+    }
+    if (!trim(current).empty())
+        parts.push_back(current);
+    return parts;
+}
+
+} // namespace
+
+QuantumCircuit
+parseQasm(const std::string &source)
+{
+    const std::vector<std::string> statements = splitStatements(source);
+
+    std::optional<QuantumCircuit> circuit;
+    std::string qreg_name;
+
+    for (const std::string &raw : statements) {
+        const std::string statement = trim(raw);
+        if (statement.empty())
+            continue;
+
+        // Header / declarations.
+        if (statement.rfind("OPENQASM", 0) == 0 ||
+            statement.rfind("include", 0) == 0)
+            continue;
+        if (statement.rfind("qreg", 0) == 0) {
+            qpulseRequire(!circuit.has_value(),
+                          "only one qreg is supported");
+            const std::string decl = trim(statement.substr(4));
+            const std::size_t open = decl.find('[');
+            const std::size_t close = decl.find(']');
+            qpulseRequire(open != std::string::npos &&
+                              close != std::string::npos,
+                          "malformed qreg declaration \"", statement,
+                          "\"");
+            qreg_name = trim(decl.substr(0, open));
+            const std::size_t width = std::stoul(
+                decl.substr(open + 1, close - open - 1));
+            circuit.emplace(width);
+            continue;
+        }
+        if (statement.rfind("creg", 0) == 0)
+            continue;
+
+        qpulseRequire(circuit.has_value(),
+                      "gate statement before qreg declaration: \"",
+                      statement, "\"");
+
+        // Measurement.
+        if (statement.rfind("measure", 0) == 0) {
+            const std::string rest = trim(statement.substr(7));
+            const std::size_t arrow = rest.find("->");
+            const std::string qubit_text =
+                arrow == std::string::npos ? rest
+                                           : trim(rest.substr(0, arrow));
+            circuit->measure(parseQubitRef(qubit_text, qreg_name));
+            continue;
+        }
+        if (statement.rfind("barrier", 0) == 0) {
+            circuit->barrier();
+            continue;
+        }
+
+        // Gate: name[(params)] operands.
+        std::size_t name_end = 0;
+        while (name_end < statement.size() &&
+               (std::isalnum(static_cast<unsigned char>(
+                    statement[name_end])) ||
+                statement[name_end] == '_'))
+            ++name_end;
+        const std::string name = statement.substr(0, name_end);
+        std::string rest = trim(statement.substr(name_end));
+
+        std::vector<double> params;
+        if (!rest.empty() && rest[0] == '(') {
+            const std::size_t close = rest.rfind(')');
+            qpulseRequire(close != std::string::npos,
+                          "missing ')' in \"", statement, "\"");
+            for (const std::string &param :
+                 splitArgs(rest.substr(1, close - 1)))
+                params.push_back(ExprParser(trim(param)).parse());
+            rest = trim(rest.substr(close + 1));
+        }
+
+        std::vector<std::size_t> qubits;
+        for (const std::string &operand : splitArgs(rest))
+            qubits.push_back(parseQubitRef(operand, qreg_name));
+
+        static const std::map<std::string, GateType> gate_names = {
+            {"id", GateType::I},     {"h", GateType::H},
+            {"x", GateType::X},      {"y", GateType::Y},
+            {"z", GateType::Z},      {"s", GateType::S},
+            {"sdg", GateType::Sdg},  {"t", GateType::T},
+            {"tdg", GateType::Tdg},  {"rx", GateType::Rx},
+            {"ry", GateType::Ry},    {"rz", GateType::Rz},
+            {"u1", GateType::U1},    {"u2", GateType::U2},
+            {"u3", GateType::U3},    {"cx", GateType::Cnot},
+            {"CX", GateType::Cnot},  {"cz", GateType::Cz},
+            {"swap", GateType::Swap},{"rzz", GateType::Rzz},
+        };
+        const auto it = gate_names.find(name);
+        qpulseRequire(it != gate_names.end(), "unsupported QASM gate \"",
+                      name, "\"");
+        circuit->append(makeGate(it->second, qubits, params));
+    }
+
+    qpulseRequire(circuit.has_value(), "QASM source declares no qreg");
+    return *circuit;
+}
+
+std::string
+toQasm(const QuantumCircuit &circuit)
+{
+    std::ostringstream os;
+    os << "OPENQASM 2.0;\n";
+    os << "include \"qelib1.inc\";\n";
+    os << "qreg q[" << circuit.numQubits() << "];\n";
+    os << "creg c[" << circuit.numQubits() << "];\n";
+    for (const auto &gate : circuit.gates()) {
+        if (gate.type == GateType::Barrier) {
+            os << "barrier q;\n";
+            continue;
+        }
+        if (gate.type == GateType::Measure) {
+            os << "measure q[" << gate.qubits[0] << "] -> c["
+               << gate.qubits[0] << "];\n";
+            continue;
+        }
+        qpulseRequire(!gateIsAugmented(gate.type) &&
+                          gate.type != GateType::X90 &&
+                          gate.type != GateType::OpenCnot,
+                      "gate ", gateName(gate.type),
+                      " has no OpenQASM 2.0 spelling");
+        os << gateName(gate.type);
+        if (!gate.params.empty()) {
+            os << "(";
+            for (std::size_t i = 0; i < gate.params.size(); ++i)
+                os << (i ? "," : "") << gate.params[i];
+            os << ")";
+        }
+        os << " ";
+        for (std::size_t i = 0; i < gate.qubits.size(); ++i)
+            os << (i ? ",q[" : "q[") << gate.qubits[i] << "]";
+        os << ";\n";
+    }
+    return os.str();
+}
+
+} // namespace qpulse

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * OpenQASM 2.0 front end: parse a practical subset of the assembly
+ * language the paper's toolchain consumes (Section 3.1.2, [6]) into a
+ * QuantumCircuit, and serialise circuits back out. Supported:
+ *
+ *   OPENQASM 2.0;             (optional, ignored)
+ *   include "qelib1.inc";     (ignored)
+ *   qreg q[N];                (single register)
+ *   creg c[N];                (parsed, ignored)
+ *   h/x/y/z/s/sdg/t/tdg/id q[i];
+ *   rx(expr)/ry(expr)/rz(expr)/u1(expr) q[i];
+ *   u2(e1,e2) q[i];  u3(e1,e2,e3) q[i];
+ *   cx/cz/swap q[i],q[j];  rzz(expr) q[i],q[j];
+ *   measure q[i] -> c[i];  barrier ...;
+ *
+ * Angle expressions support pi, numeric literals, + - * / and
+ * parentheses. Comments (// ...) are stripped.
+ */
+#ifndef QPULSE_CIRCUIT_QASM_H
+#define QPULSE_CIRCUIT_QASM_H
+
+#include <string>
+
+#include "circuit/circuit.h"
+
+namespace qpulse {
+
+/** Parse OpenQASM 2.0 source into a circuit; fatal on syntax errors. */
+QuantumCircuit parseQasm(const std::string &source);
+
+/** Serialise a circuit to OpenQASM 2.0 (assembly-level gates only). */
+std::string toQasm(const QuantumCircuit &circuit);
+
+} // namespace qpulse
+
+#endif // QPULSE_CIRCUIT_QASM_H

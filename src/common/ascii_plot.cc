@@ -1,0 +1,78 @@
+#include "common/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/table.h"
+
+namespace qpulse {
+
+std::string
+renderAsciiPlot(const std::vector<PlotSeries> &series,
+                const PlotOptions &options)
+{
+    qpulseRequire(!series.empty(), "renderAsciiPlot needs a series");
+    qpulseRequire(options.width >= 8 && options.height >= 4,
+                  "plot grid too small");
+
+    double x_lo = 1e300, x_hi = -1e300;
+    double y_lo = options.yLo, y_hi = options.yHi;
+    const bool auto_y = !(y_lo < y_hi);
+    if (auto_y) {
+        y_lo = 1e300;
+        y_hi = -1e300;
+    }
+    for (const auto &entry : series) {
+        qpulseRequire(entry.xs.size() == entry.ys.size(),
+                      "plot series size mismatch");
+        for (double x : entry.xs) {
+            x_lo = std::min(x_lo, x);
+            x_hi = std::max(x_hi, x);
+        }
+        if (auto_y)
+            for (double y : entry.ys) {
+                y_lo = std::min(y_lo, y);
+                y_hi = std::max(y_hi, y);
+            }
+    }
+    qpulseRequire(x_lo <= x_hi, "plot has no points");
+    if (x_hi == x_lo)
+        x_hi = x_lo + 1.0;
+    if (y_hi <= y_lo)
+        y_hi = y_lo + 1.0;
+
+    std::vector<std::string> grid(
+        static_cast<std::size_t>(options.height),
+        std::string(static_cast<std::size_t>(options.width), ' '));
+
+    for (const auto &entry : series) {
+        for (std::size_t k = 0; k < entry.xs.size(); ++k) {
+            const double fx =
+                (entry.xs[k] - x_lo) / (x_hi - x_lo);
+            const double fy =
+                (entry.ys[k] - y_lo) / (y_hi - y_lo);
+            int col = static_cast<int>(
+                std::lround(fx * (options.width - 1)));
+            int row = static_cast<int>(
+                std::lround((1.0 - fy) * (options.height - 1)));
+            col = std::clamp(col, 0, options.width - 1);
+            row = std::clamp(row, 0, options.height - 1);
+            grid[static_cast<std::size_t>(row)]
+                [static_cast<std::size_t>(col)] = entry.glyph;
+        }
+    }
+
+    std::ostringstream os;
+    os << fmtFixed(y_hi, 3) << "\n";
+    for (const auto &row : grid)
+        os << "  |" << row << "|\n";
+    os << fmtFixed(y_lo, 3) << "  x: [" << fmtFixed(x_lo, 2) << ", "
+       << fmtFixed(x_hi, 2) << "]\n";
+    for (const auto &entry : series)
+        os << "  " << entry.glyph << " = " << entry.label << "\n";
+    return os.str();
+}
+
+} // namespace qpulse

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Tiny ASCII series plotter for the bench harnesses: renders one or
+ * more (x, y) series as a fixed-size character grid with axis labels,
+ * so the figure-reproduction benches can sketch the actual curves
+ * (decay trajectories, fidelity sweeps) alongside their tables.
+ */
+#ifndef QPULSE_COMMON_ASCII_PLOT_H
+#define QPULSE_COMMON_ASCII_PLOT_H
+
+#include <string>
+#include <vector>
+
+namespace qpulse {
+
+/** One plotted series: points plus the glyph that draws them. */
+struct PlotSeries
+{
+    std::string label;
+    char glyph = '*';
+    std::vector<double> xs;
+    std::vector<double> ys;
+};
+
+/** Plot dimensions and bounds. */
+struct PlotOptions
+{
+    int width = 64;   ///< Grid columns.
+    int height = 16;  ///< Grid rows.
+    /** Y bounds; when lo >= hi they are derived from the data. */
+    double yLo = 0.0;
+    double yHi = 0.0;
+};
+
+/**
+ * Render the series into an ASCII chart (rows top-to-bottom, y axis
+ * labelled at top/bottom, legend below).
+ */
+std::string renderAsciiPlot(const std::vector<PlotSeries> &series,
+                            const PlotOptions &options = {});
+
+} // namespace qpulse
+
+#endif // QPULSE_COMMON_ASCII_PLOT_H

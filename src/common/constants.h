@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Physical and experimental constants shared across qpulse.
+ *
+ * These mirror the experimental setup of the paper (Section 2.4):
+ * IBM Almaden's arbitrary waveform generator emits a new complex sample
+ * every dt = 2/9 ns (4.5 gigasamples per second), and every experiment in
+ * the evaluation quotes an explicit shot count which we reuse verbatim.
+ */
+#ifndef QPULSE_COMMON_CONSTANTS_H
+#define QPULSE_COMMON_CONSTANTS_H
+
+#include <complex>
+#include <numbers>
+
+namespace qpulse {
+
+/** Complex amplitude type used throughout the library. */
+using Complex = std::complex<double>;
+
+/** Imaginary unit. */
+inline constexpr Complex kI{0.0, 1.0};
+
+/** pi, shared so all modules agree on the literal. */
+inline constexpr double kPi = std::numbers::pi;
+
+/** AWG sample period in nanoseconds (4.5 GS/s, Section 3.1.4). */
+inline constexpr double kDtNs = 2.0 / 9.0;
+
+/** Convert a duration in AWG samples (dt) to nanoseconds. */
+constexpr double
+dtToNs(long samples)
+{
+    return static_cast<double>(samples) * kDtNs;
+}
+
+/** Convert a duration in nanoseconds to AWG samples, rounding to nearest. */
+constexpr long
+nsToDt(double ns)
+{
+    return static_cast<long>(ns / kDtNs + 0.5);
+}
+
+/** Degrees to radians. */
+constexpr double
+deg(double degrees)
+{
+    return degrees * kPi / 180.0;
+}
+
+/** Radians to degrees. */
+constexpr double
+toDegrees(double radians)
+{
+    return radians * 180.0 / kPi;
+}
+
+namespace shots {
+
+/** Shot counts quoted in the paper, by experiment. */
+inline constexpr long kOpenCnot = 16000;         ///< Section 5.2
+inline constexpr long kDirectRxPerPoint = 1000;  ///< Figure 7 (3 x 41 x 1k)
+inline constexpr long kCrTomoPerPoint = 1000;    ///< Figure 9 (41x3x2x1k)
+inline constexpr long kZzPerPoint = 2000;        ///< Figure 10 (21x2x2k)
+inline constexpr long kBenchmarks = 8000;        ///< Figure 12 (6x2x8k)
+inline constexpr long kRbPerPoint = 8000;        ///< Figure 13 (5x24x3x8k)
+inline constexpr long kQutrit = 2500;            ///< Figure 11 (150k total)
+
+} // namespace shots
+
+} // namespace qpulse
+
+#endif // QPULSE_COMMON_CONSTANTS_H

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * qpulseFatal() is for user error (bad arguments, inconsistent
+ * configuration); qpulsePanic() is for internal invariant violations.
+ */
+#ifndef QPULSE_COMMON_LOGGING_H
+#define QPULSE_COMMON_LOGGING_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace qpulse {
+
+/** Exception thrown for user-facing configuration/argument errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Exception thrown for internal invariant violations (library bugs). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &head, const Rest &...rest)
+{
+    os << head;
+    formatInto(os, rest...);
+}
+
+} // namespace detail
+
+/** Throw a FatalError built from the streamed arguments. */
+template <typename... Args>
+[[noreturn]] void
+qpulseFatal(const Args &...args)
+{
+    std::ostringstream os;
+    os << "qpulse fatal: ";
+    detail::formatInto(os, args...);
+    throw FatalError(os.str());
+}
+
+/** Throw a PanicError built from the streamed arguments. */
+template <typename... Args>
+[[noreturn]] void
+qpulsePanic(const Args &...args)
+{
+    std::ostringstream os;
+    os << "qpulse panic: ";
+    detail::formatInto(os, args...);
+    throw PanicError(os.str());
+}
+
+/** Assert an invariant; panics with a message on failure. */
+template <typename... Args>
+void
+qpulseAssert(bool condition, const Args &...args)
+{
+    if (!condition)
+        qpulsePanic(args...);
+}
+
+/** Validate a user-supplied condition; fatals with a message on failure. */
+template <typename... Args>
+void
+qpulseRequire(bool condition, const Args &...args)
+{
+    if (!condition)
+        qpulseFatal(args...);
+}
+
+} // namespace qpulse
+
+#endif // QPULSE_COMMON_LOGGING_H

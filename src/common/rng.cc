@@ -1,0 +1,176 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace qpulse {
+
+namespace {
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+/** splitmix64, used to expand the user seed into generator state. */
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::nextU64()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t n)
+{
+    qpulseRequire(n > 0, "uniformInt requires n > 0");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % n);
+    std::uint64_t draw;
+    do {
+        draw = nextU64();
+    } while (draw >= limit);
+    return draw % n;
+}
+
+double
+Rng::gaussian()
+{
+    if (haveCachedGaussian_) {
+        haveCachedGaussian_ = false;
+        return cachedGaussian_;
+    }
+    double u1;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * 3.14159265358979323846 * u2;
+    cachedGaussian_ = radius * std::sin(angle);
+    haveCachedGaussian_ = true;
+    return radius * std::cos(angle);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+long
+Rng::binomial(long n, double p)
+{
+    qpulseRequire(n >= 0, "binomial requires n >= 0");
+    if (p <= 0.0)
+        return 0;
+    if (p >= 1.0)
+        return n;
+
+    const double variance = static_cast<double>(n) * p * (1.0 - p);
+    if (n <= 64 || variance < 25.0) {
+        long successes = 0;
+        for (long i = 0; i < n; ++i)
+            if (uniform() < p)
+                ++successes;
+        return successes;
+    }
+
+    // Gaussian approximation with continuity correction; accurate for the
+    // thousands-of-shots regime used throughout the paper's experiments.
+    const double mean = static_cast<double>(n) * p;
+    double draw = gaussian(mean, std::sqrt(variance));
+    long k = static_cast<long>(std::llround(draw));
+    if (k < 0)
+        k = 0;
+    if (k > n)
+        k = n;
+    return k;
+}
+
+std::vector<long>
+Rng::multinomial(long n, const std::vector<double> &probs)
+{
+    qpulseRequire(!probs.empty(), "multinomial requires nonempty probs");
+    double total = 0.0;
+    for (double p : probs) {
+        qpulseRequire(p >= -1e-12, "multinomial probabilities must be >= 0");
+        total += std::max(p, 0.0);
+    }
+    qpulseRequire(total > 0.0, "multinomial probabilities must not be all 0");
+
+    std::vector<long> counts(probs.size(), 0);
+    long remaining = n;
+    double remainingProb = total;
+    // Sequential conditional-binomial decomposition.
+    for (std::size_t i = 0; i + 1 < probs.size() && remaining > 0; ++i) {
+        const double p = std::max(probs[i], 0.0);
+        const double conditional =
+            remainingProb > 0.0 ? std::min(1.0, p / remainingProb) : 0.0;
+        const long draw = binomial(remaining, conditional);
+        counts[i] = draw;
+        remaining -= draw;
+        remainingProb -= p;
+    }
+    counts.back() = remaining;
+    return counts;
+}
+
+std::size_t
+Rng::discrete(const std::vector<double> &probs)
+{
+    double total = 0.0;
+    for (double p : probs)
+        total += std::max(p, 0.0);
+    double draw = uniform() * total;
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+        draw -= std::max(probs[i], 0.0);
+        if (draw <= 0.0)
+            return i;
+    }
+    return probs.size() - 1;
+}
+
+} // namespace qpulse

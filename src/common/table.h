@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Minimal fixed-width text table printer used by the bench harnesses to
+ * emit paper-style tables and figure series.
+ */
+#ifndef QPULSE_COMMON_TABLE_H
+#define QPULSE_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace qpulse {
+
+/**
+ * Accumulates rows of strings and renders them as an aligned text table.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table (header, separator, rows) as a string. */
+    std::string render() const;
+
+    /** Number of data rows so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given precision (fixed notation). */
+std::string fmtFixed(double value, int precision);
+
+/** Format a value as a percentage string, e.g. 98.40%. */
+std::string fmtPercent(double fraction, int precision = 2);
+
+} // namespace qpulse
+
+#endif // QPULSE_COMMON_TABLE_H

@@ -1,0 +1,120 @@
+#include "compile/compiler.h"
+
+#include <cmath>
+
+#include "common/constants.h"
+
+namespace qpulse {
+
+double
+CompileResult::durationNs() const
+{
+    return dtToNs(durationDt);
+}
+
+PulseCompiler::PulseCompiler(std::shared_ptr<const PulseBackend> backend,
+                             CompileMode mode)
+    : backend_(std::move(backend)), mode_(mode)
+{
+    qpulseRequire(backend_ != nullptr, "PulseCompiler needs a backend");
+    for (const auto &cr : backend_->library().crs)
+        target_.edges.emplace_back(cr.control, cr.target);
+    target_.augmented = mode_ == CompileMode::Optimized;
+}
+
+QuantumCircuit
+PulseCompiler::transpile(const QuantumCircuit &circuit) const
+{
+    const PassManager manager = mode_ == CompileMode::Optimized
+        ? optimizedPassManager(target_)
+        : standardPassManager(target_);
+    return manager.run(circuit);
+}
+
+RoutingResult
+PulseCompiler::route(const QuantumCircuit &circuit) const
+{
+    std::vector<std::pair<std::size_t, std::size_t>> edges;
+    for (const auto &edge : backend_->config().couplings)
+        edges.emplace_back(edge.control, edge.target);
+    const CouplingGraph graph(backend_->config().numQubits,
+                              std::move(edges));
+    return routeCircuit(circuit, graph);
+}
+
+CompileResult
+PulseCompiler::compile(const QuantumCircuit &circuit) const
+{
+    CompileResult result{transpile(circuit)};
+    result.mode = mode_;
+    result.schedule = backend_->scheduleCircuit(result.basisCircuit);
+    result.durationDt = result.schedule.duration();
+    for (const auto &inst : result.schedule.instructions()) {
+        if (inst.kind == PulseInstructionKind::Play &&
+            inst.channel.kind != ChannelKind::Measure)
+            ++result.pulseCount;
+        else if (inst.kind == PulseInstructionKind::ShiftPhase)
+            ++result.frameChangeCount;
+    }
+    return result;
+}
+
+NoiseInfoProvider
+PulseCompiler::noiseProvider() const
+{
+    const std::shared_ptr<const PulseBackend> backend = backend_;
+    return [backend](const Gate &gate) {
+        GateNoiseInfo info;
+        if (gateIsDirective(gate.type)) {
+            if (gate.type == GateType::Measure)
+                info.duration = backend->config().measureDuration;
+            return info;
+        }
+        const Schedule schedule = backend->schedule(gate);
+        info.duration = schedule.duration();
+        const auto &library = backend->library();
+        for (const auto &inst : schedule.instructions()) {
+            if (inst.kind != PulseInstructionKind::Play)
+                continue;
+            const double peak = inst.waveform->peakAmplitude();
+            info.peakAmplitude = std::max(info.peakAmplitude, peak);
+            if (inst.channel.kind == ChannelKind::Drive) {
+                // Error source 2: each calibrated 1q pulse application
+                // weighted by its squared relative amplitude (an
+                // amplitude-downscaled pulse carries proportionally
+                // less calibration error).
+                const double cal_amp =
+                    library.qubits[inst.channel.index].x180Amp;
+                const double ratio = peak / std::max(cal_amp, 1e-12);
+                info.error1qWeight += ratio * ratio;
+            } else if (inst.channel.kind == ChannelKind::Control) {
+                // CR pulse halves weighted by their stretch fraction:
+                // a shorter (stretched-down) CR pulse accumulates
+                // proportionally less coherent error.
+                const auto &cr = library.crs[inst.channel.index];
+                const long full =
+                    cr.flatFor90 + 2 * cr.risefall;
+                info.error2qWeight +=
+                    static_cast<double>(inst.waveform->duration()) /
+                    static_cast<double>(std::max(full, 1L));
+            }
+        }
+        return info;
+    };
+}
+
+DensitySimulator
+PulseCompiler::makeSimulator() const
+{
+    return DensitySimulator(backend_->config(), noiseProvider());
+}
+
+std::shared_ptr<const PulseBackend>
+makeCalibratedBackend(const BackendConfig &config, bool include_qutrit)
+{
+    Calibrator calibrator(config);
+    return std::make_shared<const PulseBackend>(
+        calibrator.calibrateAll(include_qutrit));
+}
+
+} // namespace qpulse

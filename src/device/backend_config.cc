@@ -1,0 +1,111 @@
+#include "device/backend_config.h"
+
+#include "common/logging.h"
+
+namespace qpulse {
+
+const CouplingEdge &
+BackendConfig::edge(std::size_t control, std::size_t target) const
+{
+    for (const auto &e : couplings)
+        if ((e.control == control && e.target == target) ||
+            (e.control == target && e.target == control))
+            return e;
+    qpulseFatal("backend ", name, " has no coupling between qubits ",
+                control, " and ", target);
+}
+
+bool
+BackendConfig::hasEdge(std::size_t control, std::size_t target) const
+{
+    for (const auto &e : couplings)
+        if ((e.control == control && e.target == target) ||
+            (e.control == target && e.target == control))
+            return true;
+    return false;
+}
+
+namespace {
+
+/** Shared qubit-parameter recipe for the Almaden-like lattice. */
+TransmonParams
+almadenQubit(std::size_t index)
+{
+    TransmonParams params;
+    // Staggered fixed frequencies: neighbours detuned by ~100 MHz so
+    // cross-resonance is effective, with mild per-qubit spread.
+    params.frequencyGhz =
+        5.00 + 0.10 * static_cast<double>(index % 2) +
+        0.004 * static_cast<double>(index % 5);
+    params.anharmonicityGhz = -0.330;
+    params.driveStrengthGhz = 0.25;
+    params.t1Us = 94.0;
+    params.t2Us = 88.0;
+    return params;
+}
+
+} // namespace
+
+BackendConfig
+almadenConfig()
+{
+    BackendConfig config;
+    config.name = "almaden-sim";
+    config.numQubits = 20;
+    for (std::size_t q = 0; q < config.numQubits; ++q) {
+        config.qubits.push_back(almadenQubit(q));
+        config.readout.push_back(ReadoutError{0.038, 0.038});
+    }
+    // Almaden's heavy-square lattice: four rows of five qubits with
+    // alternating rung couplers.
+    auto connect = [&](std::size_t a, std::size_t b) {
+        config.couplings.push_back(CouplingEdge{a, b, 0.0035});
+    };
+    for (std::size_t row = 0; row < 4; ++row)
+        for (std::size_t col = 0; col + 1 < 5; ++col)
+            connect(row * 5 + col, row * 5 + col + 1);
+    connect(1, 6);
+    connect(3, 8);
+    connect(5, 10);
+    connect(7, 12);
+    connect(9, 14);
+    connect(11, 16);
+    connect(13, 18);
+    return config;
+}
+
+BackendConfig
+armonkConfig()
+{
+    BackendConfig config;
+    config.name = "armonk-sim";
+    config.numQubits = 1;
+    TransmonParams params;
+    params.frequencyGhz = 4.974; // Armonk's actual f01.
+    params.anharmonicityGhz = -0.347;
+    params.driveStrengthGhz = 0.25;
+    params.t1Us = 140.0;
+    params.t2Us = 90.0;
+    config.qubits.push_back(params);
+    config.readout.push_back(ReadoutError{0.025, 0.035});
+    return config;
+}
+
+BackendConfig
+almadenLineConfig(std::size_t n_qubits)
+{
+    qpulseRequire(n_qubits >= 1 && n_qubits <= 20,
+                  "almadenLineConfig supports 1..20 qubits");
+    BackendConfig config;
+    config.name = "almaden-line-" + std::to_string(n_qubits);
+    config.numQubits = n_qubits;
+    for (std::size_t q = 0; q < n_qubits; ++q) {
+        config.qubits.push_back(almadenQubit(q));
+        config.readout.push_back(ReadoutError{0.038, 0.038});
+    }
+    for (std::size_t q = 0; q + 1 < n_qubits; ++q)
+        config.couplings.push_back(CouplingEdge{q, q + 1, 0.0035});
+    return config;
+}
+
+} // namespace qpulse

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Backend device descriptions, mirroring the two IBM systems used in
+ * the paper (Section 2.4): Almaden, a 20-qubit device with mean T1/T2
+ * of 94/88 us, 0.14% single-qubit error, 1.78% CNOT error and 3.8%
+ * readout error; and Armonk, the single-qubit OpenPulse device used
+ * for the Figure 13 randomized-benchmarking runs.
+ *
+ * The config also carries the *noise budget knobs* used by the
+ * duration-aware noisy simulator, organised by the paper's three error
+ * sources (Section 8.3): per-calibrated-pulse depolarizing error
+ * (calibration-error susceptibility), duration-proportional T1/T2
+ * decoherence (shorter pulses win), and amplitude-proportional leakage
+ * (smaller amplitudes win).
+ */
+#ifndef QPULSE_DEVICE_BACKEND_CONFIG_H
+#define QPULSE_DEVICE_BACKEND_CONFIG_H
+
+#include <string>
+#include <vector>
+
+#include "pulsesim/transmon.h"
+
+namespace qpulse {
+
+/** Readout (measurement) error of one qubit. */
+struct ReadoutError
+{
+    double probFlip0to1 = 0.038; ///< P(read 1 | prepared 0).
+    double probFlip1to0 = 0.038; ///< P(read 0 | prepared 1).
+};
+
+/** Directed two-qubit connection with its calibration-relevant data. */
+struct CouplingEdge
+{
+    std::size_t control;
+    std::size_t target;
+    double strengthGhz = 0.0035; ///< Exchange J.
+};
+
+/** Noise-model knobs for the duration-aware simulator (Section 8.3). */
+struct NoiseBudget
+{
+    /**
+     * Depolarizing probability per calibrated 1q pulse application
+     * (weighted by squared relative amplitude). Tuned so that the RB
+     * improvement splits ~70/30 between shorter pulses and
+     * fewer/smaller pulses, as measured in Section 8.3.
+     */
+    double perPulseError1q = 0.00065;
+    /** Depolarizing probability per CR pulse-half application. */
+    double perPulseError2q = 0.0066;
+    /** Relative amplitude miscalibration (coherent) per pulse. */
+    double amplitudeError = 0.003;
+    /** Extra depolarizing per pulse proportional to peak amplitude^2. */
+    double leakagePerAmpSq = 0.0006;
+};
+
+/** A full backend description. */
+struct BackendConfig
+{
+    std::string name;
+    std::size_t numQubits = 1;
+    std::vector<TransmonParams> qubits;
+    std::vector<CouplingEdge> couplings;
+    std::vector<ReadoutError> readout;
+    NoiseBudget noise;
+
+    /** Standard single-pulse duration: 160 dt = 35.6 ns (Figure 4). */
+    long pulseDuration = 160;
+    /** Gaussian sigma for 1q pulses, in dt. */
+    double pulseSigma = 40.0;
+    /**
+     * Rise/fall length of the CR GaussianSquare, in dt. Long enough
+     * (13 ns) that the edge bandwidth stays below the qubit-qubit
+     * detuning, keeping the off-resonant control-qubit excitation
+     * adiabatic.
+     */
+    long crRisefall = 60;
+    /**
+     * CR drive amplitude used during calibration. Must stay in the
+     * perturbative cross-resonance regime (drive Rabi rate well below
+     * the qubit-qubit detuning), or the echo stops producing a clean
+     * ZX interaction: 0.14 * 0.25 GHz = 35 MHz against a 100 MHz
+     * detuning.
+     */
+    double crAmplitude = 0.14;
+    /** Measurement stimulus + acquisition window, in dt (~3.5 us). */
+    long measureDuration = 16000;
+
+    /** The coupling edge for a (control, target) pair; fatal if absent. */
+    const CouplingEdge &edge(std::size_t control,
+                             std::size_t target) const;
+
+    /** True if a directed edge exists. */
+    bool hasEdge(std::size_t control, std::size_t target) const;
+};
+
+/**
+ * Almaden-like 20-qubit backend. Qubit frequencies are staggered
+ * around 5 GHz (neighbouring qubits detuned by ~100 MHz as in IBM's
+ * fixed-frequency lattices) with alpha ~ -330 MHz; coherence and error
+ * rates match the Section 2.4 means.
+ */
+BackendConfig almadenConfig();
+
+/** Armonk-like single-qubit backend (Figure 13 experiments). */
+BackendConfig armonkConfig();
+
+/** Small n-qubit line cut of the Almaden config (for benchmarks). */
+BackendConfig almadenLineConfig(std::size_t n_qubits);
+
+} // namespace qpulse
+
+#endif // QPULSE_DEVICE_BACKEND_CONFIG_H

@@ -1,0 +1,252 @@
+#include "device/pulse_backend.h"
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "synth/euler.h"
+
+namespace qpulse {
+
+PulseBackend::PulseBackend(PulseLibrary library)
+    : library_(std::move(library))
+{
+    buildCmdDef();
+}
+
+Schedule
+PulseBackend::rzSchedule(std::size_t qubit, double lambda) const
+{
+    // Virtual-Z: an Rz(lambda) becomes a -lambda frame change on the
+    // qubit's drive line and on every control line whose CR drive sits
+    // in this qubit's frame (i.e. edges that *target* this qubit).
+    Schedule schedule("rz");
+    schedule.shiftPhase(driveChannel(qubit), -lambda);
+    for (std::size_t i = 0; i < library_.crs.size(); ++i)
+        if (library_.crs[i].target == qubit)
+            schedule.shiftPhase(controlChannel(i), -lambda);
+    return schedule;
+}
+
+Schedule
+PulseBackend::crSchedule(std::size_t control, std::size_t target,
+                         double theta) const
+{
+    const CrCalibration &cal = library_.cr(control, target);
+    const std::size_t u_index =
+        library_.controlChannelIndex(control, target);
+    const double sign = theta >= 0.0 ? 1.0 : -1.0;
+    const auto stretch = cal.stretchFor(theta);
+
+    Schedule schedule("cr");
+    // Calibrated corrections at this stretch angle.
+    const CrCalibration::PhaseFixPoint fix = cal.fixAt(theta);
+    // Axis straightening: virtual-Z sandwich on the target (free).
+    schedule.appendBarrier(rzSchedule(target, fix.axis));
+
+    long cursor = 0;
+    const auto first = cal.halfPulse(stretch.flat, stretch.ampScale, sign);
+    const auto second =
+        cal.halfPulse(stretch.flat, stretch.ampScale, -sign);
+    const auto x180 = library_.qubits[control].x180Pulse();
+
+    schedule.playAt(cursor, controlChannel(u_index), first);
+    cursor += first->duration();
+    schedule.playAt(cursor, driveChannel(control), x180);
+    cursor += x180->duration();
+    schedule.playAt(cursor, controlChannel(u_index), second);
+    cursor += second->duration();
+    schedule.playAt(cursor, driveChannel(control), x180);
+
+    // Calibrated phase corrections: undo the axis sandwich and apply
+    // the Stark-like after-phases, interpolated from the per-angle
+    // calibration table (those residuals grow with the pulse area but
+    // not exactly linearly).
+    schedule.appendBarrier(rzSchedule(control, fix.control));
+    schedule.appendBarrier(rzSchedule(target, fix.target - fix.axis));
+    return schedule;
+}
+
+Schedule
+PulseBackend::cnotSchedule(std::size_t control, std::size_t target) const
+{
+    // CNOT = e^{-i pi/4} Rz(-90)_c . Rx(-90)_t . CR(90) (all factors
+    // commute); scheduled as the target pre-rotation followed by the
+    // echoed CR (Section 5.1).
+    Schedule schedule("cx");
+    schedule.appendBarrier(rzSchedule(control, -kPi / 2));
+    const auto x90_neg = std::make_shared<ScaledWaveform>(
+        library_.qubits[target].x90Pulse(), Complex{-1.0, 0.0});
+    schedule.playAt(0, driveChannel(target), x90_neg);
+    schedule.appendBarrier(crSchedule(control, target, kPi / 2));
+    return schedule;
+}
+
+void
+PulseBackend::defineQubitEntries(std::size_t qubit)
+{
+    const QubitCalibration &cal = library_.qubits[qubit];
+
+    cmdDef_.define(GateType::Rz, {qubit}, [this, qubit](const Gate &g) {
+        return rzSchedule(qubit, g.params[0]);
+    });
+    cmdDef_.define(GateType::U1, {qubit}, [this, qubit](const Gate &g) {
+        return rzSchedule(qubit, g.params[0]);
+    });
+    cmdDef_.define(GateType::X90, {qubit}, [cal, qubit](const Gate &) {
+        Schedule schedule("x90");
+        schedule.play(driveChannel(qubit), cal.x90Pulse());
+        return schedule;
+    });
+    cmdDef_.define(GateType::DirectX, {qubit},
+                   [cal, qubit](const Gate &) {
+                       Schedule schedule("direct_x");
+                       schedule.play(driveChannel(qubit), cal.x180Pulse());
+                       return schedule;
+                   });
+    cmdDef_.define(
+        GateType::DirectRx, {qubit}, [cal, qubit](const Gate &g) {
+            // Amplitude-scale the calibrated Rx(180) by theta/180deg
+            // (Section 4.2); theta is wrapped into [-pi, pi] so the
+            // scale never exceeds the calibrated amplitude.
+            const double theta = wrapAngle(g.params[0]);
+            Schedule schedule("direct_rx");
+            if (std::abs(theta) > 1e-12)
+                schedule.play(driveChannel(qubit),
+                              std::make_shared<ScaledWaveform>(
+                                  cal.x180Pulse(),
+                                  Complex{theta / kPi, 0.0}));
+            return schedule;
+        });
+    cmdDef_.define(GateType::I, {qubit}, [cal, qubit](const Gate &) {
+        Schedule schedule("id");
+        schedule.delay(driveChannel(qubit), cal.duration);
+        return schedule;
+    });
+
+    const long measure_duration = library_.config.measureDuration;
+    cmdDef_.define(GateType::Measure, {qubit},
+                   [measure_duration, qubit](const Gate &) {
+                       Schedule schedule("measure");
+                       schedule.play(
+                           measureChannel(qubit),
+                           std::make_shared<GaussianSquareWaveform>(
+                               measure_duration, 64.0, 256,
+                               Complex{0.1, 0.0}));
+                       schedule.acquire(acquireChannel(qubit),
+                                        measure_duration);
+                       return schedule;
+                   });
+}
+
+void
+PulseBackend::defineEdgeEntries(std::size_t edge_index)
+{
+    const CrCalibration &cal = library_.crs[edge_index];
+    const std::size_t control = cal.control;
+    const std::size_t target = cal.target;
+
+    cmdDef_.define(GateType::Cnot, {control, target},
+                   [this, control, target](const Gate &) {
+                       return cnotSchedule(control, target);
+                   });
+    cmdDef_.define(GateType::Cr, {control, target},
+                   [this, control, target](const Gate &g) {
+                       return crSchedule(control, target, g.params[0]);
+                   });
+    cmdDef_.define(
+        GateType::CrHalf, {control, target},
+        [this, cal, edge_index, control, target](const Gate &g) {
+            // A single (unechoed) CR pulse half; valid inside echo
+            // patterns where the transpiler guarantees the partner
+            // pulse. The net angle of a full echo with this half is
+            // 2 * theta, so the stretch targets 2|theta|. The
+            // calibrated corrections are applied pro-rated: the full
+            // axis sandwich (a fixed property of the drive line) and
+            // half of the Stark after-fixes, scaled with the pulse
+            // area.
+            const double theta = g.params[0];
+            const auto stretch = cal.stretchFor(2.0 * std::abs(theta));
+            const CrCalibration::PhaseFixPoint fix =
+                cal.fixAt(2.0 * std::abs(theta));
+            Schedule schedule("cr_half");
+            schedule.appendBarrier(rzSchedule(target, fix.axis));
+            schedule.play(controlChannel(edge_index),
+                          cal.halfPulse(stretch.flat, stretch.ampScale,
+                                        theta >= 0.0 ? 1.0 : -1.0));
+            schedule.appendBarrier(
+                rzSchedule(control, fix.control / 2.0));
+            schedule.appendBarrier(rzSchedule(
+                target, fix.target / 2.0 - fix.axis));
+            return schedule;
+        });
+}
+
+void
+PulseBackend::buildCmdDef()
+{
+    for (std::size_t q = 0; q < library_.qubits.size(); ++q)
+        defineQubitEntries(q);
+    for (std::size_t e = 0; e < library_.crs.size(); ++e)
+        defineEdgeEntries(e);
+}
+
+Schedule
+PulseBackend::scheduleCircuit(const QuantumCircuit &circuit) const
+{
+    Schedule total("circuit");
+    std::vector<long> cursor(config().numQubits, 0);
+
+    for (const auto &gate : circuit.gates()) {
+        if (gate.type == GateType::Barrier) {
+            long latest = 0;
+            for (long c : cursor)
+                latest = std::max(latest, c);
+            for (auto &c : cursor)
+                c = latest;
+            continue;
+        }
+        const Schedule piece = cmdDef_.schedule(gate);
+        long start = 0;
+        for (std::size_t q : gate.qubits)
+            start = std::max(start, cursor[q]);
+        const Schedule placed = piece.shifted(start);
+        for (const auto &inst : placed.instructions())
+            total.addInstruction(inst);
+        const long advance = piece.duration();
+        for (std::size_t q : gate.qubits)
+            cursor[q] = start + advance;
+    }
+    return total;
+}
+
+long
+PulseBackend::gateDuration(const Gate &gate) const
+{
+    return cmdDef_.schedule(gate).duration();
+}
+
+std::size_t
+PulseBackend::gatePulseCount(const Gate &gate) const
+{
+    const Schedule schedule = cmdDef_.schedule(gate);
+    std::size_t count = 0;
+    for (const auto &inst : schedule.instructions())
+        if (inst.kind == PulseInstructionKind::Play &&
+            inst.channel.kind != ChannelKind::Measure)
+            ++count;
+    return count;
+}
+
+double
+PulseBackend::gatePeakAmplitude(const Gate &gate) const
+{
+    const Schedule schedule = cmdDef_.schedule(gate);
+    double peak = 0.0;
+    for (const auto &inst : schedule.instructions())
+        if (inst.kind == PulseInstructionKind::Play &&
+            inst.channel.kind != ChannelKind::Measure)
+            peak = std::max(peak, inst.waveform->peakAmplitude());
+    return peak;
+}
+
+} // namespace qpulse

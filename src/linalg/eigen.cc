@@ -1,0 +1,210 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace qpulse {
+
+namespace {
+
+/**
+ * One complex Jacobi rotation zeroing the (p, q) off-diagonal entry of
+ * the Hermitian matrix a, accumulating the rotation into v.
+ */
+void
+jacobiRotate(Matrix &a, Matrix &v, std::size_t p, std::size_t q)
+{
+    const Complex apq = a(p, q);
+    const double abs_apq = std::abs(apq);
+    if (abs_apq == 0.0)
+        return;
+
+    const double app = a(p, p).real();
+    const double aqq = a(q, q).real();
+
+    // Hermitian 2x2 block [[app, apq], [conj(apq), aqq]] diagonalized by
+    // a rotation with complex phase.
+    const double tau = (aqq - app) / (2.0 * abs_apq);
+    const double t = (tau >= 0.0)
+        ? 1.0 / (tau + std::sqrt(1.0 + tau * tau))
+        : 1.0 / (tau - std::sqrt(1.0 + tau * tau));
+    const double c = 1.0 / std::sqrt(1.0 + t * t);
+    const double s = t * c;
+    const Complex phase = apq / abs_apq;
+
+    const std::size_t n = a.rows();
+    // Update rows/cols p and q of a: a <- J^dag a J with
+    // J(p,p)=c, J(q,q)=c, J(p,q)=s*phase, J(q,p)=-s*conj(phase).
+    for (std::size_t k = 0; k < n; ++k) {
+        const Complex akp = a(k, p);
+        const Complex akq = a(k, q);
+        a(k, p) = c * akp - s * std::conj(phase) * akq;
+        a(k, q) = s * phase * akp + c * akq;
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+        const Complex apk = a(p, k);
+        const Complex aqk = a(q, k);
+        a(p, k) = c * apk - s * phase * aqk;
+        a(q, k) = s * std::conj(phase) * apk + c * aqk;
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+        const Complex vkp = v(k, p);
+        const Complex vkq = v(k, q);
+        v(k, p) = c * vkp - s * std::conj(phase) * vkq;
+        v(k, q) = s * phase * vkp + c * vkq;
+    }
+}
+
+double
+offDiagonalNorm(const Matrix &a)
+{
+    double total = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            if (i != j)
+                total += std::norm(a(i, j));
+    return std::sqrt(total);
+}
+
+} // namespace
+
+EigenSystem
+eigHermitian(const Matrix &input, double tol)
+{
+    qpulseRequire(input.rows() == input.cols(),
+                  "eigHermitian requires a square matrix");
+    qpulseRequire(input.isHermitian(1e-8),
+                  "eigHermitian requires a Hermitian matrix");
+
+    const std::size_t n = input.rows();
+    Matrix a = input;
+    Matrix v = Matrix::identity(n);
+
+    const double scale = std::max(a.frobeniusNorm(), 1e-300);
+    const int max_sweeps = 100;
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        if (offDiagonalNorm(a) <= tol * scale)
+            break;
+        for (std::size_t p = 0; p + 1 < n; ++p)
+            for (std::size_t q = p + 1; q < n; ++q)
+                jacobiRotate(a, v, p, q);
+    }
+
+    EigenSystem result;
+    result.values.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        result.values[i] = a(i, i).real();
+
+    // Sort eigenvalues (and matching eigenvector columns) ascending.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+        return result.values[x] < result.values[y];
+    });
+
+    EigenSystem sorted;
+    sorted.values.resize(n);
+    sorted.vectors = Matrix(n, n);
+    for (std::size_t c = 0; c < n; ++c) {
+        sorted.values[c] = result.values[order[c]];
+        for (std::size_t r = 0; r < n; ++r)
+            sorted.vectors(r, c) = v(r, order[c]);
+    }
+    return sorted;
+}
+
+Matrix
+expMinusIHt(const Matrix &h, double t)
+{
+    const EigenSystem es = eigHermitian(h);
+    const std::size_t n = h.rows();
+    std::vector<Complex> phases(n);
+    for (std::size_t i = 0; i < n; ++i)
+        phases[i] = std::exp(Complex{0.0, -es.values[i] * t});
+    return es.vectors * Matrix::diagonal(phases) * es.vectors.adjoint();
+}
+
+Matrix
+expIH(const Matrix &h, double scale)
+{
+    return expMinusIHt(h, -scale);
+}
+
+Matrix
+expm(const Matrix &a)
+{
+    qpulseRequire(a.rows() == a.cols(), "expm requires a square matrix");
+
+    // Scale the matrix down until its norm is small, exponentiate with a
+    // Taylor series, then square back up.
+    double norm = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        double row_sum = 0.0;
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            row_sum += std::abs(a(i, j));
+        norm = std::max(norm, row_sum);
+    }
+
+    int squarings = 0;
+    double scale = 1.0;
+    while (norm * scale > 0.5) {
+        scale *= 0.5;
+        ++squarings;
+    }
+
+    const Matrix scaled = a * Complex{scale, 0.0};
+    Matrix result = Matrix::identity(a.rows());
+    Matrix term = Matrix::identity(a.rows());
+    for (int k = 1; k <= 20; ++k) {
+        term = term * scaled * Complex{1.0 / k, 0.0};
+        result += term;
+        if (term.frobeniusNorm() < 1e-17)
+            break;
+    }
+    for (int s = 0; s < squarings; ++s)
+        result = result * result;
+    return result;
+}
+
+std::vector<double>
+solveLinearReal(std::vector<std::vector<double>> a, std::vector<double> b)
+{
+    const std::size_t n = b.size();
+    qpulseRequire(a.size() == n, "solveLinearReal shape mismatch");
+    for (const auto &row : a)
+        qpulseRequire(row.size() == n, "solveLinearReal ragged matrix");
+
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivot.
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < n; ++r)
+            if (std::abs(a[r][col]) > std::abs(a[pivot][col]))
+                pivot = r;
+        qpulseRequire(std::abs(a[pivot][col]) > 1e-300,
+                      "solveLinearReal: singular matrix");
+        std::swap(a[col], a[pivot]);
+        std::swap(b[col], b[pivot]);
+
+        const double inv = 1.0 / a[col][col];
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double factor = a[r][col] * inv;
+            if (factor == 0.0)
+                continue;
+            for (std::size_t c = col; c < n; ++c)
+                a[r][c] -= factor * a[col][c];
+            b[r] -= factor * b[col];
+        }
+    }
+
+    std::vector<double> x(n, 0.0);
+    for (std::size_t ri = n; ri-- > 0;) {
+        double total = b[ri];
+        for (std::size_t c = ri + 1; c < n; ++c)
+            total -= a[ri][c] * x[c];
+        x[ri] = total / a[ri][ri];
+    }
+    return x;
+}
+
+} // namespace qpulse

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Eigendecomposition and matrix functions for small complex matrices.
+ *
+ * The workhorse is a cyclic Jacobi eigensolver for complex Hermitian
+ * matrices, which is robust and plenty fast for the <= 64-dimensional
+ * matrices that appear in qpulse. Matrix exponentials of Hermitian
+ * generators (Hamiltonians) go through the eigendecomposition; general
+ * matrix exponentials use scaling-and-squaring with a Taylor kernel.
+ */
+#ifndef QPULSE_LINALG_EIGEN_H
+#define QPULSE_LINALG_EIGEN_H
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace qpulse {
+
+/** Result of a Hermitian eigendecomposition: A = V diag(values) V^dag. */
+struct EigenSystem
+{
+    /** Real eigenvalues in ascending order. */
+    std::vector<double> values;
+    /** Unitary matrix whose columns are the matching eigenvectors. */
+    Matrix vectors;
+};
+
+/**
+ * Eigendecomposition of a complex Hermitian matrix via cyclic Jacobi.
+ *
+ * @param a   Hermitian matrix (checked to tolerance).
+ * @param tol Off-diagonal convergence threshold relative to the norm.
+ */
+EigenSystem eigHermitian(const Matrix &a, double tol = 1e-13);
+
+/**
+ * exp(-i * H * t) for Hermitian H, via eigendecomposition.
+ *
+ * This is the propagator of a time-independent Hamiltonian; it is
+ * exactly unitary up to roundoff.
+ */
+Matrix expMinusIHt(const Matrix &h, double t);
+
+/** exp(i * scale * H) for Hermitian H (scale real). */
+Matrix expIH(const Matrix &h, double scale);
+
+/** General matrix exponential via scaling-and-squaring Taylor series. */
+Matrix expm(const Matrix &a);
+
+/**
+ * Solve the linear system a * x = b with partial-pivoting Gaussian
+ * elimination. Used by the Levenberg-Marquardt fitter and measurement
+ * error mitigation.
+ */
+std::vector<double> solveLinearReal(std::vector<std::vector<double>> a,
+                                    std::vector<double> b);
+
+} // namespace qpulse
+
+#endif // QPULSE_LINALG_EIGEN_H

@@ -1,0 +1,309 @@
+#include "linalg/gates.h"
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "linalg/eigen.h"
+
+namespace qpulse {
+namespace gates {
+
+Matrix
+i2()
+{
+    return Matrix::identity(2);
+}
+
+Matrix
+x()
+{
+    return Matrix{{0, 1}, {1, 0}};
+}
+
+Matrix
+y()
+{
+    return Matrix{{0, Complex{0, -1}}, {Complex{0, 1}, 0}};
+}
+
+Matrix
+z()
+{
+    return Matrix{{1, 0}, {0, -1}};
+}
+
+Matrix
+h()
+{
+    const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+    return Matrix{{inv_sqrt2, inv_sqrt2}, {inv_sqrt2, -inv_sqrt2}};
+}
+
+Matrix
+s()
+{
+    return Matrix{{1, 0}, {0, Complex{0, 1}}};
+}
+
+Matrix
+sdg()
+{
+    return Matrix{{1, 0}, {0, Complex{0, -1}}};
+}
+
+Matrix
+t()
+{
+    return Matrix{{1, 0}, {0, std::exp(Complex{0, kPi / 4})}};
+}
+
+Matrix
+tdg()
+{
+    return Matrix{{1, 0}, {0, std::exp(Complex{0, -kPi / 4})}};
+}
+
+Matrix
+rx(double theta)
+{
+    const double c = std::cos(theta / 2);
+    const double sn = std::sin(theta / 2);
+    return Matrix{{c, Complex{0, -sn}}, {Complex{0, -sn}, c}};
+}
+
+Matrix
+ry(double theta)
+{
+    const double c = std::cos(theta / 2);
+    const double sn = std::sin(theta / 2);
+    return Matrix{{c, -sn}, {sn, c}};
+}
+
+Matrix
+rz(double theta)
+{
+    return Matrix{{std::exp(Complex{0, -theta / 2}), 0},
+                  {0, std::exp(Complex{0, theta / 2})}};
+}
+
+Matrix
+u1(double lambda)
+{
+    return Matrix{{1, 0}, {0, std::exp(Complex{0, lambda})}};
+}
+
+Matrix
+u3(double theta, double phi, double lambda)
+{
+    const double c = std::cos(theta / 2);
+    const double sn = std::sin(theta / 2);
+    return Matrix{
+        {c, -std::exp(Complex{0, lambda}) * sn},
+        {std::exp(Complex{0, phi}) * sn,
+         std::exp(Complex{0, phi + lambda}) * c}};
+}
+
+Matrix
+cnot()
+{
+    return Matrix{{1, 0, 0, 0},
+                  {0, 1, 0, 0},
+                  {0, 0, 0, 1},
+                  {0, 0, 1, 0}};
+}
+
+Matrix
+cz()
+{
+    return Matrix{{1, 0, 0, 0},
+                  {0, 1, 0, 0},
+                  {0, 0, 1, 0},
+                  {0, 0, 0, -1}};
+}
+
+Matrix
+swap()
+{
+    return Matrix{{1, 0, 0, 0},
+                  {0, 0, 1, 0},
+                  {0, 1, 0, 0},
+                  {0, 0, 0, 1}};
+}
+
+Matrix
+openCnot()
+{
+    return Matrix{{0, 1, 0, 0},
+                  {1, 0, 0, 0},
+                  {0, 0, 1, 0},
+                  {0, 0, 0, 1}};
+}
+
+Matrix
+cr(double theta)
+{
+    // exp(-i theta/2 Z (x) X): block-diagonal Rx(+-theta) on the target.
+    const Matrix rx_pos = rx(theta);
+    const Matrix rx_neg = rx(-theta);
+    Matrix result(4, 4);
+    for (std::size_t i = 0; i < 2; ++i)
+        for (std::size_t j = 0; j < 2; ++j) {
+            result(i, j) = rx_pos(i, j);
+            result(2 + i, 2 + j) = rx_neg(i, j);
+        }
+    return result;
+}
+
+Matrix
+xxPlusYY(double theta)
+{
+    const double c = std::cos(theta / 2);
+    const Complex ms{0.0, -std::sin(theta / 2)};
+    return Matrix{{1, 0, 0, 0},
+                  {0, c, ms, 0},
+                  {0, ms, c, 0},
+                  {0, 0, 0, 1}};
+}
+
+Matrix
+iswap()
+{
+    return Matrix{{1, 0, 0, 0},
+                  {0, 0, Complex{0, 1}, 0},
+                  {0, Complex{0, 1}, 0, 0},
+                  {0, 0, 0, 1}};
+}
+
+Matrix
+sqrtIswap()
+{
+    const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+    return Matrix{{1, 0, 0, 0},
+                  {0, inv_sqrt2, Complex{0, inv_sqrt2}, 0},
+                  {0, Complex{0, inv_sqrt2}, inv_sqrt2, 0},
+                  {0, 0, 0, 1}};
+}
+
+Matrix
+bswap()
+{
+    // Two-photon |00> <-> |11> swap (Poletto et al. 2012); the inner
+    // subspace is untouched.
+    return Matrix{{0, 0, 0, Complex{0, 1}},
+                  {0, 1, 0, 0},
+                  {0, 0, 1, 0},
+                  {Complex{0, 1}, 0, 0, 0}};
+}
+
+Matrix
+map()
+{
+    // Microwave-activated conditional phase (Chow et al. 2013):
+    // locally equivalent to exp(-i pi/4 ZZ), i.e. a CZ-class gate.
+    return zz(kPi / 2);
+}
+
+Matrix
+zz(double theta)
+{
+    const Complex minus = std::exp(Complex{0, -theta / 2});
+    const Complex plus = std::exp(Complex{0, theta / 2});
+    return Matrix::diagonal({minus, plus, plus, minus});
+}
+
+Matrix
+fsim(double theta, double phi)
+{
+    const double c = std::cos(theta);
+    const Complex ms{0.0, -std::sin(theta)};
+    return Matrix{{1, 0, 0, 0},
+                  {0, c, ms, 0},
+                  {0, ms, c, 0},
+                  {0, 0, 0, std::exp(Complex{0, -phi})}};
+}
+
+Matrix
+fermionicSimulation()
+{
+    // The Table 2 fermionic-simulation primitive: full iSWAP-style swap
+    // of |01>/|10> plus a pi phase on |11> (Kivlichan et al. convention).
+    return Matrix{{1, 0, 0, 0},
+                  {0, 0, Complex{0, -1}, 0},
+                  {0, Complex{0, -1}, 0, 0},
+                  {0, 0, 0, -1}};
+}
+
+Matrix
+embed1q(const Matrix &gate, std::size_t wire, std::size_t n_qubits)
+{
+    qpulseRequire(gate.rows() == 2 && gate.cols() == 2,
+                  "embed1q requires a 2x2 gate");
+    qpulseRequire(wire < n_qubits, "embed1q wire out of range");
+    std::vector<Matrix> factors;
+    factors.reserve(n_qubits);
+    for (std::size_t q = 0; q < n_qubits; ++q)
+        factors.push_back(q == wire ? gate : Matrix::identity(2));
+    return kronAll(factors);
+}
+
+Matrix
+embed2q(const Matrix &gate, std::size_t wire_a, std::size_t wire_b,
+        std::size_t n_qubits)
+{
+    qpulseRequire(gate.rows() == 4 && gate.cols() == 4,
+                  "embed2q requires a 4x4 gate");
+    qpulseRequire(wire_a < n_qubits && wire_b < n_qubits &&
+                      wire_a != wire_b,
+                  "embed2q wires invalid");
+
+    const std::size_t dim = std::size_t{1} << n_qubits;
+    Matrix result(dim, dim);
+    const std::size_t shift_a = n_qubits - 1 - wire_a;
+    const std::size_t shift_b = n_qubits - 1 - wire_b;
+
+    for (std::size_t col = 0; col < dim; ++col) {
+        const std::size_t a_bit = (col >> shift_a) & 1;
+        const std::size_t b_bit = (col >> shift_b) & 1;
+        const std::size_t gate_col = (a_bit << 1) | b_bit;
+        const std::size_t base =
+            col & ~((std::size_t{1} << shift_a) | (std::size_t{1} << shift_b));
+        for (std::size_t gate_row = 0; gate_row < 4; ++gate_row) {
+            const Complex amp = gate(gate_row, gate_col);
+            if (amp == Complex{0.0, 0.0})
+                continue;
+            const std::size_t row = base |
+                (((gate_row >> 1) & 1) << shift_a) |
+                ((gate_row & 1) << shift_b);
+            result(row, col) += amp;
+        }
+    }
+    return result;
+}
+
+} // namespace gates
+
+double
+unitaryOverlap(const Matrix &a, const Matrix &b)
+{
+    qpulseRequire(a.rows() == b.rows() && a.cols() == b.cols(),
+                  "unitaryOverlap shape mismatch");
+    return std::abs((a.adjoint() * b).trace()) /
+           static_cast<double>(a.rows());
+}
+
+double
+averageGateFidelity(const Matrix &a, const Matrix &b)
+{
+    const double d = static_cast<double>(a.rows());
+    const double overlap = unitaryOverlap(a, b);
+    const double process = overlap * overlap;
+    return (d * process + 1.0) / (d + 1.0);
+}
+
+double
+stateFidelity(const Vector &a, const Vector &b)
+{
+    return std::norm(a.dot(b));
+}
+
+} // namespace qpulse

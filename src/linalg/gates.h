@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Canonical unitary matrices for the gate sets discussed in the paper:
+ * single-qubit rotations, the "textbook" two-qubit gates (CNOT, CZ,
+ * SWAP), and the hardware-native two-qubit interactions from Table 2
+ * (cross-resonance CR(theta), iSWAP and sqrt-iSWAP, bSWAP, MAP), plus
+ * the near-term-algorithm primitives (ZZ interaction, fermionic
+ * simulation gate).
+ *
+ * Conventions: qubit 0 is the most significant bit of the basis index
+ * (|q0 q1>), matching the circuit/DAG module. Rotations follow
+ * R_axis(theta) = exp(-i * theta/2 * Pauli_axis).
+ */
+#ifndef QPULSE_LINALG_GATES_H
+#define QPULSE_LINALG_GATES_H
+
+#include "linalg/matrix.h"
+
+namespace qpulse {
+namespace gates {
+
+/** Pauli matrices and identity. */
+Matrix i2();
+Matrix x();
+Matrix y();
+Matrix z();
+
+/** Hadamard. */
+Matrix h();
+
+/** Phase gates S = diag(1, i), T = diag(1, e^{i pi/4}). */
+Matrix s();
+Matrix sdg();
+Matrix t();
+Matrix tdg();
+
+/** Axis rotations: exp(-i theta/2 P). */
+Matrix rx(double theta);
+Matrix ry(double theta);
+Matrix rz(double theta);
+
+/** Phase rotation diag(1, e^{i lambda}) (Qiskit u1). */
+Matrix u1(double lambda);
+
+/**
+ * General single-qubit gate (Qiskit u3):
+ * U3(theta, phi, lambda) =
+ *   [[cos(t/2), -e^{i lambda} sin(t/2)],
+ *    [e^{i phi} sin(t/2), e^{i(phi+lambda)} cos(t/2)]].
+ */
+Matrix u3(double theta, double phi, double lambda);
+
+/** Two-qubit textbook gates (control = qubit 0, target = qubit 1). */
+Matrix cnot();
+Matrix cz();
+Matrix swap();
+
+/** Open-controlled NOT: flips target iff control is |0>. */
+Matrix openCnot();
+
+/**
+ * Cross-resonance interaction: exp(-i theta/2 * (Z (x) X)).
+ * CR(90 degrees) is the generator of CNOT (Section 5.1).
+ */
+Matrix cr(double theta);
+
+/** XX+YY interaction: exp(-i theta/4 (XX + YY)). iSWAP = xxPlusYY(pi)
+ *  up to convention; we expose iSWAP directly below. */
+Matrix xxPlusYY(double theta);
+
+/** iSWAP: swaps |01> and |10> with a factor of i. */
+Matrix iswap();
+
+/** sqrt(iSWAP): half of an iSWAP (a damped-pulse iSWAP, Section 3.2). */
+Matrix sqrtIswap();
+
+/** bSWAP: exp(-i theta/2 (XX - YY)/2)-type two-photon gate at theta=pi;
+ *  swaps |00> and |11> with a phase. */
+Matrix bswap();
+
+/** MAP: microwave-activated conditional-phase-type gate,
+ *  exp(-i pi/4 * Z (x) Z) up to local equivalence. */
+Matrix map();
+
+/** ZZ interaction: exp(-i theta/2 * Z (x) Z), the ubiquitous near-term
+ *  primitive optimized in Section 6. */
+Matrix zz(double theta);
+
+/**
+ * Fermionic simulation gate (Table 2 bottom row): an iSWAP-like
+ * interaction combined with a controlled phase,
+ * fsim(theta, phi) with the standard convention:
+ *   |00> -> |00>
+ *   |01> -> cos(theta)|01> - i sin(theta)|10>
+ *   |10> -> -i sin(theta)|01> + cos(theta)|10>
+ *   |11> -> e^{-i phi}|11>.
+ */
+Matrix fsim(double theta, double phi);
+
+/** The canonical fermionic-simulation instance used in Table 2
+ *  (full iSWAP-angle with a pi controlled phase). */
+Matrix fermionicSimulation();
+
+/** Embed a 1-qubit gate at the given wire of an n-qubit register. */
+Matrix embed1q(const Matrix &gate, std::size_t wire, std::size_t n_qubits);
+
+/**
+ * Embed a 2-qubit gate acting on (wire_a, wire_b) of an n-qubit
+ * register; wire_a binds to the gate's first (most significant) qubit.
+ */
+Matrix embed2q(const Matrix &gate, std::size_t wire_a, std::size_t wire_b,
+               std::size_t n_qubits);
+
+} // namespace gates
+
+/**
+ * Average gate fidelity proxy between two unitaries of equal dimension:
+ * |Tr(A^dag B)| / dim. Equals 1 iff A and B agree up to global phase.
+ */
+double unitaryOverlap(const Matrix &a, const Matrix &b);
+
+/**
+ * Process (entanglement) fidelity |Tr(A^dag B)|^2 / dim^2 converted to
+ * average gate fidelity: (d * Fp + 1) / (d + 1).
+ */
+double averageGateFidelity(const Matrix &a, const Matrix &b);
+
+/** State fidelity |<a|b>|^2 between two pure states. */
+double stateFidelity(const Vector &a, const Vector &b);
+
+} // namespace qpulse
+
+#endif // QPULSE_LINALG_GATES_H

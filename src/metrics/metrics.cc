@@ -1,0 +1,116 @@
+#include "metrics/metrics.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace qpulse {
+
+double
+hellingerDistance(const std::vector<double> &p, const std::vector<double> &q)
+{
+    qpulseRequire(p.size() == q.size(),
+                  "hellingerDistance size mismatch");
+    double bc = 0.0; // Bhattacharyya coefficient.
+    for (std::size_t i = 0; i < p.size(); ++i)
+        bc += std::sqrt(std::max(p[i], 0.0) * std::max(q[i], 0.0));
+    return std::sqrt(std::max(0.0, 1.0 - bc));
+}
+
+double
+hellingerFidelity(const std::vector<double> &p, const std::vector<double> &q)
+{
+    qpulseRequire(p.size() == q.size(), "hellingerFidelity size mismatch");
+    double bc = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i)
+        bc += std::sqrt(std::max(p[i], 0.0) * std::max(q[i], 0.0));
+    return bc * bc;
+}
+
+double
+totalVariationDistance(const std::vector<double> &p,
+                       const std::vector<double> &q)
+{
+    qpulseRequire(p.size() == q.size(),
+                  "totalVariationDistance size mismatch");
+    double total = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i)
+        total += std::abs(p[i] - q[i]);
+    return total / 2.0;
+}
+
+std::vector<double>
+countsToProbabilities(const std::vector<long> &counts)
+{
+    long total = 0;
+    for (long c : counts)
+        total += c;
+    qpulseRequire(total > 0, "countsToProbabilities: empty counts");
+    std::vector<double> probs(counts.size());
+    for (std::size_t i = 0; i < counts.size(); ++i)
+        probs[i] = static_cast<double>(counts[i]) /
+                   static_cast<double>(total);
+    return probs;
+}
+
+double
+BlochVector::norm() const
+{
+    return std::sqrt(x * x + y * y + z * z);
+}
+
+BlochVector
+blochFromState(const Vector &state)
+{
+    qpulseRequire(state.size() >= 2, "blochFromState needs >= 2 amps");
+    const Complex a = state[0];
+    const Complex b = state[1];
+    BlochVector bloch;
+    const Complex cross = std::conj(a) * b;
+    bloch.x = 2.0 * cross.real();
+    bloch.y = 2.0 * cross.imag();
+    bloch.z = std::norm(a) - std::norm(b);
+    return bloch;
+}
+
+BlochVector
+blochFromDensity(const Matrix &rho)
+{
+    qpulseRequire(rho.rows() >= 2 && rho.cols() >= 2,
+                  "blochFromDensity needs a >= 2x2 matrix");
+    BlochVector bloch;
+    bloch.x = 2.0 * rho(1, 0).real();
+    bloch.y = 2.0 * rho(1, 0).imag();
+    bloch.z = rho(0, 0).real() - rho(1, 1).real();
+    return bloch;
+}
+
+BlochVector
+sampledTomography(const Vector &state, long shots, Rng &rng)
+{
+    const BlochVector exact = blochFromState(state);
+    BlochVector sampled;
+    // Each axis measurement yields outcomes +-1 with
+    // P(+1) = (1 + <axis>) / 2; estimate from `shots` draws.
+    auto sample_axis = [&](double expectation) {
+        const double p_plus = (1.0 + expectation) / 2.0;
+        const long plus = rng.binomial(shots, p_plus);
+        return 2.0 * static_cast<double>(plus) /
+                   static_cast<double>(shots) -
+               1.0;
+    };
+    sampled.x = sample_axis(exact.x);
+    sampled.y = sample_axis(exact.y);
+    sampled.z = sample_axis(exact.z);
+    return sampled;
+}
+
+double
+blochStateFidelity(const BlochVector &measured, const BlochVector &target)
+{
+    const double dot = measured.x * target.x + measured.y * target.y +
+                       measured.z * target.z;
+    return (1.0 + dot) / 2.0;
+}
+
+} // namespace qpulse

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Top-level evaluation metrics (Section 8.1): the Hellinger distance
+ * between measured and ideal outcome distributions — the paper's
+ * headline error metric — plus state tomography helpers (Bloch-vector
+ * reconstruction from X/Y/Z measurements) used by the Figures 5-7 and
+ * 9 characterization experiments, and distribution utilities.
+ */
+#ifndef QPULSE_METRICS_METRICS_H
+#define QPULSE_METRICS_METRICS_H
+
+#include <vector>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace qpulse {
+
+/**
+ * Hellinger distance between two probability distributions:
+ * H(p, q) = sqrt(1 - sum_i sqrt(p_i q_i)). 0 for identical
+ * distributions, 1 for disjoint support.
+ */
+double hellingerDistance(const std::vector<double> &p,
+                         const std::vector<double> &q);
+
+/** Hellinger fidelity = (1 - H^2)^2 = (sum sqrt(p q))^2. */
+double hellingerFidelity(const std::vector<double> &p,
+                         const std::vector<double> &q);
+
+/** Total variation distance 0.5 * sum |p - q|. */
+double totalVariationDistance(const std::vector<double> &p,
+                              const std::vector<double> &q);
+
+/** Normalise counts to a probability distribution. */
+std::vector<double> countsToProbabilities(const std::vector<long> &counts);
+
+/** Bloch vector (x, y, z) of a qubit state or 2x2 density matrix. */
+struct BlochVector
+{
+    double x = 0.0;
+    double y = 0.0;
+    double z = 0.0;
+
+    double norm() const;
+};
+
+/** Bloch vector of a pure qubit state (first two amplitudes used). */
+BlochVector blochFromState(const Vector &state);
+
+/** Bloch vector of a 2x2 density matrix. */
+BlochVector blochFromDensity(const Matrix &rho);
+
+/**
+ * Shot-sampled single-qubit state tomography: estimates the Bloch
+ * vector by measuring <X>, <Y>, <Z>, each from `shots` samples of the
+ * exact expectation (binomially distributed), exactly like the
+ * 3 x 41 x 1000-shot experiments behind Figure 7.
+ */
+BlochVector sampledTomography(const Vector &state, long shots, Rng &rng);
+
+/** State fidelity between a pure target and a measured Bloch vector:
+ *  F = (1 + r . r_target) / 2 for unit target vectors. */
+double blochStateFidelity(const BlochVector &measured,
+                          const BlochVector &target);
+
+} // namespace qpulse
+
+#endif // QPULSE_METRICS_METRICS_H

@@ -1,0 +1,91 @@
+#include "metrics/process_tomography.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace qpulse {
+
+double
+PauliTransferMatrix::averageGateFidelity(
+    const PauliTransferMatrix &target) const
+{
+    // Process fidelity for qubit channels: Fp = tr(R_t^T R) / 4;
+    // average gate fidelity F = (2 Fp + 1) / 3 = (d Fp + 1)/(d + 1).
+    double trace = 0.0;
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            trace += target.r[j][i] * r[j][i];
+    const double process = trace / 4.0;
+    return (2.0 * process + 1.0) / 3.0;
+}
+
+bool
+PauliTransferMatrix::isTracePreserving(double tol) const
+{
+    return std::abs(r[0][0] - 1.0) < tol && std::abs(r[0][1]) < tol &&
+           std::abs(r[0][2]) < tol && std::abs(r[0][3]) < tol;
+}
+
+double
+PauliTransferMatrix::unitarity() const
+{
+    double total = 0.0;
+    for (int i = 1; i < 4; ++i)
+        for (int j = 1; j < 4; ++j)
+            total += r[i][j] * r[i][j];
+    return total / 3.0;
+}
+
+PauliTransferMatrix
+processTomography(const BlochChannel &channel)
+{
+    qpulseRequire(channel != nullptr,
+                  "processTomography needs a channel");
+
+    // Probe the six cardinal states. For input Bloch vector n, the
+    // output is t + M n where M is the unital block and t the affine
+    // shift; +/- pairs separate them:
+    //   M e_k = (out(+e_k) - out(-e_k)) / 2,
+    //   t     = (out(+e_k) + out(-e_k)) / 2  (averaged over k).
+    const BlochVector axes[3] = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+    PauliTransferMatrix ptm;
+    ptm.r[0][0] = 1.0; // Trace preservation of physical channels.
+
+    double shift[3] = {0.0, 0.0, 0.0};
+    for (int k = 0; k < 3; ++k) {
+        BlochVector minus_axis{-axes[k].x, -axes[k].y, -axes[k].z};
+        const BlochVector plus = channel(axes[k]);
+        const BlochVector minus = channel(minus_axis);
+        const double column[3] = {(plus.x - minus.x) / 2.0,
+                                  (plus.y - minus.y) / 2.0,
+                                  (plus.z - minus.z) / 2.0};
+        for (int i = 0; i < 3; ++i)
+            ptm.r[i + 1][k + 1] = column[i];
+        shift[0] += (plus.x + minus.x) / 2.0;
+        shift[1] += (plus.y + minus.y) / 2.0;
+        shift[2] += (plus.z + minus.z) / 2.0;
+    }
+    for (int i = 0; i < 3; ++i)
+        ptm.r[i + 1][0] = shift[i] / 3.0;
+    return ptm;
+}
+
+PauliTransferMatrix
+ptmOfUnitary(const Matrix &u)
+{
+    qpulseRequire(u.rows() == 2 && u.cols() == 2,
+                  "ptmOfUnitary requires a 2x2 unitary");
+    const BlochChannel channel = [&](const BlochVector &in) {
+        // Build the pure state with Bloch vector `in`, evolve, read.
+        const double theta = std::acos(std::clamp(in.z, -1.0, 1.0));
+        const double phi = std::atan2(in.y, in.x);
+        Vector state{Complex{std::cos(theta / 2), 0.0},
+                     std::polar(std::sin(theta / 2), phi)};
+        return blochFromState(u.apply(state));
+    };
+    return processTomography(channel);
+}
+
+} // namespace qpulse

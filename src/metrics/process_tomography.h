@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Single-qubit quantum process tomography: reconstruct the Pauli
+ * transfer matrix (PTM) of a channel from its action on the six
+ * cardinal input states — the experiment behind the paper's per-gate
+ * fidelity claims (Sections 4.1, 8.3). Works on any channel given as
+ * a state-in / Bloch-vector-out callable, so it runs against the
+ * pulse simulator (unitary or Lindblad) or the ideal matrices alike.
+ */
+#ifndef QPULSE_METRICS_PROCESS_TOMOGRAPHY_H
+#define QPULSE_METRICS_PROCESS_TOMOGRAPHY_H
+
+#include <array>
+#include <functional>
+
+#include "metrics/metrics.h"
+
+namespace qpulse {
+
+/**
+ * The 4x4 Pauli transfer matrix R: R[i][j] = tr(P_i E(P_j)) / 2 over
+ * the basis {I, X, Y, Z}. Row/column 0 encode trace preservation and
+ * non-unitality.
+ */
+struct PauliTransferMatrix
+{
+    std::array<std::array<double, 4>, 4> r{};
+
+    /** Average gate fidelity against a target unitary's PTM:
+     *  F = (tr(R_target^T R) / 2 + 1) / 3 for qubit channels. */
+    double averageGateFidelity(const PauliTransferMatrix &target) const;
+
+    /** True if the channel is trace preserving (top row ~ e_0). */
+    bool isTracePreserving(double tol = 1e-6) const;
+
+    /** Unitarity proxy: norm of the lower-right 3x3 block squared / 3
+     *  (1 for unitary channels, < 1 for decohering ones). */
+    double unitarity() const;
+};
+
+/**
+ * A channel under test: maps an input pure state (qubit Bloch vector)
+ * to the output Bloch vector. Implementations wrap the pulse
+ * simulator, the noisy density simulator, or an ideal matrix.
+ */
+using BlochChannel = std::function<BlochVector(const BlochVector &)>;
+
+/**
+ * Reconstruct the PTM by probing the six cardinal states (+-x, +-y,
+ * +-z). Uses the +/- pairs to separate the unital part from the
+ * affine shift, exactly as experimental tomography does.
+ */
+PauliTransferMatrix processTomography(const BlochChannel &channel);
+
+/** PTM of an ideal single-qubit unitary. */
+PauliTransferMatrix ptmOfUnitary(const Matrix &u);
+
+} // namespace qpulse
+
+#endif // QPULSE_METRICS_PROCESS_TOMOGRAPHY_H

@@ -1,0 +1,201 @@
+#include "noisesim/density_sim.h"
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "linalg/gates.h"
+
+namespace qpulse {
+
+DensitySimulator::DensitySimulator(const BackendConfig &config,
+                                   NoiseInfoProvider provider)
+    : config_(config), provider_(std::move(provider))
+{
+    qpulseRequire(provider_ != nullptr,
+                  "DensitySimulator needs a noise-info provider");
+}
+
+void
+DensitySimulator::applyDecoherence(Matrix &rho, std::size_t qubit,
+                                   long duration_dt,
+                                   std::size_t n_qubits) const
+{
+    if (!switches_.decoherence || duration_dt <= 0)
+        return;
+    const auto &params = config_.qubits[qubit];
+    const double t_ns = dtToNs(duration_dt);
+    const double gamma = 1.0 - std::exp(-t_ns / (params.t1Us * 1000.0));
+    const double t2_decay = std::exp(-t_ns / (params.t2Us * 1000.0));
+    // Split T2 into the T1 contribution and pure dephasing.
+    const double t1_coherence = std::exp(-t_ns / (2.0 * params.t1Us *
+                                                  1000.0));
+    const double dephase = std::min(1.0, t2_decay / t1_coherence);
+
+    // Amplitude damping Kraus: K0 = diag(1, sqrt(1-gamma)),
+    // K1 = sqrt(gamma) |0><1|; then pure dephasing scales coherences.
+    const Matrix k0 = Matrix{{1, 0}, {0, std::sqrt(1.0 - gamma)}};
+    const Matrix k1 = Matrix{{0, std::sqrt(gamma)}, {0, 0}};
+    const Matrix e0 = gates::embed1q(k0, qubit, n_qubits);
+    const Matrix e1 = gates::embed1q(k1, qubit, n_qubits);
+    rho = e0 * rho * e0.adjoint() + e1 * rho * e1.adjoint();
+
+    if (dephase < 1.0) {
+        // Phase damping: coherences in this qubit's (0,1) pair decay.
+        const double p = 1.0 - dephase * dephase;
+        const Matrix z = gates::embed1q(gates::z(), qubit, n_qubits);
+        const double keep = (1.0 + std::sqrt(1.0 - p)) / 2.0;
+        rho = rho * Complex{keep, 0.0} +
+              z * rho * z * Complex{1.0 - keep, 0.0};
+    }
+}
+
+void
+DensitySimulator::applyDepolarizing(Matrix &rho,
+                                    const std::vector<std::size_t> &qubits,
+                                    double p, std::size_t n_qubits) const
+{
+    if (p <= 0.0)
+        return;
+    qpulseRequire(p <= 1.0, "depolarizing probability > 1");
+    // rho -> (1-p) rho + p * (partial trace replaced by I/d on the
+    // gate qubits). Implemented via uniform Pauli twirl on the qubits.
+    const std::vector<Matrix> paulis = {gates::i2(), gates::x(),
+                                        gates::y(), gates::z()};
+    Matrix mixed(rho.rows(), rho.cols());
+    const std::size_t combos =
+        qubits.size() == 1 ? 4 : 16;
+    for (std::size_t combo = 0; combo < combos; ++combo) {
+        Matrix op = Matrix::identity(rho.rows());
+        std::size_t rest = combo;
+        for (std::size_t q : qubits) {
+            const Matrix &pauli = paulis[rest % 4];
+            rest /= 4;
+            op = gates::embed1q(pauli, q, n_qubits) * op;
+        }
+        mixed += op * rho * op.adjoint();
+    }
+    mixed *= Complex{1.0 / static_cast<double>(combos), 0.0};
+    rho = rho * Complex{1.0 - p, 0.0} + mixed * Complex{p, 0.0};
+}
+
+NoisyRunResult
+DensitySimulator::run(const QuantumCircuit &circuit) const
+{
+    const std::size_t n = circuit.numQubits();
+    qpulseRequire(n <= config_.numQubits,
+                  "circuit wider than the backend");
+    const std::size_t dim = std::size_t{1} << n;
+
+    Matrix rho(dim, dim);
+    rho(0, 0) = Complex{1.0, 0.0};
+
+    std::vector<long> cursor(n, 0);
+    std::vector<bool> measured(n, false);
+
+    for (const auto &gate : circuit.gates()) {
+        if (gate.type == GateType::Barrier) {
+            long latest = 0;
+            for (long c : cursor)
+                latest = std::max(latest, c);
+            for (std::size_t q = 0; q < n; ++q) {
+                applyDecoherence(rho, q, latest - cursor[q], n);
+                cursor[q] = latest;
+            }
+            continue;
+        }
+        if (gate.type == GateType::Measure) {
+            measured[gate.qubits[0]] = true;
+            continue; // Terminal measurement handled below.
+        }
+        for (std::size_t q : gate.qubits)
+            qpulseRequire(!measured[q],
+                          "mid-circuit gates after measurement are not "
+                          "supported (qubit ", q, ")");
+
+        const GateNoiseInfo info = provider_(gate);
+
+        // Sync the participating qubits (idle decoherence).
+        long start = 0;
+        for (std::size_t q : gate.qubits)
+            start = std::max(start, cursor[q]);
+        for (std::size_t q : gate.qubits) {
+            applyDecoherence(rho, q, start - cursor[q], n);
+            cursor[q] = start + info.duration;
+        }
+
+        // Ideal unitary.
+        Matrix u;
+        if (gate.qubits.size() == 1)
+            u = gates::embed1q(gate.matrix(), gate.qubits[0], n);
+        else
+            u = gates::embed2q(gate.matrix(), gate.qubits[0],
+                               gate.qubits[1], n);
+        rho = u * rho * u.adjoint();
+
+        // Error source 1: decoherence over the gate duration.
+        for (std::size_t q : gate.qubits)
+            applyDecoherence(rho, q, info.duration, n);
+
+        // Error sources 2 + 3: per-pulse and amplitude-dependent
+        // depolarizing.
+        double p = 0.0;
+        if (switches_.pulseError)
+            p += config_.noise.perPulseError1q * info.error1qWeight +
+                 config_.noise.perPulseError2q * info.error2qWeight;
+        if (switches_.amplitudeError)
+            p += config_.noise.leakagePerAmpSq * info.peakAmplitude *
+                 info.peakAmplitude;
+        if (p > 0.0)
+            applyDepolarizing(rho, gate.qubits, std::min(p, 1.0), n);
+    }
+
+    // Final sync: all qubits decohere until the makespan, then during
+    // readout.
+    long makespan = 0;
+    for (long c : cursor)
+        makespan = std::max(makespan, c);
+    for (std::size_t q = 0; q < n; ++q)
+        applyDecoherence(rho, q, makespan - cursor[q], n);
+
+    NoisyRunResult result;
+    result.makespan = makespan;
+
+    std::vector<double> probs(dim);
+    for (std::size_t i = 0; i < dim; ++i)
+        probs[i] = std::max(0.0, rho(i, i).real());
+    result.probs = applyReadoutError(probs, n);
+    result.density = std::move(rho);
+    return result;
+}
+
+std::vector<double>
+DensitySimulator::applyReadoutError(const std::vector<double> &probs,
+                                    std::size_t n_qubits) const
+{
+    std::vector<double> current = probs;
+    for (std::size_t q = 0; q < n_qubits; ++q) {
+        const ReadoutError &err = config_.readout[q];
+        std::vector<double> next(current.size(), 0.0);
+        const std::size_t shift = n_qubits - 1 - q;
+        for (std::size_t idx = 0; idx < current.size(); ++idx) {
+            const bool bit = (idx >> shift) & 1;
+            const std::size_t flipped = idx ^ (std::size_t{1} << shift);
+            const double p_keep =
+                bit ? 1.0 - err.probFlip1to0 : 1.0 - err.probFlip0to1;
+            const double p_flip = 1.0 - p_keep;
+            next[idx] += current[idx] * p_keep;
+            next[flipped] += current[idx] * p_flip;
+        }
+        current = std::move(next);
+    }
+    return current;
+}
+
+std::vector<long>
+DensitySimulator::sampleCounts(const NoisyRunResult &result, long shots,
+                               Rng &rng) const
+{
+    return rng.multinomial(shots, result.probs);
+}
+
+} // namespace qpulse

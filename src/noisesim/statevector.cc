@@ -1,0 +1,35 @@
+#include "noisesim/statevector.h"
+
+#include "common/logging.h"
+
+namespace qpulse {
+
+std::vector<double>
+idealDistribution(const QuantumCircuit &circuit)
+{
+    const Vector state = circuit.runStatevector();
+    std::vector<double> probs(state.size());
+    for (std::size_t i = 0; i < state.size(); ++i)
+        probs[i] = std::norm(state[i]);
+    return probs;
+}
+
+std::vector<long>
+sampleIdealCounts(const QuantumCircuit &circuit, long shots, Rng &rng)
+{
+    return rng.multinomial(shots, idealDistribution(circuit));
+}
+
+double
+diagonalExpectation(const std::vector<double> &probs,
+                    const std::vector<double> &values)
+{
+    qpulseRequire(probs.size() == values.size(),
+                  "diagonalExpectation size mismatch");
+    double total = 0.0;
+    for (std::size_t i = 0; i < probs.size(); ++i)
+        total += probs[i] * values[i];
+    return total;
+}
+
+} // namespace qpulse

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Noise-free reference execution: ideal outcome distributions and
+ * sampled counts, used as the "target distribution" against which the
+ * Hellinger error of noisy runs is computed (Section 8.1).
+ */
+#ifndef QPULSE_NOISESIM_STATEVECTOR_H
+#define QPULSE_NOISESIM_STATEVECTOR_H
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "common/rng.h"
+
+namespace qpulse {
+
+/** Ideal computational-basis distribution of a circuit on |0...0>. */
+std::vector<double> idealDistribution(const QuantumCircuit &circuit);
+
+/** Sample counts from the ideal distribution. */
+std::vector<long> sampleIdealCounts(const QuantumCircuit &circuit,
+                                    long shots, Rng &rng);
+
+/** Expectation of a diagonal observable given by per-outcome values. */
+double diagonalExpectation(const std::vector<double> &probs,
+                           const std::vector<double> &values);
+
+} // namespace qpulse
+
+#endif // QPULSE_NOISESIM_STATEVECTOR_H

@@ -1,0 +1,259 @@
+#include "opt/fitting.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/logging.h"
+#include "linalg/eigen.h"
+
+namespace qpulse {
+
+FitResult
+levenbergMarquardt(const FitModel &model, const std::vector<double> &xs,
+                   const std::vector<double> &ys, std::vector<double> p0,
+                   int max_iterations)
+{
+    qpulseRequire(xs.size() == ys.size(), "fit data size mismatch");
+    qpulseRequire(!p0.empty(), "fit requires at least one parameter");
+
+    const std::size_t n_params = p0.size();
+    const std::size_t n_points = xs.size();
+
+    auto residual_sum = [&](const std::vector<double> &params) {
+        double total = 0.0;
+        for (std::size_t i = 0; i < n_points; ++i) {
+            const double r = ys[i] - model(xs[i], params);
+            total += r * r;
+        }
+        return total;
+    };
+
+    std::vector<double> params = p0;
+    double current = residual_sum(params);
+    double lambda = 1e-3;
+
+    FitResult result;
+    for (int iter = 0; iter < max_iterations; ++iter) {
+        // Numeric Jacobian.
+        std::vector<std::vector<double>> jacobian(
+            n_points, std::vector<double>(n_params, 0.0));
+        std::vector<double> residuals(n_points);
+        for (std::size_t i = 0; i < n_points; ++i)
+            residuals[i] = ys[i] - model(xs[i], params);
+        for (std::size_t j = 0; j < n_params; ++j) {
+            const double step =
+                1e-7 * std::max(1.0, std::abs(params[j]));
+            std::vector<double> perturbed = params;
+            perturbed[j] += step;
+            for (std::size_t i = 0; i < n_points; ++i) {
+                const double plus = model(xs[i], perturbed);
+                const double base = model(xs[i], params);
+                jacobian[i][j] = (plus - base) / step;
+            }
+        }
+
+        // Normal equations (J^T J + lambda diag) dp = J^T r.
+        std::vector<std::vector<double>> jtj(
+            n_params, std::vector<double>(n_params, 0.0));
+        std::vector<double> jtr(n_params, 0.0);
+        for (std::size_t i = 0; i < n_points; ++i) {
+            for (std::size_t a = 0; a < n_params; ++a) {
+                jtr[a] += jacobian[i][a] * residuals[i];
+                for (std::size_t b = 0; b < n_params; ++b)
+                    jtj[a][b] += jacobian[i][a] * jacobian[i][b];
+            }
+        }
+
+        bool improved = false;
+        for (int attempt = 0; attempt < 12 && !improved; ++attempt) {
+            auto damped = jtj;
+            for (std::size_t a = 0; a < n_params; ++a)
+                damped[a][a] += lambda * std::max(jtj[a][a], 1e-12);
+            std::vector<double> delta;
+            try {
+                delta = solveLinearReal(damped, jtr);
+            } catch (const FatalError &) {
+                lambda *= 10.0;
+                continue;
+            }
+            std::vector<double> trial = params;
+            for (std::size_t a = 0; a < n_params; ++a)
+                trial[a] += delta[a];
+            const double trial_cost = residual_sum(trial);
+            if (trial_cost < current) {
+                params = trial;
+                current = trial_cost;
+                lambda = std::max(lambda * 0.3, 1e-12);
+                improved = true;
+            } else {
+                lambda *= 10.0;
+            }
+        }
+        if (!improved) {
+            result.converged = true;
+            break;
+        }
+        if (current < 1e-18) {
+            result.converged = true;
+            break;
+        }
+    }
+
+    result.params = params;
+    result.residualSumSq = current;
+    return result;
+}
+
+FitResult
+fitCosine(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    qpulseRequire(xs.size() == ys.size() && xs.size() >= 4,
+                  "fitCosine requires >= 4 points");
+
+    const FitModel model = [](double x, const std::vector<double> &p) {
+        // p = {offset, amplitude, frequency, phase}
+        return p[0] + p[1] * std::cos(2.0 * kPi * p[2] * x + p[3]);
+    };
+
+    const double y_mean = mean(ys);
+    double y_min = ys[0], y_max = ys[0];
+    for (double y : ys) {
+        y_min = std::min(y_min, y);
+        y_max = std::max(y_max, y);
+    }
+    const double amp0 = std::max((y_max - y_min) / 2.0, 1e-6);
+    const double x_span = xs.back() - xs.front();
+    qpulseRequire(x_span > 0.0, "fitCosine requires increasing abscissae");
+
+    // Frequencies above the Nyquist limit of the sampling alias onto
+    // low frequencies and must be rejected or the fit can lock onto a
+    // spurious high-frequency solution.
+    double min_spacing = x_span;
+    for (std::size_t i = 1; i < xs.size(); ++i)
+        min_spacing = std::min(min_spacing, xs[i] - xs[i - 1]);
+    qpulseRequire(min_spacing > 0.0,
+                  "fitCosine requires strictly increasing abscissae");
+    const double nyquist = 0.5 / min_spacing;
+
+    // Coarse frequency grid search up to (just below) Nyquist.
+    FitResult best;
+    best.residualSumSq = 1e300;
+    const int grid = 160;
+    for (int k = 1; k <= grid; ++k) {
+        const double freq = std::min(0.05 * k / x_span, 0.95 * nyquist);
+        for (double phase : {0.0, kPi / 2, kPi, 3 * kPi / 2}) {
+            FitResult fit = levenbergMarquardt(
+                model, xs, ys, {y_mean, amp0, freq, phase}, 60);
+            if (std::abs(fit.params[2]) > nyquist)
+                continue;
+            if (fit.residualSumSq < best.residualSumSq)
+                best = fit;
+        }
+        if (best.residualSumSq <
+                1e-8 * static_cast<double>(xs.size()) ||
+            0.05 * k / x_span >= nyquist)
+            break;
+    }
+    qpulseRequire(best.residualSumSq < 1e300,
+                  "fitCosine failed to find a sub-Nyquist fit");
+    // Normalise: frequency positive (cos is even) and amplitude
+    // positive (fold the sign into the phase), phase wrapped.
+    if (best.params[2] < 0.0) {
+        best.params[2] = -best.params[2];
+        best.params[3] = -best.params[3];
+    }
+    if (best.params[1] < 0.0) {
+        best.params[1] = -best.params[1];
+        best.params[3] += kPi;
+    }
+    best.params[3] = std::remainder(best.params[3], 2.0 * kPi);
+    best.converged = true;
+    return best;
+}
+
+FitResult
+fitExponentialDecay(const std::vector<double> &ks,
+                    const std::vector<double> &ys)
+{
+    qpulseRequire(ks.size() == ys.size() && ks.size() >= 3,
+                  "fitExponentialDecay requires >= 3 points");
+
+    const FitModel model = [](double k, const std::vector<double> &p) {
+        // p = {a, f, b}: y = a * f^k + b
+        return p[0] * std::pow(std::max(p[1], 1e-12), k) + p[2];
+    };
+
+    // Initial estimate: assume b ~ min(y)/2 and estimate f from the
+    // endpoint ratio.
+    double y_min = ys[0], y_max = ys[0];
+    for (double y : ys) {
+        y_min = std::min(y_min, y);
+        y_max = std::max(y_max, y);
+    }
+    const double b0 = std::max(0.0, y_min - 0.1 * (y_max - y_min));
+    const double a0 = std::max(y_max - b0, 1e-3);
+    double f0 = 0.99;
+    if (ys.front() - b0 > 1e-9 && ys.back() - b0 > 1e-9) {
+        const double ratio = (ys.back() - b0) / (ys.front() - b0);
+        const double dk = ks.back() - ks.front();
+        if (ratio > 0.0 && dk > 0.0)
+            f0 = std::min(0.999999, std::pow(ratio, 1.0 / dk));
+    }
+
+    FitResult fit =
+        levenbergMarquardt(model, ks, ys, {a0, f0, b0}, 400);
+    fit.converged = true;
+    return fit;
+}
+
+FitResult
+fitExponentialDecayFixedOffset(const std::vector<double> &ks,
+                               const std::vector<double> &ys,
+                               double offset)
+{
+    qpulseRequire(ks.size() == ys.size() && ks.size() >= 2,
+                  "fitExponentialDecayFixedOffset requires >= 2 points");
+
+    const FitModel model = [offset](double k,
+                                    const std::vector<double> &p) {
+        // p = {a, f}: y = a * f^k + offset.
+        return p[0] * std::pow(std::max(p[1], 1e-12), k) + offset;
+    };
+
+    const double a0 = std::max(ys.front() - offset, 1e-3);
+    double f0 = 0.999;
+    if (ys.front() - offset > 1e-9 && ys.back() - offset > 1e-9) {
+        const double ratio = (ys.back() - offset) / (ys.front() - offset);
+        const double dk = ks.back() - ks.front();
+        if (ratio > 0.0 && dk > 0.0)
+            f0 = std::min(0.999999, std::pow(ratio, 1.0 / dk));
+    }
+
+    FitResult fit = levenbergMarquardt(model, ks, ys, {a0, f0}, 400);
+    fit.params.push_back(offset);
+    fit.converged = true;
+    return fit;
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    qpulseRequire(!xs.empty(), "mean of empty sample");
+    double total = 0.0;
+    for (double x : xs)
+        total += x;
+    return total / static_cast<double>(xs.size());
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    const double mu = mean(xs);
+    double total = 0.0;
+    for (double x : xs)
+        total += (x - mu) * (x - mu);
+    return std::sqrt(total / static_cast<double>(xs.size()));
+}
+
+} // namespace qpulse

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Curve-fitting routines used by the calibration and benchmarking
+ * harnesses: sinusoid fits for Rabi amplitude scans, exponential-decay
+ * fits (f^K - b) for the randomized-benchmarking analysis of Figure 13,
+ * and a small Levenberg-Marquardt engine underneath both.
+ */
+#ifndef QPULSE_OPT_FITTING_H
+#define QPULSE_OPT_FITTING_H
+
+#include <functional>
+#include <vector>
+
+namespace qpulse {
+
+/** Model y = f(x; params) with analytic evaluation only. */
+using FitModel =
+    std::function<double(double x, const std::vector<double> &params)>;
+
+/** Result of a least-squares fit. */
+struct FitResult
+{
+    std::vector<double> params;  ///< Best-fit parameters.
+    double residualSumSq = 0.0;  ///< Sum of squared residuals.
+    bool converged = false;
+};
+
+/**
+ * Levenberg-Marquardt least squares with numeric Jacobian.
+ *
+ * @param model  Model function.
+ * @param xs     Sample abscissae.
+ * @param ys     Sample ordinates.
+ * @param p0     Initial parameter guess.
+ */
+FitResult levenbergMarquardt(const FitModel &model,
+                             const std::vector<double> &xs,
+                             const std::vector<double> &ys,
+                             std::vector<double> p0, int max_iterations = 200);
+
+/**
+ * Fit y = offset + amplitude * cos(2 pi freq * x + phase).
+ *
+ * Used by the Rabi calibration scan: the pi-pulse amplitude is half a
+ * period of the fitted oscillation. Initial frequency is found with a
+ * coarse grid search, so the caller needs no good guess.
+ */
+FitResult fitCosine(const std::vector<double> &xs,
+                    const std::vector<double> &ys);
+
+/**
+ * Fit the randomized-benchmarking decay y = a * f^K + b.
+ *
+ * Section 8.3 fits "f^K - b"; the general affine-exponential form
+ * covers it and is the standard RB estimator. Returns {a, f, b}.
+ */
+FitResult fitExponentialDecay(const std::vector<double> &ks,
+                              const std::vector<double> &ys);
+
+/**
+ * Same decay model with the offset pinned to a known asymptote
+ * (e.g. the maximally-mixed-state survival through the readout):
+ * y = a * f^K + b_fixed, fitting only {a, f}. In the slow-decay
+ * regime the three-parameter fit is ill-conditioned (a near-linear
+ * curve cannot separate a, f and b), so RB analysis pins b.
+ * Returns {a, f, b_fixed} for interface parity.
+ */
+FitResult fitExponentialDecayFixedOffset(const std::vector<double> &ks,
+                                         const std::vector<double> &ys,
+                                         double offset);
+
+/** Mean of a sample. */
+double mean(const std::vector<double> &xs);
+
+/** Population standard deviation of a sample. */
+double stddev(const std::vector<double> &xs);
+
+} // namespace qpulse
+
+#endif // QPULSE_OPT_FITTING_H

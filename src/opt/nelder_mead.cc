@@ -1,0 +1,200 @@
+#include "opt/nelder_mead.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace qpulse {
+
+namespace {
+
+/** A simplex vertex: parameter vector plus cached objective value. */
+struct Vertex
+{
+    std::vector<double> x;
+    double f = 0.0;
+};
+
+std::vector<double>
+centroidExcludingWorst(const std::vector<Vertex> &simplex)
+{
+    const std::size_t n = simplex.front().x.size();
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t v = 0; v + 1 < simplex.size(); ++v)
+        for (std::size_t i = 0; i < n; ++i)
+            centroid[i] += simplex[v].x[i];
+    for (auto &c : centroid)
+        c /= static_cast<double>(simplex.size() - 1);
+    return centroid;
+}
+
+std::vector<double>
+affine(const std::vector<double> &base, const std::vector<double> &dir,
+       double scale)
+{
+    std::vector<double> result(base.size());
+    for (std::size_t i = 0; i < base.size(); ++i)
+        result[i] = base[i] + scale * (dir[i] - base[i]);
+    return result;
+}
+
+} // namespace
+
+OptResult
+nelderMead(const Objective &objective, const std::vector<double> &x0,
+           const NelderMeadOptions &options)
+{
+    qpulseRequire(!x0.empty(), "nelderMead requires a nonempty start");
+    const std::size_t n = x0.size();
+
+    std::vector<Vertex> simplex(n + 1);
+    simplex[0] = {x0, objective(x0)};
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<double> x = x0;
+        x[i] += options.initialStep;
+        simplex[i + 1] = {x, objective(x)};
+    }
+
+    auto by_value = [](const Vertex &a, const Vertex &b) {
+        return a.f < b.f;
+    };
+
+    OptResult result;
+    int iter = 0;
+    for (; iter < options.maxIterations; ++iter) {
+        std::sort(simplex.begin(), simplex.end(), by_value);
+
+        // Convergence: spread of objective values and simplex extent.
+        const double f_spread = simplex.back().f - simplex.front().f;
+        double x_spread = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            x_spread = std::max(x_spread,
+                                std::abs(simplex.back().x[i] -
+                                         simplex.front().x[i]));
+        if (std::abs(f_spread) < options.fTolerance &&
+            x_spread < options.xTolerance) {
+            result.converged = true;
+            break;
+        }
+
+        const auto centroid = centroidExcludingWorst(simplex);
+        Vertex &worst = simplex.back();
+
+        // Reflection.
+        const auto reflected = affine(centroid, worst.x, -1.0);
+        const double f_reflected = objective(reflected);
+
+        if (f_reflected < simplex.front().f) {
+            // Expansion.
+            const auto expanded = affine(centroid, worst.x, -2.0);
+            const double f_expanded = objective(expanded);
+            if (f_expanded < f_reflected)
+                worst = {expanded, f_expanded};
+            else
+                worst = {reflected, f_reflected};
+        } else if (f_reflected < simplex[n - 1].f) {
+            worst = {reflected, f_reflected};
+        } else {
+            // Contraction (outside if reflected beats worst, else inside).
+            const bool outside = f_reflected < worst.f;
+            const auto contracted =
+                affine(centroid, outside ? reflected : worst.x, 0.5);
+            const double f_contracted = objective(contracted);
+            if (f_contracted < std::min(worst.f, f_reflected)) {
+                worst = {contracted, f_contracted};
+            } else {
+                // Shrink toward the best vertex.
+                for (std::size_t v = 1; v < simplex.size(); ++v) {
+                    simplex[v].x =
+                        affine(simplex[0].x, simplex[v].x, 0.5);
+                    simplex[v].f = objective(simplex[v].x);
+                }
+            }
+        }
+    }
+
+    std::sort(simplex.begin(), simplex.end(), by_value);
+    result.x = simplex.front().x;
+    result.fun = simplex.front().f;
+    result.iterations = iter;
+    return result;
+}
+
+OptResult
+nelderMeadMultiStart(const Objective &objective,
+                     const std::vector<double> &x0, int restarts,
+                     double span, Rng &rng,
+                     const NelderMeadOptions &options)
+{
+    OptResult best = nelderMead(objective, x0, options);
+    for (int r = 0; r < restarts; ++r) {
+        std::vector<double> start(x0.size());
+        for (auto &value : start)
+            value = rng.uniform(-span, span);
+        OptResult candidate = nelderMead(objective, start, options);
+        if (candidate.fun < best.fun)
+            best = candidate;
+    }
+    return best;
+}
+
+OptResult
+constrainedMinimize(const Objective &objective,
+                    const std::vector<Constraint> &constraints,
+                    const std::vector<double> &x0, int restarts,
+                    double span, Rng &rng, const NelderMeadOptions &options)
+{
+    // Escalating quadratic penalty: violated constraints (g < 0)
+    // contribute weight * g^2. The penalty solution can sit a hair on
+    // the infeasible side of an active constraint (g ~ -1/weight), so
+    // feasibility is judged with a small tolerance.
+    constexpr double feasibility_tol = 1e-6;
+    OptResult best;
+    bool have_best = false;
+    double weight = 1e3;
+    std::vector<double> start = x0;
+    OptResult last_candidate;
+    for (int round = 0; round < 5; ++round, weight *= 100.0) {
+        const double w = weight;
+        Objective penalized = [&](const std::vector<double> &x) {
+            double value = objective(x);
+            if (!std::isfinite(value))
+                return 1e30;
+            for (const auto &g : constraints) {
+                const double slack = g(x);
+                if (!std::isfinite(slack))
+                    return 1e30;
+                if (slack < 0.0)
+                    value += w * slack * slack;
+            }
+            return value;
+        };
+        OptResult candidate =
+            nelderMeadMultiStart(penalized, start, restarts, span, rng,
+                                 options);
+        bool feasible = true;
+        for (const auto &g : constraints)
+            if (g(candidate.x) < -feasibility_tol)
+                feasible = false;
+        if (feasible && (!have_best || objective(candidate.x) <
+                                           best.fun)) {
+            best = candidate;
+            // Re-evaluate true objective (without penalty) at solution.
+            best.fun = objective(best.x);
+            have_best = true;
+        }
+        start = candidate.x;
+        last_candidate = candidate;
+    }
+    if (!have_best) {
+        // No feasible point found: return the final penalty iterate,
+        // flagged as non-converged so the caller can reject it.
+        best = last_candidate;
+        best.fun = objective(best.x);
+        best.converged = false;
+    }
+    return best;
+}
+
+} // namespace qpulse

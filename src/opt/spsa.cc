@@ -1,0 +1,136 @@
+#include "opt/spsa.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace qpulse {
+
+OptResult
+spsa(const Objective &objective, const std::vector<double> &x0, Rng &rng,
+     const SpsaOptions &options)
+{
+    qpulseRequire(!x0.empty(), "spsa requires a nonempty start");
+    std::vector<double> x = x0;
+    std::vector<double> best_x = x0;
+    double best_f = objective(x0);
+
+    const std::size_t n = x.size();
+    for (int k = 0; k < options.iterations; ++k) {
+        const double ak =
+            options.a / std::pow(k + 1 + options.stability, options.alpha);
+        const double ck = options.c / std::pow(k + 1, options.gamma);
+
+        // Rademacher perturbation direction.
+        std::vector<double> delta(n);
+        for (auto &d : delta)
+            d = rng.uniform() < 0.5 ? -1.0 : 1.0;
+
+        std::vector<double> x_plus = x, x_minus = x;
+        for (std::size_t i = 0; i < n; ++i) {
+            x_plus[i] += ck * delta[i];
+            x_minus[i] -= ck * delta[i];
+        }
+        const double f_plus = objective(x_plus);
+        const double f_minus = objective(x_minus);
+        const double diff = (f_plus - f_minus) / (2.0 * ck);
+
+        for (std::size_t i = 0; i < n; ++i)
+            x[i] -= ak * diff / delta[i];
+
+        const double f_now = std::min(f_plus, f_minus);
+        if (f_now < best_f) {
+            best_f = f_now;
+            best_x = f_plus < f_minus ? x_plus : x_minus;
+        }
+    }
+
+    // One final evaluation at the terminal iterate.
+    const double f_final = objective(x);
+    OptResult result;
+    if (f_final < best_f) {
+        result.x = x;
+        result.fun = f_final;
+    } else {
+        result.x = best_x;
+        result.fun = best_f;
+    }
+    result.iterations = options.iterations;
+    result.converged = true;
+    return result;
+}
+
+double
+brentMinimize(const std::function<double(double)> &f, double lo, double hi,
+              double tol, int max_iter)
+{
+    qpulseRequire(hi > lo, "brentMinimize requires hi > lo");
+    const double golden = 0.3819660112501051;
+
+    double a = lo, b = hi;
+    double x = a + golden * (b - a);
+    double w = x, v = x;
+    double fx = f(x), fw = fx, fv = fx;
+    double d = 0.0, e = 0.0;
+
+    for (int iter = 0; iter < max_iter; ++iter) {
+        const double mid = 0.5 * (a + b);
+        const double tol1 = tol * std::abs(x) + 1e-12;
+        const double tol2 = 2.0 * tol1;
+        if (std::abs(x - mid) <= tol2 - 0.5 * (b - a))
+            break;
+
+        bool use_golden = true;
+        if (std::abs(e) > tol1) {
+            // Parabolic interpolation through (x, w, v).
+            const double r = (x - w) * (fx - fv);
+            double q = (x - v) * (fx - fw);
+            double p = (x - v) * q - (x - w) * r;
+            q = 2.0 * (q - r);
+            if (q > 0.0)
+                p = -p;
+            q = std::abs(q);
+            const double e_temp = e;
+            e = d;
+            if (std::abs(p) < std::abs(0.5 * q * e_temp) &&
+                p > q * (a - x) && p < q * (b - x)) {
+                d = p / q;
+                const double u = x + d;
+                if (u - a < tol2 || b - u < tol2)
+                    d = (mid > x) ? tol1 : -tol1;
+                use_golden = false;
+            }
+        }
+        if (use_golden) {
+            e = (x < mid) ? b - x : a - x;
+            d = golden * e;
+        }
+
+        const double u =
+            (std::abs(d) >= tol1) ? x + d : x + (d > 0 ? tol1 : -tol1);
+        const double fu = f(u);
+        if (fu <= fx) {
+            if (u < x)
+                b = x;
+            else
+                a = x;
+            v = w; fv = fw;
+            w = x; fw = fx;
+            x = u; fx = fu;
+        } else {
+            if (u < x)
+                a = u;
+            else
+                b = u;
+            if (fu <= fw || w == x) {
+                v = w; fv = fw;
+                w = u; fw = fu;
+            } else if (fu <= fv || v == x || v == w) {
+                v = u; fv = fu;
+            }
+        }
+    }
+    return x;
+}
+
+} // namespace qpulse

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Simultaneous Perturbation Stochastic Approximation (SPSA) and Brent
+ * 1-D minimisation.
+ *
+ * SPSA trains the VQE/QAOA variational parameters in the Figure 12
+ * benchmarks: it tolerates the shot noise of sampled expectation values
+ * with only two objective evaluations per step, which is why it is the
+ * de-facto optimiser for near-term variational experiments.
+ */
+#ifndef QPULSE_OPT_SPSA_H
+#define QPULSE_OPT_SPSA_H
+
+#include "opt/nelder_mead.h"
+
+namespace qpulse {
+
+/** SPSA hyper-parameters (standard Spall schedule). */
+struct SpsaOptions
+{
+    int iterations = 200;
+    double a = 0.2;        ///< Step-size scale.
+    double c = 0.1;        ///< Perturbation scale.
+    double alpha = 0.602;  ///< Step-size decay exponent.
+    double gamma = 0.101;  ///< Perturbation decay exponent.
+    double stability = 10; ///< Step-size stabiliser A.
+};
+
+/**
+ * Minimise a (possibly noisy) objective with SPSA.
+ *
+ * @param objective Noisy objective (e.g. sampled energy).
+ * @param x0        Initial parameters.
+ * @param rng       RNG for the Rademacher perturbations.
+ * @param options   Schedule knobs.
+ */
+OptResult spsa(const Objective &objective, const std::vector<double> &x0,
+               Rng &rng, const SpsaOptions &options = {});
+
+/**
+ * Brent-style 1-D minimisation on [lo, hi] (golden-section with
+ * parabolic acceleration). Used by calibration scans that tune a single
+ * amplitude or DRAG coefficient.
+ */
+double brentMinimize(const std::function<double(double)> &f, double lo,
+                     double hi, double tol = 1e-8, int max_iter = 200);
+
+} // namespace qpulse
+
+#endif // QPULSE_OPT_SPSA_H

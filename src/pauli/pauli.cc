@@ -1,0 +1,228 @@
+#include "pauli/pauli.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "linalg/eigen.h"
+#include "linalg/gates.h"
+
+namespace qpulse {
+
+PauliProduct
+multiplyPauli(PauliOp a, PauliOp b)
+{
+    if (a == PauliOp::I)
+        return {b, 0};
+    if (b == PauliOp::I)
+        return {a, 0};
+    if (a == b)
+        return {PauliOp::I, 0};
+
+    // Cyclic: X*Y = iZ, Y*Z = iX, Z*X = iY; reversed order picks up -i.
+    auto index = [](PauliOp op) {
+        switch (op) {
+          case PauliOp::X: return 0;
+          case PauliOp::Y: return 1;
+          default:         return 2;
+        }
+    };
+    static const PauliOp third[3][3] = {
+        {PauliOp::I, PauliOp::Z, PauliOp::Y},
+        {PauliOp::Z, PauliOp::I, PauliOp::X},
+        {PauliOp::Y, PauliOp::X, PauliOp::I},
+    };
+    const int ia = index(a), ib = index(b);
+    const PauliOp result = third[ia][ib];
+    // (ia+1)%3 == ib means cyclic order -> +i (iPower 1), else -i (3).
+    const bool cyclic = (ia + 1) % 3 == ib;
+    return {result, cyclic ? 1 : 3};
+}
+
+PauliString
+PauliString::parse(const std::string &text)
+{
+    PauliString result(text.size());
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        switch (text[i]) {
+          case 'I': result.ops_[i] = PauliOp::I; break;
+          case 'X': result.ops_[i] = PauliOp::X; break;
+          case 'Y': result.ops_[i] = PauliOp::Y; break;
+          case 'Z': result.ops_[i] = PauliOp::Z; break;
+          default:
+            qpulseFatal("invalid Pauli character '", text[i], "' in \"",
+                        text, "\"");
+        }
+    }
+    return result;
+}
+
+std::size_t
+PauliString::weight() const
+{
+    std::size_t count = 0;
+    for (PauliOp op : ops_)
+        if (op != PauliOp::I)
+            ++count;
+    return count;
+}
+
+bool
+PauliString::commutesWith(const PauliString &other) const
+{
+    qpulseRequire(numQubits() == other.numQubits(),
+                  "commutesWith size mismatch");
+    // Two strings commute iff they anticommute on an even number of
+    // qubit positions.
+    std::size_t anticommuting = 0;
+    for (std::size_t q = 0; q < ops_.size(); ++q) {
+        const PauliOp a = ops_[q], b = other.ops_[q];
+        if (a != PauliOp::I && b != PauliOp::I && a != b)
+            ++anticommuting;
+    }
+    return anticommuting % 2 == 0;
+}
+
+std::pair<PauliString, int>
+PauliString::multiply(const PauliString &other) const
+{
+    qpulseRequire(numQubits() == other.numQubits(),
+                  "multiply size mismatch");
+    PauliString result(numQubits());
+    int i_power = 0;
+    for (std::size_t q = 0; q < ops_.size(); ++q) {
+        const PauliProduct product = multiplyPauli(ops_[q], other.ops_[q]);
+        result.ops_[q] = product.op;
+        i_power = (i_power + product.iPower) % 4;
+    }
+    return {result, i_power};
+}
+
+Matrix
+PauliString::toMatrix() const
+{
+    qpulseRequire(!ops_.empty(), "toMatrix on empty Pauli string");
+    std::vector<Matrix> factors;
+    factors.reserve(ops_.size());
+    for (PauliOp op : ops_) {
+        switch (op) {
+          case PauliOp::I: factors.push_back(gates::i2()); break;
+          case PauliOp::X: factors.push_back(gates::x()); break;
+          case PauliOp::Y: factors.push_back(gates::y()); break;
+          case PauliOp::Z: factors.push_back(gates::z()); break;
+        }
+    }
+    return kronAll(factors);
+}
+
+std::string
+PauliString::toString() const
+{
+    std::string text;
+    text.reserve(ops_.size());
+    for (PauliOp op : ops_) {
+        switch (op) {
+          case PauliOp::I: text += 'I'; break;
+          case PauliOp::X: text += 'X'; break;
+          case PauliOp::Y: text += 'Y'; break;
+          case PauliOp::Z: text += 'Z'; break;
+        }
+    }
+    return text;
+}
+
+void
+PauliOperator::addTerm(double coefficient, const PauliString &string)
+{
+    if (numQubits_ == 0)
+        numQubits_ = string.numQubits();
+    qpulseRequire(string.numQubits() == numQubits_,
+                  "PauliOperator term arity mismatch");
+    for (auto &term : terms_) {
+        if (term.string == string) {
+            term.coefficient += coefficient;
+            return;
+        }
+    }
+    terms_.push_back({coefficient, string});
+}
+
+void
+PauliOperator::addTerm(double coefficient, const std::string &text)
+{
+    addTerm(coefficient, PauliString::parse(text));
+}
+
+void
+PauliOperator::prune(double threshold)
+{
+    terms_.erase(std::remove_if(terms_.begin(), terms_.end(),
+                                [&](const PauliTerm &term) {
+                                    return std::abs(term.coefficient) <
+                                           threshold;
+                                }),
+                 terms_.end());
+}
+
+Matrix
+PauliOperator::toMatrix() const
+{
+    qpulseRequire(numQubits_ > 0, "toMatrix on empty operator");
+    const std::size_t dim = std::size_t{1} << numQubits_;
+    Matrix result(dim, dim);
+    for (const auto &term : terms_)
+        result += term.string.toMatrix() * Complex{term.coefficient, 0.0};
+    return result;
+}
+
+double
+PauliOperator::expectation(const Vector &state) const
+{
+    double total = 0.0;
+    for (const auto &term : terms_) {
+        const Matrix m = term.string.toMatrix();
+        total += term.coefficient * state.dot(m.apply(state)).real();
+    }
+    return total;
+}
+
+double
+PauliOperator::groundStateEnergy() const
+{
+    const EigenSystem es = eigHermitian(toMatrix());
+    return es.values.front();
+}
+
+PauliOperator
+PauliOperator::operator+(const PauliOperator &other) const
+{
+    PauliOperator result = *this;
+    for (const auto &term : other.terms_)
+        result.addTerm(term.coefficient, term.string);
+    return result;
+}
+
+PauliOperator
+PauliOperator::operator*(double scale) const
+{
+    PauliOperator result = *this;
+    for (auto &term : result.terms_)
+        term.coefficient *= scale;
+    return result;
+}
+
+std::string
+PauliOperator::toString() const
+{
+    std::ostringstream os;
+    bool first = true;
+    for (const auto &term : terms_) {
+        if (!first)
+            os << " + ";
+        os << term.coefficient << "*" << term.string.toString();
+        first = false;
+    }
+    return os.str();
+}
+
+} // namespace qpulse

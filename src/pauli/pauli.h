@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Pauli-string and Pauli-sum operator algebra.
+ *
+ * Near-term algorithms (Section 8.1) are dominated by Hamiltonian
+ * simulation kernels: molecular Hamiltonians and Ising cost functions
+ * are weighted sums of Pauli strings, and their Trotterized evolution
+ * is exactly the source of the ZZ-interaction templates the compiler
+ * optimizes. This module provides the string representation, the
+ * algebra (products and commutators with phase tracking), dense matrix
+ * conversion, and expectation values.
+ */
+#ifndef QPULSE_PAULI_PAULI_H
+#define QPULSE_PAULI_PAULI_H
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace qpulse {
+
+/** Single-qubit Pauli label. */
+enum class PauliOp : unsigned char { I, X, Y, Z };
+
+/** Multiply two single-qubit Paulis; returns the result and i-power. */
+struct PauliProduct
+{
+    PauliOp op;
+    int iPower; ///< Phase as a power of i (0..3).
+};
+PauliProduct multiplyPauli(PauliOp a, PauliOp b);
+
+/**
+ * An n-qubit Pauli string such as "XZIY" (qubit 0 first).
+ */
+class PauliString
+{
+  public:
+    PauliString() = default;
+
+    /** Identity string on n qubits. */
+    explicit PauliString(std::size_t n_qubits)
+        : ops_(n_qubits, PauliOp::I)
+    {}
+
+    /** Parse from text, e.g. "XZIY". */
+    static PauliString parse(const std::string &text);
+
+    std::size_t numQubits() const { return ops_.size(); }
+
+    PauliOp op(std::size_t qubit) const { return ops_[qubit]; }
+    void setOp(std::size_t qubit, PauliOp op) { ops_[qubit] = op; }
+
+    /** Number of non-identity factors. */
+    std::size_t weight() const;
+
+    /** True if every factor is the identity. */
+    bool isIdentity() const { return weight() == 0; }
+
+    /** True if the two strings commute as operators. */
+    bool commutesWith(const PauliString &other) const;
+
+    /** Product with phase tracking: returns (string, i-power). */
+    std::pair<PauliString, int> multiply(const PauliString &other) const;
+
+    /** Dense 2^n x 2^n matrix. */
+    Matrix toMatrix() const;
+
+    /** Text form, e.g. "XZIY". */
+    std::string toString() const;
+
+    bool operator==(const PauliString &other) const
+    {
+        return ops_ == other.ops_;
+    }
+    bool operator<(const PauliString &other) const
+    {
+        return ops_ < other.ops_;
+    }
+
+  private:
+    std::vector<PauliOp> ops_;
+};
+
+/** One weighted term of a Pauli-sum operator. */
+struct PauliTerm
+{
+    double coefficient;
+    PauliString string;
+};
+
+/**
+ * A Hermitian operator expressed as a real-weighted sum of Pauli
+ * strings (the standard form of near-term Hamiltonians).
+ */
+class PauliOperator
+{
+  public:
+    PauliOperator() = default;
+    explicit PauliOperator(std::size_t n_qubits) : numQubits_(n_qubits) {}
+
+    /** Add a term, combining with an existing equal string if present. */
+    void addTerm(double coefficient, const PauliString &string);
+
+    /** Convenience: add a term from text form. */
+    void addTerm(double coefficient, const std::string &text);
+
+    std::size_t numQubits() const { return numQubits_; }
+    const std::vector<PauliTerm> &terms() const { return terms_; }
+
+    /** Drop terms with |coefficient| below the threshold. */
+    void prune(double threshold = 1e-12);
+
+    /** Dense matrix representation. */
+    Matrix toMatrix() const;
+
+    /** Real expectation value <state| O |state>. */
+    double expectation(const Vector &state) const;
+
+    /** Smallest eigenvalue (via dense eigendecomposition). */
+    double groundStateEnergy() const;
+
+    /** Sum of two operators. */
+    PauliOperator operator+(const PauliOperator &other) const;
+
+    /** Scalar multiple. */
+    PauliOperator operator*(double scale) const;
+
+    std::string toString() const;
+
+  private:
+    std::size_t numQubits_ = 0;
+    std::vector<PauliTerm> terms_;
+};
+
+} // namespace qpulse
+
+#endif // QPULSE_PAULI_PAULI_H

@@ -1,0 +1,40 @@
+#include "pulse/cmd_def.h"
+
+#include "common/logging.h"
+
+namespace qpulse {
+
+void
+CmdDef::define(GateType type, const std::vector<std::size_t> &qubits,
+               ScheduleBuilder builder)
+{
+    qpulseRequire(builder != nullptr, "CmdDef::define requires a builder");
+    builders_[{type, qubits}] = std::move(builder);
+}
+
+bool
+CmdDef::has(GateType type, const std::vector<std::size_t> &qubits) const
+{
+    return builders_.count({type, qubits}) > 0;
+}
+
+Schedule
+CmdDef::schedule(const Gate &gate) const
+{
+    const auto it = builders_.find({gate.type, gate.qubits});
+    qpulseRequire(it != builders_.end(),
+                  "no cmd_def entry for ", gate.toString());
+    return it->second(gate);
+}
+
+std::vector<std::pair<GateType, std::vector<std::size_t>>>
+CmdDef::keys() const
+{
+    std::vector<std::pair<GateType, std::vector<std::size_t>>> result;
+    result.reserve(builders_.size());
+    for (const auto &entry : builders_)
+        result.push_back(entry.first);
+    return result;
+}
+
+} // namespace qpulse

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * CmdDef: the backend's (gate, qubits) -> pulse-schedule translation
+ * table. In OpenPulse these translations are "stored in the cmd_def
+ * object, and reported by the hardware" (Section 3.1.4); the standard
+ * compiler consumes them as-is, while our optimized compiler *extracts*
+ * calibrated pulses from them (e.g. the CR(90) half inside the CNOT
+ * schedule, or the Rx(180) calibrated alongside the two-qubit gate) and
+ * registers new augmented-basis entries built by scaling/stretching.
+ */
+#ifndef QPULSE_PULSE_CMD_DEF_H
+#define QPULSE_PULSE_CMD_DEF_H
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuit/gate.h"
+#include "pulse/schedule.h"
+
+namespace qpulse {
+
+/** Builds a schedule for one gate instance (parameters come from it). */
+using ScheduleBuilder = std::function<Schedule(const Gate &)>;
+
+/**
+ * The translation table from basis-gate instances to pulse schedules.
+ */
+class CmdDef
+{
+  public:
+    /** Register a builder for (gate type, qubit tuple). */
+    void define(GateType type, const std::vector<std::size_t> &qubits,
+                ScheduleBuilder builder);
+
+    /** True when a translation exists for this gate instance. */
+    bool has(GateType type, const std::vector<std::size_t> &qubits) const;
+
+    /** Build the schedule for a gate instance; fatal if undefined. */
+    Schedule schedule(const Gate &gate) const;
+
+    /** All defined (type, qubits) keys, for introspection. */
+    std::vector<std::pair<GateType, std::vector<std::size_t>>> keys() const;
+
+  private:
+    using Key = std::pair<GateType, std::vector<std::size_t>>;
+    std::map<Key, ScheduleBuilder> builders_;
+};
+
+} // namespace qpulse
+
+#endif // QPULSE_PULSE_CMD_DEF_H

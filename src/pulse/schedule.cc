@@ -1,0 +1,274 @@
+#include "pulse/schedule.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace qpulse {
+
+std::string
+Channel::toString() const
+{
+    switch (kind) {
+      case ChannelKind::Drive:   return "d" + std::to_string(index);
+      case ChannelKind::Control: return "u" + std::to_string(index);
+      case ChannelKind::Measure: return "m" + std::to_string(index);
+      case ChannelKind::Acquire: return "a" + std::to_string(index);
+    }
+    qpulsePanic("unknown channel kind");
+}
+
+long
+Schedule::duration() const
+{
+    long latest = 0;
+    for (const auto &inst : instructions_)
+        latest = std::max(latest, inst.endTime());
+    return latest;
+}
+
+long
+Schedule::channelEndTime(const Channel &channel) const
+{
+    long latest = 0;
+    for (const auto &inst : instructions_)
+        if (inst.channel == channel)
+            latest = std::max(latest, inst.endTime());
+    return latest;
+}
+
+std::vector<Channel>
+Schedule::channels() const
+{
+    std::set<Channel> unique;
+    for (const auto &inst : instructions_)
+        unique.insert(inst.channel);
+    return {unique.begin(), unique.end()};
+}
+
+void
+Schedule::play(const Channel &channel, WaveformPtr waveform)
+{
+    playAt(channelEndTime(channel), channel, std::move(waveform));
+}
+
+void
+Schedule::playAt(long start, const Channel &channel, WaveformPtr waveform)
+{
+    qpulseRequire(waveform != nullptr, "play requires a waveform");
+    qpulseRequire(start >= 0, "play start must be >= 0");
+    PulseInstruction inst;
+    inst.kind = PulseInstructionKind::Play;
+    inst.channel = channel;
+    inst.startTime = start;
+    inst.duration = waveform->duration();
+    inst.waveform = std::move(waveform);
+    instructions_.push_back(std::move(inst));
+}
+
+void
+Schedule::shiftPhase(const Channel &channel, double phase)
+{
+    PulseInstruction inst;
+    inst.kind = PulseInstructionKind::ShiftPhase;
+    inst.channel = channel;
+    inst.startTime = channelEndTime(channel);
+    inst.phase = phase;
+    inst.duration = 0;
+    instructions_.push_back(inst);
+}
+
+void
+Schedule::shiftFrequency(const Channel &channel, double freq_ghz)
+{
+    PulseInstruction inst;
+    inst.kind = PulseInstructionKind::ShiftFrequency;
+    inst.channel = channel;
+    inst.startTime = channelEndTime(channel);
+    inst.frequencyGhz = freq_ghz;
+    inst.duration = 0;
+    instructions_.push_back(inst);
+}
+
+void
+Schedule::delay(const Channel &channel, long duration)
+{
+    qpulseRequire(duration >= 0, "delay must be >= 0");
+    PulseInstruction inst;
+    inst.kind = PulseInstructionKind::Delay;
+    inst.channel = channel;
+    inst.startTime = channelEndTime(channel);
+    inst.duration = duration;
+    instructions_.push_back(inst);
+}
+
+void
+Schedule::acquire(const Channel &channel, long duration)
+{
+    PulseInstruction inst;
+    inst.kind = PulseInstructionKind::Acquire;
+    inst.channel = channel;
+    inst.startTime = channelEndTime(channel);
+    inst.duration = duration;
+    instructions_.push_back(inst);
+}
+
+void
+Schedule::append(const Schedule &other)
+{
+    // The appended schedule shifts as a rigid block: offset = max over
+    // its channels of (our end time on that channel minus its first use
+    // of that channel) -- i.e. ASAP while preserving internal alignment.
+    long offset = 0;
+    for (const auto &channel : other.channels()) {
+        long other_first = other.duration();
+        for (const auto &inst : other.instructions_)
+            if (inst.channel == channel)
+                other_first = std::min(other_first, inst.startTime);
+        offset = std::max(offset, channelEndTime(channel) - other_first);
+    }
+    for (const auto &inst : other.instructions_) {
+        PulseInstruction copy = inst;
+        copy.startTime += offset;
+        instructions_.push_back(std::move(copy));
+    }
+}
+
+void
+Schedule::appendBarrier(const Schedule &other)
+{
+    const long offset = duration();
+    for (const auto &inst : other.instructions_) {
+        PulseInstruction copy = inst;
+        copy.startTime += offset;
+        instructions_.push_back(std::move(copy));
+    }
+}
+
+Schedule
+Schedule::shifted(long offset) const
+{
+    Schedule result(name_);
+    for (const auto &inst : instructions_) {
+        PulseInstruction copy = inst;
+        copy.startTime += offset;
+        qpulseRequire(copy.startTime >= 0,
+                      "shifted schedule has a negative start time");
+        result.instructions_.push_back(std::move(copy));
+    }
+    return result;
+}
+
+void
+Schedule::addInstruction(PulseInstruction instruction)
+{
+    qpulseRequire(instruction.startTime >= 0,
+                  "instruction start time must be >= 0");
+    instructions_.push_back(std::move(instruction));
+}
+
+std::size_t
+Schedule::playCount() const
+{
+    return static_cast<std::size_t>(std::count_if(
+        instructions_.begin(), instructions_.end(),
+        [](const PulseInstruction &inst) {
+            return inst.kind == PulseInstructionKind::Play;
+        }));
+}
+
+double
+Schedule::totalAbsArea() const
+{
+    double total = 0.0;
+    for (const auto &inst : instructions_)
+        if (inst.kind == PulseInstructionKind::Play)
+            total += inst.waveform->absArea();
+    return total;
+}
+
+std::vector<std::string>
+Schedule::validate() const
+{
+    std::vector<std::string> violations;
+
+    // Per-channel Play intervals for overlap checking.
+    std::map<Channel, std::vector<std::pair<long, long>>> intervals;
+    for (const auto &inst : instructions_) {
+        if (inst.startTime < 0)
+            violations.push_back("instruction on " +
+                                 inst.channel.toString() +
+                                 " starts before t=0");
+        if (inst.kind != PulseInstructionKind::Play)
+            continue;
+        const double peak = inst.waveform->peakAmplitude();
+        if (peak > 1.0 + 1e-9)
+            violations.push_back(
+                "pulse on " + inst.channel.toString() + " at t=" +
+                std::to_string(inst.startTime) + " exceeds |d|<=1 (" +
+                std::to_string(peak) + ")");
+        intervals[inst.channel].emplace_back(inst.startTime,
+                                             inst.endTime());
+    }
+    for (auto &entry : intervals) {
+        auto &spans = entry.second;
+        std::sort(spans.begin(), spans.end());
+        for (std::size_t i = 1; i < spans.size(); ++i)
+            if (spans[i].first < spans[i - 1].second)
+                violations.push_back(
+                    "overlapping pulses on " + entry.first.toString() +
+                    " around t=" + std::to_string(spans[i].first));
+    }
+    return violations;
+}
+
+std::string
+Schedule::render() const
+{
+    std::ostringstream os;
+    os << "schedule " << (name_.empty() ? "<anon>" : name_)
+       << " duration=" << duration() << "dt\n";
+
+    // Group instructions by channel, ordered by start time.
+    std::map<Channel, std::vector<const PulseInstruction *>> by_channel;
+    for (const auto &inst : instructions_)
+        by_channel[inst.channel].push_back(&inst);
+
+    for (auto &entry : by_channel) {
+        std::sort(entry.second.begin(), entry.second.end(),
+                  [](const PulseInstruction *a, const PulseInstruction *b) {
+                      return a->startTime < b->startTime;
+                  });
+        os << "  " << entry.first.toString() << ": ";
+        for (const auto *inst : entry.second) {
+            switch (inst->kind) {
+              case PulseInstructionKind::Play:
+                os << "[" << inst->startTime << ".." << inst->endTime()
+                   << " " << inst->waveform->name() << "] ";
+                break;
+              case PulseInstructionKind::ShiftPhase:
+                os << "[fc@" << inst->startTime << " " << inst->phase
+                   << "rad] ";
+                break;
+              case PulseInstructionKind::ShiftFrequency:
+                os << "[sf@" << inst->startTime << " "
+                   << inst->frequencyGhz << "GHz] ";
+                break;
+              case PulseInstructionKind::Delay:
+                os << "[delay " << inst->startTime << ".."
+                   << inst->endTime() << "] ";
+                break;
+              case PulseInstructionKind::Acquire:
+                os << "[acquire " << inst->startTime << ".."
+                   << inst->endTime() << "] ";
+                break;
+            }
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace qpulse

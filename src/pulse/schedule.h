@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Pulse channels, instructions, and the Schedule container — the
+ * "pulse schedule" stage of Table 1, mirroring the OpenPulse model:
+ * Play instructions of complex envelopes on drive/control channels,
+ * zero-duration ShiftPhase instructions (virtual-Z frame changes),
+ * frequency shifts, delays, and acquisition markers.
+ */
+#ifndef QPULSE_PULSE_SCHEDULE_H
+#define QPULSE_PULSE_SCHEDULE_H
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pulse/waveform.h"
+
+namespace qpulse {
+
+/** Kinds of pulse channels (OpenPulse naming). */
+enum class ChannelKind
+{
+    Drive,   ///< d{i}: resonant drive of qubit i.
+    Control, ///< u{i}: cross-resonance drive (on the control qubit's line
+             ///< at the target's frequency).
+    Measure, ///< m{i}: readout stimulus.
+    Acquire, ///< a{i}: digitiser capture.
+};
+
+/** A channel identity, e.g. d0, u1, m3. */
+struct Channel
+{
+    ChannelKind kind;
+    std::size_t index;
+
+    std::string toString() const;
+    bool operator<(const Channel &other) const
+    {
+        return kind != other.kind ? kind < other.kind
+                                  : index < other.index;
+    }
+    bool operator==(const Channel &other) const
+    {
+        return kind == other.kind && index == other.index;
+    }
+};
+
+inline Channel driveChannel(std::size_t i) {
+    return {ChannelKind::Drive, i};
+}
+inline Channel controlChannel(std::size_t i) {
+    return {ChannelKind::Control, i};
+}
+inline Channel measureChannel(std::size_t i) {
+    return {ChannelKind::Measure, i};
+}
+inline Channel acquireChannel(std::size_t i) {
+    return {ChannelKind::Acquire, i};
+}
+
+/** Instruction kinds. */
+enum class PulseInstructionKind
+{
+    Play,           ///< Emit a waveform on a channel.
+    ShiftPhase,     ///< Virtual-Z frame change (zero duration).
+    ShiftFrequency, ///< Persistent LO frequency offset.
+    Delay,          ///< Explicit idle.
+    Acquire,        ///< Readout capture window.
+};
+
+/** One scheduled instruction. */
+struct PulseInstruction
+{
+    PulseInstructionKind kind;
+    Channel channel;
+    long startTime = 0;         ///< In dt samples.
+    WaveformPtr waveform;       ///< Play only.
+    double phase = 0.0;         ///< ShiftPhase only (radians).
+    double frequencyGhz = 0.0;  ///< ShiftFrequency only.
+    long duration = 0;          ///< Play: waveform; Delay/Acquire: explicit.
+
+    long endTime() const { return startTime + duration; }
+};
+
+/**
+ * A pulse schedule: instructions with explicit start times across
+ * channels. Supports sequential (ASAP barrier-free) and parallel
+ * composition, channel filtering, and textual rendering.
+ */
+class Schedule
+{
+  public:
+    Schedule() = default;
+    explicit Schedule(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+
+    /** Total duration: max end time across instructions. */
+    long duration() const;
+
+    /** End time on one channel (0 if unused). */
+    long channelEndTime(const Channel &channel) const;
+
+    const std::vector<PulseInstruction> &instructions() const
+    {
+        return instructions_;
+    }
+
+    /** All channels referenced by the schedule. */
+    std::vector<Channel> channels() const;
+
+    /** Append a Play at the channel's current end time. */
+    void play(const Channel &channel, WaveformPtr waveform);
+
+    /** Append a Play at an explicit time. */
+    void playAt(long start, const Channel &channel, WaveformPtr waveform);
+
+    /** Zero-duration frame change at the channel's current end time. */
+    void shiftPhase(const Channel &channel, double phase);
+
+    /** Persistent frequency shift (Section 7 sideband alternative). */
+    void shiftFrequency(const Channel &channel, double freq_ghz);
+
+    /** Idle the channel for the given number of samples. */
+    void delay(const Channel &channel, long duration);
+
+    /** Acquisition window. */
+    void acquire(const Channel &channel, long duration);
+
+    /**
+     * Append another schedule ASAP per channel, preserving the relative
+     * alignment of the appended schedule's channels (they all shift by
+     * the same offset so cross-channel timing like CR echoes stays
+     * intact).
+     */
+    void append(const Schedule &other);
+
+    /**
+     * Append with a synchronisation barrier: the other schedule starts
+     * only after every channel it uses has finished.
+     */
+    void appendBarrier(const Schedule &other);
+
+    /** Shift every instruction by a constant offset. */
+    Schedule shifted(long offset) const;
+
+    /** Insert a fully-specified instruction (absolute start time). */
+    void addInstruction(PulseInstruction instruction);
+
+    /** Number of Play instructions. */
+    std::size_t playCount() const;
+
+    /** Sum of |d(t)| areas of all Play waveforms. */
+    double totalAbsArea() const;
+
+    /** ASCII rendering: one line per channel with pulse spans. */
+    std::string render() const;
+
+    /**
+     * Validate hardware constraints: every envelope respects the
+     * OpenPulse |d(t)| <= 1 bound, no two Play instructions overlap
+     * on the same channel, and no instruction starts before t = 0.
+     * @return Human-readable violation descriptions (empty = valid).
+     */
+    std::vector<std::string> validate() const;
+
+  private:
+    std::string name_;
+    std::vector<PulseInstruction> instructions_;
+};
+
+} // namespace qpulse
+
+#endif // QPULSE_PULSE_SCHEDULE_H

@@ -1,0 +1,139 @@
+#include "pulse/waveform.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace qpulse {
+
+std::vector<Complex>
+Waveform::samples() const
+{
+    std::vector<Complex> result(static_cast<std::size_t>(duration()));
+    for (long t = 0; t < duration(); ++t)
+        result[static_cast<std::size_t>(t)] = sample(t);
+    return result;
+}
+
+double
+Waveform::absArea() const
+{
+    double area = 0.0;
+    for (long t = 0; t < duration(); ++t)
+        area += std::abs(sample(t));
+    return area;
+}
+
+double
+Waveform::peakAmplitude() const
+{
+    double peak = 0.0;
+    for (long t = 0; t < duration(); ++t)
+        peak = std::max(peak, std::abs(sample(t)));
+    return peak;
+}
+
+GaussianWaveform::GaussianWaveform(long duration, double sigma, Complex amp)
+    : duration_(duration), sigma_(sigma), amp_(amp)
+{
+    qpulseRequire(duration > 0, "waveform duration must be positive");
+    qpulseRequire(sigma > 0.0, "gaussian sigma must be positive");
+}
+
+Complex
+GaussianWaveform::sample(long t) const
+{
+    const double center = static_cast<double>(duration_ - 1) / 2.0;
+    const double dt = static_cast<double>(t) - center;
+    return amp_ * std::exp(-dt * dt / (2.0 * sigma_ * sigma_));
+}
+
+DragWaveform::DragWaveform(long duration, double sigma, Complex amp,
+                           double beta)
+    : duration_(duration), sigma_(sigma), amp_(amp), beta_(beta)
+{
+    qpulseRequire(duration > 0, "waveform duration must be positive");
+    qpulseRequire(sigma > 0.0, "drag sigma must be positive");
+}
+
+Complex
+DragWaveform::sample(long t) const
+{
+    const double center = static_cast<double>(duration_ - 1) / 2.0;
+    const double dt = static_cast<double>(t) - center;
+    const double gauss = std::exp(-dt * dt / (2.0 * sigma_ * sigma_));
+    // g'(t) = -dt / sigma^2 * g(t); DRAG adds i * beta * g'(t).
+    const double derivative = -dt / (sigma_ * sigma_) * gauss;
+    return amp_ * (Complex{gauss, 0.0} + kI * beta_ * derivative);
+}
+
+GaussianSquareWaveform::GaussianSquareWaveform(long duration, double sigma,
+                                               long risefall, Complex amp)
+    : duration_(duration), sigma_(sigma), risefall_(risefall), amp_(amp)
+{
+    qpulseRequire(duration > 0, "waveform duration must be positive");
+    qpulseRequire(risefall >= 0 && 2 * risefall <= duration,
+                  "gaussian_square risefall must fit inside the duration");
+    qpulseRequire(sigma > 0.0, "gaussian_square sigma must be positive");
+}
+
+Complex
+GaussianSquareWaveform::sample(long t) const
+{
+    double envelope;
+    if (t < risefall_) {
+        const double dt = static_cast<double>(t - risefall_);
+        envelope = std::exp(-dt * dt / (2.0 * sigma_ * sigma_));
+    } else if (t >= duration_ - risefall_) {
+        const double dt =
+            static_cast<double>(t - (duration_ - risefall_ - 1));
+        envelope = std::exp(-dt * dt / (2.0 * sigma_ * sigma_));
+    } else {
+        envelope = 1.0;
+    }
+    return amp_ * envelope;
+}
+
+SampledWaveform::SampledWaveform(std::vector<Complex> samples,
+                                 std::string label)
+    : samples_(std::move(samples)), label_(std::move(label))
+{
+    qpulseRequire(!samples_.empty(), "sampled waveform must be nonempty");
+}
+
+ScaledWaveform::ScaledWaveform(WaveformPtr base, Complex scale)
+    : base_(std::move(base)), scale_(scale)
+{
+    qpulseRequire(base_ != nullptr, "scaled waveform needs a base");
+    qpulseRequire(std::abs(scale) <= 1.0 + 1e-9,
+                  "amplitude scaling must not exceed the |d(t)| <= 1 "
+                  "OpenPulse bound");
+}
+
+SidebandWaveform::SidebandWaveform(WaveformPtr base, double freq_shift_ghz)
+    : base_(std::move(base)), freqShiftGhz_(freq_shift_ghz)
+{
+    qpulseRequire(base_ != nullptr, "sideband waveform needs a base");
+}
+
+Complex
+SidebandWaveform::sample(long t) const
+{
+    const double time_ns = static_cast<double>(t) * kDtNs;
+    const double phase = -2.0 * kPi * freqShiftGhz_ * time_ns;
+    return base_->sample(t) * std::exp(Complex{0.0, phase});
+}
+
+WaveformPtr
+stretchGaussianSquare(const GaussianSquareWaveform &base, double factor)
+{
+    qpulseRequire(factor >= 0.0, "stretch factor must be >= 0");
+    const long flat = base.flatTop();
+    const long new_flat =
+        static_cast<long>(std::llround(static_cast<double>(flat) * factor));
+    const long new_duration = new_flat + 2 * base.risefall();
+    return std::make_shared<GaussianSquareWaveform>(
+        new_duration, base.sigma(), base.risefall(), base.amp());
+}
+
+} // namespace qpulse

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Parametric pulse envelopes (complex-valued sample generators).
+ *
+ * The paper's optimizations are *transformations of calibrated
+ * waveforms*: vertical amplitude scaling for DirectRx (Section 4),
+ * horizontal stretching of the flat-top of an echoed cross-resonance
+ * pulse for CR(theta) (Section 6), and sideband modulation
+ * d(t) -> d(t) e^{-i alpha t} for qudit transitions (Section 7). The
+ * Waveform hierarchy here supports exactly those transformations while
+ * keeping every envelope |d(t)| <= 1 as OpenPulse requires.
+ */
+#ifndef QPULSE_PULSE_WAVEFORM_H
+#define QPULSE_PULSE_WAVEFORM_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/constants.h"
+
+namespace qpulse {
+
+/**
+ * A complex pulse envelope defined over an integer number of AWG
+ * samples (dt ticks).
+ */
+class Waveform
+{
+  public:
+    virtual ~Waveform() = default;
+
+    /** Duration in samples. */
+    virtual long duration() const = 0;
+
+    /** Envelope value at sample index (0 <= t < duration). */
+    virtual Complex sample(long t) const = 0;
+
+    /** Short descriptive name, e.g. "drag", "gaussian_square". */
+    virtual std::string name() const = 0;
+
+    /** Materialise all samples. */
+    std::vector<Complex> samples() const;
+
+    /** Sum of |d(t)| over all samples — "area under curve" (Figure 4). */
+    double absArea() const;
+
+    /** Largest |d(t)|; OpenPulse requires this to be <= 1. */
+    double peakAmplitude() const;
+};
+
+using WaveformPtr = std::shared_ptr<const Waveform>;
+
+/** Gaussian envelope amp * exp(-(t-center)^2 / (2 sigma^2)). */
+class GaussianWaveform : public Waveform
+{
+  public:
+    GaussianWaveform(long duration, double sigma, Complex amp);
+
+    long duration() const override { return duration_; }
+    Complex sample(long t) const override;
+    std::string name() const override { return "gaussian"; }
+
+    double sigma() const { return sigma_; }
+    Complex amp() const { return amp_; }
+
+  private:
+    long duration_;
+    double sigma_;
+    Complex amp_;
+};
+
+/**
+ * DRAG envelope: Gaussian with a derivative-proportional imaginary
+ * component that cancels leakage to the second excited state
+ * (Motzoi et al.): d(t) = g(t) + i * beta * g'(t).
+ */
+class DragWaveform : public Waveform
+{
+  public:
+    DragWaveform(long duration, double sigma, Complex amp, double beta);
+
+    long duration() const override { return duration_; }
+    Complex sample(long t) const override;
+    std::string name() const override { return "drag"; }
+
+    double beta() const { return beta_; }
+    double sigma() const { return sigma_; }
+    Complex amp() const { return amp_; }
+
+  private:
+    long duration_;
+    double sigma_;
+    Complex amp_;
+    double beta_;
+};
+
+/**
+ * Flat-top pulse with Gaussian rise and fall — the shape of the
+ * cross-resonance drive. Stretching CR(theta) means stretching the
+ * flat-top width while keeping the risefall intact (Section 6.1).
+ */
+class GaussianSquareWaveform : public Waveform
+{
+  public:
+    GaussianSquareWaveform(long duration, double sigma, long risefall,
+                           Complex amp);
+
+    long duration() const override { return duration_; }
+    Complex sample(long t) const override;
+    std::string name() const override { return "gaussian_square"; }
+
+    long risefall() const { return risefall_; }
+    long flatTop() const { return duration_ - 2 * risefall_; }
+    Complex amp() const { return amp_; }
+    double sigma() const { return sigma_; }
+
+  private:
+    long duration_;
+    double sigma_;
+    long risefall_;
+    Complex amp_;
+};
+
+/** Constant envelope. */
+class ConstantWaveform : public Waveform
+{
+  public:
+    ConstantWaveform(long duration, Complex amp)
+        : duration_(duration), amp_(amp)
+    {}
+
+    long duration() const override { return duration_; }
+    Complex sample(long) const override { return amp_; }
+    std::string name() const override { return "constant"; }
+
+  private:
+    long duration_;
+    Complex amp_;
+};
+
+/** Arbitrary sample list (e.g. a reverse-engineered backend pulse). */
+class SampledWaveform : public Waveform
+{
+  public:
+    explicit SampledWaveform(std::vector<Complex> samples,
+                             std::string label = "sampled");
+
+    long duration() const override
+    {
+        return static_cast<long>(samples_.size());
+    }
+    Complex sample(long t) const override { return samples_[t]; }
+    std::string name() const override { return label_; }
+
+  private:
+    std::vector<Complex> samples_;
+    std::string label_;
+};
+
+/**
+ * Vertical amplitude scaling of a calibrated pulse: the DirectRx(theta)
+ * construction downscales the calibrated Rx(180) by theta/180deg
+ * (Section 4.2). Also applies a complex phase when needed.
+ */
+class ScaledWaveform : public Waveform
+{
+  public:
+    ScaledWaveform(WaveformPtr base, Complex scale);
+
+    long duration() const override { return base_->duration(); }
+    Complex sample(long t) const override
+    {
+        return scale_ * base_->sample(t);
+    }
+    std::string name() const override
+    {
+        return "scaled(" + base_->name() + ")";
+    }
+    Complex scale() const { return scale_; }
+
+  private:
+    WaveformPtr base_;
+    Complex scale_;
+};
+
+/**
+ * Sideband modulation d(t) -> d(t) * e^{-i 2 pi f_shift t dt}: shifts
+ * the effective local-oscillator frequency to address the f12 or
+ * f02/2 transitions of a transmon (Section 7.1, Equation 1).
+ * Frequencies are in GHz since dt is in ns.
+ */
+class SidebandWaveform : public Waveform
+{
+  public:
+    SidebandWaveform(WaveformPtr base, double freq_shift_ghz);
+
+    long duration() const override { return base_->duration(); }
+    Complex sample(long t) const override;
+    std::string name() const override
+    {
+        return "sideband(" + base_->name() + ")";
+    }
+    double freqShiftGhz() const { return freqShiftGhz_; }
+
+  private:
+    WaveformPtr base_;
+    double freqShiftGhz_;
+};
+
+/**
+ * Horizontal stretch of a GaussianSquare pulse: rescale the flat-top
+ * duration by `factor` while keeping amplitude and risefall fixed.
+ * This is how CR(theta) is bootstrapped from the calibrated CR(90)
+ * without knowing the Hamiltonian (Section 6.1).
+ */
+WaveformPtr stretchGaussianSquare(const GaussianSquareWaveform &base,
+                                  double factor);
+
+} // namespace qpulse
+
+#endif // QPULSE_PULSE_WAVEFORM_H

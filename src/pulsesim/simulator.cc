@@ -1,0 +1,326 @@
+#include "pulsesim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/constants.h"
+#include "linalg/eigen.h"
+
+namespace qpulse {
+
+PulseSimulator::PulseSimulator(TransmonModel model)
+    : model_(std::move(model))
+{
+    staticH_ = model_.staticHamiltonian();
+    for (std::size_t j = 0; j < model_.numTransmons(); ++j) {
+        const double omega =
+            2.0 * kPi * model_.qubit(j).driveStrengthGhz;
+        raising_.push_back(model_.lowering(j).adjoint() *
+                           Complex{omega / 2.0, 0.0});
+    }
+    if (model_.coupling()) {
+        const auto &coupling = *model_.coupling();
+        const double j_rad = 2.0 * kPi * coupling.strengthGhz;
+        couplingOp_ = model_.lowering(coupling.qubitA).adjoint() *
+                      model_.lowering(coupling.qubitB) *
+                      Complex{j_rad, 0.0};
+        couplingDetuning_ =
+            2.0 * kPi * (model_.qubit(coupling.qubitA).frequencyGhz -
+                         model_.qubit(coupling.qubitB).frequencyGhz);
+        hasCoupling_ = true;
+    }
+}
+
+void
+PulseSimulator::setControlChannel(std::size_t index,
+                                  const ControlChannelSpec &spec)
+{
+    qpulseRequire(spec.driveTransmon < model_.numTransmons(),
+                  "control channel drives an unknown transmon");
+    controlChannels_[index] = spec;
+}
+
+std::vector<std::vector<Complex>>
+PulseSimulator::buildDriveTimeline(const Schedule &schedule, long duration,
+                                   std::vector<double> *frame_out) const
+{
+    std::vector<std::vector<Complex>> drives(
+        model_.numTransmons(),
+        std::vector<Complex>(static_cast<std::size_t>(duration),
+                             Complex{0.0, 0.0}));
+
+    // Per-channel phase/frequency event lists.
+    struct PhaseEvent { long time; double phase; };
+    struct FreqEvent { long time; double freqGhz; };
+    std::map<Channel, std::vector<PhaseEvent>> phase_events;
+    std::map<Channel, std::vector<FreqEvent>> freq_events;
+    for (const auto &inst : schedule.instructions()) {
+        if (inst.kind == PulseInstructionKind::ShiftPhase)
+            phase_events[inst.channel].push_back(
+                {inst.startTime, inst.phase});
+        else if (inst.kind == PulseInstructionKind::ShiftFrequency)
+            freq_events[inst.channel].push_back(
+                {inst.startTime, inst.frequencyGhz});
+    }
+    for (auto &entry : phase_events)
+        std::sort(entry.second.begin(), entry.second.end(),
+                  [](const PhaseEvent &a, const PhaseEvent &b) {
+                      return a.time < b.time;
+                  });
+    for (auto &entry : freq_events)
+        std::sort(entry.second.begin(), entry.second.end(),
+                  [](const FreqEvent &a, const FreqEvent &b) {
+                      return a.time < b.time;
+                  });
+
+    auto frame_at = [&](const Channel &channel, long t) {
+        double phase = 0.0;
+        const auto it = phase_events.find(channel);
+        if (it != phase_events.end())
+            for (const auto &event : it->second)
+                if (event.time <= t)
+                    phase += event.phase;
+        const auto fit = freq_events.find(channel);
+        if (fit != freq_events.end())
+            for (const auto &event : fit->second)
+                if (event.time <= t)
+                    phase -= 2.0 * kPi * event.freqGhz *
+                             static_cast<double>(t - event.time) * kDtNs;
+        return phase;
+    };
+
+    for (const auto &inst : schedule.instructions()) {
+        if (inst.kind != PulseInstructionKind::Play)
+            continue;
+
+        std::size_t transmon;
+        double detuning = 0.0;
+        if (inst.channel.kind == ChannelKind::Drive) {
+            transmon = inst.channel.index;
+            qpulseRequire(transmon < model_.numTransmons(),
+                          "schedule drives transmon ", transmon,
+                          " outside the ", model_.numTransmons(),
+                          "-transmon model");
+        } else if (inst.channel.kind == ChannelKind::Control) {
+            const auto it = controlChannels_.find(inst.channel.index);
+            qpulseRequire(it != controlChannels_.end(),
+                          "unmapped control channel u",
+                          inst.channel.index);
+            transmon = it->second.driveTransmon;
+            detuning = it->second.detuningRadPerNs;
+        } else {
+            continue; // Measurement stimulus does not drive qubits.
+        }
+
+        for (long k = 0; k < inst.duration; ++k) {
+            const long ts = inst.startTime + k;
+            if (ts >= duration)
+                break;
+            const double t_mid =
+                (static_cast<double>(ts) + 0.5) * kDtNs;
+            // In the transmon's own rotating frame a drive at
+            // omega_drive couples through a^dag with phase
+            // e^{+i (omega_own - omega_drive) t} = e^{+i detuning t}.
+            const double frame = frame_at(inst.channel, ts);
+            const Complex value =
+                inst.waveform->sample(k) *
+                std::exp(Complex{0.0, frame + detuning * t_mid});
+            drives[transmon][static_cast<std::size_t>(ts)] += value;
+        }
+    }
+
+    if (frame_out) {
+        frame_out->assign(model_.numTransmons(), 0.0);
+        for (const auto &inst : schedule.instructions())
+            if (inst.kind == PulseInstructionKind::ShiftPhase &&
+                inst.channel.kind == ChannelKind::Drive)
+                (*frame_out)[inst.channel.index] += inst.phase;
+    }
+    return drives;
+}
+
+Matrix
+PulseSimulator::stepPropagator(double t_mid_ns,
+                               const std::vector<Complex> &drives) const
+{
+    Matrix h = staticH_;
+    bool any_drive = false;
+    for (std::size_t j = 0; j < drives.size(); ++j) {
+        if (drives[j] == Complex{0.0, 0.0})
+            continue;
+        any_drive = true;
+        const Matrix term = raising_[j] * drives[j];
+        h += term + term.adjoint();
+    }
+    if (hasCoupling_) {
+        const Complex phase =
+            std::exp(Complex{0.0, couplingDetuning_ * t_mid_ns});
+        const Matrix term = couplingOp_ * phase;
+        h += term + term.adjoint();
+    }
+    if (!any_drive && !hasCoupling_) {
+        // Diagonal fast path: free evolution under the static part.
+        std::vector<Complex> phases(model_.dim());
+        for (std::size_t idx = 0; idx < model_.dim(); ++idx)
+            phases[idx] = std::exp(
+                Complex{0.0, -staticH_(idx, idx).real() * kDtNs});
+        return Matrix::diagonal(phases);
+    }
+    return expMinusIHt(h, kDtNs);
+}
+
+UnitaryResult
+PulseSimulator::evolveUnitary(const Schedule &schedule) const
+{
+    const long duration = schedule.duration();
+    UnitaryResult result;
+    result.duration = duration;
+    std::vector<double> frames;
+    const auto drives = buildDriveTimeline(schedule, duration, &frames);
+    result.framePhase = frames;
+
+    Matrix u = Matrix::identity(model_.dim());
+    for (long ts = 0; ts < duration; ++ts) {
+        std::vector<Complex> step_drives(model_.numTransmons());
+        for (std::size_t j = 0; j < model_.numTransmons(); ++j)
+            step_drives[j] = drives[j][static_cast<std::size_t>(ts)];
+        const double t_mid = (static_cast<double>(ts) + 0.5) * kDtNs;
+        u = stepPropagator(t_mid, step_drives) * u;
+    }
+    result.unitary = std::move(u);
+    return result;
+}
+
+Matrix
+PulseSimulator::effectiveUnitary(const UnitaryResult &result) const
+{
+    // A pulse played with frame phase phi acts as
+    // exp(i phi n) U_pulse exp(-i phi n), so a schedule whose frames
+    // accumulate to phi satisfies U_raw = exp(i phi n) U_logical, i.e.
+    // the logical (compiler-intended) unitary is recovered by applying
+    // exp(-i phi n) on the left.
+    Matrix correction = Matrix::identity(model_.dim());
+    for (std::size_t j = 0; j < model_.numTransmons(); ++j) {
+        const double phi = result.framePhase[j];
+        if (phi == 0.0)
+            continue;
+        std::vector<Complex> phases(model_.dim());
+        const Matrix n = model_.number(j);
+        for (std::size_t idx = 0; idx < model_.dim(); ++idx)
+            phases[idx] =
+                std::exp(Complex{0.0, -phi * n(idx, idx).real()});
+        correction = Matrix::diagonal(phases) * correction;
+    }
+    return correction * result.unitary;
+}
+
+Vector
+PulseSimulator::evolveState(const Schedule &schedule,
+                            const Vector &initial) const
+{
+    qpulseRequire(initial.size() == model_.dim(),
+                  "evolveState dimension mismatch");
+    const long duration = schedule.duration();
+    const auto drives = buildDriveTimeline(schedule, duration, nullptr);
+
+    Vector state = initial;
+    for (long ts = 0; ts < duration; ++ts) {
+        std::vector<Complex> step_drives(model_.numTransmons());
+        for (std::size_t j = 0; j < model_.numTransmons(); ++j)
+            step_drives[j] = drives[j][static_cast<std::size_t>(ts)];
+        const double t_mid = (static_cast<double>(ts) + 0.5) * kDtNs;
+        state = stepPropagator(t_mid, step_drives).apply(state);
+    }
+    return state;
+}
+
+Matrix
+PulseSimulator::evolveLindblad(const Schedule &schedule,
+                               const Matrix &rho0) const
+{
+    qpulseRequire(rho0.rows() == model_.dim() &&
+                      rho0.cols() == model_.dim(),
+                  "evolveLindblad dimension mismatch");
+    const long duration = schedule.duration();
+    const auto drives = buildDriveTimeline(schedule, duration, nullptr);
+
+    // Precompute per-transmon decay rates (per ns).
+    std::vector<double> gamma1(model_.numTransmons());
+    std::vector<double> gamma_phi(model_.numTransmons());
+    for (std::size_t j = 0; j < model_.numTransmons(); ++j) {
+        const auto &params = model_.qubit(j);
+        const double t1_ns = params.t1Us * 1000.0;
+        const double t2_ns = params.t2Us * 1000.0;
+        gamma1[j] = 1.0 / t1_ns;
+        gamma_phi[j] = std::max(0.0, 1.0 / t2_ns - 0.5 / t1_ns);
+    }
+
+    // Decompose a full-space index into per-transmon levels.
+    const std::size_t levels = model_.levels();
+    auto level_of = [&](std::size_t index, std::size_t j) {
+        std::size_t divisor = 1;
+        for (std::size_t k = model_.numTransmons(); k-- > j + 1;)
+            divisor *= levels;
+        return (index / divisor) % levels;
+    };
+
+    Matrix rho = rho0;
+    const std::size_t dim = model_.dim();
+    for (long ts = 0; ts < duration; ++ts) {
+        std::vector<Complex> step_drives(model_.numTransmons());
+        for (std::size_t j = 0; j < model_.numTransmons(); ++j)
+            step_drives[j] = drives[j][static_cast<std::size_t>(ts)];
+        const double t_mid = (static_cast<double>(ts) + 0.5) * kDtNs;
+        const Matrix u = stepPropagator(t_mid, step_drives);
+        rho = u * rho * u.adjoint();
+
+        // Operator-split decoherence for one dt.
+        for (std::size_t j = 0; j < model_.numTransmons(); ++j) {
+            const double g1 = gamma1[j] * kDtNs;
+            const double gp = gamma_phi[j] * kDtNs;
+            // Coherence decay.
+            for (std::size_t r = 0; r < dim; ++r) {
+                const double nr =
+                    static_cast<double>(level_of(r, j));
+                for (std::size_t c = 0; c < dim; ++c) {
+                    const double nc =
+                        static_cast<double>(level_of(c, j));
+                    const double relax = g1 * (nr + nc) / 2.0;
+                    const double diff = nr - nc;
+                    const double dephase = gp * diff * diff;
+                    rho(r, c) *= std::exp(-(relax + dephase));
+                }
+            }
+            // Population transfer n -> n-1. The diagonal decay above
+            // removed a factor exp(-n g1 dt) from rho(r,r); move
+            // exactly that probability to the level below so the
+            // trace is preserved to machine precision.
+            for (std::size_t r = 0; r < dim; ++r) {
+                const std::size_t n = level_of(r, j);
+                if (n == 0)
+                    continue;
+                // Index with transmon j one level lower.
+                std::size_t divisor = 1;
+                for (std::size_t k = model_.numTransmons(); k-- > j + 1;)
+                    divisor *= levels;
+                const std::size_t lower = r - divisor;
+                const double transfer =
+                    std::expm1(static_cast<double>(n) * g1) *
+                    rho(r, r).real();
+                rho(lower, lower) += Complex{transfer, 0.0};
+            }
+        }
+    }
+    return rho;
+}
+
+std::vector<double>
+PulseSimulator::populations(const Vector &state) const
+{
+    std::vector<double> pops(state.size());
+    for (std::size_t i = 0; i < state.size(); ++i)
+        pops[i] = std::norm(state[i]);
+    return pops;
+}
+
+} // namespace qpulse

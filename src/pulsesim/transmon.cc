@@ -1,0 +1,149 @@
+#include "pulsesim/transmon.h"
+
+#include <cmath>
+
+#include "common/constants.h"
+
+namespace qpulse {
+
+TransmonModel
+TransmonModel::single(const TransmonParams &params, std::size_t levels)
+{
+    TransmonModel model;
+    model.params_ = {params};
+    model.levels_ = levels;
+    return model;
+}
+
+TransmonModel
+TransmonModel::pair(const TransmonParams &a, const TransmonParams &b,
+                    const CouplingParams &coupling, std::size_t levels)
+{
+    TransmonModel model;
+    model.params_ = {a, b};
+    model.coupling_ = coupling;
+    model.levels_ = levels;
+    return model;
+}
+
+std::size_t
+TransmonModel::dim() const
+{
+    std::size_t d = 1;
+    for (std::size_t j = 0; j < params_.size(); ++j)
+        d *= levels_;
+    return d;
+}
+
+namespace {
+
+Matrix
+singleLowering(std::size_t levels)
+{
+    Matrix a(levels, levels);
+    for (std::size_t n = 1; n < levels; ++n)
+        a(n - 1, n) = std::sqrt(static_cast<double>(n));
+    return a;
+}
+
+Matrix
+singleNumber(std::size_t levels)
+{
+    Matrix n(levels, levels);
+    for (std::size_t k = 0; k < levels; ++k)
+        n(k, k) = static_cast<double>(k);
+    return n;
+}
+
+} // namespace
+
+Matrix
+TransmonModel::lowering(std::size_t j) const
+{
+    qpulseRequire(j < params_.size(), "lowering: transmon out of range");
+    std::vector<Matrix> factors;
+    for (std::size_t k = 0; k < params_.size(); ++k)
+        factors.push_back(k == j ? singleLowering(levels_)
+                                 : Matrix::identity(levels_));
+    return kronAll(factors);
+}
+
+Matrix
+TransmonModel::number(std::size_t j) const
+{
+    qpulseRequire(j < params_.size(), "number: transmon out of range");
+    std::vector<Matrix> factors;
+    for (std::size_t k = 0; k < params_.size(); ++k)
+        factors.push_back(k == j ? singleNumber(levels_)
+                                 : Matrix::identity(levels_));
+    return kronAll(factors);
+}
+
+Matrix
+TransmonModel::staticHamiltonian() const
+{
+    Matrix h(dim(), dim());
+    for (std::size_t j = 0; j < params_.size(); ++j) {
+        const double alpha = 2.0 * kPi * params_[j].anharmonicityGhz;
+        const Matrix n = number(j);
+        // (alpha / 2) n (n - 1): diagonal, so compute directly.
+        for (std::size_t idx = 0; idx < dim(); ++idx) {
+            const double pop = n(idx, idx).real();
+            h(idx, idx) += Complex{alpha / 2.0 * pop * (pop - 1.0), 0.0};
+        }
+    }
+    return h;
+}
+
+Matrix
+TransmonModel::hamiltonian(double t_ns, const std::vector<Complex> &drives,
+                           const std::vector<double> &detunings) const
+{
+    qpulseRequire(drives.size() == params_.size() &&
+                      detunings.size() == params_.size(),
+                  "hamiltonian: one drive/detuning per transmon required");
+
+    Matrix h = staticHamiltonian();
+    for (std::size_t j = 0; j < params_.size(); ++j) {
+        if (drives[j] == Complex{0.0, 0.0})
+            continue;
+        const double omega = 2.0 * kPi * params_[j].driveStrengthGhz;
+        // Drive detuned by `detunings[j]` from this transmon's frame
+        // rotates as e^{-i detuning t}.
+        const Complex d =
+            drives[j] * std::exp(Complex{0.0, -detunings[j] * t_ns});
+        const Matrix a = lowering(j);
+        const Matrix term =
+            a.adjoint() * (d * Complex{omega / 2.0, 0.0}) +
+            a * (std::conj(d) * Complex{omega / 2.0, 0.0});
+        h += term;
+    }
+
+    if (coupling_) {
+        const double j_rad = 2.0 * kPi * coupling_->strengthGhz;
+        const double delta =
+            2.0 * kPi * (params_[coupling_->qubitA].frequencyGhz -
+                         params_[coupling_->qubitB].frequencyGhz);
+        const Complex phase = std::exp(Complex{0.0, delta * t_ns});
+        const Matrix term =
+            lowering(coupling_->qubitA).adjoint() *
+            lowering(coupling_->qubitB) * (phase * Complex{j_rad, 0.0});
+        h += term + term.adjoint();
+    }
+    return h;
+}
+
+std::size_t
+TransmonModel::basisIndex(const std::vector<std::size_t> &levels) const
+{
+    qpulseRequire(levels.size() == params_.size(),
+                  "basisIndex arity mismatch");
+    std::size_t index = 0;
+    for (std::size_t level : levels) {
+        qpulseRequire(level < levels_, "basisIndex level out of range");
+        index = index * levels_ + level;
+    }
+    return index;
+}
+
+} // namespace qpulse

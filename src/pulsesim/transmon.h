@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Physical model of one or two coupled transmons — the stand-in for
+ * IBM's Almaden/Armonk hardware (see DESIGN.md, substitution table).
+ *
+ * Each transmon is a d-level Duffing oscillator in the frame rotating
+ * at its own drive local-oscillator frequency f01:
+ *
+ *   H_j / hbar = (alpha_j / 2) n_j (n_j - 1)
+ *              + (Omega_j / 2) (d_j(t) a_j^dag + d_j(t)^* a_j),
+ *
+ * with an exchange coupling J (a_0^dag a_1 e^{i Delta t} + h.c.)
+ * between neighbouring transmons (Delta = omega_0 - omega_1 is the
+ * qubit-qubit detuning, which makes the coupling oscillate in the
+ * doubly-rotating frame). Cross-resonance arises physically: driving
+ * the control transmon at the *target's* frequency (a ControlChannel)
+ * produces the effective ZX interaction the paper's CR(theta) gates
+ * are built from.
+ *
+ * All frequencies are stored in GHz; internal evolution uses angular
+ * rad/ns (omega = 2 pi f since 1 GHz * 1 ns = 1).
+ */
+#ifndef QPULSE_PULSESIM_TRANSMON_H
+#define QPULSE_PULSESIM_TRANSMON_H
+
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace qpulse {
+
+/** Parameters of a single transmon. */
+struct TransmonParams
+{
+    double frequencyGhz = 5.0;       ///< f01 (Figure 11: ~5 GHz).
+    double anharmonicityGhz = -0.30; ///< alpha / 2 pi (~ -300 MHz).
+    double driveStrengthGhz = 0.25;  ///< Rabi rate per unit |d(t)|.
+    double t1Us = 94.0;              ///< Relaxation time (Almaden mean).
+    double t2Us = 88.0;              ///< Dephasing time (Almaden mean).
+};
+
+/** Exchange coupling between two transmons. */
+struct CouplingParams
+{
+    std::size_t qubitA = 0;
+    std::size_t qubitB = 1;
+    double strengthGhz = 0.0035; ///< J / 2 pi (a few MHz, IBM-typical).
+};
+
+/**
+ * One- or two-transmon system model with d levels per transmon.
+ */
+class TransmonModel
+{
+  public:
+    /** Single transmon with the given level count. */
+    static TransmonModel single(const TransmonParams &params,
+                                std::size_t levels = 3);
+
+    /** Two coupled transmons. */
+    static TransmonModel pair(const TransmonParams &a,
+                              const TransmonParams &b,
+                              const CouplingParams &coupling,
+                              std::size_t levels = 3);
+
+    std::size_t numTransmons() const { return params_.size(); }
+    std::size_t levels() const { return levels_; }
+    std::size_t dim() const;
+
+    const TransmonParams &qubit(std::size_t j) const { return params_[j]; }
+    const std::optional<CouplingParams> &coupling() const
+    {
+        return coupling_;
+    }
+
+    /** Lowering operator of transmon j embedded in the full space. */
+    Matrix lowering(std::size_t j) const;
+
+    /** Number operator of transmon j embedded in the full space. */
+    Matrix number(std::size_t j) const;
+
+    /** Static (drive-off) Hamiltonian in rad/ns, excluding coupling. */
+    Matrix staticHamiltonian() const;
+
+    /**
+     * Full Hamiltonian at time t (ns) given the complex drive value on
+     * each transmon's drive line and each drive's detuning from the
+     * transmon's own frame (rad/ns). The detuning appears as a phase
+     * e^{-i detuning t} on the drive and the coupling rotates at the
+     * qubit-qubit detuning.
+     */
+    Matrix hamiltonian(double t_ns, const std::vector<Complex> &drives,
+                       const std::vector<double> &detunings) const;
+
+    /**
+     * Index of the computational-basis state |n0 n1 ...> in the full
+     * Hilbert space.
+     */
+    std::size_t basisIndex(const std::vector<std::size_t> &levels) const;
+
+  private:
+    std::vector<TransmonParams> params_;
+    std::optional<CouplingParams> coupling_;
+    std::size_t levels_ = 3;
+};
+
+} // namespace qpulse
+
+#endif // QPULSE_PULSESIM_TRANSMON_H

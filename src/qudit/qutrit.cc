@@ -1,0 +1,174 @@
+#include "qudit/qutrit.h"
+
+#include "common/constants.h"
+
+namespace qpulse {
+
+namespace qutrit {
+
+Matrix
+x01()
+{
+    return Matrix{{0, Complex{0, -1}, 0},
+                  {Complex{0, -1}, 0, 0},
+                  {0, 0, 1}};
+}
+
+Matrix
+x12()
+{
+    return Matrix{{1, 0, 0},
+                  {0, 0, Complex{0, -1}},
+                  {0, Complex{0, -1}, 0}};
+}
+
+Matrix
+x02()
+{
+    return Matrix{{0, 0, Complex{0, -1}},
+                  {0, 1, 0},
+                  {Complex{0, -1}, 0, 0}};
+}
+
+Matrix
+increment()
+{
+    return Matrix{{0, 0, 1}, {1, 0, 0}, {0, 1, 0}};
+}
+
+Matrix
+cycle()
+{
+    return x02() * x12() * x01();
+}
+
+} // namespace qutrit
+
+QutritRig::QutritRig(const BackendConfig &config,
+                     std::uint64_t readout_seed)
+    : config_(config),
+      calibration_([&] {
+          Calibrator calibrator(config);
+          QubitCalibration cal = calibrator.calibrateQubit(0);
+          calibrator.calibrateQutrit(0, cal);
+          return cal;
+      }()),
+      simulator_(TransmonModel::single(config.qubits[0], 3)),
+      readout_(IqReadoutModel::qutritDefault())
+{
+    // Train the LDA discriminator on labelled calibration shots.
+    Rng rng(readout_seed);
+    std::vector<IqPoint> points;
+    std::vector<std::size_t> labels;
+    for (std::size_t level = 0; level < 3; ++level)
+        for (int k = 0; k < 1500; ++k) {
+            points.push_back(readout_.sampleShot(level, rng));
+            labels.push_back(level);
+        }
+    discriminator_.fit(points, labels);
+}
+
+Schedule
+QutritRig::hopSchedule(int phase) const
+{
+    const double alpha = config_.qubits[0].anharmonicityGhz;
+    Schedule schedule("hop");
+    switch (((phase % 3) + 3) % 3) {
+      case 0:
+        schedule.play(driveChannel(0), calibration_.x180Pulse());
+        break;
+      case 1:
+        schedule.play(driveChannel(0),
+                      std::make_shared<SidebandWaveform>(
+                          std::make_shared<GaussianWaveform>(
+                              calibration_.qutritDuration,
+                              calibration_.sigma,
+                              Complex{calibration_.x12Amp, 0.0}),
+                          alpha));
+        break;
+      default:
+        schedule.play(driveChannel(0),
+                      std::make_shared<SidebandWaveform>(
+                          std::make_shared<GaussianWaveform>(
+                              calibration_.qutritDuration,
+                              calibration_.sigma,
+                              Complex{calibration_.x02Amp, 0.0}),
+                          alpha / 2.0));
+        break;
+    }
+    return schedule;
+}
+
+Schedule
+QutritRig::cycleSchedule() const
+{
+    Schedule total("cycle");
+    for (int hop = 0; hop < 3; ++hop)
+        total.appendBarrier(hopSchedule(hop));
+    return total;
+}
+
+Schedule
+QutritRig::counterSchedule(int count) const
+{
+    Schedule total("counter");
+    const Schedule one = cycleSchedule();
+    for (int k = 0; k < count; ++k)
+        total.appendBarrier(one);
+    return total;
+}
+
+std::vector<double>
+QutritRig::runCounter(int cycles) const
+{
+    Matrix rho(3, 3);
+    rho(0, 0) = Complex{1.0, 0.0};
+    const Schedule one = cycleSchedule();
+    for (int cycle = 0; cycle < cycles; ++cycle)
+        rho = simulator_.evolveLindblad(one, rho);
+    return {rho(0, 0).real(), rho(1, 1).real(), rho(2, 2).real()};
+}
+
+std::vector<double>
+QutritRig::runParityAccumulator(const std::vector<bool> &bits) const
+{
+    Matrix rho(3, 3);
+    rho(0, 0) = Complex{1.0, 0.0};
+    const long hop_duration = hopSchedule(0).duration();
+    int count = 0;
+    for (bool bit : bits) {
+        if (bit) {
+            rho = simulator_.evolveLindblad(hopSchedule(count % 3),
+                                            rho);
+            ++count;
+        } else {
+            // A zero bit idles for the same wall-clock time.
+            Schedule idle("idle");
+            idle.delay(driveChannel(0), hop_duration);
+            rho = simulator_.evolveLindblad(idle, rho);
+        }
+    }
+    return {rho(0, 0).real(), rho(1, 1).real(), rho(2, 2).real()};
+}
+
+std::vector<long>
+QutritRig::classifyShots(const std::vector<double> &populations,
+                         long shots, Rng &rng) const
+{
+    std::vector<long> counts(3, 0);
+    for (long shot = 0; shot < shots; ++shot)
+        ++counts[discriminator_.predict(
+            readout_.sampleShot(populations, rng))];
+    return counts;
+}
+
+double
+QutritRig::leakageProbability(const std::vector<double> &populations,
+                              long shots, Rng &rng) const
+{
+    const std::vector<long> counts =
+        classifyShots(populations, shots, rng);
+    return static_cast<double>(counts[2]) / static_cast<double>(shots);
+}
+
+} // namespace qpulse

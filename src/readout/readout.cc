@@ -1,0 +1,195 @@
+#include "readout/readout.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "linalg/eigen.h"
+
+namespace qpulse {
+
+IqReadoutModel::IqReadoutModel(std::vector<IqPoint> centroids, double sigma)
+    : centroids_(std::move(centroids)), sigma_(sigma)
+{
+    qpulseRequire(centroids_.size() >= 2,
+                  "IqReadoutModel needs >= 2 levels");
+    qpulseRequire(sigma > 0.0, "IqReadoutModel sigma must be positive");
+}
+
+IqReadoutModel
+IqReadoutModel::qutritDefault()
+{
+    // Centroids roughly matching the separation visible in Figure 11's
+    // IQ panel (arbitrary units; what matters is separation / sigma).
+    return IqReadoutModel({{0.0, 0.0}, {3.2, 0.6}, {1.8, 2.9}}, 1.0);
+}
+
+IqPoint
+IqReadoutModel::sampleShot(std::size_t level, Rng &rng) const
+{
+    qpulseRequire(level < centroids_.size(),
+                  "sampleShot level out of range");
+    return IqPoint{rng.gaussian(centroids_[level].i, sigma_),
+                   rng.gaussian(centroids_[level].q, sigma_)};
+}
+
+IqPoint
+IqReadoutModel::sampleShot(const std::vector<double> &populations,
+                           Rng &rng) const
+{
+    qpulseRequire(populations.size() == centroids_.size(),
+                  "sampleShot populations arity mismatch");
+    return sampleShot(rng.discrete(populations), rng);
+}
+
+void
+LdaClassifier::fit(const std::vector<IqPoint> &points,
+                   const std::vector<std::size_t> &labels)
+{
+    qpulseRequire(points.size() == labels.size() && !points.empty(),
+                  "LdaClassifier::fit data mismatch");
+    const std::size_t n_classes =
+        1 + *std::max_element(labels.begin(), labels.end());
+
+    means_.assign(n_classes, IqPoint{});
+    priors_.assign(n_classes, 0.0);
+    std::vector<std::size_t> counts(n_classes, 0);
+    for (std::size_t k = 0; k < points.size(); ++k) {
+        means_[labels[k]].i += points[k].i;
+        means_[labels[k]].q += points[k].q;
+        ++counts[labels[k]];
+    }
+    for (std::size_t c = 0; c < n_classes; ++c) {
+        qpulseRequire(counts[c] > 0, "LDA class ", c,
+                      " has no training points");
+        means_[c].i /= static_cast<double>(counts[c]);
+        means_[c].q /= static_cast<double>(counts[c]);
+        priors_[c] = static_cast<double>(counts[c]) /
+                     static_cast<double>(points.size());
+    }
+
+    // Pooled within-class covariance.
+    double sxx = 0.0, sxy = 0.0, syy = 0.0;
+    for (std::size_t k = 0; k < points.size(); ++k) {
+        const double dx = points[k].i - means_[labels[k]].i;
+        const double dy = points[k].q - means_[labels[k]].q;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    const double denom =
+        static_cast<double>(points.size() - n_classes);
+    sxx /= denom;
+    sxy /= denom;
+    syy /= denom;
+    const double det = sxx * syy - sxy * sxy;
+    qpulseRequire(std::abs(det) > 1e-300, "LDA covariance is singular");
+    covInv_ = {syy / det, -sxy / det, -sxy / det, sxx / det};
+    fitted_ = true;
+}
+
+std::vector<double>
+LdaClassifier::decisionFunction(const IqPoint &point) const
+{
+    qpulseRequire(fitted_, "LdaClassifier used before fit");
+    std::vector<double> scores(means_.size());
+    for (std::size_t c = 0; c < means_.size(); ++c) {
+        // Linear discriminant: x^T S^-1 mu - mu^T S^-1 mu / 2 + log pi.
+        const double mi = means_[c].i, mq = means_[c].q;
+        const double wi = covInv_[0] * mi + covInv_[1] * mq;
+        const double wq = covInv_[2] * mi + covInv_[3] * mq;
+        scores[c] = point.i * wi + point.q * wq -
+                    0.5 * (mi * wi + mq * wq) + std::log(priors_[c]);
+    }
+    return scores;
+}
+
+std::size_t
+LdaClassifier::predict(const IqPoint &point) const
+{
+    const std::vector<double> scores = decisionFunction(point);
+    return static_cast<std::size_t>(
+        std::max_element(scores.begin(), scores.end()) - scores.begin());
+}
+
+double
+LdaClassifier::trainingAccuracy(
+    const std::vector<IqPoint> &points,
+    const std::vector<std::size_t> &labels) const
+{
+    qpulseRequire(points.size() == labels.size() && !points.empty(),
+                  "trainingAccuracy data mismatch");
+    std::size_t correct = 0;
+    for (std::size_t k = 0; k < points.size(); ++k)
+        if (predict(points[k]) == labels[k])
+            ++correct;
+    return static_cast<double>(correct) /
+           static_cast<double>(points.size());
+}
+
+MeasurementMitigator::MeasurementMitigator(
+    std::vector<std::vector<double>> confusion)
+    : confusion_(std::move(confusion))
+{
+    const std::size_t n = confusion_.size();
+    qpulseRequire(n > 0, "empty confusion matrix");
+    for (const auto &row : confusion_)
+        qpulseRequire(row.size() == n, "confusion matrix must be square");
+    for (std::size_t col = 0; col < n; ++col) {
+        double sum = 0.0;
+        for (std::size_t row = 0; row < n; ++row)
+            sum += confusion_[row][col];
+        qpulseRequire(std::abs(sum - 1.0) < 1e-6,
+                      "confusion matrix column ", col,
+                      " does not sum to 1");
+    }
+}
+
+MeasurementMitigator
+MeasurementMitigator::forQubits(
+    const std::vector<std::pair<double, double>> &flip_probs)
+{
+    const std::size_t n_qubits = flip_probs.size();
+    const std::size_t dim = std::size_t{1} << n_qubits;
+    std::vector<std::vector<double>> a(dim, std::vector<double>(dim, 1.0));
+    for (std::size_t measured = 0; measured < dim; ++measured) {
+        for (std::size_t prepared = 0; prepared < dim; ++prepared) {
+            double p = 1.0;
+            for (std::size_t q = 0; q < n_qubits; ++q) {
+                const std::size_t shift = n_qubits - 1 - q;
+                const bool bit_prep = (prepared >> shift) & 1;
+                const bool bit_meas = (measured >> shift) & 1;
+                const double p01 = flip_probs[q].first;  // 0 -> 1
+                const double p10 = flip_probs[q].second; // 1 -> 0
+                if (bit_prep)
+                    p *= bit_meas ? 1.0 - p10 : p10;
+                else
+                    p *= bit_meas ? p01 : 1.0 - p01;
+            }
+            a[measured][prepared] = p;
+        }
+    }
+    return MeasurementMitigator(std::move(a));
+}
+
+std::vector<double>
+MeasurementMitigator::mitigate(const std::vector<double> &measured) const
+{
+    const std::size_t n = confusion_.size();
+    qpulseRequire(measured.size() == n, "mitigate size mismatch");
+    std::vector<double> solution =
+        solveLinearReal(confusion_, measured);
+    // Project onto the probability simplex: clip negatives and
+    // renormalise (the standard post-processing step).
+    double total = 0.0;
+    for (auto &p : solution) {
+        p = std::max(p, 0.0);
+        total += p;
+    }
+    qpulseRequire(total > 0.0, "mitigated distribution vanished");
+    for (auto &p : solution)
+        p /= total;
+    return solution;
+}
+
+} // namespace qpulse

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Readout chain: dispersive IQ-plane response, linear-discriminant
+ * state classification, and measurement-error mitigation.
+ *
+ * Section 7.2 trains an sklearn LinearDiscriminantAnalysis classifier
+ * on the readout resonator's IQ values for the calibrated qutrit
+ * |0>, |1>, |2> states (Figure 11, left panel); we implement the same
+ * pipeline: each level produces a Gaussian cloud around its dispersive
+ * IQ centroid, an LDA classifier is trained on labelled calibration
+ * shots, and experiment shots are classified per shot. Section 2.4's
+ * measurement-error mitigation (confusion-matrix inversion with a
+ * least-squares non-negative correction) is also provided.
+ */
+#ifndef QPULSE_READOUT_READOUT_H
+#define QPULSE_READOUT_READOUT_H
+
+#include <array>
+#include <vector>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace qpulse {
+
+/** A single readout shot in the IQ plane. */
+struct IqPoint
+{
+    double i = 0.0;
+    double q = 0.0;
+};
+
+/**
+ * Dispersive readout model: each transmon level shifts the resonator
+ * response to a distinct IQ centroid; shot noise makes each
+ * measurement a Gaussian sample around the centroid.
+ */
+class IqReadoutModel
+{
+  public:
+    /**
+     * @param centroids Per-level IQ centroids (size = level count).
+     * @param sigma     Gaussian cloud radius (same for all levels).
+     */
+    IqReadoutModel(std::vector<IqPoint> centroids, double sigma);
+
+    /** Default 3-level model with well-separated clouds. */
+    static IqReadoutModel qutritDefault();
+
+    std::size_t levels() const { return centroids_.size(); }
+    const std::vector<IqPoint> &centroids() const { return centroids_; }
+    double sigma() const { return sigma_; }
+
+    /** One shot given the true level. */
+    IqPoint sampleShot(std::size_t level, Rng &rng) const;
+
+    /** One shot given level populations (samples the level first). */
+    IqPoint sampleShot(const std::vector<double> &populations,
+                       Rng &rng) const;
+
+  private:
+    std::vector<IqPoint> centroids_;
+    double sigma_;
+};
+
+/**
+ * Linear Discriminant Analysis classifier over IQ points (the same
+ * estimator sklearn's LinearDiscriminantAnalysis fits: shared
+ * covariance, per-class means, linear decision functions).
+ */
+class LdaClassifier
+{
+  public:
+    /**
+     * Fit from labelled training data.
+     *
+     * @param points Training shots.
+     * @param labels Class label per shot (0-based, contiguous).
+     */
+    void fit(const std::vector<IqPoint> &points,
+             const std::vector<std::size_t> &labels);
+
+    /** Number of classes seen at fit time. */
+    std::size_t classCount() const { return means_.size(); }
+
+    /** Predict the class of one point. */
+    std::size_t predict(const IqPoint &point) const;
+
+    /** Per-class linear scores (higher = more likely). */
+    std::vector<double> decisionFunction(const IqPoint &point) const;
+
+    /** Fraction of training points classified correctly. */
+    double trainingAccuracy(const std::vector<IqPoint> &points,
+                            const std::vector<std::size_t> &labels) const;
+
+  private:
+    std::vector<IqPoint> means_;
+    std::vector<double> priors_;
+    // Inverse of the shared 2x2 covariance.
+    std::array<double, 4> covInv_{};
+    bool fitted_ = false;
+};
+
+/**
+ * Measurement-error mitigation via confusion-matrix inversion
+ * (Section 2.4): A * p_true = p_measured, solved by least squares and
+ * projected back onto the probability simplex.
+ */
+class MeasurementMitigator
+{
+  public:
+    /** Build from a column-stochastic confusion matrix
+     *  A[measured][prepared]. */
+    explicit MeasurementMitigator(
+        std::vector<std::vector<double>> confusion);
+
+    /**
+     * Build the 2^n confusion matrix from independent per-qubit flip
+     * probabilities.
+     */
+    static MeasurementMitigator forQubits(
+        const std::vector<std::pair<double, double>> &flip_probs);
+
+    /** Mitigate a measured distribution. */
+    std::vector<double> mitigate(const std::vector<double> &measured) const;
+
+  private:
+    std::vector<std::vector<double>> confusion_;
+};
+
+} // namespace qpulse
+
+#endif // QPULSE_READOUT_READOUT_H

@@ -1,0 +1,111 @@
+#include "synth/euler.h"
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "linalg/gates.h"
+
+namespace qpulse {
+
+double
+wrapAngle(double angle)
+{
+    while (angle > kPi)
+        angle -= 2.0 * kPi;
+    while (angle <= -kPi)
+        angle += 2.0 * kPi;
+    return angle;
+}
+
+bool
+angleIsZero(double angle, double tol)
+{
+    return std::abs(wrapAngle(angle)) < tol;
+}
+
+U3Angles
+u3FromUnitary(const Matrix &u)
+{
+    qpulseRequire(u.rows() == 2 && u.cols() == 2,
+                  "u3FromUnitary requires a 2x2 matrix");
+    qpulseRequire(u.isUnitary(1e-8),
+                  "u3FromUnitary requires a unitary matrix");
+
+    // Remove the global phase: det(U3) = e^{i(phi+lambda)} with
+    // |u00| = cos(theta/2). Choose the phase so u00 becomes real >= 0.
+    const Complex u00 = u(0, 0);
+    const Complex u10 = u(1, 0);
+
+    U3Angles angles{};
+    angles.theta = 2.0 * std::atan2(std::abs(u10), std::abs(u00));
+
+    // Phase conventions: U3(t,p,l) has
+    //   u00 = cos(t/2), u10 = e^{ip} sin(t/2),
+    //   u01 = -e^{il} sin(t/2), u11 = e^{i(p+l)} cos(t/2).
+    const double abs_u00 = std::abs(u00);
+    const double abs_u10 = std::abs(u10);
+
+    double global = 0.0;
+    if (abs_u00 > 1e-12) {
+        global = std::arg(u00);
+    } else {
+        // theta = pi: u00 unusable; fix global phase via u10 and set
+        // phi = 0 by convention (phase folds into lambda).
+        global = std::arg(u10);
+    }
+
+    if (abs_u00 > 1e-12 && abs_u10 > 1e-12) {
+        angles.phi = std::arg(u(1, 0)) - global;
+        angles.lambda = std::arg(-u(0, 1)) - global;
+    } else if (abs_u00 > 1e-12) {
+        // theta = 0: only phi + lambda matters; put it all in lambda.
+        angles.phi = 0.0;
+        angles.lambda = std::arg(u(1, 1)) - global;
+    } else {
+        // theta = pi: only phi - lambda matters; put it all in lambda.
+        angles.phi = 0.0;
+        angles.lambda = std::arg(-u(0, 1)) - global;
+    }
+    angles.phi = wrapAngle(angles.phi);
+    angles.lambda = wrapAngle(angles.lambda);
+    angles.globalPhase = global;
+    return angles;
+}
+
+std::vector<Gate>
+lowerU3Standard(const U3Angles &angles, std::size_t wire)
+{
+    // Equation 2 (right-to-left):
+    //   U3 = Rz(phi+90deg+90deg?) ... we use the exact identity
+    //   U3(t,p,l) = Rz(p+pi) Rx(pi/2) Rz(t+pi) Rx(pi/2) Rz(l)
+    // which holds up to global phase. Program order is reversed.
+    std::vector<Gate> sequence;
+    sequence.push_back(makeGate(GateType::Rz, {wire}, {angles.lambda}));
+    sequence.push_back(makeGate(GateType::X90, {wire}));
+    sequence.push_back(
+        makeGate(GateType::Rz, {wire}, {wrapAngle(angles.theta + kPi)}));
+    sequence.push_back(makeGate(GateType::X90, {wire}));
+    sequence.push_back(
+        makeGate(GateType::Rz, {wire}, {wrapAngle(angles.phi + kPi)}));
+    return sequence;
+}
+
+std::vector<Gate>
+lowerU3Direct(const U3Angles &angles, std::size_t wire)
+{
+    // Equation 3: with our Rz(a) = exp(-i a Z / 2) convention the exact
+    // identity is U3(t,p,l) = Rz(p + pi/2) Rx(t) Rz(l - pi/2) up to a
+    // global phase. (The paper quotes +-180 deg offsets under its
+    // frame-change sign convention; the content -- one scaled pulse
+    // sandwiched by free frame changes -- is identical.)
+    std::vector<Gate> sequence;
+    sequence.push_back(makeGate(GateType::Rz, {wire},
+                                {wrapAngle(angles.lambda - kPi / 2)}));
+    sequence.push_back(makeGate(GateType::DirectRx, {wire},
+                                {angles.theta}));
+    sequence.push_back(makeGate(GateType::Rz, {wire},
+                                {wrapAngle(angles.phi + kPi / 2)}));
+    return sequence;
+}
+
+} // namespace qpulse

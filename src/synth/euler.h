@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Single-qubit gate synthesis: extraction of U3 angles from an
+ * arbitrary 2x2 unitary and the two pulse-level realisations the paper
+ * contrasts:
+ *
+ *  - Equation 2 (standard): U3 = Rz * Rx(90) * Rz * Rx(90) * Rz
+ *    (two calibrated pulses + three virtual-Z frame changes), and
+ *  - Equation 3 (optimized): U3 = Rz(phi+pi) * Rx(theta) * Rz(lambda-pi)
+ *    (one amplitude-scaled DirectRx pulse + two frame changes).
+ */
+#ifndef QPULSE_SYNTH_EULER_H
+#define QPULSE_SYNTH_EULER_H
+
+#include "circuit/gate.h"
+#include "linalg/matrix.h"
+
+namespace qpulse {
+
+/** U3 parameterisation of a single-qubit unitary (global phase split). */
+struct U3Angles
+{
+    double theta;
+    double phi;
+    double lambda;
+    double globalPhase; ///< U = e^{i globalPhase} * U3(theta, phi, lambda)
+};
+
+/** Extract U3 angles from any 2x2 unitary. */
+U3Angles u3FromUnitary(const Matrix &u);
+
+/**
+ * Equation 2 lowering: the standard two-pulse realisation.
+ * Returns {Rz(lambda), X90, Rz(theta+pi), X90, Rz(phi+pi)} in circuit
+ * (application) order on the given wire. The equation in the paper reads
+ * right-to-left; this returns left-to-right program order.
+ */
+std::vector<Gate> lowerU3Standard(const U3Angles &angles, std::size_t wire);
+
+/**
+ * Equation 3 lowering: the optimized single-pulse realisation.
+ * Returns {Rz(lambda - pi), DirectRx(theta), Rz(phi + pi)} in program
+ * order on the given wire.
+ */
+std::vector<Gate> lowerU3Direct(const U3Angles &angles, std::size_t wire);
+
+/** Reduce an angle into (-pi, pi]. */
+double wrapAngle(double angle);
+
+/** True when the angle is an integer multiple of 2*pi (mod tolerance). */
+bool angleIsZero(double angle, double tol = 1e-10);
+
+} // namespace qpulse
+
+#endif // QPULSE_SYNTH_EULER_H

@@ -1,0 +1,162 @@
+#include "synth/weyl.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/rng.h"
+#include "linalg/eigen.h"
+#include "linalg/gates.h"
+#include "opt/nelder_mead.h"
+
+namespace qpulse {
+
+namespace {
+
+/** Determinant of a small complex matrix via LU with partial pivoting. */
+Complex
+determinant(Matrix a)
+{
+    const std::size_t n = a.rows();
+    Complex det{1.0, 0.0};
+    for (std::size_t col = 0; col < n; ++col) {
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < n; ++r)
+            if (std::abs(a(r, col)) > std::abs(a(pivot, col)))
+                pivot = r;
+        if (std::abs(a(pivot, col)) < 1e-300)
+            return Complex{0.0, 0.0};
+        if (pivot != col) {
+            for (std::size_t c = 0; c < n; ++c)
+                std::swap(a(col, c), a(pivot, c));
+            det = -det;
+        }
+        det *= a(col, col);
+        const Complex inv = Complex{1.0, 0.0} / a(col, col);
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const Complex factor = a(r, col) * inv;
+            if (factor == Complex{0.0, 0.0})
+                continue;
+            for (std::size_t c = col; c < n; ++c)
+                a(r, c) -= factor * a(col, c);
+        }
+    }
+    return det;
+}
+
+/** The magic-basis change matrix Q (columns are the Bell-like basis). */
+Matrix
+magicBasis()
+{
+    const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+    const Complex i{0.0, 1.0};
+    return Matrix{{inv_sqrt2, 0, 0, i * inv_sqrt2},
+                  {0, i * inv_sqrt2, inv_sqrt2, 0},
+                  {0, i * inv_sqrt2, -inv_sqrt2, 0},
+                  {inv_sqrt2, 0, 0, -i * inv_sqrt2}};
+}
+
+/** Canonical interaction gate A(c) = exp(i (c1 XX + c2 YY + c3 ZZ)/2). */
+Matrix
+canonicalGate(double c1, double c2, double c3)
+{
+    using namespace gates;
+    const Matrix xx = kron(x(), x());
+    const Matrix yy = kron(y(), y());
+    const Matrix zz = kron(z(), z());
+    Matrix generator = xx * Complex{c1 / 2, 0.0};
+    generator += yy * Complex{c2 / 2, 0.0};
+    generator += zz * Complex{c3 / 2, 0.0};
+    // generator is Hermitian; exp(+i G) via the Hermitian path.
+    return expIH(generator, 1.0);
+}
+
+} // namespace
+
+MakhlinInvariants
+makhlinInvariants(const Matrix &u)
+{
+    qpulseRequire(u.rows() == 4 && u.cols() == 4,
+                  "makhlinInvariants requires a 4x4 matrix");
+    qpulseRequire(u.isUnitary(1e-8),
+                  "makhlinInvariants requires a unitary matrix");
+
+    const Matrix q = magicBasis();
+    const Matrix m_basis = q.adjoint() * u * q;
+    const Matrix m = m_basis.transpose() * m_basis;
+    const Complex det_u = determinant(u);
+
+    const Complex tr = m.trace();
+    const Complex tr_sq = (m * m).trace();
+
+    MakhlinInvariants inv;
+    inv.g1 = tr * tr / (16.0 * det_u);
+    inv.g2 = ((tr * tr - tr_sq) / (4.0 * det_u)).real();
+    return inv;
+}
+
+bool
+locallyEquivalent(const Matrix &a, const Matrix &b, double tol)
+{
+    const MakhlinInvariants ia = makhlinInvariants(a);
+    const MakhlinInvariants ib = makhlinInvariants(b);
+    return std::abs(ia.g1 - ib.g1) < tol && std::abs(ia.g2 - ib.g2) < tol;
+}
+
+WeylCoordinates
+weylCoordinates(const Matrix &u)
+{
+    // Recover the canonical-class coordinates by matching Makhlin
+    // invariants against the canonical gate A(c1, c2, c3). The chamber
+    // pi/2 >= c1 >= c2 >= c3 >= 0 covers every class we report; the
+    // boundary reflection ambiguity (c3 -> -c3 at c1 = pi/2) maps to the
+    // same invariants, so we return the non-negative representative.
+    const MakhlinInvariants target = makhlinInvariants(u);
+
+    Objective objective = [&](const std::vector<double> &p) {
+        // Parametrise the ordered chamber through absolute values.
+        const double c1 = std::clamp(p[0], 0.0, kPi / 2);
+        const double c2 = std::clamp(p[1], 0.0, c1);
+        const double c3 = std::clamp(p[2], 0.0, c2);
+        const MakhlinInvariants trial =
+            makhlinInvariants(canonicalGate(c1, c2, c3));
+        const double d1 = std::abs(trial.g1 - target.g1);
+        const double d2 = std::abs(trial.g2 - target.g2);
+        return d1 * d1 + d2 * d2;
+    };
+
+    Rng rng(0xC0FFEE);
+    NelderMeadOptions options;
+    options.initialStep = 0.3;
+    OptResult best;
+    best.fun = 1e300;
+    // A handful of deterministic starting points spanning the chamber,
+    // plus random restarts, reliably lands on the canonical class.
+    const std::vector<std::vector<double>> starts = {
+        {0.1, 0.05, 0.0}, {kPi / 4, 0.0, 0.0}, {kPi / 2, 0.0, 0.0},
+        {kPi / 2, kPi / 2, 0.0}, {kPi / 2, kPi / 2, kPi / 2},
+        {kPi / 4, kPi / 4, 0.0}, {kPi / 3, kPi / 6, 0.1},
+    };
+    for (const auto &start : starts) {
+        const OptResult candidate = nelderMead(objective, start, options);
+        if (candidate.fun < best.fun)
+            best = candidate;
+    }
+    for (int restart = 0; restart < 8 && best.fun > 1e-16; ++restart) {
+        std::vector<double> start = {rng.uniform(0.0, kPi / 2),
+                                     rng.uniform(0.0, kPi / 2),
+                                     rng.uniform(0.0, kPi / 2)};
+        std::sort(start.rbegin(), start.rend());
+        const OptResult candidate = nelderMead(objective, start, options);
+        if (candidate.fun < best.fun)
+            best = candidate;
+    }
+
+    WeylCoordinates coords;
+    coords.c1 = std::clamp(best.x[0], 0.0, kPi / 2);
+    coords.c2 = std::clamp(best.x[1], 0.0, coords.c1);
+    coords.c3 = std::clamp(best.x[2], 0.0, coords.c2);
+    return coords;
+}
+
+} // namespace qpulse

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Two-qubit local-equivalence machinery.
+ *
+ * Two two-qubit unitaries are "locally equivalent" when they differ
+ * only by single-qubit rotations before and after — exactly the
+ * freedom a decomposer has for free (1q gates cost nothing at the
+ * pulse level compared to 2q interactions, see Table 2 footnote). The
+ * Makhlin invariants (G1 complex, G2 real) classify local-equivalence
+ * orbits and need only traces, not eigendecompositions, so they are
+ * robust to compute. We use them to verify decompositions and to test
+ * local equivalence claims (e.g. MAP ~ CZ-class, CR(90) ~ CNOT-class).
+ */
+#ifndef QPULSE_SYNTH_WEYL_H
+#define QPULSE_SYNTH_WEYL_H
+
+#include "linalg/matrix.h"
+
+namespace qpulse {
+
+/** Makhlin local invariants of a two-qubit unitary. */
+struct MakhlinInvariants
+{
+    Complex g1;
+    double g2;
+};
+
+/** Compute the Makhlin invariants of a 4x4 unitary. */
+MakhlinInvariants makhlinInvariants(const Matrix &u);
+
+/** True when two 4x4 unitaries are locally equivalent (same orbit). */
+bool locallyEquivalent(const Matrix &a, const Matrix &b, double tol = 1e-8);
+
+/**
+ * Weyl-chamber canonical coordinates (c1 >= c2 >= |c3|, in units of
+ * pi/4-normalised interaction strengths) recovered numerically from a
+ * 4x4 unitary via the magic-basis construction. Used for reporting and
+ * for the interaction-strength cost intuition behind Table 2.
+ */
+struct WeylCoordinates
+{
+    double c1;
+    double c2;
+    double c3;
+};
+
+WeylCoordinates weylCoordinates(const Matrix &u);
+
+} // namespace qpulse
+
+#endif // QPULSE_SYNTH_WEYL_H

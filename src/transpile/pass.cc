@@ -1,0 +1,31 @@
+#include "transpile/pass.h"
+
+#include "common/logging.h"
+
+namespace qpulse {
+
+void
+PassManager::addPass(std::unique_ptr<Pass> pass)
+{
+    qpulseRequire(pass != nullptr, "addPass requires a pass");
+    passes_.push_back(std::move(pass));
+}
+
+QuantumCircuit
+PassManager::run(const QuantumCircuit &circuit, int max_rounds) const
+{
+    CircuitDag dag(circuit);
+    for (int round = 0; round < max_rounds; ++round) {
+        bool changed = false;
+        for (const auto &pass : passes_)
+            changed |= pass->run(dag);
+        if (!changed)
+            break;
+        // Rebuild the DAG to compact dead nodes between rounds.
+        if (round + 1 < max_rounds)
+            dag = CircuitDag(dag.toCircuit());
+    }
+    return dag.toCircuit();
+}
+
+} // namespace qpulse

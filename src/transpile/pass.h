@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Transpiler-pass framework (Section 3.3): passes transform the DAG
+ * representation of quantum assembly "in the spirit of LLVM Transform
+ * passes", and a PassManager runs a pipeline to fixpoint.
+ */
+#ifndef QPULSE_TRANSPILE_PASS_H
+#define QPULSE_TRANSPILE_PASS_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "circuit/dag.h"
+
+namespace qpulse {
+
+/** Directed coupling constraint + mode the transpiler targets. */
+struct TranspilerTarget
+{
+    /** Directed, calibrated (control, target) pairs. */
+    std::vector<std::pair<std::size_t, std::size_t>> edges;
+
+    /** True when the augmented basis gates are available. */
+    bool augmented = false;
+
+    bool hasEdge(std::size_t control, std::size_t target) const
+    {
+        for (const auto &edge : edges)
+            if (edge.first == control && edge.second == target)
+                return true;
+        return false;
+    }
+};
+
+/** A single DAG-to-DAG rewrite. */
+class Pass
+{
+  public:
+    virtual ~Pass() = default;
+
+    /** Human-readable pass name. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Apply the rewrite.
+     * @return true if the DAG changed.
+     */
+    virtual bool run(CircuitDag &dag) = 0;
+};
+
+/**
+ * Runs an ordered pipeline of passes, optionally iterating the whole
+ * pipeline until no pass reports a change.
+ */
+class PassManager
+{
+  public:
+    void addPass(std::unique_ptr<Pass> pass);
+
+    /** Transform a circuit through the pipeline. */
+    QuantumCircuit run(const QuantumCircuit &circuit,
+                       int max_rounds = 4) const;
+
+    std::size_t passCount() const { return passes_.size(); }
+
+  private:
+    std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+} // namespace qpulse
+
+#endif // QPULSE_TRANSPILE_PASS_H

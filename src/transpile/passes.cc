@@ -1,0 +1,554 @@
+#include "transpile/passes.h"
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "synth/euler.h"
+
+namespace qpulse {
+
+bool
+gateIsDiagonal(GateType type)
+{
+    switch (type) {
+      case GateType::I:
+      case GateType::Z:
+      case GateType::S:
+      case GateType::Sdg:
+      case GateType::T:
+      case GateType::Tdg:
+      case GateType::Rz:
+      case GateType::U1:
+        return true;
+      default:
+        return false;
+    }
+}
+
+double
+diagonalAngle(const Gate &gate)
+{
+    switch (gate.type) {
+      case GateType::I:    return 0.0;
+      case GateType::Z:    return kPi;
+      case GateType::S:    return kPi / 2;
+      case GateType::Sdg:  return -kPi / 2;
+      case GateType::T:    return kPi / 4;
+      case GateType::Tdg:  return -kPi / 4;
+      case GateType::Rz:
+      case GateType::U1:
+        return gate.params[0];
+      default:
+        qpulsePanic("diagonalAngle of non-diagonal gate ",
+                    gateName(gate.type));
+    }
+}
+
+bool
+CancelAdjacentInversesPass::run(CircuitDag &dag)
+{
+    bool changed = false;
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (std::size_t id = 0; id < dag.nodes().size(); ++id) {
+            const DagNode &node = dag.node(id);
+            if (!node.alive || gateIsDirective(node.gate.type))
+                continue;
+            // The candidate partner must be the immediate successor on
+            // every wire the gate touches.
+            const std::size_t partner =
+                dag.nextOnWire(id, node.gate.qubits[0]);
+            if (partner == kNoNode)
+                continue;
+            const DagNode &next = dag.node(partner);
+            if (gateIsDirective(next.gate.type))
+                continue;
+            if (next.gate.qubits != node.gate.qubits)
+                continue;
+            bool adjacent_everywhere = true;
+            for (std::size_t wire : node.gate.qubits)
+                if (dag.nextOnWire(id, wire) != partner)
+                    adjacent_everywhere = false;
+            if (!adjacent_everywhere)
+                continue;
+            if (!(next.gate == node.gate.inverse()))
+                continue;
+            dag.removeNode(partner);
+            dag.removeNode(id);
+            changed = true;
+            progress = true;
+        }
+    }
+    return changed;
+}
+
+bool
+ZzTemplateMatchPass::run(CircuitDag &dag)
+{
+    bool changed = false;
+    for (std::size_t first = 0; first < dag.nodes().size(); ++first) {
+        const DagNode &open_node = dag.node(first);
+        if (!open_node.alive || open_node.gate.type != GateType::Cnot)
+            continue;
+        const std::size_t control = open_node.gate.qubits[0];
+        const std::size_t target = open_node.gate.qubits[1];
+
+        // Walk forward on the target wire collecting diagonal gates
+        // until (hopefully) the partner CX.
+        double theta = 0.0;
+        std::vector<std::size_t> absorbed;
+        std::size_t cursor = dag.nextOnWire(first, target);
+        std::size_t partner = kNoNode;
+        while (cursor != kNoNode) {
+            const DagNode &node = dag.node(cursor);
+            if (node.gate.type == GateType::Cnot &&
+                node.gate.qubits == open_node.gate.qubits) {
+                partner = cursor;
+                break;
+            }
+            if (node.gate.qubits.size() != 1 ||
+                !gateIsDiagonal(node.gate.type))
+                break;
+            theta += diagonalAngle(node.gate);
+            absorbed.push_back(cursor);
+            cursor = dag.nextOnWire(cursor, target);
+        }
+        if (partner == kNoNode || absorbed.empty())
+            continue;
+
+        // Commutativity detection on the control wire (Figure 3): any
+        // gate between the two CNOTs must be diagonal so it commutes
+        // with the CNOT control and can float out of the sandwich.
+        bool control_clear = true;
+        std::size_t scan = dag.nextOnWire(first, control);
+        while (scan != kNoNode && scan != partner) {
+            const DagNode &node = dag.node(scan);
+            if (node.gate.qubits.size() != 1 ||
+                !gateIsDiagonal(node.gate.type)) {
+                control_clear = false;
+                break;
+            }
+            scan = dag.nextOnWire(scan, control);
+        }
+        if (scan != partner)
+            control_clear = false;
+        if (!control_clear)
+            continue;
+
+        // Rewrite: drop the absorbed diagonals and the partner CX,
+        // replace the first CX by Rzz(theta). Diagonals left on the
+        // control wire stay where they are — they commute with Rzz.
+        for (std::size_t id : absorbed)
+            dag.removeNode(id);
+        dag.removeNode(partner);
+        dag.replaceNode(first,
+                        {makeGate(GateType::Rzz, {control, target},
+                                  {theta})});
+        changed = true;
+    }
+    return changed;
+}
+
+std::vector<Gate>
+DecomposeTwoQubitPass::lowerGate(const Gate &gate) const
+{
+    const std::size_t a = gate.qubits[0];
+    const std::size_t b = gate.qubits[1];
+    std::vector<Gate> out;
+
+    auto emit_cx = [&](std::size_t control, std::size_t target) {
+        if (target_.hasEdge(control, target) ||
+            !target_.hasEdge(target, control)) {
+            out.push_back(makeGate(GateType::Cnot, {control, target}));
+        } else {
+            // Direction fix: CX(c,t) = (H (x) H) CX(t,c) (H (x) H).
+            out.push_back(makeGate(GateType::H, {control}));
+            out.push_back(makeGate(GateType::H, {target}));
+            out.push_back(makeGate(GateType::Cnot, {target, control}));
+            out.push_back(makeGate(GateType::H, {control}));
+            out.push_back(makeGate(GateType::H, {target}));
+        }
+    };
+
+    switch (gate.type) {
+      case GateType::OpenCnot:
+        out.push_back(makeGate(GateType::X, {a}));
+        emit_cx(a, b);
+        out.push_back(makeGate(GateType::X, {a}));
+        return out;
+      case GateType::Cz:
+        out.push_back(makeGate(GateType::H, {b}));
+        emit_cx(a, b);
+        out.push_back(makeGate(GateType::H, {b}));
+        return out;
+      case GateType::Swap:
+        emit_cx(a, b);
+        emit_cx(b, a);
+        emit_cx(a, b);
+        return out;
+      case GateType::Rzz: {
+        const double theta = gate.params[0];
+        if (angleIsZero(theta))
+            return out; // Drops to nothing.
+        if (target_.augmented) {
+            // Section 6.2: ZZ(theta) = (I (x) H) CR(theta) (I (x) H),
+            // using whichever edge direction is calibrated (ZZ is
+            // symmetric, so the H lands on the CR target qubit).
+            std::size_t control = a, tgt = b;
+            if (!target_.hasEdge(a, b) && target_.hasEdge(b, a)) {
+                control = b;
+                tgt = a;
+            }
+            out.push_back(makeGate(GateType::H, {tgt}));
+            out.push_back(
+                makeGate(GateType::Cr, {control, tgt}, {theta}));
+            out.push_back(makeGate(GateType::H, {tgt}));
+        } else {
+            // "Textbook" two-CNOT realisation.
+            emit_cx(a, b);
+            out.push_back(makeGate(GateType::Rz, {b}, {theta}));
+            emit_cx(a, b);
+        }
+        return out;
+      }
+      case GateType::Cnot:
+        if (target_.augmented) {
+            if (!target_.hasEdge(a, b) && target_.hasEdge(b, a)) {
+                // Fix the direction first; the recursive structure is
+                // handled by running the pass to fixpoint.
+                out.push_back(makeGate(GateType::H, {a}));
+                out.push_back(makeGate(GateType::H, {b}));
+                out.push_back(makeGate(GateType::Cnot, {b, a}));
+                out.push_back(makeGate(GateType::H, {a}));
+                out.push_back(makeGate(GateType::H, {b}));
+                return out;
+            }
+            // Pulse-level atoms (Section 5.1): CNOT = e^{-i pi/4}
+            // Rz(-90)_a . Rx(-90)_b . CR(90), with the echoed CR
+            // spelled out as X / CR(-45) / X / CR(45) so cancellation
+            // against neighbouring gates becomes visible.
+            out.push_back(makeGate(GateType::Rz, {a}, {-kPi / 2}));
+            out.push_back(makeGate(GateType::DirectRx, {b}, {-kPi / 2}));
+            out.push_back(makeGate(GateType::DirectX, {a}));
+            out.push_back(
+                makeGate(GateType::CrHalf, {a, b}, {-kPi / 4}));
+            out.push_back(makeGate(GateType::DirectX, {a}));
+            out.push_back(makeGate(GateType::CrHalf, {a, b}, {kPi / 4}));
+            return out;
+        }
+        if (!target_.hasEdge(a, b) && target_.hasEdge(b, a)) {
+            out.push_back(makeGate(GateType::H, {a}));
+            out.push_back(makeGate(GateType::H, {b}));
+            out.push_back(makeGate(GateType::Cnot, {b, a}));
+            out.push_back(makeGate(GateType::H, {a}));
+            out.push_back(makeGate(GateType::H, {b}));
+            return out;
+        }
+        return {gate}; // Standard flow keeps the monolithic CX.
+      default:
+        return {gate};
+    }
+}
+
+bool
+DecomposeTwoQubitPass::run(CircuitDag &dag)
+{
+    bool changed = false;
+    const std::size_t node_count = dag.nodes().size();
+    for (std::size_t id = 0; id < node_count; ++id) {
+        const DagNode &node = dag.node(id);
+        if (!node.alive || node.gate.qubits.size() != 2 ||
+            gateIsDirective(node.gate.type))
+            continue;
+        const std::vector<Gate> lowered = lowerGate(node.gate);
+        if (lowered.size() == 1 && lowered[0] == node.gate)
+            continue;
+        dag.replaceNode(id, lowered);
+        changed = true;
+    }
+    return changed;
+}
+
+namespace {
+
+/** True for single-qubit unitary gates the 1q collapser may fuse. */
+bool
+fusable1q(const Gate &gate)
+{
+    return !gateIsDirective(gate.type) && gate.qubits.size() == 1;
+}
+
+/** Emit the minimal basis form of a fused 1q unitary. */
+std::vector<Gate>
+emit1q(const Matrix &unitary, std::size_t wire, bool augmented)
+{
+    const U3Angles angles = u3FromUnitary(unitary);
+
+    // Pure frame change: keep it virtual.
+    if (angleIsZero(angles.theta, 1e-9)) {
+        const double total = wrapAngle(angles.phi + angles.lambda);
+        if (angleIsZero(total, 1e-9))
+            return {};
+        return {makeGate(GateType::Rz, {wire}, {total})};
+    }
+    if (augmented) {
+        std::vector<Gate> out = lowerU3Direct(angles, wire);
+        // Drop zero-angle frame changes for cleanliness.
+        std::vector<Gate> cleaned;
+        for (auto &gate : out)
+            if (gate.type != GateType::Rz ||
+                !angleIsZero(gate.params[0], 1e-9))
+                cleaned.push_back(std::move(gate));
+        return cleaned;
+    }
+    std::vector<Gate> out = lowerU3Standard(angles, wire);
+    std::vector<Gate> cleaned;
+    for (auto &gate : out)
+        if (gate.type != GateType::Rz ||
+            !angleIsZero(gate.params[0], 1e-9))
+            cleaned.push_back(std::move(gate));
+    return cleaned;
+}
+
+/** Canonical form of a 1q run, used to detect no-op rewrites. */
+bool
+sameGateSequence(const std::vector<Gate> &a, const std::vector<Gate> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (!(a[i] == b[i]))
+            return false;
+    return true;
+}
+
+} // namespace
+
+bool
+Collapse1qRunsPass::run(CircuitDag &dag)
+{
+    bool changed = false;
+    for (std::size_t wire = 0; wire < dag.numQubits(); ++wire) {
+        std::size_t cursor = dag.wireFront(wire);
+        while (cursor != kNoNode) {
+            // Collect a maximal run of fusable 1q gates on this wire.
+            std::vector<std::size_t> run;
+            std::size_t scan = cursor;
+            while (scan != kNoNode && fusable1q(dag.node(scan).gate)) {
+                run.push_back(scan);
+                scan = dag.nextOnWire(scan, wire);
+            }
+            if (run.empty()) {
+                cursor = scan != cursor ? scan
+                                        : dag.nextOnWire(cursor, wire);
+                continue;
+            }
+
+            // Fuse and re-emit.
+            Matrix unitary = Matrix::identity(2);
+            std::vector<Gate> original;
+            for (std::size_t id : run) {
+                unitary = dag.node(id).gate.matrix() * unitary;
+                original.push_back(dag.node(id).gate);
+            }
+            const std::vector<Gate> emitted =
+                emit1q(unitary, wire, augmented_);
+
+            if (!sameGateSequence(emitted, original)) {
+                for (std::size_t k = 1; k < run.size(); ++k)
+                    dag.removeNode(run[k]);
+                if (emitted.empty()) {
+                    dag.removeNode(run[0]);
+                } else {
+                    dag.replaceNode(run[0], emitted);
+                }
+                changed = true;
+            }
+            cursor = scan;
+        }
+    }
+    return changed;
+}
+
+bool
+MergeTwoQubitRotationsPass::run(CircuitDag &dag)
+{
+    bool changed = false;
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (std::size_t id = 0; id < dag.nodes().size(); ++id) {
+            const DagNode &node = dag.node(id);
+            if (!node.alive)
+                continue;
+            if (node.gate.type != GateType::Rzz &&
+                node.gate.type != GateType::Cr)
+                continue;
+            const std::size_t partner =
+                dag.nextOnWire(id, node.gate.qubits[0]);
+            if (partner == kNoNode)
+                continue;
+            const DagNode &next = dag.node(partner);
+            if (next.gate.type != node.gate.type ||
+                next.gate.qubits != node.gate.qubits)
+                continue;
+            bool adjacent_everywhere = true;
+            for (std::size_t wire : node.gate.qubits)
+                if (dag.nextOnWire(id, wire) != partner)
+                    adjacent_everywhere = false;
+            if (!adjacent_everywhere)
+                continue;
+
+            const double merged =
+                node.gate.params[0] + next.gate.params[0];
+            dag.removeNode(partner);
+            if (angleIsZero(merged)) {
+                dag.removeNode(id);
+            } else {
+                Gate fused = node.gate;
+                fused.params[0] = merged;
+                dag.replaceNode(id, {fused});
+            }
+            changed = true;
+            progress = true;
+        }
+    }
+    return changed;
+}
+
+namespace {
+
+/** Can `gate` float rightward past `blocker` on their shared wire? */
+bool
+commutesThrough(const Gate &gate, const Gate &blocker, std::size_t wire)
+{
+    if (gateIsDirective(blocker.type))
+        return false;
+    if (gateIsDiagonal(gate.type)) {
+        // Diagonal 1q gates commute with anything diagonal on this
+        // wire and with the *control* side of CNOT / the control of Cr
+        // (Z (x) X commutes with Z (x) I), and with Rzz entirely.
+        if (blocker.qubits.size() == 1)
+            return gateIsDiagonal(blocker.type);
+        switch (blocker.type) {
+          case GateType::Rzz:
+          case GateType::Cz:
+            return true;
+          case GateType::Cnot:
+          case GateType::Cr:
+          case GateType::CrHalf:
+            return blocker.qubits[0] == wire; // Control side only.
+          default:
+            return false;
+        }
+    }
+    if (gate.type == GateType::X || gate.type == GateType::DirectX) {
+        // X commutes with the *target* side of CNOT and of the
+        // ZX-generated CR gates (I (x) X commutes with Z (x) X).
+        switch (blocker.type) {
+          case GateType::Cnot:
+          case GateType::Cr:
+          case GateType::CrHalf:
+            return blocker.qubits[1] == wire;
+          default:
+            return false;
+        }
+    }
+    return false;
+}
+
+/** Would `gate` cancel or fuse with `candidate`? */
+bool
+attractedTo(const Gate &gate, const Gate &candidate)
+{
+    if (gateIsDirective(candidate.type))
+        return false;
+    if (candidate.qubits.size() != 1 || gate.qubits.size() != 1)
+        return false;
+    if (candidate.qubits != gate.qubits)
+        return false;
+    // Same-family 1q gates merge in the 1q collapser; inverse pairs
+    // cancel in the inverse canceller.
+    if (gateIsDiagonal(gate.type) && gateIsDiagonal(candidate.type))
+        return true;
+    if ((gate.type == GateType::X || gate.type == GateType::DirectX) &&
+        (candidate.type == GateType::X ||
+         candidate.type == GateType::DirectX))
+        return true;
+    return false;
+}
+
+} // namespace
+
+bool
+CommutationRelocationPass::run(CircuitDag &dag)
+{
+    bool changed = false;
+    for (std::size_t id = 0; id < dag.nodes().size(); ++id) {
+        if (!dag.node(id).alive)
+            continue;
+        const Gate gate = dag.node(id).gate;
+        if (gate.qubits.size() != 1 || gateIsDirective(gate.type))
+            continue;
+        const std::size_t wire = gate.qubits[0];
+
+        // Look ahead: can this gate float to a merge partner?
+        std::size_t cursor = dag.nextOnWire(id, wire);
+        int hops = 0;
+        bool found = false;
+        while (cursor != kNoNode && hops < 8) {
+            const Gate &ahead = dag.node(cursor).gate;
+            if (attractedTo(gate, ahead)) {
+                found = hops > 0; // Already adjacent: nothing to do.
+                break;
+            }
+            if (!commutesThrough(gate, ahead, wire))
+                break;
+            cursor = dag.nextOnWire(cursor, wire);
+            ++hops;
+        }
+        if (!found)
+            continue;
+
+        // Float the gate rightward one hop at a time.
+        for (int hop = 0; hop < hops; ++hop)
+            dag.swapAdjacent(id, wire);
+        changed = true;
+    }
+    return changed;
+}
+
+PassManager
+standardPassManager(const TranspilerTarget &target)
+{
+    TranspilerTarget standard = target;
+    standard.augmented = false;
+    PassManager manager;
+    manager.addPass(std::make_unique<CancelAdjacentInversesPass>());
+    manager.addPass(std::make_unique<DecomposeTwoQubitPass>(standard));
+    manager.addPass(std::make_unique<CancelAdjacentInversesPass>());
+    manager.addPass(std::make_unique<Collapse1qRunsPass>(false));
+    return manager;
+}
+
+PassManager
+optimizedPassManager(const TranspilerTarget &target)
+{
+    TranspilerTarget augmented = target;
+    augmented.augmented = true;
+    PassManager manager;
+    manager.addPass(std::make_unique<CancelAdjacentInversesPass>());
+    manager.addPass(std::make_unique<ZzTemplateMatchPass>());
+    // Merge textbook Rzz chains before lowering, and stretched CR
+    // rotations after: one longer pulse always beats two.
+    manager.addPass(std::make_unique<MergeTwoQubitRotationsPass>());
+    manager.addPass(std::make_unique<DecomposeTwoQubitPass>(augmented));
+    manager.addPass(std::make_unique<MergeTwoQubitRotationsPass>());
+    manager.addPass(std::make_unique<CommutationRelocationPass>());
+    manager.addPass(std::make_unique<CancelAdjacentInversesPass>());
+    manager.addPass(std::make_unique<Collapse1qRunsPass>(true));
+    return manager;
+}
+
+} // namespace qpulse

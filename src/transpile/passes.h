@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The concrete transpiler passes of Section 3.3:
+ *
+ *  - CancelAdjacentInversesPass: removes adjacent gate/inverse pairs
+ *    (X.X, CX.CX, H.H, ...), the basic Qiskit-style optimisation both
+ *    compiler flows get.
+ *  - ZzTemplateMatchPass: the combined commutativity-detection (CD) +
+ *    augmented-basis-gate-detection (ABGD) rewrite of Figure 3. It
+ *    finds CX(a,b) . [diagonals] . CX(a,b) patterns — floating
+ *    diagonal gates off the control wire through the CNOTs, which is
+ *    exactly the false-dependency obfuscation the paper handles — and
+ *    fuses them into an Rzz(theta) node.
+ *  - DecomposeTwoQubitPass: lowers two-qubit assembly to the target
+ *    basis. Standard mode: Rzz -> CX.Rz.CX ("textbook"), open-CX ->
+ *    X.CX.X, CZ -> H-conjugated CX, SWAP -> 3 CX, direction fixing via
+ *    H conjugation. Augmented mode additionally: Rzz -> H.CR(theta).H
+ *    (Section 6.2) and CX -> its true pulse-level atoms
+ *    [DirectRx(-90) on target; X, CRhalf(-45), X, CRhalf(45) echo]
+ *    so cross-gate pulse cancellation becomes visible (Section 5).
+ *  - Collapse1qRunsPass: fuses every maximal run of single-qubit gates
+ *    into one U3 and re-emits it as Equation 2 (standard: two X90
+ *    pulses + frames) or Equation 3 (optimized: one DirectRx + frames),
+ *    dropping identity runs entirely.
+ */
+#ifndef QPULSE_TRANSPILE_PASSES_H
+#define QPULSE_TRANSPILE_PASSES_H
+
+#include "transpile/pass.h"
+
+namespace qpulse {
+
+/** Remove adjacent inverse pairs on identical wire sets. */
+class CancelAdjacentInversesPass : public Pass
+{
+  public:
+    std::string name() const override { return "cancel-inverses"; }
+    bool run(CircuitDag &dag) override;
+};
+
+/** CD + ABGD: fuse CX . diag . CX sandwiches into Rzz (Figure 3). */
+class ZzTemplateMatchPass : public Pass
+{
+  public:
+    std::string name() const override { return "zz-template-match"; }
+    bool run(CircuitDag &dag) override;
+};
+
+/** Lower two-qubit assembly gates toward the target basis. */
+class DecomposeTwoQubitPass : public Pass
+{
+  public:
+    explicit DecomposeTwoQubitPass(TranspilerTarget target)
+        : target_(std::move(target))
+    {}
+
+    std::string name() const override { return "decompose-2q"; }
+    bool run(CircuitDag &dag) override;
+
+  private:
+    std::vector<Gate> lowerGate(const Gate &gate) const;
+
+    TranspilerTarget target_;
+};
+
+/** Fuse 1q runs into U3 and emit Equation 2 / Equation 3 forms. */
+class Collapse1qRunsPass : public Pass
+{
+  public:
+    explicit Collapse1qRunsPass(bool augmented) : augmented_(augmented) {}
+
+    std::string name() const override { return "collapse-1q-runs"; }
+    bool run(CircuitDag &dag) override;
+
+  private:
+    bool augmented_;
+};
+
+/**
+ * Merge adjacent same-generator two-qubit rotations: Rzz(a).Rzz(b) ->
+ * Rzz(a+b) and Cr(a).Cr(b) -> Cr(a+b) on identical wire pairs (the
+ * pulse-stretching analogue of Rz merging; one stretched pulse beats
+ * two). Drops merged gates whose angle vanishes.
+ */
+class MergeTwoQubitRotationsPass : public Pass
+{
+  public:
+    std::string name() const override { return "merge-2q-rotations"; }
+    bool run(CircuitDag &dag) override;
+};
+
+/**
+ * Commutation relocation (the CD pass generalised): float diagonal 1q
+ * gates rightward through CNOT controls / Rzz / Cr control wires, and
+ * X-family gates rightward through CNOT targets, whenever the swap
+ * brings them adjacent to a gate they can merge or cancel with. This
+ * exposes cancellations hidden by false dependencies (Figure 3).
+ */
+class CommutationRelocationPass : public Pass
+{
+  public:
+    std::string name() const override { return "commutation-relocate"; }
+    bool run(CircuitDag &dag) override;
+};
+
+/** Build the standard-flow pipeline (Figure 1, upper path). */
+PassManager standardPassManager(const TranspilerTarget &target);
+
+/** Build the optimized-flow pipeline (Figure 1, lower path). */
+PassManager optimizedPassManager(const TranspilerTarget &target);
+
+/** True if the gate is diagonal in the computational basis. */
+bool gateIsDiagonal(GateType type);
+
+/** Rz-equivalent angle of a diagonal 1q gate (up to global phase). */
+double diagonalAngle(const Gate &gate);
+
+} // namespace qpulse
+
+#endif // QPULSE_TRANSPILE_PASSES_H

@@ -1,0 +1,135 @@
+#include "transpile/routing.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace qpulse {
+
+CouplingGraph::CouplingGraph(
+    std::size_t n_qubits,
+    std::vector<std::pair<std::size_t, std::size_t>> edges)
+    : numQubits_(n_qubits), adjacency_(n_qubits)
+{
+    for (const auto &edge : edges) {
+        qpulseRequire(edge.first < n_qubits && edge.second < n_qubits &&
+                          edge.first != edge.second,
+                      "invalid coupling edge");
+        adjacency_[edge.first].push_back(edge.second);
+        adjacency_[edge.second].push_back(edge.first);
+    }
+}
+
+bool
+CouplingGraph::connected(std::size_t a, std::size_t b) const
+{
+    qpulseRequire(a < numQubits_ && b < numQubits_,
+                  "coupling query out of range");
+    return std::find(adjacency_[a].begin(), adjacency_[a].end(), b) !=
+           adjacency_[a].end();
+}
+
+std::vector<std::size_t>
+CouplingGraph::shortestPath(std::size_t a, std::size_t b) const
+{
+    qpulseRequire(a < numQubits_ && b < numQubits_,
+                  "path query out of range");
+    if (a == b)
+        return {a};
+
+    std::vector<std::size_t> parent(numQubits_, numQubits_);
+    std::queue<std::size_t> frontier;
+    frontier.push(a);
+    parent[a] = a;
+    while (!frontier.empty()) {
+        const std::size_t node = frontier.front();
+        frontier.pop();
+        for (std::size_t next : adjacency_[node]) {
+            if (parent[next] != numQubits_)
+                continue;
+            parent[next] = node;
+            if (next == b) {
+                std::vector<std::size_t> path = {b};
+                std::size_t cursor = b;
+                while (cursor != a) {
+                    cursor = parent[cursor];
+                    path.push_back(cursor);
+                }
+                std::reverse(path.begin(), path.end());
+                return path;
+            }
+            frontier.push(next);
+        }
+    }
+    qpulseFatal("qubits ", a, " and ", b,
+                " are disconnected in the coupling graph");
+}
+
+std::size_t
+CouplingGraph::distance(std::size_t a, std::size_t b) const
+{
+    return shortestPath(a, b).size() - 1;
+}
+
+RoutingResult
+routeCircuit(const QuantumCircuit &circuit, const CouplingGraph &graph)
+{
+    qpulseRequire(circuit.numQubits() <= graph.numQubits(),
+                  "circuit wider than the coupling graph");
+
+    // layout[logical] = physical.
+    std::vector<std::size_t> layout(graph.numQubits());
+    for (std::size_t q = 0; q < graph.numQubits(); ++q)
+        layout[q] = q;
+
+    RoutingResult result{QuantumCircuit(graph.numQubits()), {}, 0};
+
+    auto swap_physical = [&](std::size_t pa, std::size_t pb) {
+        result.circuit.swap(pa, pb);
+        ++result.swapsInserted;
+        // Update the logical -> physical map.
+        for (auto &physical : layout) {
+            if (physical == pa)
+                physical = pb;
+            else if (physical == pb)
+                physical = pa;
+        }
+    };
+
+    for (const auto &gate : circuit.gates()) {
+        if (gate.type == GateType::Barrier) {
+            result.circuit.barrier();
+            continue;
+        }
+        Gate placed = gate;
+        for (auto &wire : placed.qubits)
+            wire = layout[wire];
+
+        if (placed.qubits.size() == 2 &&
+            !gateIsDirective(placed.type) &&
+            !graph.connected(placed.qubits[0], placed.qubits[1])) {
+            // Bring the control along the shortest path until it
+            // neighbours the target.
+            const auto path =
+                graph.shortestPath(placed.qubits[0], placed.qubits[1]);
+            for (std::size_t hop = 0; hop + 2 < path.size(); ++hop)
+                swap_physical(path[hop], path[hop + 1]);
+            // Re-resolve the wires after the permutation.
+            placed = gate;
+            for (auto &wire : placed.qubits)
+                wire = layout[wire];
+            qpulseAssert(graph.connected(placed.qubits[0],
+                                         placed.qubits[1]),
+                         "routing failed to make qubits adjacent");
+        }
+        result.circuit.append(std::move(placed));
+    }
+
+    result.finalLayout.assign(layout.begin(),
+                              layout.begin() +
+                                  static_cast<long>(circuit.numQubits()));
+    return result;
+}
+
+} // namespace qpulse

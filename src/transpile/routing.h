@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Qubit routing: makes circuits executable on a restricted coupling
+ * graph (e.g. Almaden's heavy-square lattice) by inserting SWAPs
+ * along shortest paths when a two-qubit gate targets non-neighbouring
+ * qubits. The paper's experiments all run on adjacent pairs, but any
+ * production compiler needs routing for wider programs; this is a
+ * greedy shortest-path router in the spirit of Qiskit's BasicSwap.
+ */
+#ifndef QPULSE_TRANSPILE_ROUTING_H
+#define QPULSE_TRANSPILE_ROUTING_H
+
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace qpulse {
+
+/**
+ * Undirected coupling graph over n qubits with shortest-path queries
+ * (BFS; graphs here are tiny).
+ */
+class CouplingGraph
+{
+  public:
+    CouplingGraph(std::size_t n_qubits,
+                  std::vector<std::pair<std::size_t, std::size_t>> edges);
+
+    std::size_t numQubits() const { return numQubits_; }
+
+    bool connected(std::size_t a, std::size_t b) const;
+
+    /** Shortest path from a to b, inclusive; fatal if disconnected. */
+    std::vector<std::size_t> shortestPath(std::size_t a,
+                                          std::size_t b) const;
+
+    /** Graph distance (hops) between two qubits. */
+    std::size_t distance(std::size_t a, std::size_t b) const;
+
+  private:
+    std::size_t numQubits_;
+    std::vector<std::vector<std::size_t>> adjacency_;
+};
+
+/** Result of routing: the rewritten circuit plus the final layout. */
+struct RoutingResult
+{
+    QuantumCircuit circuit;
+
+    /**
+     * finalLayout[logical] = physical wire holding that logical qubit
+     * at the end of the program (measurement results must be read
+     * through this map when SWAPs were inserted).
+     */
+    std::vector<std::size_t> finalLayout;
+
+    /** Number of SWAP gates inserted. */
+    std::size_t swapsInserted = 0;
+};
+
+/**
+ * Greedy router: walk the circuit in order; when a 2q gate spans
+ * non-adjacent physical qubits, insert SWAPs along the shortest path
+ * to bring them together, permuting the layout. 1q gates and
+ * measurements follow the current layout.
+ */
+RoutingResult routeCircuit(const QuantumCircuit &circuit,
+                           const CouplingGraph &graph);
+
+} // namespace qpulse
+
+#endif // QPULSE_TRANSPILE_ROUTING_H

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for the circuit IR: gate metadata, matrices, inverses, circuit
+ * builders, unitary evaluation and circuit inversion.
+ */
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.h"
+#include "common/constants.h"
+#include "common/rng.h"
+#include "linalg/gates.h"
+
+namespace qpulse {
+namespace {
+
+TEST(GateMeta, NamesAndArity)
+{
+    EXPECT_EQ(gateName(GateType::Cnot), "cx");
+    EXPECT_EQ(gateName(GateType::DirectRx), "direct_rx");
+    EXPECT_EQ(gateArity(GateType::H), 1u);
+    EXPECT_EQ(gateArity(GateType::Cr), 2u);
+    EXPECT_EQ(gateArity(GateType::Barrier), 0u);
+    EXPECT_EQ(gateParamCount(GateType::U3), 3u);
+    EXPECT_EQ(gateParamCount(GateType::Cr), 1u);
+}
+
+TEST(GateMeta, DirectivesAndAugmented)
+{
+    EXPECT_TRUE(gateIsDirective(GateType::Measure));
+    EXPECT_TRUE(gateIsDirective(GateType::Barrier));
+    EXPECT_FALSE(gateIsDirective(GateType::X));
+    EXPECT_TRUE(gateIsAugmented(GateType::DirectX));
+    EXPECT_TRUE(gateIsAugmented(GateType::Cr));
+    EXPECT_FALSE(gateIsAugmented(GateType::X90));
+}
+
+TEST(Gate, MakeGateValidation)
+{
+    EXPECT_THROW(makeGate(GateType::H, {0, 1}), FatalError);
+    EXPECT_THROW(makeGate(GateType::Rx, {0}), FatalError); // No param.
+    EXPECT_NO_THROW(makeGate(GateType::Rx, {0}, {0.5}));
+    EXPECT_NO_THROW(makeGate(GateType::Cnot, {0, 1}));
+}
+
+class GateInverseTest : public ::testing::TestWithParam<GateType>
+{
+};
+
+TEST_P(GateInverseTest, InverseComposesToIdentity)
+{
+    const GateType type = GateType(GetParam());
+    std::vector<double> params(gateParamCount(type), 0.7);
+    std::vector<std::size_t> qubits;
+    for (std::size_t q = 0; q < gateArity(type); ++q)
+        qubits.push_back(q);
+    const Gate gate = makeGate(type, qubits, params);
+    const Matrix product = gate.inverse().matrix() * gate.matrix();
+    EXPECT_GT(unitaryOverlap(product,
+                             Matrix::identity(product.rows())),
+              1 - 1e-10)
+        << gateName(type);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllUnitaries, GateInverseTest,
+    ::testing::Values(GateType::I, GateType::H, GateType::X, GateType::Y,
+                      GateType::Z, GateType::S, GateType::Sdg,
+                      GateType::T, GateType::Tdg, GateType::Rx,
+                      GateType::Ry, GateType::Rz, GateType::U1,
+                      GateType::U2, GateType::U3, GateType::Cnot,
+                      GateType::Cz, GateType::Swap, GateType::Rzz,
+                      GateType::OpenCnot, GateType::X90,
+                      GateType::DirectX, GateType::DirectRx, GateType::Cr,
+                      GateType::CrHalf));
+
+TEST(Circuit, AppendValidatesWires)
+{
+    QuantumCircuit circuit(2);
+    EXPECT_THROW(circuit.h(5), FatalError);
+    EXPECT_THROW(circuit.cx(1, 1), FatalError);
+    EXPECT_NO_THROW(circuit.cx(0, 1));
+}
+
+TEST(Circuit, CountsAndSize)
+{
+    QuantumCircuit circuit(3);
+    circuit.h(0);
+    circuit.cx(0, 1);
+    circuit.cx(1, 2);
+    circuit.rz(0.3, 2);
+    circuit.measureAll();
+    EXPECT_EQ(circuit.size(), 7u);
+    EXPECT_EQ(circuit.countType(GateType::Cnot), 2u);
+    EXPECT_EQ(circuit.countType(GateType::Measure), 3u);
+    EXPECT_EQ(circuit.twoQubitGateCount(), 2u);
+}
+
+TEST(Circuit, BellStateVector)
+{
+    QuantumCircuit circuit(2);
+    circuit.h(0);
+    circuit.cx(0, 1);
+    const Vector state = circuit.runStatevector();
+    EXPECT_NEAR(std::norm(state[0]), 0.5, 1e-12);
+    EXPECT_NEAR(std::norm(state[3]), 0.5, 1e-12);
+    EXPECT_NEAR(std::norm(state[1]), 0.0, 1e-12);
+}
+
+TEST(Circuit, UnitaryOfGhz)
+{
+    QuantumCircuit circuit(3);
+    circuit.h(0);
+    circuit.cx(0, 1);
+    circuit.cx(1, 2);
+    const Vector state = circuit.runStatevector();
+    EXPECT_NEAR(std::norm(state[0]), 0.5, 1e-12);
+    EXPECT_NEAR(std::norm(state[7]), 0.5, 1e-12);
+}
+
+TEST(Circuit, UnitaryMatchesStatevector)
+{
+    QuantumCircuit circuit(2);
+    circuit.h(0);
+    circuit.ry(0.7, 1);
+    circuit.cx(0, 1);
+    circuit.rz(1.1, 0);
+    const Matrix u = circuit.unitary();
+    Vector zero(4);
+    zero[0] = Complex{1, 0};
+    const Vector via_unitary = u.apply(zero);
+    const Vector via_sim = circuit.runStatevector();
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_NEAR(std::abs(via_unitary[i] - via_sim[i]), 0.0, 1e-12);
+}
+
+TEST(Circuit, InverseUndoesCircuit)
+{
+    Rng rng(5);
+    QuantumCircuit circuit(3);
+    circuit.h(0);
+    circuit.u3(rng.uniform(0, 3), rng.uniform(-3, 3), rng.uniform(-3, 3),
+               1);
+    circuit.cx(0, 1);
+    circuit.rzz(0.8, 1, 2);
+    circuit.t(2);
+    circuit.swap(0, 2);
+
+    QuantumCircuit inverse = circuit.inverse();
+    circuit.extend(inverse);
+    EXPECT_GT(unitaryOverlap(circuit.unitary(), Matrix::identity(8)),
+              1 - 1e-9);
+}
+
+TEST(Circuit, WithoutDirectives)
+{
+    QuantumCircuit circuit(1);
+    circuit.x(0);
+    circuit.barrier();
+    circuit.measure(0);
+    const QuantumCircuit clean = circuit.withoutDirectives();
+    EXPECT_EQ(clean.size(), 1u);
+}
+
+TEST(Circuit, ToStringIsQasmLike)
+{
+    QuantumCircuit circuit(2);
+    circuit.rz(1.5, 0);
+    circuit.cx(0, 1);
+    const std::string text = circuit.toString();
+    EXPECT_NE(text.find("qreg q[2];"), std::string::npos);
+    EXPECT_NE(text.find("rz(1.5) q[0];"), std::string::npos);
+    EXPECT_NE(text.find("cx q[0],q[1];"), std::string::npos);
+}
+
+TEST(Circuit, ExtendRejectsWider)
+{
+    QuantumCircuit narrow(1);
+    QuantumCircuit wide(3);
+    wide.h(2);
+    EXPECT_THROW(narrow.extend(wide), FatalError);
+}
+
+TEST(Circuit, OpenCnotSemantics)
+{
+    // open-CNOT flips the target iff the control is |0>.
+    QuantumCircuit circuit(2);
+    circuit.openCx(0, 1);
+    const Vector state = circuit.runStatevector(); // From |00>.
+    EXPECT_NEAR(std::norm(state[1]), 1.0, 1e-12);  // -> |01>.
+}
+
+TEST(Circuit, RzzIsDiagonalPhase)
+{
+    QuantumCircuit circuit(2);
+    circuit.rzz(0.9, 0, 1);
+    const Matrix u = circuit.unitary();
+    EXPECT_LT(u.maxAbsDiff(gates::zz(0.9)), 1e-12);
+}
+
+} // namespace
+} // namespace qpulse

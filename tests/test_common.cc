@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Unit tests for the common library: RNG determinism and statistical
+ * sanity, table formatting, logging helpers and unit conversions.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/constants.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/ascii_plot.h"
+#include "common/table.h"
+
+namespace qpulse {
+namespace {
+
+TEST(Constants, DtMatchesAwgRate)
+{
+    // 4.5 GS/s -> one sample every 2/9 ns (Section 3.1.4).
+    EXPECT_NEAR(kDtNs, 0.2222222, 1e-6);
+    EXPECT_NEAR(dtToNs(160), 35.56, 0.01);  // DirectX duration, Fig. 4.
+    EXPECT_NEAR(dtToNs(320), 71.11, 0.01);  // Standard X duration.
+    EXPECT_EQ(nsToDt(35.56), 160);
+}
+
+TEST(Constants, DegreeConversions)
+{
+    EXPECT_NEAR(deg(180.0), kPi, 1e-12);
+    EXPECT_NEAR(toDegrees(kPi / 2), 90.0, 1e-12);
+    EXPECT_NEAR(deg(toDegrees(1.234)), 1.234, 1e-12);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    bool any_diff = false;
+    for (int i = 0; i < 10; ++i)
+        if (a.nextU64() != b.nextU64())
+            any_diff = true;
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-2.0, 3.0);
+        EXPECT_GE(u, -2.0);
+        EXPECT_LT(u, 3.0);
+    }
+}
+
+TEST(Rng, UniformMeanAndVariance)
+{
+    Rng rng(11);
+    double sum = 0.0, sum_sq = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.uniform();
+        sum += u;
+        sum_sq += u * u;
+    }
+    const double mean = sum / n;
+    const double var = sum_sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.5, 0.01);
+    EXPECT_NEAR(var, 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(13);
+    double sum = 0.0, sum_sq = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sum_sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianShifted)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(5.0, 2.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng rng(19);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = rng.uniformInt(7);
+        EXPECT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // All outcomes reachable.
+}
+
+TEST(Rng, BinomialEdgeCases)
+{
+    Rng rng(23);
+    EXPECT_EQ(rng.binomial(1000, 0.0), 0);
+    EXPECT_EQ(rng.binomial(1000, 1.0), 1000);
+    EXPECT_EQ(rng.binomial(0, 0.5), 0);
+}
+
+TEST(Rng, BinomialMean)
+{
+    Rng rng(29);
+    // Small-n exact path.
+    long total = 0;
+    for (int i = 0; i < 2000; ++i)
+        total += rng.binomial(40, 0.3);
+    EXPECT_NEAR(static_cast<double>(total) / 2000.0, 12.0, 0.4);
+    // Large-n Gaussian path.
+    total = 0;
+    for (int i = 0; i < 500; ++i)
+        total += rng.binomial(100000, 0.25);
+    EXPECT_NEAR(static_cast<double>(total) / 500.0, 25000.0, 60.0);
+}
+
+TEST(Rng, BinomialWithinBounds)
+{
+    Rng rng(31);
+    for (int i = 0; i < 200; ++i) {
+        const long k = rng.binomial(100000, 0.5);
+        EXPECT_GE(k, 0);
+        EXPECT_LE(k, 100000);
+    }
+}
+
+TEST(Rng, MultinomialSumsToShots)
+{
+    Rng rng(37);
+    const std::vector<double> probs = {0.1, 0.2, 0.3, 0.4};
+    const auto counts = rng.multinomial(10000, probs);
+    long total = 0;
+    for (long c : counts)
+        total += c;
+    EXPECT_EQ(total, 10000);
+    EXPECT_NEAR(static_cast<double>(counts[3]) / 10000.0, 0.4, 0.03);
+}
+
+TEST(Rng, MultinomialUnnormalisedProbs)
+{
+    Rng rng(41);
+    const auto counts = rng.multinomial(5000, {2.0, 2.0});
+    EXPECT_EQ(counts[0] + counts[1], 5000);
+    EXPECT_NEAR(static_cast<double>(counts[0]) / 5000.0, 0.5, 0.05);
+}
+
+TEST(Rng, DiscreteRespectsWeights)
+{
+    Rng rng(43);
+    std::vector<long> histogram(3, 0);
+    for (int i = 0; i < 30000; ++i)
+        ++histogram[rng.discrete({0.5, 0.0, 0.5})];
+    EXPECT_EQ(histogram[1], 0);
+    EXPECT_NEAR(static_cast<double>(histogram[0]) / 30000.0, 0.5, 0.02);
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(qpulseFatal("bad ", 42), FatalError);
+    EXPECT_THROW(qpulsePanic("bug"), PanicError);
+}
+
+TEST(Logging, RequireAndAssert)
+{
+    EXPECT_NO_THROW(qpulseRequire(true, "fine"));
+    EXPECT_THROW(qpulseRequire(false, "nope"), FatalError);
+    EXPECT_NO_THROW(qpulseAssert(true, "fine"));
+    EXPECT_THROW(qpulseAssert(false, "bug"), PanicError);
+}
+
+TEST(Logging, MessageContent)
+{
+    try {
+        qpulseFatal("value was ", 17, " not ", 3.5);
+        FAIL() << "expected throw";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("value was 17 not 3.5"),
+                  std::string::npos);
+    }
+}
+
+TEST(Table, RendersAlignedRows)
+{
+    TextTable table({"name", "value"});
+    table.addRow({"alpha", "1"});
+    table.addRow({"bb", "12345"});
+    const std::string out = table.render();
+    EXPECT_NE(out.find("| name "), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("12345"), std::string::npos);
+    EXPECT_EQ(table.rowCount(), 2u);
+}
+
+TEST(Table, RejectsWrongArity)
+{
+    TextTable table({"a", "b"});
+    EXPECT_THROW(table.addRow({"only-one"}), FatalError);
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(fmtFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtPercent(0.984, 1), "98.4%");
+    EXPECT_EQ(fmtPercent(0.5), "50.00%");
+}
+
+TEST(AsciiPlot, RendersGlyphsAndLegend)
+{
+    PlotSeries up{"rising", 'o', {0, 1, 2, 3}, {0, 1, 2, 3}};
+    PlotSeries down{"falling", 'x', {0, 1, 2, 3}, {3, 2, 1, 0}};
+    const std::string chart = renderAsciiPlot({up, down});
+    EXPECT_NE(chart.find('o'), std::string::npos);
+    EXPECT_NE(chart.find('x'), std::string::npos);
+    EXPECT_NE(chart.find("rising"), std::string::npos);
+    EXPECT_NE(chart.find("falling"), std::string::npos);
+    // The rising series' last point sits on the top row; the falling
+    // series' first point shares it.
+    const std::size_t first_row_end = chart.find('\n', 0);
+    const std::size_t second_row_end =
+        chart.find('\n', first_row_end + 1);
+    const std::string top_row = chart.substr(
+        first_row_end + 1, second_row_end - first_row_end - 1);
+    EXPECT_NE(top_row.find('o'), std::string::npos);
+    EXPECT_NE(top_row.find('x'), std::string::npos);
+}
+
+TEST(AsciiPlot, FixedBoundsClamp)
+{
+    PlotSeries series{"s", '*', {0, 1}, {-5.0, 5.0}};
+    PlotOptions options;
+    options.yLo = 0.0;
+    options.yHi = 1.0;
+    EXPECT_NO_THROW(renderAsciiPlot({series}, options));
+}
+
+TEST(AsciiPlot, Validation)
+{
+    EXPECT_THROW(renderAsciiPlot({}), FatalError);
+    PlotSeries ragged{"r", '*', {0, 1}, {0}};
+    EXPECT_THROW(renderAsciiPlot({ragged}), FatalError);
+}
+
+} // namespace
+} // namespace qpulse

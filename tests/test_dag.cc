@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the circuit DAG: wire linkage, node removal/replacement,
+ * adjacent swaps and topological linearisation round-trips.
+ */
+#include <gtest/gtest.h>
+
+#include "circuit/dag.h"
+#include "common/rng.h"
+#include "linalg/gates.h"
+
+namespace qpulse {
+namespace {
+
+QuantumCircuit
+sampleCircuit()
+{
+    QuantumCircuit circuit(3);
+    circuit.h(0);
+    circuit.cx(0, 1);
+    circuit.rz(0.5, 1);
+    circuit.cx(0, 1);
+    circuit.x(2);
+    circuit.cx(1, 2);
+    return circuit;
+}
+
+TEST(Dag, RoundTripPreservesUnitary)
+{
+    const QuantumCircuit circuit = sampleCircuit();
+    const CircuitDag dag(circuit);
+    const QuantumCircuit rebuilt = dag.toCircuit();
+    EXPECT_GT(unitaryOverlap(circuit.unitary(), rebuilt.unitary()),
+              1 - 1e-10);
+    EXPECT_EQ(rebuilt.size(), circuit.size());
+}
+
+TEST(Dag, WireFrontAndNext)
+{
+    const QuantumCircuit circuit = sampleCircuit();
+    const CircuitDag dag(circuit);
+    // Wire 0: h(0) -> cx(0,1) -> cx(0,1).
+    const std::size_t front = dag.wireFront(0);
+    EXPECT_EQ(dag.node(front).gate.type, GateType::H);
+    const std::size_t second = dag.nextOnWire(front, 0);
+    EXPECT_EQ(dag.node(second).gate.type, GateType::Cnot);
+    EXPECT_EQ(dag.prevOnWire(second, 0), front);
+}
+
+TEST(Dag, AliveCountTracksRemovals)
+{
+    CircuitDag dag(sampleCircuit());
+    EXPECT_EQ(dag.aliveCount(), 6u);
+    dag.removeNode(dag.wireFront(2)); // Remove x(2).
+    EXPECT_EQ(dag.aliveCount(), 5u);
+}
+
+TEST(Dag, RemoveStitchesNeighbours)
+{
+    CircuitDag dag(sampleCircuit());
+    // Remove rz(0.5) on wire 1; the two CNOTs become adjacent.
+    const std::size_t first_cx = dag.nextOnWire(dag.wireFront(0), 0);
+    const std::size_t rz = dag.nextOnWire(first_cx, 1);
+    EXPECT_EQ(dag.node(rz).gate.type, GateType::Rz);
+    dag.removeNode(rz);
+    const std::size_t after = dag.nextOnWire(first_cx, 1);
+    EXPECT_EQ(dag.node(after).gate.type, GateType::Cnot);
+}
+
+TEST(Dag, RemoveFrontUpdatesWireFront)
+{
+    CircuitDag dag(sampleCircuit());
+    const std::size_t front = dag.wireFront(0);
+    dag.removeNode(front);
+    EXPECT_EQ(dag.node(dag.wireFront(0)).gate.type, GateType::Cnot);
+}
+
+TEST(Dag, ReplaceNodePreservesPosition)
+{
+    CircuitDag dag(sampleCircuit());
+    // Replace h(0) by rz-x90-rz-x90-rz and check unitary equivalence.
+    const std::size_t front = dag.wireFront(0);
+    const auto inserted = dag.replaceNode(
+        front, {makeGate(GateType::Rz, {0}, {kPi}),
+                makeGate(GateType::X90, {0}),
+                makeGate(GateType::Rz, {0}, {kPi / 2 + kPi}),
+                makeGate(GateType::X90, {0}),
+                makeGate(GateType::Rz, {0}, {kPi})});
+    EXPECT_EQ(inserted.size(), 5u);
+    const QuantumCircuit rebuilt = dag.toCircuit();
+    EXPECT_GT(unitaryOverlap(sampleCircuit().unitary(),
+                             rebuilt.unitary()),
+              1 - 1e-9);
+}
+
+TEST(Dag, ReplaceTwoQubitNodeBySequence)
+{
+    QuantumCircuit circuit(2);
+    circuit.h(0);
+    circuit.cx(0, 1);
+    circuit.h(1);
+    CircuitDag dag(circuit);
+    const std::size_t cx = dag.nextOnWire(dag.wireFront(0), 0);
+    ASSERT_EQ(dag.node(cx).gate.type, GateType::Cnot);
+    // CX = H_t CZ H_t.
+    dag.replaceNode(cx, {makeGate(GateType::H, {1}),
+                         makeGate(GateType::Cz, {0, 1}),
+                         makeGate(GateType::H, {1})});
+    EXPECT_GT(unitaryOverlap(circuit.unitary(), dag.toCircuit().unitary()),
+              1 - 1e-10);
+}
+
+TEST(Dag, ReplaceWithEmptyRemovesViaRemoveNode)
+{
+    QuantumCircuit circuit(1);
+    circuit.x(0);
+    circuit.x(0);
+    CircuitDag dag(circuit);
+    dag.removeNode(dag.wireFront(0));
+    dag.removeNode(dag.wireFront(0));
+    EXPECT_EQ(dag.aliveCount(), 0u);
+    EXPECT_EQ(dag.toCircuit().size(), 0u);
+}
+
+TEST(Dag, SwapAdjacentCommutingGates)
+{
+    QuantumCircuit circuit(2);
+    circuit.rz(0.3, 0);
+    circuit.x(1);
+    circuit.cx(0, 1);
+    CircuitDag dag(circuit);
+    // Swap rz(0.3) with cx on wire 0 (they commute: rz on control).
+    const std::size_t rz = dag.wireFront(0);
+    dag.swapAdjacent(rz, 0);
+    const QuantumCircuit rebuilt = dag.toCircuit();
+    // Order changed...
+    EXPECT_EQ(rebuilt.gates().back().type, GateType::Rz);
+    // ...and since Rz commutes with the CNOT control the unitary is
+    // unchanged.
+    EXPECT_GT(unitaryOverlap(circuit.unitary(), rebuilt.unitary()),
+              1 - 1e-10);
+}
+
+TEST(Dag, BarrierSpansAllWires)
+{
+    QuantumCircuit circuit(3);
+    circuit.x(0);
+    circuit.barrier();
+    circuit.x(2);
+    CircuitDag dag(circuit);
+    // The barrier should be the successor of x(0) on wire 0 and the
+    // predecessor of x(2) on wire 2.
+    const std::size_t x0 = dag.wireFront(0);
+    const std::size_t barrier = dag.nextOnWire(x0, 0);
+    EXPECT_EQ(dag.node(barrier).gate.type, GateType::Barrier);
+    const std::size_t x2 = dag.nextOnWire(barrier, 2);
+    EXPECT_EQ(dag.node(x2).gate.type, GateType::X);
+    // Round trip emits the barrier with cleared wires.
+    const QuantumCircuit rebuilt = dag.toCircuit();
+    EXPECT_EQ(rebuilt.gates()[1].type, GateType::Barrier);
+    EXPECT_TRUE(rebuilt.gates()[1].qubits.empty());
+}
+
+TEST(Dag, RandomCircuitRoundTripProperty)
+{
+    Rng rng(77);
+    for (int trial = 0; trial < 20; ++trial) {
+        QuantumCircuit circuit(4);
+        for (int g = 0; g < 25; ++g) {
+            const int kind = static_cast<int>(rng.uniformInt(4));
+            const std::size_t a = rng.uniformInt(4);
+            std::size_t b = rng.uniformInt(4);
+            while (b == a)
+                b = rng.uniformInt(4);
+            switch (kind) {
+              case 0: circuit.h(a); break;
+              case 1: circuit.rz(rng.uniform(-3, 3), a); break;
+              case 2: circuit.cx(a, b); break;
+              default: circuit.rzz(rng.uniform(-3, 3), a, b); break;
+            }
+        }
+        const CircuitDag dag(circuit);
+        EXPECT_GT(unitaryOverlap(circuit.unitary(),
+                                 dag.toCircuit().unitary()),
+                  1 - 1e-9);
+    }
+}
+
+} // namespace
+} // namespace qpulse

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Cross-module integration tests: the paper's headline claims end to
+ * end. A calibrated backend is built once; full benchmark circuits are
+ * compiled under both flows, run through the duration-aware noisy
+ * simulator, and the optimized flow must win on Hellinger error while
+ * staying unitarily faithful on the pulse simulator.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "algos/circuits.h"
+#include "algos/hamiltonians.h"
+#include "algos/vqe.h"
+#include "common/constants.h"
+#include "compile/compiler.h"
+#include "linalg/gates.h"
+#include "metrics/metrics.h"
+#include "noisesim/statevector.h"
+#include "readout/readout.h"
+
+namespace qpulse {
+namespace {
+
+class IntegrationTest : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        config_ = new BackendConfig(almadenLineConfig(2));
+        backend_ = new std::shared_ptr<const PulseBackend>(
+            makeCalibratedBackend(*config_));
+        standard_ =
+            new PulseCompiler(*backend_, CompileMode::Standard);
+        optimized_ =
+            new PulseCompiler(*backend_, CompileMode::Optimized);
+    }
+
+    static void TearDownTestSuite()
+    {
+        delete optimized_;
+        delete standard_;
+        delete backend_;
+        delete config_;
+    }
+
+    /** Hellinger error of a compiled circuit vs its ideal output. */
+    static double hellingerError(const PulseCompiler &compiler,
+                                 const QuantumCircuit &circuit,
+                                 long shots, std::uint64_t seed)
+    {
+        const std::vector<double> ideal = idealDistribution(circuit);
+        DensitySimulator simulator = compiler.makeSimulator();
+        QuantumCircuit with_measure = circuit;
+        with_measure.measureAll();
+        const NoisyRunResult run =
+            simulator.run(compiler.transpile(with_measure));
+        Rng rng(seed);
+        const auto counts = simulator.sampleCounts(run, shots, rng);
+        // Measurement-error mitigation, as in Section 2.4.
+        std::vector<std::pair<double, double>> flips;
+        for (std::size_t q = 0; q < circuit.numQubits(); ++q)
+            flips.emplace_back(config_->readout[q].probFlip0to1,
+                               config_->readout[q].probFlip1to0);
+        const MeasurementMitigator mitigator =
+            MeasurementMitigator::forQubits(flips);
+        const auto mitigated =
+            mitigator.mitigate(countsToProbabilities(counts));
+        return hellingerDistance(mitigated, ideal);
+    }
+
+    static BackendConfig *config_;
+    static std::shared_ptr<const PulseBackend> *backend_;
+    static PulseCompiler *standard_;
+    static PulseCompiler *optimized_;
+};
+
+BackendConfig *IntegrationTest::config_ = nullptr;
+std::shared_ptr<const PulseBackend> *IntegrationTest::backend_ = nullptr;
+PulseCompiler *IntegrationTest::standard_ = nullptr;
+PulseCompiler *IntegrationTest::optimized_ = nullptr;
+
+TEST_F(IntegrationTest, H2VqeBenchmark)
+{
+    const PauliOperator h = h2Hamiltonian();
+    const VariationalResult trained = runVqe2q(h);
+    const QuantumCircuit ansatz = uccAnsatz2q(trained.params[0]);
+    const double err_std =
+        hellingerError(*standard_, ansatz, shots::kBenchmarks, 1);
+    const double err_opt =
+        hellingerError(*optimized_, ansatz, shots::kBenchmarks, 2);
+    EXPECT_LT(err_opt, err_std * 1.05);
+    EXPECT_LT(err_opt, 0.25);
+}
+
+TEST_F(IntegrationTest, MethaneDynamicsBenchmark)
+{
+    const QuantumCircuit circuit =
+        trotterCircuit(methaneHamiltonian(), 1.0, 6);
+    const double err_std =
+        hellingerError(*standard_, circuit, shots::kBenchmarks, 3);
+    const double err_opt =
+        hellingerError(*optimized_, circuit, shots::kBenchmarks, 4);
+    // 6 Trotter steps of ZZ-heavy evolution: the optimized flow's CR
+    // stretching must produce a clear win.
+    EXPECT_LT(err_opt, err_std);
+}
+
+TEST_F(IntegrationTest, TrotterCircuitsCompileToCr)
+{
+    const QuantumCircuit circuit =
+        trotterCircuit(waterHamiltonian(), 1.0, 6);
+    const QuantumCircuit basis = optimized_->transpile(circuit);
+    EXPECT_GE(basis.countType(GateType::Cr), 6u);
+    EXPECT_EQ(basis.countType(GateType::Cnot), 0u);
+    // Unitary preserved through the full pipeline.
+    EXPECT_GT(unitaryOverlap(basis.withoutDirectives().unitary(),
+                             circuit.unitary()),
+              1 - 1e-7);
+}
+
+TEST_F(IntegrationTest, MakespanAdvantageOnTrotter)
+{
+    const QuantumCircuit circuit =
+        trotterCircuit(methaneHamiltonian(), 1.0, 6);
+    const CompileResult std_result = standard_->compile(circuit);
+    const CompileResult opt_result = optimized_->compile(circuit);
+    // Paper: ~2x faster execution overall for near-term algorithms.
+    EXPECT_LT(static_cast<double>(opt_result.durationDt),
+              0.75 * static_cast<double>(std_result.durationDt));
+}
+
+TEST_F(IntegrationTest, QutritCounterSingleCycle)
+{
+    // One full 0 -> 1 -> 2 -> 0 cycle of the Section 7 counter, on a
+    // calibrated qutrit, classified with the LDA readout.
+    const BackendConfig armonk = armonkConfig();
+    Calibrator calibrator(armonk);
+    QubitCalibration cal = calibrator.calibrateQubit(0);
+    calibrator.calibrateQutrit(0, cal);
+    PulseSimulator sim(calibrator.qubitModel(0));
+
+    const double alpha = armonk.qubits[0].anharmonicityGhz;
+    Schedule cycle("counter");
+    cycle.play(driveChannel(0), cal.x180Pulse()); // 0 -> 1.
+    cycle.play(driveChannel(0),
+               std::make_shared<SidebandWaveform>(
+                   std::make_shared<GaussianWaveform>(
+                       cal.qutritDuration, cal.sigma,
+                       Complex{cal.x12Amp, 0.0}),
+                   alpha)); // 1 -> 2.
+    cycle.play(driveChannel(0),
+               std::make_shared<SidebandWaveform>(
+                   std::make_shared<GaussianWaveform>(
+                       cal.qutritDuration, cal.sigma,
+                       Complex{cal.x02Amp, 0.0}),
+                   alpha / 2.0)); // 2 -> 0.
+
+    Vector ground(3);
+    ground[0] = Complex{1, 0};
+    const Vector out = sim.evolveState(cycle, ground);
+    EXPECT_GT(std::norm(out[0]), 0.85);
+
+    // Readout classification of the final state.
+    const IqReadoutModel iq = IqReadoutModel::qutritDefault();
+    Rng rng(9);
+    std::vector<IqPoint> train_points;
+    std::vector<std::size_t> train_labels;
+    for (std::size_t level = 0; level < 3; ++level)
+        for (int k = 0; k < 500; ++k) {
+            train_points.push_back(iq.sampleShot(level, rng));
+            train_labels.push_back(level);
+        }
+    LdaClassifier lda;
+    lda.fit(train_points, train_labels);
+
+    int zeros = 0;
+    const int shots = 500;
+    std::vector<double> pops = {std::norm(out[0]), std::norm(out[1]),
+                                std::norm(out[2])};
+    for (int k = 0; k < shots; ++k)
+        if (lda.predict(iq.sampleShot(pops, rng)) == 0)
+            ++zeros;
+    EXPECT_GT(static_cast<double>(zeros) / shots, 0.75);
+}
+
+TEST_F(IntegrationTest, BernsteinVaziraniFarTermKernel)
+{
+    // The far-term comparison kernels also go through both flows.
+    const QuantumCircuit circuit = bernsteinVaziraniCircuit(2, 0b10);
+    const double err_std = hellingerError(*standard_, circuit, 8000, 5);
+    const double err_opt = hellingerError(*optimized_, circuit, 8000, 6);
+    EXPECT_LT(err_std, 0.35);
+    EXPECT_LT(err_opt, 0.35);
+}
+
+TEST_F(IntegrationTest, MitigationImprovesHellinger)
+{
+    // With vs without measurement-error mitigation on a Bell state.
+    QuantumCircuit circuit(2);
+    circuit.h(0);
+    circuit.cx(0, 1);
+    const std::vector<double> ideal = idealDistribution(circuit);
+
+    DensitySimulator simulator = optimized_->makeSimulator();
+    QuantumCircuit with_measure = circuit;
+    with_measure.measureAll();
+    const NoisyRunResult run =
+        simulator.run(optimized_->transpile(with_measure));
+    Rng rng(7);
+    const auto counts = simulator.sampleCounts(run, 20000, rng);
+    const auto raw = countsToProbabilities(counts);
+
+    std::vector<std::pair<double, double>> flips;
+    for (std::size_t q = 0; q < 2; ++q)
+        flips.emplace_back(config_->readout[q].probFlip0to1,
+                           config_->readout[q].probFlip1to0);
+    const auto mitigated =
+        MeasurementMitigator::forQubits(flips).mitigate(raw);
+
+    EXPECT_LT(hellingerDistance(mitigated, ideal),
+              hellingerDistance(raw, ideal));
+}
+
+} // namespace
+} // namespace qpulse

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the evaluation metrics: Hellinger distance/fidelity (the
+ * paper's headline metric, Section 8.1), Bloch vectors and sampled
+ * state tomography.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "linalg/gates.h"
+#include "metrics/metrics.h"
+
+namespace qpulse {
+namespace {
+
+TEST(Hellinger, IdenticalDistributions)
+{
+    const std::vector<double> p = {0.25, 0.25, 0.5};
+    EXPECT_NEAR(hellingerDistance(p, p), 0.0, 1e-12);
+    EXPECT_NEAR(hellingerFidelity(p, p), 1.0, 1e-12);
+}
+
+TEST(Hellinger, DisjointDistributions)
+{
+    const std::vector<double> p = {1.0, 0.0};
+    const std::vector<double> q = {0.0, 1.0};
+    EXPECT_NEAR(hellingerDistance(p, q), 1.0, 1e-12);
+    EXPECT_NEAR(hellingerFidelity(p, q), 0.0, 1e-12);
+}
+
+TEST(Hellinger, KnownValue)
+{
+    // H^2 = 1 - sum sqrt(p q) = 1 - sqrt(0.5).
+    const std::vector<double> p = {1.0, 0.0};
+    const std::vector<double> q = {0.5, 0.5};
+    EXPECT_NEAR(hellingerDistance(p, q),
+                std::sqrt(1.0 - std::sqrt(0.5)), 1e-12);
+}
+
+TEST(Hellinger, SymmetricAndBounded)
+{
+    const std::vector<double> p = {0.7, 0.2, 0.1};
+    const std::vector<double> q = {0.3, 0.3, 0.4};
+    EXPECT_NEAR(hellingerDistance(p, q), hellingerDistance(q, p), 1e-12);
+    EXPECT_GT(hellingerDistance(p, q), 0.0);
+    EXPECT_LT(hellingerDistance(p, q), 1.0);
+    EXPECT_THROW(hellingerDistance(p, {0.5, 0.5}), FatalError);
+}
+
+TEST(TotalVariation, KnownValue)
+{
+    EXPECT_NEAR(totalVariationDistance({1.0, 0.0}, {0.5, 0.5}), 0.5,
+                1e-12);
+}
+
+TEST(Counts, Normalisation)
+{
+    const auto probs = countsToProbabilities({30, 70});
+    EXPECT_NEAR(probs[0], 0.3, 1e-12);
+    EXPECT_NEAR(probs[1], 0.7, 1e-12);
+    EXPECT_THROW(countsToProbabilities({0, 0}), FatalError);
+}
+
+TEST(Bloch, BasisStates)
+{
+    Vector zero{Complex{1, 0}, Complex{0, 0}};
+    const BlochVector bz = blochFromState(zero);
+    EXPECT_NEAR(bz.z, 1.0, 1e-12);
+    EXPECT_NEAR(bz.x, 0.0, 1e-12);
+
+    Vector plus{Complex{1 / std::sqrt(2.0), 0},
+                Complex{1 / std::sqrt(2.0), 0}};
+    const BlochVector bp = blochFromState(plus);
+    EXPECT_NEAR(bp.x, 1.0, 1e-12);
+    EXPECT_NEAR(bp.z, 0.0, 1e-12);
+
+    Vector plus_i{Complex{1 / std::sqrt(2.0), 0},
+                  Complex{0, 1 / std::sqrt(2.0)}};
+    const BlochVector by = blochFromState(plus_i);
+    EXPECT_NEAR(by.y, 1.0, 1e-12);
+}
+
+TEST(Bloch, RotationTrajectory)
+{
+    // Rx(theta)|0> has y = -sin(theta), z = cos(theta) (the Figure 5
+    // trajectory).
+    for (double theta : {0.3, 1.0, 2.4}) {
+        const Vector state = gates::rx(theta).apply(
+            Vector{Complex{1, 0}, Complex{0, 0}});
+        const BlochVector b = blochFromState(state);
+        EXPECT_NEAR(b.z, std::cos(theta), 1e-12);
+        EXPECT_NEAR(b.y, -std::sin(theta), 1e-12);
+        EXPECT_NEAR(b.x, 0.0, 1e-12);
+        EXPECT_NEAR(b.norm(), 1.0, 1e-12);
+    }
+}
+
+TEST(Bloch, FromDensityMatchesPureState)
+{
+    const Vector state = gates::u3(0.8, 0.3, -0.5).apply(
+        Vector{Complex{1, 0}, Complex{0, 0}});
+    Matrix rho(2, 2);
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 2; ++c)
+            rho(r, c) = state[r] * std::conj(state[c]);
+    const BlochVector from_state = blochFromState(state);
+    const BlochVector from_rho = blochFromDensity(rho);
+    EXPECT_NEAR(from_state.x, from_rho.x, 1e-12);
+    EXPECT_NEAR(from_state.y, from_rho.y, 1e-12);
+    EXPECT_NEAR(from_state.z, from_rho.z, 1e-12);
+}
+
+TEST(Tomography, ConvergesWithShots)
+{
+    // Shot-sampled tomography approaches the exact Bloch vector as
+    // 1/sqrt(shots) (the Figure 7 procedure).
+    const Vector state = gates::rx(1.1).apply(
+        Vector{Complex{1, 0}, Complex{0, 0}});
+    const BlochVector exact = blochFromState(state);
+    Rng rng(23);
+    const BlochVector coarse = sampledTomography(state, 100, rng);
+    const BlochVector fine = sampledTomography(state, 100000, rng);
+    const double err_fine = std::abs(fine.y - exact.y) +
+                            std::abs(fine.z - exact.z);
+    EXPECT_LT(err_fine, 0.02);
+    // Statistical scaling (loose bound).
+    (void)coarse;
+}
+
+TEST(Tomography, UnbiasedOverRepeats)
+{
+    const Vector state = gates::rx(0.7).apply(
+        Vector{Complex{1, 0}, Complex{0, 0}});
+    const BlochVector exact = blochFromState(state);
+    Rng rng(29);
+    double mean_z = 0.0;
+    const int repeats = 200;
+    for (int k = 0; k < repeats; ++k)
+        mean_z += sampledTomography(state, 1000, rng).z;
+    mean_z /= repeats;
+    EXPECT_NEAR(mean_z, exact.z, 0.01);
+}
+
+TEST(BlochFidelity, PerfectAndOrthogonal)
+{
+    const BlochVector up{0, 0, 1};
+    const BlochVector down{0, 0, -1};
+    EXPECT_NEAR(blochStateFidelity(up, up), 1.0, 1e-12);
+    EXPECT_NEAR(blochStateFidelity(up, down), 0.0, 1e-12);
+    const BlochVector x_axis{1, 0, 0};
+    EXPECT_NEAR(blochStateFidelity(up, x_axis), 0.5, 1e-12);
+}
+
+} // namespace
+} // namespace qpulse

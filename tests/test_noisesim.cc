@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Tests for the duration-aware noisy density-matrix simulator and the
+ * ideal statevector reference: trace preservation, decoherence scaling
+ * with schedule length, the per-pulse and amplitude error knobs,
+ * readout confusion and shot sampling.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "noisesim/density_sim.h"
+#include "noisesim/statevector.h"
+
+namespace qpulse {
+namespace {
+
+/** Simple synthetic provider: fixed duration/weights by gate arity. */
+NoiseInfoProvider
+syntheticProvider(long duration_1q = 160, long duration_2q = 1800)
+{
+    return [=](const Gate &gate) {
+        GateNoiseInfo info;
+        if (gateIsDirective(gate.type)) {
+            if (gate.type == GateType::Measure)
+                info.duration = 16000;
+            return info;
+        }
+        if (gate.qubits.size() == 1) {
+            info.duration = duration_1q;
+            info.error1qWeight = 1.0;
+            info.peakAmplitude = 0.1;
+        } else {
+            info.duration = duration_2q;
+            info.error2qWeight = 2.0;
+            info.error1qWeight = 2.0;
+            info.peakAmplitude = 0.15;
+        }
+        return info;
+    };
+}
+
+BackendConfig
+quietConfig(std::size_t n)
+{
+    BackendConfig config = almadenLineConfig(n);
+    config.noise.perPulseError1q = 0.0;
+    config.noise.perPulseError2q = 0.0;
+    config.noise.leakagePerAmpSq = 0.0;
+    for (auto &readout : config.readout)
+        readout = ReadoutError{0.0, 0.0};
+    return config;
+}
+
+TEST(Statevector, IdealDistributionBell)
+{
+    QuantumCircuit circuit(2);
+    circuit.h(0);
+    circuit.cx(0, 1);
+    const auto probs = idealDistribution(circuit);
+    EXPECT_NEAR(probs[0], 0.5, 1e-12);
+    EXPECT_NEAR(probs[3], 0.5, 1e-12);
+    EXPECT_NEAR(probs[1] + probs[2], 0.0, 1e-12);
+}
+
+TEST(Statevector, SampleCountsSumToShots)
+{
+    QuantumCircuit circuit(2);
+    circuit.h(0);
+    Rng rng(3);
+    const auto counts = sampleIdealCounts(circuit, 5000, rng);
+    long total = 0;
+    for (long c : counts)
+        total += c;
+    EXPECT_EQ(total, 5000);
+    EXPECT_NEAR(static_cast<double>(counts[0]) / 5000.0, 0.5, 0.05);
+}
+
+TEST(DensitySim, NoiselessMatchesIdeal)
+{
+    BackendConfig config = quietConfig(2);
+    // Effectively infinite coherence.
+    for (auto &qubit : config.qubits) {
+        qubit.t1Us = 1e9;
+        qubit.t2Us = 1e9;
+    }
+    DensitySimulator sim(config, syntheticProvider());
+    QuantumCircuit circuit(2);
+    circuit.h(0);
+    circuit.cx(0, 1);
+    circuit.measureAll();
+    const NoisyRunResult result = sim.run(circuit);
+    EXPECT_NEAR(result.probs[0], 0.5, 1e-9);
+    EXPECT_NEAR(result.probs[3], 0.5, 1e-9);
+}
+
+TEST(DensitySim, TracePreserved)
+{
+    const BackendConfig config = almadenLineConfig(3);
+    DensitySimulator sim(config, syntheticProvider());
+    QuantumCircuit circuit(3);
+    circuit.h(0);
+    circuit.cx(0, 1);
+    circuit.cx(1, 2);
+    circuit.rz(0.3, 2);
+    circuit.measureAll();
+    const NoisyRunResult result = sim.run(circuit);
+    double total = 0.0;
+    for (double p : result.probs)
+        total += p;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    EXPECT_NEAR(std::abs(result.density.trace() - Complex{1, 0}), 0.0,
+                1e-9);
+}
+
+TEST(DensitySim, LongerSchedulesDecohereMore)
+{
+    // Error source #1 (Section 8.3): same circuit, double duration ->
+    // lower survival of the excited state.
+    BackendConfig config = quietConfig(1);
+    DensitySimulator fast(config, syntheticProvider(160));
+    DensitySimulator slow(config, syntheticProvider(3200));
+    QuantumCircuit circuit(1);
+    for (int k = 0; k < 15; ++k)
+        circuit.x(0);
+    circuit.x(0); // 16 X gates -> ends in |0> ... actually |0> flips.
+    // 16 X gates = identity; survival = P(0).
+    const double p_fast = fast.run(circuit).probs[0];
+    const double p_slow = slow.run(circuit).probs[0];
+    EXPECT_GT(p_fast, p_slow);
+    EXPECT_GT(p_fast, 0.99);
+}
+
+TEST(DensitySim, IdleQubitsDecohereDuringTwoQubitGates)
+{
+    // A spectator in |1> decays while a long 2q gate runs elsewhere.
+    BackendConfig config = quietConfig(3);
+    DensitySimulator sim(config, syntheticProvider(160, 18000));
+    QuantumCircuit circuit(3);
+    circuit.x(2);
+    circuit.cx(0, 1);
+    circuit.cx(0, 1);
+    circuit.cx(0, 1);
+    circuit.barrier();
+    const NoisyRunResult result = sim.run(circuit);
+    // P(q2 = 1) = sum of probs with bit 2 set (LSB ordering: wire 2 is
+    // the least significant of 3).
+    double p_one = 0.0;
+    for (std::size_t idx = 0; idx < 8; ++idx)
+        if (idx & 1)
+            p_one += result.probs[idx];
+    const double elapsed_ns = dtToNs(3 * 18000);
+    const double expected = std::exp(-elapsed_ns / (94.0 * 1000.0));
+    EXPECT_NEAR(p_one, expected, 0.02);
+    EXPECT_LT(p_one, 0.95);
+}
+
+TEST(DensitySim, PulseErrorKnob)
+{
+    BackendConfig config = quietConfig(1);
+    for (auto &qubit : config.qubits) {
+        qubit.t1Us = 1e9;
+        qubit.t2Us = 1e9;
+    }
+    config.noise.perPulseError1q = 0.01;
+    DensitySimulator sim(config, syntheticProvider());
+    NoiseSwitches off;
+    off.pulseError = false;
+    QuantumCircuit circuit(1);
+    circuit.x(0);
+    circuit.x(0);
+    // With the knob on: two gates with weight 1 -> ~2% depolarizing.
+    const double with_error = sim.run(circuit).probs[1];
+    sim.setSwitches(off);
+    const double without_error = sim.run(circuit).probs[1];
+    EXPECT_NEAR(without_error, 0.0, 1e-9);
+    EXPECT_NEAR(with_error, 2.0 * 0.01 / 2.0, 0.004);
+}
+
+TEST(DensitySim, AmplitudeErrorKnob)
+{
+    BackendConfig config = quietConfig(1);
+    for (auto &qubit : config.qubits) {
+        qubit.t1Us = 1e9;
+        qubit.t2Us = 1e9;
+    }
+    config.noise.leakagePerAmpSq = 1.0;
+    DensitySimulator sim(config, syntheticProvider());
+    QuantumCircuit circuit(1);
+    circuit.x(0);
+    const double p_wrong = sim.run(circuit).probs[0];
+    EXPECT_GT(p_wrong, 0.001); // 0.1^2 * 1.0 / 2 depolarizing leak.
+    NoiseSwitches off;
+    off.amplitudeError = false;
+    sim.setSwitches(off);
+    EXPECT_NEAR(sim.run(circuit).probs[0], 0.0, 1e-9);
+}
+
+TEST(DensitySim, ReadoutErrorFoldsIn)
+{
+    BackendConfig config = quietConfig(1);
+    config.readout[0] = ReadoutError{0.1, 0.05};
+    for (auto &qubit : config.qubits) {
+        qubit.t1Us = 1e9;
+        qubit.t2Us = 1e9;
+    }
+    config.noise = NoiseBudget{0, 0, 0, 0};
+    DensitySimulator sim(config, syntheticProvider());
+    QuantumCircuit circuit(1);
+    const NoisyRunResult ground = sim.run(circuit);
+    EXPECT_NEAR(ground.probs[1], 0.1, 1e-9);
+    QuantumCircuit flipped(1);
+    flipped.x(0);
+    const NoisyRunResult excited = sim.run(flipped);
+    EXPECT_NEAR(excited.probs[0], 0.05, 1e-9);
+}
+
+TEST(DensitySim, ReadoutErrorTwoQubitIndependent)
+{
+    BackendConfig config = quietConfig(2);
+    config.readout[0] = ReadoutError{0.2, 0.2};
+    config.readout[1] = ReadoutError{0.0, 0.0};
+    for (auto &qubit : config.qubits) {
+        qubit.t1Us = 1e9;
+        qubit.t2Us = 1e9;
+    }
+    DensitySimulator sim(config, syntheticProvider());
+    QuantumCircuit circuit(2); // |00>.
+    const NoisyRunResult result = sim.run(circuit);
+    EXPECT_NEAR(result.probs[0], 0.8, 1e-9);  // 00.
+    EXPECT_NEAR(result.probs[2], 0.2, 1e-9);  // 10 (qubit 0 flipped).
+    EXPECT_NEAR(result.probs[1], 0.0, 1e-9);
+}
+
+TEST(DensitySim, SampleCountsDistribution)
+{
+    const BackendConfig config = quietConfig(1);
+    DensitySimulator sim(config, syntheticProvider());
+    QuantumCircuit circuit(1);
+    circuit.h(0);
+    const NoisyRunResult result = sim.run(circuit);
+    Rng rng(17);
+    const auto counts = sim.sampleCounts(result, 20000, rng);
+    EXPECT_EQ(counts.size(), 2u);
+    EXPECT_NEAR(static_cast<double>(counts[0]) / 20000.0, 0.5, 0.02);
+}
+
+TEST(DensitySim, MakespanAccounting)
+{
+    const BackendConfig config = quietConfig(2);
+    DensitySimulator sim(config, syntheticProvider(160, 1800));
+    QuantumCircuit circuit(2);
+    circuit.x(0);       // 160 on q0.
+    circuit.x(1);       // 160 on q1 (parallel).
+    circuit.cx(0, 1);   // 1800 on both.
+    circuit.x(1);       // 160.
+    const NoisyRunResult result = sim.run(circuit);
+    EXPECT_EQ(result.makespan, 160 + 1800 + 160);
+}
+
+TEST(DensitySim, RejectsWiderCircuit)
+{
+    const BackendConfig config = quietConfig(1);
+    DensitySimulator sim(config, syntheticProvider());
+    QuantumCircuit circuit(2);
+    circuit.h(0);
+    EXPECT_THROW(sim.run(circuit), FatalError);
+}
+
+TEST(DensitySim, DepolarizingHalvesBlochVector)
+{
+    // A 1q depolarizing channel of strength p shrinks Z expectation
+    // by (1 - p) on average: check via the pulse-error path.
+    BackendConfig config = quietConfig(1);
+    for (auto &qubit : config.qubits) {
+        qubit.t1Us = 1e9;
+        qubit.t2Us = 1e9;
+    }
+    config.noise.perPulseError1q = 0.5;
+    DensitySimulator sim(config, syntheticProvider());
+    QuantumCircuit circuit(1);
+    circuit.x(0);
+    const NoisyRunResult result = sim.run(circuit);
+    // One gate with weight 1 -> p = 0.5 -> rho = 0.5 |1><1| + 0.25 I.
+    EXPECT_NEAR(result.probs[1], 0.75, 1e-9);
+}
+
+} // namespace
+} // namespace qpulse

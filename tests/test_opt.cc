@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for the derivative-free optimisers and curve fitters:
+ * Nelder-Mead on standard landscapes, the constrained (COBYLA-style)
+ * wrapper, Brent, SPSA, and the Rabi/RB fit routines.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "opt/fitting.h"
+#include "opt/nelder_mead.h"
+#include "opt/spsa.h"
+
+namespace qpulse {
+namespace {
+
+TEST(NelderMead, QuadraticBowl)
+{
+    const Objective f = [](const std::vector<double> &x) {
+        return (x[0] - 1.0) * (x[0] - 1.0) +
+               (x[1] + 2.0) * (x[1] + 2.0);
+    };
+    const OptResult result = nelderMead(f, {0.0, 0.0});
+    EXPECT_NEAR(result.x[0], 1.0, 1e-4);
+    EXPECT_NEAR(result.x[1], -2.0, 1e-4);
+    EXPECT_LT(result.fun, 1e-7);
+}
+
+TEST(NelderMead, Rosenbrock2d)
+{
+    const Objective f = [](const std::vector<double> &x) {
+        const double a = 1.0 - x[0];
+        const double b = x[1] - x[0] * x[0];
+        return a * a + 100.0 * b * b;
+    };
+    NelderMeadOptions options;
+    options.maxIterations = 20000;
+    const OptResult result = nelderMead(f, {-1.2, 1.0}, options);
+    EXPECT_NEAR(result.x[0], 1.0, 1e-3);
+    EXPECT_NEAR(result.x[1], 1.0, 1e-3);
+}
+
+TEST(NelderMead, OneDimensional)
+{
+    const Objective f = [](const std::vector<double> &x) {
+        return std::cos(x[0]);
+    };
+    const OptResult result = nelderMead(f, {2.5});
+    EXPECT_NEAR(std::cos(result.x[0]), -1.0, 1e-8);
+}
+
+TEST(NelderMeadMultiStart, EscapesLocalMinimum)
+{
+    // f has a shallow local min near x=0 and a deep global min near
+    // x=4 (well depth 2 beats the 0.16 quadratic cost there).
+    const Objective f = [](const std::vector<double> &x) {
+        const double t = x[0];
+        return 0.01 * t * t - 2.0 * std::exp(-(t - 4.0) * (t - 4.0));
+    };
+    Rng rng(1);
+    const OptResult result = nelderMeadMultiStart(f, {0.0}, 20, 6.0, rng);
+    EXPECT_NEAR(result.x[0], 4.0, 0.3);
+}
+
+TEST(ConstrainedMinimize, ActiveConstraint)
+{
+    // Minimise x subject to x >= 2 -> optimum at x = 2.
+    const Objective f = [](const std::vector<double> &x) { return x[0]; };
+    const std::vector<Constraint> constraints = {
+        [](const std::vector<double> &x) { return x[0] - 2.0; }};
+    Rng rng(2);
+    const OptResult result =
+        constrainedMinimize(f, constraints, {5.0}, 4, 6.0, rng);
+    EXPECT_NEAR(result.x[0], 2.0, 1e-2);
+    EXPECT_GE(result.x[0], 2.0 - 1e-6);
+}
+
+TEST(ConstrainedMinimize, InactiveConstraint)
+{
+    const Objective f = [](const std::vector<double> &x) {
+        return x[0] * x[0];
+    };
+    const std::vector<Constraint> constraints = {
+        [](const std::vector<double> &x) { return 5.0 - x[0]; }};
+    Rng rng(3);
+    const OptResult result =
+        constrainedMinimize(f, constraints, {3.0}, 4, 4.0, rng);
+    EXPECT_NEAR(result.x[0], 0.0, 1e-2);
+}
+
+TEST(Brent, FindsCosineMinimum)
+{
+    const double x =
+        brentMinimize([](double t) { return std::cos(t); }, 2.0, 4.5);
+    EXPECT_NEAR(x, kPi, 1e-6);
+}
+
+TEST(Brent, QuadraticExact)
+{
+    const double x = brentMinimize(
+        [](double t) { return (t - 0.3) * (t - 0.3); }, -1.0, 1.0);
+    EXPECT_NEAR(x, 0.3, 1e-6);
+}
+
+TEST(Spsa, NoisyQuadratic)
+{
+    Rng noise(7);
+    const Objective f = [&](const std::vector<double> &x) {
+        double value = 0.0;
+        for (double xi : x)
+            value += (xi - 1.0) * (xi - 1.0);
+        return value + noise.gaussian(0.0, 0.01);
+    };
+    Rng rng(11);
+    SpsaOptions options;
+    options.iterations = 600;
+    const OptResult result = spsa(f, {0.0, 0.0, 0.0}, rng, options);
+    for (double xi : result.x)
+        EXPECT_NEAR(xi, 1.0, 0.25);
+}
+
+TEST(LevenbergMarquardt, FitsLine)
+{
+    const FitModel line = [](double x, const std::vector<double> &p) {
+        return p[0] + p[1] * x;
+    };
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 20; ++i) {
+        xs.push_back(i);
+        ys.push_back(2.0 + 0.5 * i);
+    }
+    const FitResult fit = levenbergMarquardt(line, xs, ys, {0.0, 0.0});
+    EXPECT_NEAR(fit.params[0], 2.0, 1e-6);
+    EXPECT_NEAR(fit.params[1], 0.5, 1e-6);
+}
+
+class CosineFitTest
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+};
+
+TEST_P(CosineFitTest, RecoversFrequencyAndPhase)
+{
+    const double freq = std::get<0>(GetParam());
+    const double phase = std::get<1>(GetParam());
+    std::vector<double> xs, ys;
+    for (int i = 0; i <= 40; ++i) {
+        const double x = 0.01 * i;
+        xs.push_back(x);
+        ys.push_back(0.5 - 0.5 * std::cos(2 * kPi * freq * x + phase));
+    }
+    const FitResult fit = fitCosine(xs, ys);
+    EXPECT_NEAR(fit.params[2], freq, 0.05 * freq);
+    EXPECT_LT(fit.residualSumSq, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CosineFitTest,
+    ::testing::Combine(::testing::Values(3.0, 5.3, 9.0),
+                       ::testing::Values(0.0, 0.7, -1.1)));
+
+TEST(CosineFit, RejectsAliasedFit)
+{
+    // A sparse Rabi-like scan must not lock onto a super-Nyquist
+    // frequency (regression test for the calibration aliasing bug).
+    std::vector<double> xs, ys;
+    for (int k = 0; k <= 24; ++k) {
+        const double amp = 0.3 * k / 24.0;
+        xs.push_back(amp);
+        ys.push_back(0.5 - 0.5 * std::cos(2 * kPi * 5.31 * amp));
+    }
+    const FitResult fit = fitCosine(xs, ys);
+    const double nyquist = 0.5 / (xs[1] - xs[0]);
+    EXPECT_LE(std::abs(fit.params[2]), nyquist);
+    EXPECT_NEAR(std::abs(fit.params[2]), 5.31, 0.1);
+}
+
+class ExpDecayFitTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ExpDecayFitTest, RecoversFidelity)
+{
+    const double f = GetParam();
+    std::vector<double> ks, ys;
+    for (int k = 2; k <= 25; ++k) {
+        ks.push_back(k);
+        ys.push_back(0.5 * std::pow(f, k) + 0.48);
+    }
+    const FitResult fit = fitExponentialDecay(ks, ys);
+    EXPECT_NEAR(fit.params[1], f, 2e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(FidelitySweep, ExpDecayFitTest,
+                         ::testing::Values(0.99, 0.995, 0.998, 0.9987));
+
+TEST(Stats, MeanAndStddev)
+{
+    const std::vector<double> xs = {1, 2, 3, 4};
+    EXPECT_NEAR(mean(xs), 2.5, 1e-12);
+    EXPECT_NEAR(stddev(xs), std::sqrt(1.25), 1e-12);
+}
+
+} // namespace
+} // namespace qpulse

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the Pauli-string / Pauli-operator algebra: products with
+ * phase tracking, commutation rules, dense conversion, expectation
+ * values and the ground-state solver.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/eigen.h"
+#include "linalg/gates.h"
+#include "pauli/pauli.h"
+
+namespace qpulse {
+namespace {
+
+TEST(PauliProduct, CyclicRules)
+{
+    // X*Y = iZ, Y*Z = iX, Z*X = iY.
+    auto xy = multiplyPauli(PauliOp::X, PauliOp::Y);
+    EXPECT_EQ(xy.op, PauliOp::Z);
+    EXPECT_EQ(xy.iPower, 1);
+    auto yz = multiplyPauli(PauliOp::Y, PauliOp::Z);
+    EXPECT_EQ(yz.op, PauliOp::X);
+    EXPECT_EQ(yz.iPower, 1);
+    auto zx = multiplyPauli(PauliOp::Z, PauliOp::X);
+    EXPECT_EQ(zx.op, PauliOp::Y);
+    EXPECT_EQ(zx.iPower, 1);
+}
+
+TEST(PauliProduct, AnticyclicRules)
+{
+    auto yx = multiplyPauli(PauliOp::Y, PauliOp::X);
+    EXPECT_EQ(yx.op, PauliOp::Z);
+    EXPECT_EQ(yx.iPower, 3); // -i.
+}
+
+TEST(PauliProduct, IdentityAndSquares)
+{
+    EXPECT_EQ(multiplyPauli(PauliOp::I, PauliOp::X).op, PauliOp::X);
+    EXPECT_EQ(multiplyPauli(PauliOp::X, PauliOp::X).op, PauliOp::I);
+    EXPECT_EQ(multiplyPauli(PauliOp::X, PauliOp::X).iPower, 0);
+}
+
+TEST(PauliString, ParseAndToString)
+{
+    const PauliString s = PauliString::parse("XZIY");
+    EXPECT_EQ(s.numQubits(), 4u);
+    EXPECT_EQ(s.op(0), PauliOp::X);
+    EXPECT_EQ(s.op(2), PauliOp::I);
+    EXPECT_EQ(s.toString(), "XZIY");
+    EXPECT_THROW(PauliString::parse("XQ"), FatalError);
+}
+
+TEST(PauliString, WeightAndIdentity)
+{
+    EXPECT_EQ(PauliString::parse("XZIY").weight(), 3u);
+    EXPECT_TRUE(PauliString::parse("III").isIdentity());
+    EXPECT_FALSE(PauliString::parse("IIZ").isIdentity());
+}
+
+TEST(PauliString, CommutationRules)
+{
+    // Same-position different Paulis anticommute; two such positions
+    // restore commutation.
+    EXPECT_FALSE(PauliString::parse("X").commutesWith(
+        PauliString::parse("Z")));
+    EXPECT_TRUE(PauliString::parse("XX").commutesWith(
+        PauliString::parse("ZZ")));
+    EXPECT_TRUE(PauliString::parse("XI").commutesWith(
+        PauliString::parse("IZ")));
+    EXPECT_FALSE(PauliString::parse("XY").commutesWith(
+        PauliString::parse("XZ")));
+}
+
+TEST(PauliString, CommutationMatchesMatrices)
+{
+    const std::vector<std::string> strings = {"XY", "ZI", "YY", "XZ",
+                                              "IX"};
+    for (const auto &a_text : strings) {
+        for (const auto &b_text : strings) {
+            const PauliString a = PauliString::parse(a_text);
+            const PauliString b = PauliString::parse(b_text);
+            const Matrix ma = a.toMatrix();
+            const Matrix mb = b.toMatrix();
+            const Matrix comm = ma * mb - mb * ma;
+            const bool commutes = comm.frobeniusNorm() < 1e-12;
+            EXPECT_EQ(a.commutesWith(b), commutes)
+                << a_text << " vs " << b_text;
+        }
+    }
+}
+
+TEST(PauliString, MultiplyMatchesMatrices)
+{
+    const PauliString a = PauliString::parse("XY");
+    const PauliString b = PauliString::parse("YX");
+    const auto [product, i_power] = a.multiply(b);
+    // Matrix check: a.toMatrix() * b.toMatrix() == i^power * product.
+    Matrix expected = product.toMatrix();
+    Complex phase{1, 0};
+    for (int k = 0; k < i_power; ++k)
+        phase *= Complex{0, 1};
+    expected *= phase;
+    EXPECT_LT((a.toMatrix() * b.toMatrix()).maxAbsDiff(expected), 1e-12);
+}
+
+TEST(PauliString, ToMatrixZZ)
+{
+    const Matrix zz = PauliString::parse("ZZ").toMatrix();
+    EXPECT_LT(zz.maxAbsDiff(kron(gates::z(), gates::z())), 1e-12);
+}
+
+TEST(PauliOperator, AddTermCombines)
+{
+    PauliOperator op(2);
+    op.addTerm(0.5, "ZZ");
+    op.addTerm(0.25, "ZZ");
+    ASSERT_EQ(op.terms().size(), 1u);
+    EXPECT_NEAR(op.terms()[0].coefficient, 0.75, 1e-12);
+}
+
+TEST(PauliOperator, Prune)
+{
+    PauliOperator op(1);
+    op.addTerm(1e-15, "Z");
+    op.addTerm(0.5, "X");
+    op.prune();
+    ASSERT_EQ(op.terms().size(), 1u);
+    EXPECT_EQ(op.terms()[0].string.toString(), "X");
+}
+
+TEST(PauliOperator, ExpectationOnBasisStates)
+{
+    PauliOperator op(1);
+    op.addTerm(1.0, "Z");
+    Vector zero{Complex{1, 0}, Complex{0, 0}};
+    Vector one{Complex{0, 0}, Complex{1, 0}};
+    EXPECT_NEAR(op.expectation(zero), 1.0, 1e-12);
+    EXPECT_NEAR(op.expectation(one), -1.0, 1e-12);
+}
+
+TEST(PauliOperator, ExpectationMatchesMatrix)
+{
+    PauliOperator op(2);
+    op.addTerm(0.3, "XX");
+    op.addTerm(-0.2, "ZI");
+    op.addTerm(0.1, "YZ");
+    // |+0> state.
+    Vector state(4);
+    state[0] = Complex{1 / std::sqrt(2.0), 0};
+    state[2] = Complex{1 / std::sqrt(2.0), 0};
+    const Matrix m = op.toMatrix();
+    const double direct = state.dot(m.apply(state)).real();
+    EXPECT_NEAR(op.expectation(state), direct, 1e-12);
+}
+
+TEST(PauliOperator, GroundStateOfZZ)
+{
+    PauliOperator op(2);
+    op.addTerm(1.0, "ZZ");
+    EXPECT_NEAR(op.groundStateEnergy(), -1.0, 1e-9);
+}
+
+TEST(PauliOperator, GroundStateOfTransverseIsing)
+{
+    // H = -ZZ - g(XI + IX), g = 1: E0 = -sqrt(1+... (2 qubits:
+    // eigenvalues of [-1 shell]); check against dense diagonalisation.
+    PauliOperator op(2);
+    op.addTerm(-1.0, "ZZ");
+    op.addTerm(-1.0, "XI");
+    op.addTerm(-1.0, "IX");
+    const double e0 = op.groundStateEnergy();
+    const EigenSystem es = eigHermitian(op.toMatrix());
+    EXPECT_NEAR(e0, es.values[0], 1e-9);
+    EXPECT_LT(e0, -2.0);
+}
+
+TEST(PauliOperator, SumAndScale)
+{
+    PauliOperator a(1), b(1);
+    a.addTerm(0.5, "Z");
+    b.addTerm(0.25, "Z");
+    b.addTerm(1.0, "X");
+    const PauliOperator sum = a + b;
+    const Matrix expected =
+        gates::z() * Complex{0.75, 0} + gates::x() * Complex{1.0, 0};
+    EXPECT_LT(sum.toMatrix().maxAbsDiff(expected), 1e-12);
+    const PauliOperator scaled = sum * 2.0;
+    EXPECT_LT(scaled.toMatrix().maxAbsDiff(expected * Complex{2, 0}),
+              1e-12);
+}
+
+TEST(PauliOperator, HermiticityOfMatrix)
+{
+    PauliOperator op(2);
+    op.addTerm(0.7, "XY");
+    op.addTerm(-0.3, "YX");
+    op.addTerm(0.2, "ZZ");
+    EXPECT_TRUE(op.toMatrix().isHermitian(1e-12));
+}
+
+} // namespace
+} // namespace qpulse

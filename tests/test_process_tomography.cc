@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for single-qubit process tomography: PTMs of known unitaries,
+ * trace preservation, unitarity of decohering channels, and fidelity
+ * extraction for a calibrated pulse against its target.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "device/calibration.h"
+#include "linalg/gates.h"
+#include "metrics/process_tomography.h"
+
+namespace qpulse {
+namespace {
+
+TEST(Ptm, IdentityChannel)
+{
+    const PauliTransferMatrix ptm = ptmOfUnitary(gates::i2());
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            EXPECT_NEAR(ptm.r[i][j], i == j ? 1.0 : 0.0, 1e-9)
+                << i << "," << j;
+    EXPECT_TRUE(ptm.isTracePreserving());
+    EXPECT_NEAR(ptm.unitarity(), 1.0, 1e-9);
+}
+
+TEST(Ptm, PauliXChannel)
+{
+    // X conjugation: x -> x, y -> -y, z -> -z.
+    const PauliTransferMatrix ptm = ptmOfUnitary(gates::x());
+    EXPECT_NEAR(ptm.r[1][1], 1.0, 1e-9);
+    EXPECT_NEAR(ptm.r[2][2], -1.0, 1e-9);
+    EXPECT_NEAR(ptm.r[3][3], -1.0, 1e-9);
+    EXPECT_NEAR(ptm.unitarity(), 1.0, 1e-9);
+}
+
+TEST(Ptm, HadamardSwapsXandZ)
+{
+    const PauliTransferMatrix ptm = ptmOfUnitary(gates::h());
+    EXPECT_NEAR(ptm.r[1][3], 1.0, 1e-9); // z -> x.
+    EXPECT_NEAR(ptm.r[3][1], 1.0, 1e-9); // x -> z.
+    EXPECT_NEAR(ptm.r[2][2], -1.0, 1e-9);
+}
+
+TEST(Ptm, RotationBlock)
+{
+    // Rz(theta) rotates the xy plane by theta.
+    const double theta = 0.8;
+    const PauliTransferMatrix ptm = ptmOfUnitary(gates::rz(theta));
+    EXPECT_NEAR(ptm.r[1][1], std::cos(theta), 1e-9);
+    EXPECT_NEAR(ptm.r[2][1], std::sin(theta), 1e-9);
+    EXPECT_NEAR(ptm.r[3][3], 1.0, 1e-9);
+}
+
+TEST(Ptm, FidelityOfMatchingUnitaries)
+{
+    const PauliTransferMatrix a = ptmOfUnitary(gates::rx(0.6));
+    const PauliTransferMatrix b = ptmOfUnitary(gates::rx(0.6));
+    EXPECT_NEAR(a.averageGateFidelity(b), 1.0, 1e-9);
+    // Orthogonal Paulis: F = 1/3 (matches the unitary-overlap value).
+    const PauliTransferMatrix x = ptmOfUnitary(gates::x());
+    const PauliTransferMatrix z = ptmOfUnitary(gates::z());
+    EXPECT_NEAR(x.averageGateFidelity(z), 1.0 / 3.0, 1e-9);
+}
+
+TEST(Ptm, DepolarizingChannelUnitarity)
+{
+    // A hand-built 20% depolarizing channel: Bloch vector shrinks.
+    const BlochChannel channel = [](const BlochVector &in) {
+        return BlochVector{0.8 * in.x, 0.8 * in.y, 0.8 * in.z};
+    };
+    const PauliTransferMatrix ptm = processTomography(channel);
+    EXPECT_TRUE(ptm.isTracePreserving());
+    EXPECT_NEAR(ptm.unitarity(), 0.64, 1e-9);
+    const double f =
+        ptm.averageGateFidelity(ptmOfUnitary(gates::i2()));
+    EXPECT_NEAR(f, (2.0 * (1.0 + 3 * 0.8) / 4.0 + 1.0) / 3.0, 1e-9);
+}
+
+TEST(Ptm, AmplitudeDampingShift)
+{
+    // Amplitude damping has a non-unital shift toward |0> (+z).
+    const double gamma = 0.3;
+    const BlochChannel channel = [&](const BlochVector &in) {
+        return BlochVector{std::sqrt(1 - gamma) * in.x,
+                           std::sqrt(1 - gamma) * in.y,
+                           gamma + (1 - gamma) * in.z};
+    };
+    const PauliTransferMatrix ptm = processTomography(channel);
+    EXPECT_NEAR(ptm.r[3][0], gamma, 1e-9); // The affine z shift.
+    EXPECT_TRUE(ptm.isTracePreserving());
+    EXPECT_LT(ptm.unitarity(), 1.0);
+}
+
+TEST(Ptm, CalibratedPulseThroughSimulator)
+{
+    // Tomograph the calibrated DirectX pulse on the transmon
+    // simulator: high fidelity against the ideal X PTM.
+    const BackendConfig config = almadenLineConfig(1);
+    Calibrator calibrator(config);
+    const QubitCalibration cal = calibrator.calibrateQubit(0);
+    PulseSimulator sim(calibrator.qubitModel(0));
+
+    const BlochChannel channel = [&](const BlochVector &in) {
+        const double theta = std::acos(std::clamp(in.z, -1.0, 1.0));
+        const double phi = std::atan2(in.y, in.x);
+        Vector state(3);
+        state[0] = Complex{std::cos(theta / 2), 0.0};
+        state[1] = std::polar(std::sin(theta / 2), phi);
+        Schedule schedule("x");
+        schedule.play(driveChannel(0), cal.x180Pulse());
+        const Vector out = sim.evolveState(schedule, state);
+        return blochFromState(out);
+    };
+    const PauliTransferMatrix measured = processTomography(channel);
+    const double fidelity =
+        measured.averageGateFidelity(ptmOfUnitary(gates::x()));
+    EXPECT_GT(fidelity, 0.999);
+    // Tiny leakage makes the channel marginally non-TP.
+    EXPECT_TRUE(measured.isTracePreserving(0.01));
+}
+
+} // namespace
+} // namespace qpulse

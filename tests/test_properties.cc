@@ -1,0 +1,195 @@
+/**
+ * @file
+ * End-to-end property and failure-injection tests.
+ *
+ * Properties: for random single-qubit programs, BOTH compiler flows
+ * produce pulse schedules whose simulated unitary matches the program
+ * (the strongest end-to-end guarantee the compiler gives). Failure
+ * injection: deliberately corrupted calibrations, drives and inputs
+ * must be either detected (fatal) or measurably degrade fidelity —
+ * never silently produce a "healthy" result.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/constants.h"
+#include "compile/compiler.h"
+#include "linalg/gates.h"
+#include "rb/randomized_benchmarking.h"
+
+namespace qpulse {
+namespace {
+
+class EndToEndProperty : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        config_ = new BackendConfig(almadenLineConfig(1));
+        backend_ = new std::shared_ptr<const PulseBackend>(
+            makeCalibratedBackend(*config_));
+        calibrator_ = new Calibrator(*config_);
+        sim_ = new PulseSimulator(calibrator_->qubitModel(0));
+    }
+    static void TearDownTestSuite()
+    {
+        delete sim_;
+        delete calibrator_;
+        delete backend_;
+        delete config_;
+    }
+
+    static Matrix qubitBlock(const Matrix &u)
+    {
+        Matrix block(2, 2);
+        for (std::size_t r = 0; r < 2; ++r)
+            for (std::size_t c = 0; c < 2; ++c)
+                block(r, c) = u(r, c);
+        return block;
+    }
+
+    static double compiledFidelity(CompileMode mode,
+                                   const QuantumCircuit &circuit)
+    {
+        const PulseCompiler compiler(*backend_, mode);
+        const CompileResult result = compiler.compile(circuit);
+        const UnitaryResult evolved =
+            sim_->evolveUnitary(result.schedule);
+        const Matrix effective =
+            qubitBlock(sim_->effectiveUnitary(evolved));
+        return averageGateFidelity(effective, circuit.unitary());
+    }
+
+    static BackendConfig *config_;
+    static std::shared_ptr<const PulseBackend> *backend_;
+    static Calibrator *calibrator_;
+    static PulseSimulator *sim_;
+};
+
+BackendConfig *EndToEndProperty::config_ = nullptr;
+std::shared_ptr<const PulseBackend> *EndToEndProperty::backend_ = nullptr;
+Calibrator *EndToEndProperty::calibrator_ = nullptr;
+PulseSimulator *EndToEndProperty::sim_ = nullptr;
+
+TEST_F(EndToEndProperty, RandomProgramsCompileFaithfullyBothFlows)
+{
+    Rng rng(0xE2E);
+    for (int trial = 0; trial < 6; ++trial) {
+        QuantumCircuit circuit(1);
+        const int gates = 3 + static_cast<int>(rng.uniformInt(5));
+        for (int g = 0; g < gates; ++g) {
+            switch (rng.uniformInt(5)) {
+              case 0: circuit.h(0); break;
+              case 1: circuit.rx(rng.uniform(-3, 3), 0); break;
+              case 2: circuit.rz(rng.uniform(-3, 3), 0); break;
+              case 3: circuit.t(0); break;
+              default:
+                circuit.u3(rng.uniform(0, 3), rng.uniform(-3, 3),
+                           rng.uniform(-3, 3), 0);
+                break;
+            }
+        }
+        EXPECT_GT(compiledFidelity(CompileMode::Standard, circuit),
+                  0.995)
+            << circuit.toString();
+        EXPECT_GT(compiledFidelity(CompileMode::Optimized, circuit),
+                  0.995)
+            << circuit.toString();
+    }
+}
+
+TEST_F(EndToEndProperty, OptimizedNeverSlowerThanStandard)
+{
+    Rng rng(0xE2F);
+    const PulseCompiler standard(*backend_, CompileMode::Standard);
+    const PulseCompiler optimized(*backend_, CompileMode::Optimized);
+    for (int trial = 0; trial < 6; ++trial) {
+        QuantumCircuit circuit(1);
+        for (int g = 0; g < 6; ++g) {
+            if (rng.uniform() < 0.5)
+                circuit.rx(rng.uniform(-3, 3), 0);
+            else
+                circuit.h(0);
+        }
+        EXPECT_LE(optimized.compile(circuit).durationDt,
+                  standard.compile(circuit).durationDt);
+    }
+}
+
+// --- Failure injection. ---
+
+TEST_F(EndToEndProperty, MiscalibratedAmplitudeDegradesFidelity)
+{
+    // Corrupt the calibrated amplitude by 10%: the compiled X gate
+    // must visibly degrade (and not be silently corrected).
+    PulseLibrary corrupted = (*backend_)->library();
+    corrupted.qubits[0].x180Amp *= 1.10;
+    corrupted.qubits[0].x90Amp *= 1.10;
+    const auto bad_backend =
+        std::make_shared<const PulseBackend>(corrupted);
+    const PulseCompiler compiler(bad_backend, CompileMode::Optimized);
+    QuantumCircuit circuit(1);
+    circuit.x(0);
+    const CompileResult result = compiler.compile(circuit);
+    const Matrix effective = qubitBlock(sim_->effectiveUnitary(
+        sim_->evolveUnitary(result.schedule)));
+    const double fidelity =
+        averageGateFidelity(effective, gates::x());
+    EXPECT_LT(fidelity, 0.995);
+    EXPECT_GT(fidelity, 0.8); // Degraded, not destroyed.
+}
+
+TEST_F(EndToEndProperty, CoherentOverRotationAccumulatesWithLength)
+{
+    // A 2% over-rotated X90 applied K times accumulates coherent
+    // error quadratically in K (worse than linear) — the failure mode
+    // an RB-style experiment amplifies and detects.
+    PulseLibrary corrupted = (*backend_)->library();
+    corrupted.qubits[0].x90Amp *= 1.02;
+    const auto bad_backend =
+        std::make_shared<const PulseBackend>(corrupted);
+
+    auto error_after = [&](int pairs) {
+        Schedule schedule("seq");
+        for (int k = 0; k < 2 * pairs; ++k)
+            schedule.append(bad_backend->schedule(
+                makeGate(GateType::X90, {0})));
+        const Matrix effective = qubitBlock(sim_->effectiveUnitary(
+            sim_->evolveUnitary(schedule)));
+        // 2*pairs X90 pulses = `pairs` full X rotations.
+        const Matrix target =
+            pairs % 2 == 0 ? Matrix::identity(2) : gates::x();
+        return 1.0 - averageGateFidelity(effective, target);
+    };
+
+    const double short_error = error_after(1);
+    const double long_error = error_after(6);
+    EXPECT_GT(long_error, 4.0 * short_error);
+    EXPECT_GT(long_error, 0.005);
+}
+
+TEST_F(EndToEndProperty, UndefinedGateIsFatalNotSilent)
+{
+    // The 1-qubit backend has no 2q entries: requesting one must be
+    // loud.
+    EXPECT_THROW((*backend_)->schedule(makeGate(GateType::Cnot, {0, 1})),
+                 FatalError);
+}
+
+TEST_F(EndToEndProperty, OverdrivenScaledPulseIsRejected)
+{
+    // Amplitude scaling beyond |d| = 1 violates the OpenPulse bound
+    // and must be rejected at construction.
+    auto base = std::make_shared<ConstantWaveform>(10, Complex{0.9, 0});
+    EXPECT_THROW(ScaledWaveform(base, Complex{1.2, 0.0}), FatalError);
+}
+
+TEST_F(EndToEndProperty, NegativeShotCountsRejected)
+{
+    Rng rng(1);
+    EXPECT_THROW(rng.binomial(-5, 0.5), FatalError);
+}
+
+} // namespace
+} // namespace qpulse

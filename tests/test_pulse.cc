@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Tests for the pulse IR: waveform shapes and the paper's three pulse
+ * transformations (amplitude scaling, flat-top stretching, sideband
+ * modulation), channel identity, schedule composition and rendering.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "pulse/cmd_def.h"
+#include "pulse/schedule.h"
+#include "pulse/waveform.h"
+
+namespace qpulse {
+namespace {
+
+TEST(Waveform, GaussianShape)
+{
+    GaussianWaveform g(160, 40.0, Complex{0.5, 0.0});
+    EXPECT_EQ(g.duration(), 160);
+    // Peak at the centre, symmetric.
+    EXPECT_NEAR(std::abs(g.sample(79)), std::abs(g.sample(80)), 1e-12);
+    EXPECT_GT(std::abs(g.sample(80)), std::abs(g.sample(0)));
+    EXPECT_NEAR(g.peakAmplitude(), 0.5, 1e-3);
+}
+
+TEST(Waveform, DragAddsImaginaryDerivative)
+{
+    DragWaveform d(160, 40.0, Complex{0.5, 0.0}, 2.0);
+    // At the centre the derivative vanishes: purely real.
+    const Complex centre = d.sample(80);
+    EXPECT_NEAR(centre.imag(), 0.0, 1e-3);
+    // Off-centre the imaginary part is nonzero and antisymmetric.
+    const Complex left = d.sample(40);
+    const Complex right = d.sample(119);
+    EXPECT_GT(std::abs(left.imag()), 1e-4);
+    EXPECT_NEAR(left.imag(), -right.imag(), 1e-6);
+}
+
+TEST(Waveform, DragBetaZeroIsGaussian)
+{
+    GaussianWaveform g(160, 40.0, Complex{0.3, 0.0});
+    DragWaveform d(160, 40.0, Complex{0.3, 0.0}, 0.0);
+    for (long t = 0; t < 160; t += 13)
+        EXPECT_NEAR(std::abs(g.sample(t) - d.sample(t)), 0.0, 1e-12);
+}
+
+TEST(Waveform, GaussianSquareFlatTop)
+{
+    GaussianSquareWaveform gs(400, 15.0, 60, Complex{0.2, 0.0});
+    EXPECT_EQ(gs.flatTop(), 280);
+    // Flat in the middle.
+    EXPECT_NEAR(std::abs(gs.sample(200)), 0.2, 1e-12);
+    EXPECT_NEAR(std::abs(gs.sample(100)), 0.2, 1e-12);
+    // Rising at the edge.
+    EXPECT_LT(std::abs(gs.sample(0)), 0.2);
+    EXPECT_THROW(GaussianSquareWaveform(50, 5.0, 30, Complex{0.1, 0.0}),
+                 FatalError);
+}
+
+TEST(Waveform, StretchGaussianSquare)
+{
+    GaussianSquareWaveform base(400, 15.0, 60, Complex{0.2, 0.0});
+    const WaveformPtr doubled = stretchGaussianSquare(base, 2.0);
+    EXPECT_EQ(doubled->duration(), 280 * 2 + 120);
+    const WaveformPtr halved = stretchGaussianSquare(base, 0.5);
+    EXPECT_EQ(halved->duration(), 140 + 120);
+    const WaveformPtr zero = stretchGaussianSquare(base, 0.0);
+    EXPECT_EQ(zero->duration(), 120); // Edges only.
+}
+
+TEST(Waveform, ScaledWaveformHalvesArea)
+{
+    auto base = std::make_shared<GaussianWaveform>(160, 40.0,
+                                                   Complex{0.4, 0.0});
+    ScaledWaveform half(base, Complex{0.5, 0.0});
+    EXPECT_NEAR(half.absArea(), base->absArea() / 2.0, 1e-9);
+    // Negative scaling flips the sign (Rx(-theta) pulses).
+    ScaledWaveform neg(base, Complex{-1.0, 0.0});
+    EXPECT_NEAR(neg.sample(80).real(), -base->sample(80).real(), 1e-12);
+}
+
+TEST(Waveform, ScaledWaveformEnforcesAmplitudeBound)
+{
+    auto base = std::make_shared<ConstantWaveform>(10, Complex{1.0, 0.0});
+    EXPECT_THROW(ScaledWaveform(base, Complex{1.5, 0.0}), FatalError);
+}
+
+TEST(Waveform, SidebandModulation)
+{
+    // A sideband at f shifts the phase by -2 pi f t dt per sample
+    // (Equation 1 / Section 7.1).
+    auto base = std::make_shared<ConstantWaveform>(100, Complex{0.5, 0.0});
+    SidebandWaveform side(base, -0.33);
+    EXPECT_NEAR(std::abs(side.sample(50)), 0.5, 1e-12);
+    const double expected_phase = 2.0 * kPi * 0.33 * 50 * kDtNs;
+    EXPECT_NEAR(std::arg(side.sample(50)),
+                std::remainder(expected_phase, 2 * kPi), 1e-9);
+}
+
+TEST(Waveform, AreaUnderCurveFigure4)
+{
+    // Figure 4's logic: the 160 dt DirectX pulse and the two 160 dt
+    // half-amplitude X90 pulses have the same total area.
+    auto x180 = std::make_shared<GaussianWaveform>(160, 40.0,
+                                                   Complex{0.2, 0.0});
+    auto x90 = std::make_shared<GaussianWaveform>(160, 40.0,
+                                                  Complex{0.1, 0.0});
+    EXPECT_NEAR(x180->absArea(), 2.0 * x90->absArea(), 1e-9);
+}
+
+TEST(Channel, NamesAndOrdering)
+{
+    EXPECT_EQ(driveChannel(0).toString(), "d0");
+    EXPECT_EQ(controlChannel(3).toString(), "u3");
+    EXPECT_EQ(measureChannel(1).toString(), "m1");
+    EXPECT_EQ(acquireChannel(2).toString(), "a2");
+    EXPECT_TRUE(driveChannel(0) < driveChannel(1));
+    EXPECT_TRUE(driveChannel(5) < controlChannel(0));
+    EXPECT_TRUE(driveChannel(1) == driveChannel(1));
+}
+
+TEST(Schedule, PlayAppendsAtChannelEnd)
+{
+    Schedule schedule("s");
+    auto wf = std::make_shared<ConstantWaveform>(100, Complex{0.1, 0.0});
+    schedule.play(driveChannel(0), wf);
+    schedule.play(driveChannel(0), wf);
+    schedule.play(driveChannel(1), wf);
+    EXPECT_EQ(schedule.duration(), 200);
+    EXPECT_EQ(schedule.channelEndTime(driveChannel(0)), 200);
+    EXPECT_EQ(schedule.channelEndTime(driveChannel(1)), 100);
+    EXPECT_EQ(schedule.playCount(), 3u);
+}
+
+TEST(Schedule, ShiftPhaseIsZeroDuration)
+{
+    Schedule schedule("s");
+    schedule.shiftPhase(driveChannel(0), 1.2);
+    EXPECT_EQ(schedule.duration(), 0);
+    schedule.play(driveChannel(0),
+                  std::make_shared<ConstantWaveform>(50,
+                                                     Complex{0.1, 0.0}));
+    schedule.shiftPhase(driveChannel(0), -0.5);
+    EXPECT_EQ(schedule.duration(), 50);
+    EXPECT_EQ(schedule.instructions().back().startTime, 50);
+}
+
+TEST(Schedule, AppendPreservesInternalAlignment)
+{
+    auto wf100 =
+        std::make_shared<ConstantWaveform>(100, Complex{0.1, 0.0});
+    auto wf40 = std::make_shared<ConstantWaveform>(40, Complex{0.1, 0.0});
+
+    Schedule first("first");
+    first.play(driveChannel(0), wf100);
+
+    // CR-echo-like block: u0 then d0 sequentially (relative offsets
+    // must survive the append).
+    Schedule block("block");
+    block.playAt(0, controlChannel(0), wf40);
+    block.playAt(40, driveChannel(0), wf40);
+
+    first.append(block);
+    // d0 is busy until 100, so the block shifts to keep alignment:
+    // u0 at 60, d0 at 100.
+    long u_start = -1, d_second_start = -1;
+    for (const auto &inst : first.instructions()) {
+        if (inst.channel == controlChannel(0))
+            u_start = inst.startTime;
+        if (inst.channel == driveChannel(0) && inst.startTime > 0)
+            d_second_start = inst.startTime;
+    }
+    EXPECT_EQ(u_start, 60);
+    EXPECT_EQ(d_second_start, 100);
+}
+
+TEST(Schedule, AppendBarrierSerialises)
+{
+    auto wf = std::make_shared<ConstantWaveform>(30, Complex{0.1, 0.0});
+    Schedule a("a"), b("b");
+    a.play(driveChannel(0), wf);
+    b.play(driveChannel(1), wf);
+    a.appendBarrier(b);
+    EXPECT_EQ(a.duration(), 60);
+}
+
+TEST(Schedule, ShiftedRejectsNegative)
+{
+    Schedule schedule("s");
+    schedule.playAt(10, driveChannel(0),
+                    std::make_shared<ConstantWaveform>(
+                        10, Complex{0.1, 0.0}));
+    EXPECT_NO_THROW(schedule.shifted(5));
+    EXPECT_THROW(schedule.shifted(-20), FatalError);
+}
+
+TEST(Schedule, DelayAndAcquire)
+{
+    Schedule schedule("s");
+    schedule.delay(driveChannel(0), 80);
+    schedule.acquire(acquireChannel(0), 200);
+    EXPECT_EQ(schedule.duration(), 200);
+    EXPECT_EQ(schedule.playCount(), 0u);
+}
+
+TEST(Schedule, RenderMentionsChannels)
+{
+    Schedule schedule("demo");
+    schedule.play(driveChannel(2), std::make_shared<GaussianWaveform>(
+                                       160, 40.0, Complex{0.1, 0.0}));
+    schedule.shiftPhase(driveChannel(2), 0.5);
+    const std::string text = schedule.render();
+    EXPECT_NE(text.find("demo"), std::string::npos);
+    EXPECT_NE(text.find("d2"), std::string::npos);
+    EXPECT_NE(text.find("gaussian"), std::string::npos);
+}
+
+TEST(Schedule, ValidateCleanSchedule)
+{
+    Schedule schedule("s");
+    schedule.play(driveChannel(0), std::make_shared<GaussianWaveform>(
+                                       160, 40.0, Complex{0.3, 0.0}));
+    schedule.shiftPhase(driveChannel(0), 0.4);
+    schedule.play(driveChannel(0), std::make_shared<GaussianWaveform>(
+                                       160, 40.0, Complex{0.3, 0.0}));
+    EXPECT_TRUE(schedule.validate().empty());
+}
+
+TEST(Schedule, ValidateFlagsOverlap)
+{
+    Schedule schedule("s");
+    auto wf = std::make_shared<ConstantWaveform>(100, Complex{0.1, 0.0});
+    schedule.playAt(0, driveChannel(0), wf);
+    schedule.playAt(50, driveChannel(0), wf); // Overlaps.
+    schedule.playAt(50, driveChannel(1), wf); // Different channel: OK.
+    const auto violations = schedule.validate();
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_NE(violations[0].find("overlapping"), std::string::npos);
+    EXPECT_NE(violations[0].find("d0"), std::string::npos);
+}
+
+TEST(Schedule, ValidateFlagsOverdrive)
+{
+    Schedule schedule("s");
+    // SampledWaveform bypasses the ScaledWaveform guard, so validate()
+    // is the net that catches over-unit envelopes.
+    schedule.play(driveChannel(0),
+                  std::make_shared<SampledWaveform>(
+                      std::vector<Complex>{Complex{1.4, 0.0}}));
+    const auto violations = schedule.validate();
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_NE(violations[0].find("|d|<=1"), std::string::npos);
+}
+
+TEST(CmdDef, DefineAndLookup)
+{
+    CmdDef cmd_def;
+    cmd_def.define(GateType::X90, {0}, [](const Gate &) {
+        Schedule schedule("x90");
+        schedule.play(driveChannel(0),
+                      std::make_shared<ConstantWaveform>(
+                          160, Complex{0.1, 0.0}));
+        return schedule;
+    });
+    EXPECT_TRUE(cmd_def.has(GateType::X90, {0}));
+    EXPECT_FALSE(cmd_def.has(GateType::X90, {1}));
+    const Schedule schedule =
+        cmd_def.schedule(makeGate(GateType::X90, {0}));
+    EXPECT_EQ(schedule.duration(), 160);
+    EXPECT_THROW(cmd_def.schedule(makeGate(GateType::X90, {1})),
+                 FatalError);
+    EXPECT_EQ(cmd_def.keys().size(), 1u);
+}
+
+TEST(CmdDef, ParametrizedBuilderSeesGateParams)
+{
+    CmdDef cmd_def;
+    cmd_def.define(GateType::DirectRx, {0}, [](const Gate &gate) {
+        Schedule schedule("direct_rx");
+        const double scale = gate.params[0] / kPi;
+        schedule.play(driveChannel(0),
+                      std::make_shared<ConstantWaveform>(
+                          160, Complex{0.2 * scale, 0.0}));
+        return schedule;
+    });
+    const Schedule schedule = cmd_def.schedule(
+        makeGate(GateType::DirectRx, {0}, {kPi / 2}));
+    double peak = 0.0;
+    for (const auto &inst : schedule.instructions())
+        peak = std::max(peak, inst.waveform->peakAmplitude());
+    EXPECT_NEAR(peak, 0.1, 1e-12);
+}
+
+} // namespace
+} // namespace qpulse

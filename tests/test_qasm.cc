@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the OpenQASM 2.0 front end: parsing the supported gate
+ * set, angle-expression arithmetic, error handling and round-tripping
+ * through toQasm().
+ */
+#include <gtest/gtest.h>
+
+#include "circuit/qasm.h"
+#include "common/constants.h"
+#include "linalg/gates.h"
+
+namespace qpulse {
+namespace {
+
+TEST(QasmParse, HeaderAndRegisters)
+{
+    const QuantumCircuit circuit = parseQasm(R"(
+        OPENQASM 2.0;
+        include "qelib1.inc";
+        qreg q[3];
+        creg c[3];
+        h q[0];
+    )");
+    EXPECT_EQ(circuit.numQubits(), 3u);
+    EXPECT_EQ(circuit.size(), 1u);
+    EXPECT_EQ(circuit.gates()[0].type, GateType::H);
+}
+
+TEST(QasmParse, AllSimpleGates)
+{
+    const QuantumCircuit circuit = parseQasm(
+        "qreg q[2]; id q[0]; h q[0]; x q[0]; y q[0]; z q[0]; s q[0]; "
+        "sdg q[0]; t q[0]; tdg q[0]; cx q[0],q[1]; cz q[0],q[1]; "
+        "swap q[0],q[1];");
+    EXPECT_EQ(circuit.size(), 12u);
+    EXPECT_EQ(circuit.countType(GateType::Cnot), 1u);
+    EXPECT_EQ(circuit.countType(GateType::Swap), 1u);
+}
+
+TEST(QasmParse, ParamGatesAndExpressions)
+{
+    const QuantumCircuit circuit = parseQasm(
+        "qreg q[2];"
+        "rx(pi/2) q[0];"
+        "rz(-pi/4) q[1];"
+        "u1(2*pi/8) q[0];"
+        "u2(0, pi) q[0];"
+        "u3(pi/2, -pi, 0.25) q[1];"
+        "rzz(3*(1+0.5)) q[0],q[1];");
+    ASSERT_EQ(circuit.size(), 6u);
+    EXPECT_NEAR(circuit.gates()[0].params[0], kPi / 2, 1e-12);
+    EXPECT_NEAR(circuit.gates()[1].params[0], -kPi / 4, 1e-12);
+    EXPECT_NEAR(circuit.gates()[2].params[0], kPi / 4, 1e-12);
+    EXPECT_EQ(circuit.gates()[3].params.size(), 2u);
+    EXPECT_NEAR(circuit.gates()[4].params[2], 0.25, 1e-12);
+    EXPECT_NEAR(circuit.gates()[5].params[0], 4.5, 1e-12);
+}
+
+TEST(QasmParse, ScientificNotation)
+{
+    const QuantumCircuit circuit =
+        parseQasm("qreg q[1]; rx(1.5e-1) q[0];");
+    EXPECT_NEAR(circuit.gates()[0].params[0], 0.15, 1e-12);
+}
+
+TEST(QasmParse, MeasureAndBarrier)
+{
+    const QuantumCircuit circuit = parseQasm(
+        "qreg q[2]; creg c[2]; h q[0]; barrier q; "
+        "measure q[0] -> c[0]; measure q[1] -> c[1];");
+    EXPECT_EQ(circuit.countType(GateType::Measure), 2u);
+    EXPECT_EQ(circuit.countType(GateType::Barrier), 1u);
+}
+
+TEST(QasmParse, CommentsStripped)
+{
+    const QuantumCircuit circuit = parseQasm(
+        "// a comment\nqreg q[1]; // trailing\nx q[0]; // done\n");
+    EXPECT_EQ(circuit.size(), 1u);
+}
+
+TEST(QasmParse, Errors)
+{
+    EXPECT_THROW(parseQasm("x q[0];"), FatalError); // No qreg.
+    EXPECT_THROW(parseQasm("qreg q[1]; frobnicate q[0];"), FatalError);
+    EXPECT_THROW(parseQasm("qreg q[1]; rx(pi q[0];"), FatalError);
+    EXPECT_THROW(parseQasm("qreg q[1]; x r[0];"), FatalError);
+    EXPECT_THROW(parseQasm("qreg q[1]; rx(1/0) q[0];"), FatalError);
+}
+
+TEST(QasmParse, SemanticEquivalenceToBuilder)
+{
+    const QuantumCircuit parsed = parseQasm(
+        "qreg q[2]; h q[0]; cx q[0],q[1]; rz(0.7) q[1]; "
+        "cx q[0],q[1];");
+    QuantumCircuit built(2);
+    built.h(0);
+    built.cx(0, 1);
+    built.rz(0.7, 1);
+    built.cx(0, 1);
+    EXPECT_GT(unitaryOverlap(parsed.unitary(), built.unitary()),
+              1 - 1e-12);
+}
+
+TEST(QasmRoundTrip, PreservesUnitary)
+{
+    QuantumCircuit circuit(3);
+    circuit.h(0);
+    circuit.u3(0.4, -0.3, 1.2, 1);
+    circuit.cx(0, 1);
+    circuit.rzz(0.9, 1, 2);
+    circuit.t(2);
+    circuit.swap(0, 2);
+    circuit.measureAll();
+
+    const std::string qasm = toQasm(circuit);
+    EXPECT_NE(qasm.find("OPENQASM 2.0;"), std::string::npos);
+    const QuantumCircuit reparsed = parseQasm(qasm);
+    EXPECT_EQ(reparsed.numQubits(), 3u);
+    EXPECT_GT(unitaryOverlap(
+                  reparsed.withoutDirectives().unitary(),
+                  circuit.withoutDirectives().unitary()),
+              1 - 1e-9);
+    EXPECT_EQ(reparsed.countType(GateType::Measure), 3u);
+}
+
+TEST(QasmRoundTrip, RejectsAugmentedGates)
+{
+    QuantumCircuit circuit(1);
+    circuit.append(makeGate(GateType::DirectX, {0}));
+    EXPECT_THROW(toQasm(circuit), FatalError);
+}
+
+} // namespace
+} // namespace qpulse

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the qutrit library: ideal qutrit unitaries, the calibrated
+ * QutritRig counter and parity accumulator, and leakage detection.
+ */
+#include <gtest/gtest.h>
+
+#include "qudit/qutrit.h"
+
+namespace qpulse {
+namespace {
+
+TEST(QutritUnitaries, AreUnitary)
+{
+    EXPECT_TRUE(qutrit::x01().isUnitary(1e-12));
+    EXPECT_TRUE(qutrit::x12().isUnitary(1e-12));
+    EXPECT_TRUE(qutrit::x02().isUnitary(1e-12));
+    EXPECT_TRUE(qutrit::increment().isUnitary(1e-12));
+}
+
+TEST(QutritUnitaries, SubspaceAction)
+{
+    Vector zero(3), one(3), two(3);
+    zero[0] = one[1] = two[2] = Complex{1, 0};
+    // x01 swaps 0 and 1 (with phase), leaves 2 alone.
+    EXPECT_NEAR(std::norm(qutrit::x01().apply(zero)[1]), 1.0, 1e-12);
+    EXPECT_NEAR(std::norm(qutrit::x01().apply(two)[2]), 1.0, 1e-12);
+    // x12 swaps 1 and 2, leaves 0 alone.
+    EXPECT_NEAR(std::norm(qutrit::x12().apply(one)[2]), 1.0, 1e-12);
+    EXPECT_NEAR(std::norm(qutrit::x12().apply(zero)[0]), 1.0, 1e-12);
+    // x02 swaps 0 and 2.
+    EXPECT_NEAR(std::norm(qutrit::x02().apply(two)[0]), 1.0, 1e-12);
+}
+
+TEST(QutritUnitaries, IncrementCycles)
+{
+    const Matrix inc = qutrit::increment();
+    Vector zero(3);
+    zero[0] = Complex{1, 0};
+    Vector state = inc.apply(zero);
+    EXPECT_NEAR(std::norm(state[1]), 1.0, 1e-12);
+    state = inc.apply(state);
+    EXPECT_NEAR(std::norm(state[2]), 1.0, 1e-12);
+    state = inc.apply(state);
+    EXPECT_NEAR(std::norm(state[0]), 1.0, 1e-12);
+}
+
+TEST(QutritUnitaries, FullCycleReturnsGroundState)
+{
+    // The three-hop pulse sequence returns the ground state to itself
+    // (the counter's operating condition).
+    const Matrix cycle = qutrit::cycle();
+    Vector zero(3);
+    zero[0] = Complex{1, 0};
+    EXPECT_NEAR(std::norm(cycle.apply(zero)[0]), 1.0, 1e-12);
+    // And the intermediate hops visit |1> then |2>.
+    Vector mid = qutrit::x01().apply(zero);
+    EXPECT_NEAR(std::norm(mid[1]), 1.0, 1e-12);
+    mid = qutrit::x12().apply(mid);
+    EXPECT_NEAR(std::norm(mid[2]), 1.0, 1e-12);
+}
+
+class QutritRigTest : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        rig_ = new QutritRig(armonkConfig());
+    }
+    static void TearDownTestSuite()
+    {
+        delete rig_;
+    }
+    static QutritRig *rig_;
+};
+
+QutritRig *QutritRigTest::rig_ = nullptr;
+
+TEST_F(QutritRigTest, HopAndCycleScheduleShape)
+{
+    for (int phase = 0; phase < 3; ++phase) {
+        const Schedule hop = rig_->hopSchedule(phase);
+        EXPECT_EQ(hop.playCount(), 1u);
+        EXPECT_EQ(hop.duration(),
+                  rig_->calibration().qutritDuration);
+    }
+    const Schedule cycle = rig_->cycleSchedule();
+    EXPECT_EQ(cycle.playCount(), 3u);
+    EXPECT_EQ(cycle.duration(),
+              3 * rig_->calibration().qutritDuration);
+}
+
+TEST_F(QutritRigTest, HopsAdvanceTheLevel)
+{
+    // One hop -> |1>, two hops -> |2> (through the density path).
+    Matrix rho(3, 3);
+    rho(0, 0) = Complex{1.0, 0.0};
+    rho = rig_->simulator().evolveLindblad(rig_->hopSchedule(0), rho);
+    EXPECT_GT(rho(1, 1).real(), 0.95);
+    rho = rig_->simulator().evolveLindblad(rig_->hopSchedule(1), rho);
+    EXPECT_GT(rho(2, 2).real(), 0.9);
+}
+
+TEST_F(QutritRigTest, CounterScheduleComposes)
+{
+    const Schedule five = rig_->counterSchedule(5);
+    EXPECT_EQ(five.playCount(), 15u);
+    EXPECT_EQ(five.duration(),
+              15 * rig_->calibration().qutritDuration);
+}
+
+TEST_F(QutritRigTest, OneCycleReturnsToGround)
+{
+    const auto pops = rig_->runCounter(1);
+    EXPECT_GT(pops[0], 0.85);
+    EXPECT_NEAR(pops[0] + pops[1] + pops[2], 1.0, 1e-6);
+}
+
+TEST_F(QutritRigTest, DropoutGrowsWithCyclesOnAverage)
+{
+    // Coherent control imperfections make the per-cycle dropout
+    // wiggle, so compare window averages rather than single points.
+    double early = 0.0, late = 0.0;
+    for (int cycle = 1; cycle <= 4; ++cycle)
+        early += rig_->runCounter(cycle)[0];
+    for (int cycle = 30; cycle <= 33; ++cycle)
+        late += rig_->runCounter(cycle)[0];
+    EXPECT_GT(early / 4.0, late / 4.0);
+    EXPECT_GT(late / 4.0, 0.5); // Still usable after ~30 cycles.
+}
+
+TEST_F(QutritRigTest, ParityAccumulator)
+{
+    // 4 set bits -> 4 mod 3 = 1: the dominant level must be |1>.
+    const std::vector<bool> bits = {true, false, true, true,
+                                    false, true};
+    const auto pops = rig_->runParityAccumulator(bits);
+    EXPECT_GT(pops[1], pops[0]);
+    EXPECT_GT(pops[1], pops[2]);
+    EXPECT_GT(pops[1], 0.6);
+}
+
+TEST_F(QutritRigTest, ParityOfZeroStreamIsZero)
+{
+    const auto pops =
+        rig_->runParityAccumulator({false, false, false});
+    EXPECT_GT(pops[0], 0.99);
+}
+
+TEST_F(QutritRigTest, ClassifyShotsMatchesPopulations)
+{
+    Rng rng(5);
+    const std::vector<double> pops = {0.7, 0.2, 0.1};
+    const auto counts = rig_->classifyShots(pops, 20000, rng);
+    EXPECT_EQ(counts[0] + counts[1] + counts[2], 20000);
+    EXPECT_NEAR(static_cast<double>(counts[0]) / 20000.0, 0.7, 0.05);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / 20000.0, 0.1, 0.05);
+}
+
+TEST_F(QutritRigTest, LeakageDetection)
+{
+    Rng rng(7);
+    // A state fully inside the qubit subspace shows only the small
+    // discriminator confusion...
+    const double clean =
+        rig_->leakageProbability({0.5, 0.5, 0.0}, 5000, rng);
+    EXPECT_LT(clean, 0.12);
+    // ...a leaked state is clearly flagged (Section 7.2's
+    // error-mitigation use case).
+    const double leaked =
+        rig_->leakageProbability({0.4, 0.3, 0.3}, 5000, rng);
+    EXPECT_GT(leaked, clean + 0.12);
+}
+
+} // namespace
+} // namespace qpulse

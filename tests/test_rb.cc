@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the randomized-benchmarking harness (Section 8.3): RB
+ * sequences invert to identity, the decay behaves like f^K, and the
+ * Figure 13 ordering (optimized > optimized-slow > standard fidelity)
+ * holds on the Armonk-like backend.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/constants.h"
+#include "linalg/gates.h"
+#include "rb/randomized_benchmarking.h"
+
+namespace qpulse {
+namespace {
+
+TEST(RbSequence, InvertsToIdentity)
+{
+    Rng rng(3);
+    for (int length : {2, 5, 12, 25}) {
+        const QuantumCircuit circuit = rbSequence(length, 0, 1, rng);
+        EXPECT_EQ(circuit.withoutDirectives().size(),
+                  static_cast<std::size_t>(length));
+        EXPECT_GT(unitaryOverlap(circuit.unitary(),
+                                 Matrix::identity(2)),
+                  1 - 1e-9)
+            << length;
+    }
+}
+
+TEST(RbSequence, SequencesAreRandom)
+{
+    Rng rng(5);
+    const QuantumCircuit a = rbSequence(10, 0, 1, rng);
+    const QuantumCircuit b = rbSequence(10, 0, 1, rng);
+    bool differ = false;
+    for (std::size_t g = 0; g + 1 < a.size(); ++g)
+        if (!(a.gates()[g] == b.gates()[g]))
+            differ = true;
+    EXPECT_TRUE(differ);
+}
+
+TEST(CoherenceLimit, MatchesFirstOrderExpansion)
+{
+    // Small t: E ~ t/6T1 + t/3T2.
+    const double t = 35.6, t1 = 140.0, t2 = 90.0;
+    const double exact = coherenceLimitError(t, t1, t2);
+    const double approx =
+        t / (6.0 * t1 * 1000.0) + t / (3.0 * t2 * 1000.0);
+    EXPECT_NEAR(exact, approx, approx * 0.01);
+    EXPECT_GT(exact, 0.0);
+}
+
+TEST(CoherenceLimit, TwoXSpeedupBound)
+{
+    // Section 8.3: the 2x pulse speedup yields >= 0.01% improvement.
+    const double slow = coherenceLimitError(71.1, 140.0, 90.0);
+    const double fast = coherenceLimitError(35.6, 140.0, 90.0);
+    EXPECT_GT(slow - fast, 0.0001);
+}
+
+class RbExperimentTest : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        backend_ = new std::shared_ptr<const PulseBackend>(
+            makeCalibratedBackend(armonkConfig()));
+        RbConfig config;
+        config.maxLength = 20;
+        config.lengthStride = 3;
+        config.sequencesPerLength = 3;
+        config.shots = 4000;
+        standard_ = new RbResult(
+            runRb(*backend_, RbMode::Standard, config));
+        optimized_ = new RbResult(
+            runRb(*backend_, RbMode::Optimized, config));
+        slow_ = new RbResult(
+            runRb(*backend_, RbMode::OptimizedSlow, config));
+    }
+
+    static void TearDownTestSuite()
+    {
+        delete slow_;
+        delete optimized_;
+        delete standard_;
+        delete backend_;
+    }
+
+    static std::shared_ptr<const PulseBackend> *backend_;
+    static RbResult *standard_;
+    static RbResult *optimized_;
+    static RbResult *slow_;
+};
+
+std::shared_ptr<const PulseBackend> *RbExperimentTest::backend_ = nullptr;
+RbResult *RbExperimentTest::standard_ = nullptr;
+RbResult *RbExperimentTest::optimized_ = nullptr;
+RbResult *RbExperimentTest::slow_ = nullptr;
+
+TEST_F(RbExperimentTest, DecayIsMonotoneOnAverage)
+{
+    // Survival at the shortest length beats survival at the longest.
+    const auto &decay = standard_->decay;
+    EXPECT_GT(decay.front().survival, decay.back().survival);
+    EXPECT_GT(decay.front().survival, 0.85);
+}
+
+TEST_F(RbExperimentTest, FidelitiesInPlausibleRange)
+{
+    for (const RbResult *result : {standard_, optimized_, slow_}) {
+        EXPECT_GT(result->gateFidelity, 0.990);
+        EXPECT_LT(result->gateFidelity, 0.99999);
+    }
+}
+
+TEST_F(RbExperimentTest, Figure13Ordering)
+{
+    // optimized >= optimized-slow >= standard (f = 99.87 / 99.83 /
+    // 99.82 in the paper).
+    EXPECT_GT(optimized_->gateFidelity, slow_->gateFidelity - 1e-5);
+    EXPECT_GT(slow_->gateFidelity, standard_->gateFidelity - 1e-5);
+    // And the total improvement is macroscopic.
+    EXPECT_GT(optimized_->gateFidelity - standard_->gateFidelity,
+              0.0001);
+}
+
+TEST_F(RbExperimentTest, ShorterPulsesDominateImprovement)
+{
+    // Section 8.3 attributes ~70% of the gain to shorter pulses
+    // (optimized vs optimized-slow); require it to be the majority
+    // share here too.
+    const double total =
+        optimized_->gateFidelity - standard_->gateFidelity;
+    const double from_speed =
+        optimized_->gateFidelity - slow_->gateFidelity;
+    EXPECT_GT(from_speed, 0.4 * total);
+}
+
+} // namespace
+} // namespace qpulse

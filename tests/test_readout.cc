@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for the readout chain: IQ cloud model, the LDA classifier
+ * (Figure 11 left panel pipeline) and measurement-error mitigation.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "readout/readout.h"
+
+namespace qpulse {
+namespace {
+
+TEST(IqModel, ShotsClusterAroundCentroids)
+{
+    const IqReadoutModel model = IqReadoutModel::qutritDefault();
+    Rng rng(5);
+    for (std::size_t level = 0; level < model.levels(); ++level) {
+        double mean_i = 0.0, mean_q = 0.0;
+        const int n = 4000;
+        for (int k = 0; k < n; ++k) {
+            const IqPoint p = model.sampleShot(level, rng);
+            mean_i += p.i;
+            mean_q += p.q;
+        }
+        mean_i /= n;
+        mean_q /= n;
+        EXPECT_NEAR(mean_i, model.centroids()[level].i, 0.1);
+        EXPECT_NEAR(mean_q, model.centroids()[level].q, 0.1);
+    }
+}
+
+TEST(IqModel, PopulationSamplingRespectsWeights)
+{
+    const IqReadoutModel model = IqReadoutModel::qutritDefault();
+    Rng rng(7);
+    // Pure |2>: every shot near centroid 2.
+    int near_two = 0;
+    for (int k = 0; k < 1000; ++k) {
+        const IqPoint p = model.sampleShot({0.0, 0.0, 1.0}, rng);
+        const double dx = p.i - model.centroids()[2].i;
+        const double dy = p.q - model.centroids()[2].q;
+        if (dx * dx + dy * dy < 9.0)
+            ++near_two;
+    }
+    EXPECT_GT(near_two, 950);
+}
+
+TEST(IqModel, Validation)
+{
+    EXPECT_THROW(IqReadoutModel({{0, 0}}, 1.0), FatalError);
+    EXPECT_THROW(IqReadoutModel({{0, 0}, {1, 1}}, 0.0), FatalError);
+}
+
+class LdaSeparationTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(LdaSeparationTest, AccuracyGrowsWithSeparation)
+{
+    // Training pipeline exactly as in Section 7.2: labelled
+    // calibration shots -> LDA -> classify.
+    const double separation = GetParam();
+    const IqReadoutModel model(
+        {{0.0, 0.0}, {separation, 0.0}, {separation / 2,
+                                         separation * 0.87}},
+        1.0);
+    Rng rng(11);
+    std::vector<IqPoint> points;
+    std::vector<std::size_t> labels;
+    for (std::size_t level = 0; level < 3; ++level)
+        for (int k = 0; k < 600; ++k) {
+            points.push_back(model.sampleShot(level, rng));
+            labels.push_back(level);
+        }
+    LdaClassifier lda;
+    lda.fit(points, labels);
+    const double accuracy = lda.trainingAccuracy(points, labels);
+    if (separation >= 6.0)
+        EXPECT_GT(accuracy, 0.97);
+    else if (separation >= 4.0)
+        EXPECT_GT(accuracy, 0.90);
+    else
+        EXPECT_GT(accuracy, 0.60);
+    EXPECT_EQ(lda.classCount(), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Separations, LdaSeparationTest,
+                         ::testing::Values(2.0, 4.0, 6.0));
+
+TEST(Lda, PredictsNearestMeanForEqualPriors)
+{
+    LdaClassifier lda;
+    std::vector<IqPoint> points;
+    std::vector<std::size_t> labels;
+    Rng rng(13);
+    for (int k = 0; k < 500; ++k) {
+        points.push_back({rng.gaussian(0.0, 0.5), rng.gaussian(0, 0.5)});
+        labels.push_back(0);
+        points.push_back({rng.gaussian(5.0, 0.5), rng.gaussian(0, 0.5)});
+        labels.push_back(1);
+    }
+    lda.fit(points, labels);
+    EXPECT_EQ(lda.predict({0.2, 0.1}), 0u);
+    EXPECT_EQ(lda.predict({4.8, -0.1}), 1u);
+    const auto scores = lda.decisionFunction({2.5, 0.0});
+    EXPECT_EQ(scores.size(), 2u);
+    EXPECT_NEAR(scores[0], scores[1], 0.5); // Near the boundary.
+}
+
+TEST(Lda, UsedBeforeFitThrows)
+{
+    const LdaClassifier lda;
+    EXPECT_THROW(lda.predict({0, 0}), FatalError);
+}
+
+TEST(Lda, EmptyClassThrows)
+{
+    LdaClassifier lda;
+    // Labels skip class 1.
+    EXPECT_THROW(lda.fit({{0, 0}, {1, 1}}, {0, 2}), FatalError);
+}
+
+TEST(Mitigation, InvertsKnownConfusion)
+{
+    // Single qubit with 10%/5% flips: measured distribution maps back
+    // to the prepared one.
+    const MeasurementMitigator mitigator =
+        MeasurementMitigator::forQubits({{0.10, 0.05}});
+    // Prepared pure |1>: measured = (0.05, 0.95).
+    const auto recovered = mitigator.mitigate({0.05, 0.95});
+    EXPECT_NEAR(recovered[0], 0.0, 1e-9);
+    EXPECT_NEAR(recovered[1], 1.0, 1e-9);
+}
+
+TEST(Mitigation, TwoQubitTensorStructure)
+{
+    const MeasurementMitigator mitigator =
+        MeasurementMitigator::forQubits({{0.1, 0.1}, {0.02, 0.02}});
+    // Prepared |10>: p(measured) has q0 flips at 10%, q1 at 2%.
+    std::vector<double> measured = {
+        0.1 * 0.98, 0.1 * 0.02, 0.9 * 0.98, 0.9 * 0.02};
+    const auto recovered = mitigator.mitigate(measured);
+    EXPECT_NEAR(recovered[2], 1.0, 1e-9);
+    EXPECT_NEAR(recovered[0], 0.0, 1e-9);
+}
+
+TEST(Mitigation, ClipsNegativeSolutions)
+{
+    const MeasurementMitigator mitigator =
+        MeasurementMitigator::forQubits({{0.2, 0.2}});
+    // A "measured" distribution more extreme than any physical one
+    // (e.g. from shot noise): mitigation clips and renormalises.
+    const auto recovered = mitigator.mitigate({0.9, 0.1});
+    EXPECT_GE(recovered[0], 0.0);
+    EXPECT_GE(recovered[1], 0.0);
+    EXPECT_NEAR(recovered[0] + recovered[1], 1.0, 1e-12);
+}
+
+TEST(Mitigation, RejectsBadConfusion)
+{
+    // Columns must sum to 1.
+    EXPECT_THROW(MeasurementMitigator({{0.9, 0.0}, {0.2, 1.0}}),
+                 FatalError);
+}
+
+TEST(Mitigation, ImprovesHellingerUnderNoise)
+{
+    // End-to-end: biased readout on a known distribution; mitigation
+    // must bring the distribution closer to truth.
+    const MeasurementMitigator mitigator =
+        MeasurementMitigator::forQubits({{0.08, 0.04}});
+    const std::vector<double> truth = {0.7, 0.3};
+    const std::vector<double> measured = {
+        0.7 * 0.92 + 0.3 * 0.04, 0.7 * 0.08 + 0.3 * 0.96};
+    const auto recovered = mitigator.mitigate(measured);
+    const double err_before = std::abs(measured[0] - truth[0]);
+    const double err_after = std::abs(recovered[0] - truth[0]);
+    EXPECT_LT(err_after, err_before * 0.1);
+}
+
+} // namespace
+} // namespace qpulse

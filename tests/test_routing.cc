@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the coupling graph and the greedy SWAP router: shortest
+ * paths, adjacency, permutation tracking, and semantic equivalence of
+ * routed circuits modulo the final layout permutation.
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "device/backend_config.h"
+#include "linalg/gates.h"
+#include "transpile/routing.h"
+
+namespace qpulse {
+namespace {
+
+CouplingGraph
+lineGraph(std::size_t n)
+{
+    std::vector<std::pair<std::size_t, std::size_t>> edges;
+    for (std::size_t q = 0; q + 1 < n; ++q)
+        edges.emplace_back(q, q + 1);
+    return CouplingGraph(n, std::move(edges));
+}
+
+/** Permutation matrix sending logical q to physical layout[q]. */
+Matrix
+layoutPermutation(const std::vector<std::size_t> &layout,
+                  std::size_t n_physical)
+{
+    const std::size_t dim = std::size_t{1} << n_physical;
+    Matrix perm(dim, dim);
+    for (std::size_t in = 0; in < dim; ++in) {
+        std::size_t out = 0;
+        // Logical qubit q (bit n-1-q of `in`) lands on physical wire
+        // layout[q] (bit n-1-layout[q] of `out`); physical wires not
+        // holding logicals keep their own bits.
+        std::vector<bool> assigned(n_physical, false);
+        for (std::size_t q = 0; q < layout.size(); ++q) {
+            const bool bit = (in >> (n_physical - 1 - q)) & 1;
+            if (bit)
+                out |= std::size_t{1} << (n_physical - 1 - layout[q]);
+            assigned[layout[q]] = true;
+        }
+        for (std::size_t p = 0; p < n_physical; ++p) {
+            if (assigned[p])
+                continue;
+            // Unused physical wires map from the same-index input bit.
+            const bool bit = (in >> (n_physical - 1 - p)) & 1;
+            if (bit)
+                out |= std::size_t{1} << (n_physical - 1 - p);
+        }
+        perm(out, in) = Complex{1.0, 0.0};
+    }
+    return perm;
+}
+
+TEST(CouplingGraph, Adjacency)
+{
+    const CouplingGraph graph = lineGraph(4);
+    EXPECT_TRUE(graph.connected(0, 1));
+    EXPECT_TRUE(graph.connected(1, 0));
+    EXPECT_FALSE(graph.connected(0, 2));
+    EXPECT_THROW(graph.connected(0, 9), FatalError);
+}
+
+TEST(CouplingGraph, ShortestPathsOnLine)
+{
+    const CouplingGraph graph = lineGraph(5);
+    EXPECT_EQ(graph.distance(0, 4), 4u);
+    EXPECT_EQ(graph.distance(2, 2), 0u);
+    const auto path = graph.shortestPath(0, 3);
+    ASSERT_EQ(path.size(), 4u);
+    EXPECT_EQ(path.front(), 0u);
+    EXPECT_EQ(path.back(), 3u);
+}
+
+TEST(CouplingGraph, DisconnectedFatal)
+{
+    CouplingGraph graph(4, {{0, 1}, {2, 3}});
+    EXPECT_THROW(graph.shortestPath(0, 3), FatalError);
+}
+
+TEST(CouplingGraph, AlmadenLattice)
+{
+    const BackendConfig config = almadenConfig();
+    std::vector<std::pair<std::size_t, std::size_t>> edges;
+    for (const auto &edge : config.couplings)
+        edges.emplace_back(edge.control, edge.target);
+    const CouplingGraph graph(config.numQubits, std::move(edges));
+    // Fully connected lattice.
+    for (std::size_t q = 1; q < config.numQubits; ++q)
+        EXPECT_LT(graph.distance(0, q), config.numQubits);
+    // Row hop 0 -> 5 uses the rung: 0-1-6-5 or similar, <= 4 hops.
+    EXPECT_LE(graph.distance(0, 5), 4u);
+}
+
+TEST(Router, AdjacentGatesUntouched)
+{
+    const CouplingGraph graph = lineGraph(3);
+    QuantumCircuit circuit(3);
+    circuit.h(0);
+    circuit.cx(0, 1);
+    circuit.cx(1, 2);
+    const RoutingResult result = routeCircuit(circuit, graph);
+    EXPECT_EQ(result.swapsInserted, 0u);
+    EXPECT_EQ(result.circuit.size(), circuit.size());
+    for (std::size_t q = 0; q < 3; ++q)
+        EXPECT_EQ(result.finalLayout[q], q);
+}
+
+TEST(Router, InsertsSwapForDistantPair)
+{
+    const CouplingGraph graph = lineGraph(4);
+    QuantumCircuit circuit(4);
+    circuit.cx(0, 3);
+    const RoutingResult result = routeCircuit(circuit, graph);
+    EXPECT_EQ(result.swapsInserted, 2u); // Distance 3 -> 2 swaps.
+    // Every 2q gate in the output must be on an edge.
+    for (const auto &gate : result.circuit.gates()) {
+        if (gate.qubits.size() == 2) {
+            EXPECT_TRUE(graph.connected(gate.qubits[0], gate.qubits[1]))
+                << gate.toString();
+        }
+    }
+}
+
+TEST(Router, SemanticEquivalenceModuloLayout)
+{
+    const CouplingGraph graph = lineGraph(4);
+    QuantumCircuit circuit(4);
+    circuit.h(0);
+    circuit.cx(0, 3);
+    circuit.rz(0.4, 3);
+    circuit.cx(1, 3);
+    circuit.cx(0, 2);
+    const RoutingResult result = routeCircuit(circuit, graph);
+
+    // P . U_original == U_routed, where P sends logical to physical.
+    const Matrix u_routed = result.circuit.unitary();
+    const Matrix perm = layoutPermutation(result.finalLayout, 4);
+    const Matrix expected = perm * circuit.unitary();
+    EXPECT_GT(unitaryOverlap(u_routed, expected), 1 - 1e-9)
+        << result.circuit.toString();
+}
+
+TEST(Router, RandomCircuitsProperty)
+{
+    const CouplingGraph graph = lineGraph(4);
+    Rng rng(99);
+    for (int trial = 0; trial < 10; ++trial) {
+        QuantumCircuit circuit(4);
+        for (int g = 0; g < 12; ++g) {
+            const std::size_t a = rng.uniformInt(4);
+            std::size_t b = rng.uniformInt(4);
+            while (b == a)
+                b = rng.uniformInt(4);
+            if (rng.uniform() < 0.4)
+                circuit.h(a);
+            else
+                circuit.cx(a, b);
+        }
+        const RoutingResult result = routeCircuit(circuit, graph);
+        for (const auto &gate : result.circuit.gates()) {
+            if (gate.qubits.size() == 2) {
+                EXPECT_TRUE(
+                    graph.connected(gate.qubits[0], gate.qubits[1]));
+            }
+        }
+        const Matrix perm = layoutPermutation(result.finalLayout, 4);
+        EXPECT_GT(unitaryOverlap(result.circuit.unitary(),
+                                 perm * circuit.unitary()),
+                  1 - 1e-8);
+    }
+}
+
+TEST(Router, MeasurementsFollowLayout)
+{
+    const CouplingGraph graph = lineGraph(3);
+    QuantumCircuit circuit(3);
+    circuit.x(0);
+    circuit.cx(0, 2); // Forces a swap.
+    circuit.measureAll();
+    const RoutingResult result = routeCircuit(circuit, graph);
+    EXPECT_GT(result.swapsInserted, 0u);
+    // The measure gates in the routed circuit target physical wires.
+    std::size_t measures = 0;
+    for (const auto &gate : result.circuit.gates())
+        if (gate.type == GateType::Measure)
+            ++measures;
+    EXPECT_EQ(measures, 3u);
+}
+
+} // namespace
+} // namespace qpulse

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for single-qubit synthesis: U3 angle extraction from
+ * arbitrary unitaries and the Equation 2 / Equation 3 lowerings the
+ * two compiler flows are built on.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/rng.h"
+#include "linalg/gates.h"
+#include "synth/euler.h"
+
+namespace qpulse {
+namespace {
+
+Matrix
+randomSu2(Rng &rng)
+{
+    const double theta = std::acos(1.0 - 2.0 * rng.uniform());
+    const double phi = rng.uniform(-kPi, kPi);
+    const double lambda = rng.uniform(-kPi, kPi);
+    const Complex phase = std::exp(Complex{0, rng.uniform(-kPi, kPi)});
+    return gates::u3(theta, phi, lambda) * phase;
+}
+
+Matrix
+sequenceUnitary(const std::vector<Gate> &gates_list)
+{
+    Matrix u = Matrix::identity(2);
+    for (const auto &gate : gates_list)
+        u = gate.matrix() * u;
+    return u;
+}
+
+TEST(WrapAngle, Basics)
+{
+    EXPECT_NEAR(wrapAngle(0.0), 0.0, 1e-15);
+    EXPECT_NEAR(wrapAngle(3 * kPi), kPi, 1e-12);
+    EXPECT_NEAR(wrapAngle(-3 * kPi), kPi, 1e-12);
+    EXPECT_NEAR(wrapAngle(2 * kPi + 0.1), 0.1, 1e-12);
+    EXPECT_TRUE(angleIsZero(2 * kPi));
+    EXPECT_FALSE(angleIsZero(0.1));
+}
+
+TEST(U3FromUnitary, KnownGates)
+{
+    const U3Angles x = u3FromUnitary(gates::x());
+    EXPECT_NEAR(x.theta, kPi, 1e-10);
+    const U3Angles h = u3FromUnitary(gates::h());
+    EXPECT_NEAR(h.theta, kPi / 2, 1e-10);
+    const U3Angles id = u3FromUnitary(gates::i2());
+    EXPECT_NEAR(id.theta, 0.0, 1e-10);
+}
+
+class U3RoundTripTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(U3RoundTripTest, ReconstructsUnitary)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 97 + 1);
+    const Matrix u = randomSu2(rng);
+    const U3Angles angles = u3FromUnitary(u);
+    const Matrix rebuilt =
+        gates::u3(angles.theta, angles.phi, angles.lambda);
+    EXPECT_GT(unitaryOverlap(u, rebuilt), 1 - 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomUnitaries, U3RoundTripTest,
+                         ::testing::Range(0, 20));
+
+TEST(U3FromUnitary, EdgeThetaZero)
+{
+    // Pure Rz: theta = 0, all the action in phi + lambda.
+    const U3Angles angles = u3FromUnitary(gates::rz(1.3));
+    EXPECT_NEAR(angles.theta, 0.0, 1e-9);
+    const Matrix rebuilt =
+        gates::u3(angles.theta, angles.phi, angles.lambda);
+    EXPECT_GT(unitaryOverlap(gates::rz(1.3), rebuilt), 1 - 1e-10);
+}
+
+TEST(U3FromUnitary, EdgeThetaPi)
+{
+    const U3Angles angles = u3FromUnitary(gates::y());
+    EXPECT_NEAR(angles.theta, kPi, 1e-9);
+    const Matrix rebuilt =
+        gates::u3(angles.theta, angles.phi, angles.lambda);
+    EXPECT_GT(unitaryOverlap(gates::y(), rebuilt), 1 - 1e-10);
+}
+
+TEST(U3FromUnitary, RejectsNonUnitary)
+{
+    Matrix bad{{1, 1}, {0, 1}};
+    EXPECT_THROW(u3FromUnitary(bad), FatalError);
+}
+
+class LoweringTest : public ::testing::TestWithParam<int>
+{
+  protected:
+    Matrix randomTarget()
+    {
+        Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+        return randomSu2(rng);
+    }
+};
+
+TEST_P(LoweringTest, Equation2StandardForm)
+{
+    // Equation 2: U3 = Rz . X90 . Rz . X90 . Rz (two pulses).
+    const Matrix target = randomTarget();
+    const auto sequence = lowerU3Standard(u3FromUnitary(target), 0);
+    ASSERT_EQ(sequence.size(), 5u);
+    EXPECT_EQ(sequence[1].type, GateType::X90);
+    EXPECT_EQ(sequence[3].type, GateType::X90);
+    EXPECT_GT(unitaryOverlap(sequenceUnitary(sequence), target),
+              1 - 1e-9);
+}
+
+TEST_P(LoweringTest, Equation3DirectForm)
+{
+    // Equation 3: U3 = Rz . DirectRx(theta) . Rz (one pulse).
+    const Matrix target = randomTarget();
+    const auto sequence = lowerU3Direct(u3FromUnitary(target), 0);
+    ASSERT_EQ(sequence.size(), 3u);
+    EXPECT_EQ(sequence[1].type, GateType::DirectRx);
+    EXPECT_GT(unitaryOverlap(sequenceUnitary(sequence), target),
+              1 - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTargets, LoweringTest,
+                         ::testing::Range(0, 16));
+
+TEST(Lowering, PulseCountsMatchPaper)
+{
+    // The whole point of Section 4: standard = 2 pulses, direct = 1.
+    const U3Angles x = u3FromUnitary(gates::x());
+    std::size_t standard_pulses = 0;
+    for (const auto &gate : lowerU3Standard(x, 0))
+        if (gate.type == GateType::X90)
+            ++standard_pulses;
+    std::size_t direct_pulses = 0;
+    for (const auto &gate : lowerU3Direct(x, 0))
+        if (gate.type == GateType::DirectRx)
+            ++direct_pulses;
+    EXPECT_EQ(standard_pulses, 2u);
+    EXPECT_EQ(direct_pulses, 1u);
+}
+
+TEST(Lowering, DirectRxAngleEqualsTheta)
+{
+    const U3Angles angles = u3FromUnitary(gates::rx(0.61));
+    const auto sequence = lowerU3Direct(angles, 3);
+    EXPECT_NEAR(sequence[1].params[0], 0.61, 1e-9);
+    EXPECT_EQ(sequence[1].qubits[0], 3u);
+}
+
+} // namespace
+} // namespace qpulse

@@ -1,0 +1,667 @@
+/**
+ * @file
+ * Tests for the transpiler passes of Section 3.3. Every rewrite is
+ * checked for exact unitary preservation (up to global phase), and
+ * the headline behaviours are asserted: ZZ template matching through
+ * false dependencies (Figure 3), cross-gate cancellation on the
+ * open-CNOT (Section 5.2), Equation 2 vs Equation 3 lowering, and
+ * basis-set conformance of both pipelines.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/constants.h"
+#include "common/rng.h"
+#include "linalg/gates.h"
+#include "transpile/passes.h"
+
+namespace qpulse {
+namespace {
+
+TranspilerTarget
+lineTarget(std::size_t n, bool augmented)
+{
+    TranspilerTarget target;
+    for (std::size_t q = 0; q + 1 < n; ++q)
+        target.edges.emplace_back(q, q + 1);
+    target.augmented = augmented;
+    return target;
+}
+
+/** Unitary equality up to global phase. */
+void
+expectEquivalent(const QuantumCircuit &a, const QuantumCircuit &b,
+                 double tol = 1e-9)
+{
+    EXPECT_GT(unitaryOverlap(a.unitary(), b.unitary()), 1 - tol)
+        << "---- a ----\n"
+        << a.toString() << "---- b ----\n"
+        << b.toString();
+}
+
+std::set<GateType>
+gateTypesOf(const QuantumCircuit &circuit)
+{
+    std::set<GateType> types;
+    for (const auto &gate : circuit.gates())
+        types.insert(gate.type);
+    return types;
+}
+
+TEST(CancelInverses, RemovesAdjacentPairs)
+{
+    QuantumCircuit circuit(2);
+    circuit.x(0);
+    circuit.x(0);
+    circuit.cx(0, 1);
+    circuit.cx(0, 1);
+    circuit.h(1);
+    CircuitDag dag(circuit);
+    CancelAdjacentInversesPass pass;
+    EXPECT_TRUE(pass.run(dag));
+    const QuantumCircuit out = dag.toCircuit();
+    EXPECT_EQ(out.size(), 1u);
+    EXPECT_EQ(out.gates()[0].type, GateType::H);
+}
+
+TEST(CancelInverses, CancelsParametrizedInverses)
+{
+    QuantumCircuit circuit(1);
+    circuit.rz(0.8, 0);
+    circuit.rz(-0.8, 0);
+    circuit.t(0);
+    circuit.tdg(0);
+    CircuitDag dag(circuit);
+    CancelAdjacentInversesPass pass;
+    pass.run(dag);
+    EXPECT_EQ(dag.toCircuit().size(), 0u);
+}
+
+TEST(CancelInverses, CascadesThroughFreshAdjacency)
+{
+    // x h h x: inner pair cancels, making the outer pair adjacent.
+    QuantumCircuit circuit(1);
+    circuit.x(0);
+    circuit.h(0);
+    circuit.h(0);
+    circuit.x(0);
+    CircuitDag dag(circuit);
+    CancelAdjacentInversesPass pass;
+    pass.run(dag);
+    EXPECT_EQ(dag.toCircuit().size(), 0u);
+}
+
+TEST(CancelInverses, DoesNotCancelAcrossBlockingGate)
+{
+    QuantumCircuit circuit(2);
+    circuit.x(0);
+    circuit.cx(0, 1); // Blocks.
+    circuit.x(0);
+    CircuitDag dag(circuit);
+    CancelAdjacentInversesPass pass;
+    EXPECT_FALSE(pass.run(dag));
+    EXPECT_EQ(dag.toCircuit().size(), 3u);
+}
+
+TEST(CancelInverses, TwoQubitNeedsAdjacencyOnBothWires)
+{
+    QuantumCircuit circuit(3);
+    circuit.cx(0, 1);
+    circuit.h(1); // Breaks wire-1 adjacency.
+    circuit.cx(0, 1);
+    CircuitDag dag(circuit);
+    CancelAdjacentInversesPass pass;
+    EXPECT_FALSE(pass.run(dag));
+}
+
+TEST(ZzTemplate, MatchesPlainSandwich)
+{
+    QuantumCircuit circuit(2);
+    circuit.cx(0, 1);
+    circuit.rz(0.7, 1);
+    circuit.cx(0, 1);
+    CircuitDag dag(circuit);
+    ZzTemplateMatchPass pass;
+    EXPECT_TRUE(pass.run(dag));
+    const QuantumCircuit out = dag.toCircuit();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out.gates()[0].type, GateType::Rzz);
+    EXPECT_NEAR(out.gates()[0].params[0], 0.7, 1e-12);
+    expectEquivalent(out, circuit);
+}
+
+TEST(ZzTemplate, AbsorbsMultipleDiagonals)
+{
+    // T and S and Rz between the CNOTs all fold into one angle.
+    QuantumCircuit circuit(2);
+    circuit.cx(0, 1);
+    circuit.t(1);
+    circuit.rz(0.3, 1);
+    circuit.s(1);
+    circuit.cx(0, 1);
+    CircuitDag dag(circuit);
+    ZzTemplateMatchPass pass;
+    EXPECT_TRUE(pass.run(dag));
+    const QuantumCircuit out = dag.toCircuit();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_NEAR(out.gates()[0].params[0],
+                kPi / 4 + 0.3 + kPi / 2, 1e-12);
+    expectEquivalent(out, circuit);
+}
+
+TEST(ZzTemplate, CommutativityDetectionOnControlWire)
+{
+    // Figure 3: a diagonal gate on the control wire between the CNOTs
+    // is a false dependency; the match must still fire.
+    QuantumCircuit circuit(2);
+    circuit.cx(0, 1);
+    circuit.rz(0.9, 0); // On the control wire, commutes.
+    circuit.rz(0.4, 1);
+    circuit.cx(0, 1);
+    CircuitDag dag(circuit);
+    ZzTemplateMatchPass pass;
+    EXPECT_TRUE(pass.run(dag));
+    const QuantumCircuit out = dag.toCircuit();
+    // Rzz plus the floated Rz on the control.
+    EXPECT_EQ(out.size(), 2u);
+    expectEquivalent(out, circuit);
+}
+
+TEST(ZzTemplate, BlockedByNonDiagonalOnTarget)
+{
+    QuantumCircuit circuit(2);
+    circuit.cx(0, 1);
+    circuit.h(1);
+    circuit.cx(0, 1);
+    CircuitDag dag(circuit);
+    ZzTemplateMatchPass pass;
+    EXPECT_FALSE(pass.run(dag));
+}
+
+TEST(ZzTemplate, BlockedByNonDiagonalOnControl)
+{
+    QuantumCircuit circuit(2);
+    circuit.cx(0, 1);
+    circuit.rz(0.4, 1);
+    circuit.x(0); // Does NOT commute with the control.
+    circuit.cx(0, 1);
+    CircuitDag dag(circuit);
+    ZzTemplateMatchPass pass;
+    EXPECT_FALSE(pass.run(dag));
+    expectEquivalent(dag.toCircuit(), circuit);
+}
+
+TEST(ZzTemplate, RepeatedMatchesInChain)
+{
+    // Two ZZ sandwiches back to back (a Trotter chain).
+    QuantumCircuit circuit(3);
+    circuit.cx(0, 1);
+    circuit.rz(0.5, 1);
+    circuit.cx(0, 1);
+    circuit.cx(1, 2);
+    circuit.rz(0.6, 2);
+    circuit.cx(1, 2);
+    CircuitDag dag(circuit);
+    ZzTemplateMatchPass pass;
+    EXPECT_TRUE(pass.run(dag));
+    const QuantumCircuit out = dag.toCircuit();
+    EXPECT_EQ(out.countType(GateType::Rzz), 2u);
+    EXPECT_EQ(out.countType(GateType::Cnot), 0u);
+    expectEquivalent(out, circuit);
+}
+
+TEST(Decompose2q, StandardRzzBecomesTextbook)
+{
+    QuantumCircuit circuit(2);
+    circuit.rzz(0.8, 0, 1);
+    CircuitDag dag(circuit);
+    DecomposeTwoQubitPass pass(lineTarget(2, false));
+    EXPECT_TRUE(pass.run(dag));
+    const QuantumCircuit out = dag.toCircuit();
+    EXPECT_EQ(out.countType(GateType::Cnot), 2u);
+    EXPECT_EQ(out.countType(GateType::Rz), 1u);
+    expectEquivalent(out, circuit);
+}
+
+TEST(Decompose2q, AugmentedRzzBecomesHCrH)
+{
+    QuantumCircuit circuit(2);
+    circuit.rzz(0.8, 0, 1);
+    CircuitDag dag(circuit);
+    DecomposeTwoQubitPass pass(lineTarget(2, true));
+    EXPECT_TRUE(pass.run(dag));
+    const QuantumCircuit out = dag.toCircuit();
+    EXPECT_EQ(out.countType(GateType::Cr), 1u);
+    EXPECT_EQ(out.countType(GateType::H), 2u);
+    expectEquivalent(out, circuit);
+}
+
+TEST(Decompose2q, AugmentedRzzUsesReversedEdge)
+{
+    // Only edge (1, 0) is calibrated: the H's must land on qubit 0
+    // and the CR must run 1 -> 0.
+    TranspilerTarget target;
+    target.edges.emplace_back(1, 0);
+    target.augmented = true;
+    QuantumCircuit circuit(2);
+    circuit.rzz(0.8, 0, 1);
+    CircuitDag dag(circuit);
+    DecomposeTwoQubitPass pass(target);
+    EXPECT_TRUE(pass.run(dag));
+    const QuantumCircuit out = dag.toCircuit();
+    bool found_cr = false;
+    for (const auto &gate : out.gates())
+        if (gate.type == GateType::Cr) {
+            found_cr = true;
+            EXPECT_EQ(gate.qubits[0], 1u);
+            EXPECT_EQ(gate.qubits[1], 0u);
+        }
+    EXPECT_TRUE(found_cr);
+    expectEquivalent(out, circuit);
+}
+
+TEST(Decompose2q, AugmentedCnotBecomesEchoAtoms)
+{
+    QuantumCircuit circuit(2);
+    circuit.cx(0, 1);
+    CircuitDag dag(circuit);
+    DecomposeTwoQubitPass pass(lineTarget(2, true));
+    EXPECT_TRUE(pass.run(dag));
+    const QuantumCircuit out = dag.toCircuit();
+    EXPECT_EQ(out.countType(GateType::CrHalf), 2u);
+    EXPECT_EQ(out.countType(GateType::DirectX), 2u);
+    expectEquivalent(out, circuit);
+}
+
+TEST(Decompose2q, DirectionFixViaHadamards)
+{
+    // Only (0, 1) calibrated; CX(1, 0) needs H conjugation.
+    QuantumCircuit circuit(2);
+    circuit.cx(1, 0);
+    CircuitDag dag(circuit);
+    DecomposeTwoQubitPass pass(lineTarget(2, false));
+    EXPECT_TRUE(pass.run(dag));
+    const QuantumCircuit out = dag.toCircuit();
+    for (const auto &gate : out.gates())
+        if (gate.type == GateType::Cnot) {
+            EXPECT_EQ(gate.qubits[0], 0u);
+            EXPECT_EQ(gate.qubits[1], 1u);
+        }
+    expectEquivalent(out, circuit);
+}
+
+TEST(Decompose2q, SwapAndCzAndOpenCnot)
+{
+    QuantumCircuit circuit(2);
+    circuit.swap(0, 1);
+    circuit.cz(0, 1);
+    circuit.openCx(0, 1);
+    CircuitDag dag(circuit);
+    DecomposeTwoQubitPass pass(lineTarget(2, false));
+    EXPECT_TRUE(pass.run(dag));
+    const QuantumCircuit out = dag.toCircuit();
+    EXPECT_EQ(out.countType(GateType::Swap), 0u);
+    EXPECT_EQ(out.countType(GateType::Cz), 0u);
+    EXPECT_EQ(out.countType(GateType::OpenCnot), 0u);
+    expectEquivalent(out, circuit);
+}
+
+TEST(Collapse1q, FusesRunIntoEquation2)
+{
+    QuantumCircuit circuit(1);
+    circuit.h(0);
+    circuit.t(0);
+    circuit.h(0);
+    CircuitDag dag(circuit);
+    Collapse1qRunsPass pass(false);
+    EXPECT_TRUE(pass.run(dag));
+    const QuantumCircuit out = dag.toCircuit();
+    // Equation 2 shape: at most rz x90 rz x90 rz.
+    EXPECT_EQ(out.countType(GateType::X90), 2u);
+    EXPECT_LE(out.size(), 5u);
+    expectEquivalent(out, circuit);
+}
+
+TEST(Collapse1q, FusesRunIntoEquation3)
+{
+    QuantumCircuit circuit(1);
+    circuit.h(0);
+    circuit.t(0);
+    circuit.h(0);
+    CircuitDag dag(circuit);
+    Collapse1qRunsPass pass(true);
+    EXPECT_TRUE(pass.run(dag));
+    const QuantumCircuit out = dag.toCircuit();
+    EXPECT_EQ(out.countType(GateType::DirectRx), 1u);
+    EXPECT_LE(out.size(), 3u);
+    expectEquivalent(out, circuit);
+}
+
+TEST(Collapse1q, IdentityRunVanishes)
+{
+    QuantumCircuit circuit(1);
+    circuit.h(0);
+    circuit.h(0);
+    CircuitDag dag(circuit);
+    Collapse1qRunsPass pass(true);
+    EXPECT_TRUE(pass.run(dag));
+    EXPECT_EQ(dag.toCircuit().size(), 0u);
+}
+
+TEST(Collapse1q, PureRzRunStaysVirtual)
+{
+    QuantumCircuit circuit(1);
+    circuit.rz(0.2, 0);
+    circuit.t(0);
+    circuit.rz(0.1, 0);
+    CircuitDag dag(circuit);
+    Collapse1qRunsPass pass(true);
+    EXPECT_TRUE(pass.run(dag));
+    const QuantumCircuit out = dag.toCircuit();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out.gates()[0].type, GateType::Rz);
+    expectEquivalent(out, circuit);
+}
+
+TEST(Collapse1q, RunsBreakAtTwoQubitGates)
+{
+    QuantumCircuit circuit(2);
+    circuit.h(0);
+    circuit.cx(0, 1);
+    circuit.h(0);
+    CircuitDag dag(circuit);
+    Collapse1qRunsPass pass(true);
+    pass.run(dag);
+    const QuantumCircuit out = dag.toCircuit();
+    EXPECT_EQ(out.countType(GateType::Cnot), 1u);
+    expectEquivalent(out, circuit);
+}
+
+TEST(Pipelines, StandardBasisConformance)
+{
+    Rng rng(31);
+    QuantumCircuit circuit(3);
+    circuit.h(0);
+    circuit.cx(0, 1);
+    circuit.rzz(0.4, 1, 2);
+    circuit.ry(0.9, 2);
+    circuit.openCx(0, 1);
+    circuit.t(1);
+    const PassManager manager = standardPassManager(lineTarget(3, false));
+    const QuantumCircuit out = manager.run(circuit);
+    const std::set<GateType> allowed = {GateType::Rz, GateType::X90,
+                                        GateType::Cnot, GateType::Measure,
+                                        GateType::Barrier};
+    for (GateType type : gateTypesOf(out))
+        EXPECT_TRUE(allowed.count(type)) << gateName(type);
+    expectEquivalent(out, circuit);
+}
+
+TEST(Pipelines, OptimizedBasisConformance)
+{
+    QuantumCircuit circuit(3);
+    circuit.h(0);
+    circuit.cx(0, 1);
+    circuit.rzz(0.4, 1, 2);
+    circuit.ry(0.9, 2);
+    circuit.openCx(0, 1);
+    circuit.t(1);
+    const PassManager manager =
+        optimizedPassManager(lineTarget(3, true));
+    const QuantumCircuit out = manager.run(circuit);
+    const std::set<GateType> allowed = {
+        GateType::Rz, GateType::DirectRx, GateType::DirectX,
+        GateType::Cr, GateType::CrHalf, GateType::Measure,
+        GateType::Barrier};
+    for (GateType type : gateTypesOf(out))
+        EXPECT_TRUE(allowed.count(type)) << gateName(type);
+    expectEquivalent(out, circuit);
+}
+
+TEST(Pipelines, OptimizedFindsZzThroughTrotterChain)
+{
+    // A 2-qubit Trotter step written with textbook CX.Rz.CX must come
+    // out as CR gates, not CNOT echoes.
+    QuantumCircuit circuit(2);
+    for (int step = 0; step < 3; ++step) {
+        circuit.cx(0, 1);
+        circuit.rz(0.25, 1);
+        circuit.cx(0, 1);
+    }
+    const PassManager manager =
+        optimizedPassManager(lineTarget(2, true));
+    const QuantumCircuit out = manager.run(circuit);
+    EXPECT_EQ(out.countType(GateType::CrHalf), 0u);
+    EXPECT_GE(out.countType(GateType::Cr), 1u);
+    expectEquivalent(out, circuit);
+}
+
+TEST(Pipelines, OpenCnotCancellation)
+{
+    // Section 5.2: the optimized flow saves pulses on the open-CNOT.
+    QuantumCircuit circuit(2);
+    circuit.openCx(0, 1);
+
+    const QuantumCircuit standard =
+        standardPassManager(lineTarget(2, false)).run(circuit);
+    const QuantumCircuit optimized =
+        optimizedPassManager(lineTarget(2, true)).run(circuit);
+    expectEquivalent(standard, circuit);
+    expectEquivalent(optimized, circuit);
+
+    // Standard keeps the two X wrappers (as U3 pulse pairs): 4 X90s.
+    EXPECT_EQ(standard.countType(GateType::X90), 4u);
+    // Optimized cancels the leading X against the echo's internal X:
+    // at most 3 full-amplitude 1q pulses survive around the echo.
+    std::size_t optimized_1q_pulses =
+        optimized.countType(GateType::DirectX) +
+        optimized.countType(GateType::DirectRx);
+    EXPECT_LE(optimized_1q_pulses, 4u);
+    EXPECT_EQ(optimized.countType(GateType::CrHalf), 2u);
+}
+
+TEST(Pipelines, RandomCircuitsPreserveUnitary)
+{
+    Rng rng(37);
+    for (int trial = 0; trial < 10; ++trial) {
+        QuantumCircuit circuit(3);
+        for (int g = 0; g < 20; ++g) {
+            const std::size_t a = rng.uniformInt(3);
+            std::size_t b = rng.uniformInt(3);
+            while (b == a)
+                b = rng.uniformInt(3);
+            switch (rng.uniformInt(6)) {
+              case 0: circuit.h(a); break;
+              case 1: circuit.u3(rng.uniform(0, 3), rng.uniform(-3, 3),
+                                 rng.uniform(-3, 3), a); break;
+              case 2: circuit.rz(rng.uniform(-3, 3), a); break;
+              case 3:
+                if (a + 1 < 3)
+                    circuit.cx(a, a + 1);
+                else
+                    circuit.cx(a - 1, a);
+                break;
+              case 4:
+                if (a + 1 < 3)
+                    circuit.rzz(rng.uniform(-3, 3), a, a + 1);
+                else
+                    circuit.rzz(rng.uniform(-3, 3), a - 1, a);
+                break;
+              default: circuit.t(a); break;
+            }
+        }
+        const QuantumCircuit standard =
+            standardPassManager(lineTarget(3, false)).run(circuit);
+        const QuantumCircuit optimized =
+            optimizedPassManager(lineTarget(3, true)).run(circuit);
+        expectEquivalent(standard, circuit, 1e-7);
+        expectEquivalent(optimized, circuit, 1e-7);
+    }
+}
+
+TEST(Merge2q, AdjacentRzzFuse)
+{
+    QuantumCircuit circuit(2);
+    circuit.rzz(0.4, 0, 1);
+    circuit.rzz(0.5, 0, 1);
+    CircuitDag dag(circuit);
+    MergeTwoQubitRotationsPass pass;
+    EXPECT_TRUE(pass.run(dag));
+    const QuantumCircuit out = dag.toCircuit();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_NEAR(out.gates()[0].params[0], 0.9, 1e-12);
+    expectEquivalent(out, circuit);
+}
+
+TEST(Merge2q, CancellingAnglesVanish)
+{
+    QuantumCircuit circuit(2);
+    circuit.append(makeGate(GateType::Cr, {0, 1}, {0.6}));
+    circuit.append(makeGate(GateType::Cr, {0, 1}, {-0.6}));
+    CircuitDag dag(circuit);
+    MergeTwoQubitRotationsPass pass;
+    EXPECT_TRUE(pass.run(dag));
+    EXPECT_EQ(dag.toCircuit().size(), 0u);
+}
+
+TEST(Merge2q, ChainsCascade)
+{
+    QuantumCircuit circuit(2);
+    for (int k = 0; k < 4; ++k)
+        circuit.rzz(0.25, 0, 1);
+    CircuitDag dag(circuit);
+    MergeTwoQubitRotationsPass pass;
+    pass.run(dag);
+    const QuantumCircuit out = dag.toCircuit();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_NEAR(out.gates()[0].params[0], 1.0, 1e-12);
+}
+
+TEST(Merge2q, BlockedByInterveningGate)
+{
+    QuantumCircuit circuit(2);
+    circuit.rzz(0.4, 0, 1);
+    circuit.h(1);
+    circuit.rzz(0.5, 0, 1);
+    CircuitDag dag(circuit);
+    MergeTwoQubitRotationsPass pass;
+    EXPECT_FALSE(pass.run(dag));
+}
+
+TEST(Merge2q, DifferentPairsUntouched)
+{
+    QuantumCircuit circuit(3);
+    circuit.rzz(0.4, 0, 1);
+    circuit.rzz(0.5, 1, 2);
+    CircuitDag dag(circuit);
+    MergeTwoQubitRotationsPass pass;
+    EXPECT_FALSE(pass.run(dag));
+    EXPECT_EQ(dag.toCircuit().size(), 2u);
+}
+
+TEST(Relocate, FloatsRzThroughControlToMerge)
+{
+    // rz . cx . rz on the control wire: the first rz floats through
+    // the CNOT control to meet the second.
+    QuantumCircuit circuit(2);
+    circuit.rz(0.3, 0);
+    circuit.cx(0, 1);
+    circuit.rz(0.4, 0);
+    CircuitDag dag(circuit);
+    CommutationRelocationPass pass;
+    EXPECT_TRUE(pass.run(dag));
+    const QuantumCircuit out = dag.toCircuit();
+    expectEquivalent(out, circuit);
+    // The two Rz's are now adjacent: the 1q collapser can fuse them.
+    Collapse1qRunsPass collapse(true);
+    CircuitDag dag2(out);
+    collapse.run(dag2);
+    const QuantumCircuit fused = dag2.toCircuit();
+    EXPECT_EQ(fused.countType(GateType::Rz), 1u);
+    expectEquivalent(fused, circuit);
+}
+
+TEST(Relocate, FloatsXThroughTargetToCancel)
+{
+    QuantumCircuit circuit(2);
+    circuit.x(1);
+    circuit.cx(0, 1);
+    circuit.x(1);
+    CircuitDag dag(circuit);
+    CommutationRelocationPass relocate;
+    EXPECT_TRUE(relocate.run(dag));
+    CancelAdjacentInversesPass cancel;
+    EXPECT_TRUE(cancel.run(dag));
+    const QuantumCircuit out = dag.toCircuit();
+    EXPECT_EQ(out.size(), 1u);
+    EXPECT_EQ(out.gates()[0].type, GateType::Cnot);
+    expectEquivalent(out, circuit);
+}
+
+TEST(Relocate, DoesNotMoveThroughNonCommuting)
+{
+    QuantumCircuit circuit(2);
+    circuit.rz(0.3, 1); // On the *target* wire: does not commute.
+    circuit.cx(0, 1);
+    circuit.rz(0.4, 1);
+    CircuitDag dag(circuit);
+    CommutationRelocationPass pass;
+    EXPECT_FALSE(pass.run(dag));
+}
+
+TEST(Relocate, UnitaryPreservedOnRandomCircuits)
+{
+    Rng rng(53);
+    for (int trial = 0; trial < 8; ++trial) {
+        QuantumCircuit circuit(3);
+        for (int g = 0; g < 15; ++g) {
+            const std::size_t a = rng.uniformInt(3);
+            switch (rng.uniformInt(4)) {
+              case 0: circuit.rz(rng.uniform(-3, 3), a); break;
+              case 1: circuit.x(a); break;
+              case 2:
+                circuit.cx(a, (a + 1) % 3);
+                break;
+              default:
+                circuit.rzz(rng.uniform(-3, 3), a, (a + 1) % 3);
+                break;
+            }
+        }
+        CircuitDag dag(circuit);
+        CommutationRelocationPass pass;
+        pass.run(dag);
+        expectEquivalent(dag.toCircuit(), circuit, 1e-8);
+    }
+}
+
+TEST(Pipelines, TrotterChainsMergeAcrossSteps)
+{
+    // Two adjacent identical-pair ZZ rotations from consecutive
+    // Trotter steps fuse into one stretched CR.
+    QuantumCircuit circuit(2);
+    for (int step = 0; step < 2; ++step) {
+        circuit.cx(0, 1);
+        circuit.rz(0.3, 1);
+        circuit.cx(0, 1);
+    }
+    const QuantumCircuit out =
+        optimizedPassManager(lineTarget(2, true)).run(circuit);
+    EXPECT_EQ(out.countType(GateType::Cr), 1u);
+    ASSERT_GE(out.size(), 1u);
+    expectEquivalent(out, circuit);
+}
+
+TEST(Helpers, DiagonalAngleValues)
+{
+    EXPECT_TRUE(gateIsDiagonal(GateType::T));
+    EXPECT_FALSE(gateIsDiagonal(GateType::H));
+    EXPECT_NEAR(diagonalAngle(makeGate(GateType::S, {0})), kPi / 2,
+                1e-12);
+    EXPECT_NEAR(diagonalAngle(makeGate(GateType::Rz, {0}, {0.3})), 0.3,
+                1e-12);
+    EXPECT_THROW(diagonalAngle(makeGate(GateType::X, {0})), PanicError);
+}
+
+} // namespace
+} // namespace qpulse

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for zero-noise extrapolation via pulse stretching: the
+ * Richardson helper on exact polynomials, noise amplification
+ * monotonicity, and end-to-end mitigation of a ZZ-parity observable.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "algos/hamiltonians.h"
+#include "algos/circuits.h"
+#include "common/constants.h"
+#include "compile/zne.h"
+
+namespace qpulse {
+namespace {
+
+TEST(Richardson, ExactOnLine)
+{
+    // y = 3 - 2x -> p(0) = 3.
+    EXPECT_NEAR(richardsonExtrapolate({1.0, 2.0}, {1.0, -1.0}), 3.0,
+                1e-12);
+}
+
+TEST(Richardson, ExactOnQuadratic)
+{
+    // y = 1 + x^2 at x = 1, 1.5, 2 -> p(0) = 1.
+    EXPECT_NEAR(
+        richardsonExtrapolate({1.0, 1.5, 2.0}, {2.0, 3.25, 5.0}), 1.0,
+        1e-10);
+}
+
+TEST(Richardson, RejectsDegenerateInput)
+{
+    EXPECT_THROW(richardsonExtrapolate({1.0}, {2.0}), FatalError);
+    EXPECT_THROW(richardsonExtrapolate({1.0, 1.0}, {2.0, 3.0}),
+                 FatalError);
+}
+
+class ZneTest : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        config_ = new BackendConfig(almadenLineConfig(2));
+        // Turn the readout error off so the observable bias is purely
+        // from gate noise (what stretching amplifies).
+        for (auto &readout : config_->readout)
+            readout = ReadoutError{0.0, 0.0};
+        backend_ = new std::shared_ptr<const PulseBackend>(
+            makeCalibratedBackend(*config_));
+        compiler_ =
+            new PulseCompiler(*backend_, CompileMode::Optimized);
+    }
+    static void TearDownTestSuite()
+    {
+        delete compiler_;
+        delete backend_;
+        delete config_;
+    }
+    static BackendConfig *config_;
+    static std::shared_ptr<const PulseBackend> *backend_;
+    static PulseCompiler *compiler_;
+};
+
+BackendConfig *ZneTest::config_ = nullptr;
+std::shared_ptr<const PulseBackend> *ZneTest::backend_ = nullptr;
+PulseCompiler *ZneTest::compiler_ = nullptr;
+
+TEST_F(ZneTest, StretchingAmplifiesError)
+{
+    // ZZ parity after 4 Trotterised ZZ rotations of pi (net
+    // identity): ideal <ZZ> = +1 from |00>; noise pulls it down, and
+    // more stretch pulls it down further.
+    QuantumCircuit circuit(2);
+    circuit.x(0); // Populate |1> so T1 bites.
+    for (int k = 0; k < 4; ++k) {
+        // Barriers keep the optimizer from legally merging the four
+        // pi rotations into nothing -- the point is to keep pulses.
+        circuit.barrier();
+        circuit.rzz(kPi, 0, 1);
+    }
+    circuit.barrier();
+    circuit.x(0);
+    const DiagonalObservable zz = {1.0, -1.0, -1.0, 1.0};
+
+    Rng rng(0x27E);
+    const ZneResult result = zeroNoiseExtrapolate(
+        *compiler_, circuit, zz, {1.0, 2.0, 3.0}, 60000, rng);
+    ASSERT_EQ(result.measured.size(), 3u);
+    EXPECT_GT(result.measured[0], result.measured[2]);
+    EXPECT_LT(result.measured[0], 1.0);
+}
+
+TEST_F(ZneTest, ExtrapolationBeatsUnmitigated)
+{
+    QuantumCircuit circuit(2);
+    circuit.x(0);
+    for (int k = 0; k < 4; ++k) {
+        circuit.barrier();
+        circuit.rzz(kPi, 0, 1);
+    }
+    circuit.barrier();
+    circuit.x(0);
+    const DiagonalObservable zz = {1.0, -1.0, -1.0, 1.0};
+    const double ideal = 1.0;
+
+    Rng rng(0x27F);
+    const ZneResult result = zeroNoiseExtrapolate(
+        *compiler_, circuit, zz, {1.0, 1.5, 2.0}, 60000, rng);
+    const double raw_error = std::abs(result.unmitigated - ideal);
+    const double mitigated_error =
+        std::abs(result.extrapolated - ideal);
+    EXPECT_LT(mitigated_error, raw_error);
+}
+
+TEST_F(ZneTest, RejectsCompressionBelowCalibration)
+{
+    QuantumCircuit circuit(2);
+    circuit.x(0);
+    const DiagonalObservable z0 = {1.0, 1.0, -1.0, -1.0};
+    Rng rng(1);
+    EXPECT_THROW(zeroNoiseExtrapolate(*compiler_, circuit, z0,
+                                      {0.5, 1.0}, 1000, rng),
+                 FatalError);
+    EXPECT_THROW(zeroNoiseExtrapolate(*compiler_, circuit,
+                                      {1.0, 1.0}, // Wrong length.
+                                      {1.0, 2.0}, 1000, rng),
+                 FatalError);
+}
+
+} // namespace
+} // namespace qpulse
