@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_zne.dir/bench_extension_zne.cc.o"
+  "CMakeFiles/bench_extension_zne.dir/bench_extension_zne.cc.o.d"
+  "bench_extension_zne"
+  "bench_extension_zne.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_zne.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_qutrit_counter.dir/bench_fig11_qutrit_counter.cc.o"
+  "CMakeFiles/bench_fig11_qutrit_counter.dir/bench_fig11_qutrit_counter.cc.o.d"
+  "bench_fig11_qutrit_counter"
+  "bench_fig11_qutrit_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_qutrit_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

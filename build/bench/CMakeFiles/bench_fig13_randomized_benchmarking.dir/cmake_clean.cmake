@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_randomized_benchmarking.dir/bench_fig13_randomized_benchmarking.cc.o"
+  "CMakeFiles/bench_fig13_randomized_benchmarking.dir/bench_fig13_randomized_benchmarking.cc.o.d"
+  "bench_fig13_randomized_benchmarking"
+  "bench_fig13_randomized_benchmarking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_randomized_benchmarking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_direct_x.dir/bench_fig4_direct_x.cc.o"
+  "CMakeFiles/bench_fig4_direct_x.dir/bench_fig4_direct_x.cc.o.d"
+  "bench_fig4_direct_x"
+  "bench_fig4_direct_x.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_direct_x.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_direct_rx_experiment.dir/bench_fig7_direct_rx_experiment.cc.o"
+  "CMakeFiles/bench_fig7_direct_rx_experiment.dir/bench_fig7_direct_rx_experiment.cc.o.d"
+  "bench_fig7_direct_rx_experiment"
+  "bench_fig7_direct_rx_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_direct_rx_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_open_cnot.dir/bench_fig8_open_cnot.cc.o"
+  "CMakeFiles/bench_fig8_open_cnot.dir/bench_fig8_open_cnot.cc.o.d"
+  "bench_fig8_open_cnot"
+  "bench_fig8_open_cnot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_open_cnot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_compiler.dir/bench_perf_compiler.cc.o"
+  "CMakeFiles/bench_perf_compiler.dir/bench_perf_compiler.cc.o.d"
+  "bench_perf_compiler"
+  "bench_perf_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulse_schedule_explorer.dir/pulse_schedule_explorer.cpp.o"
+  "CMakeFiles/pulse_schedule_explorer.dir/pulse_schedule_explorer.cpp.o.d"
+  "pulse_schedule_explorer"
+  "pulse_schedule_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulse_schedule_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qutrit_counter.dir/qutrit_counter.cpp.o"
+  "CMakeFiles/qutrit_counter.dir/qutrit_counter.cpp.o.d"
+  "qutrit_counter"
+  "qutrit_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qutrit_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqe_h2.dir/vqe_h2.cpp.o"
+  "CMakeFiles/vqe_h2.dir/vqe_h2.cpp.o.d"
+  "vqe_h2"
+  "vqe_h2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqe_h2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

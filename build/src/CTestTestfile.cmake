@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("linalg")
+subdirs("opt")
+subdirs("pauli")
+subdirs("circuit")
+subdirs("synth")
+subdirs("pulse")
+subdirs("device")
+subdirs("pulsesim")
+subdirs("noisesim")
+subdirs("readout")
+subdirs("transpile")
+subdirs("compile")
+subdirs("metrics")
+subdirs("algos")
+subdirs("rb")
+subdirs("qudit")

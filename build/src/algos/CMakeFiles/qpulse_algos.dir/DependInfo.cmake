@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algos/circuits.cc" "src/algos/CMakeFiles/qpulse_algos.dir/circuits.cc.o" "gcc" "src/algos/CMakeFiles/qpulse_algos.dir/circuits.cc.o.d"
+  "/root/repo/src/algos/hamiltonians.cc" "src/algos/CMakeFiles/qpulse_algos.dir/hamiltonians.cc.o" "gcc" "src/algos/CMakeFiles/qpulse_algos.dir/hamiltonians.cc.o.d"
+  "/root/repo/src/algos/vqe.cc" "src/algos/CMakeFiles/qpulse_algos.dir/vqe.cc.o" "gcc" "src/algos/CMakeFiles/qpulse_algos.dir/vqe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pauli/CMakeFiles/qpulse_pauli.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/qpulse_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/qpulse_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/qpulse_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qpulse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpulse_algos.dir/circuits.cc.o"
+  "CMakeFiles/qpulse_algos.dir/circuits.cc.o.d"
+  "CMakeFiles/qpulse_algos.dir/hamiltonians.cc.o"
+  "CMakeFiles/qpulse_algos.dir/hamiltonians.cc.o.d"
+  "CMakeFiles/qpulse_algos.dir/vqe.cc.o"
+  "CMakeFiles/qpulse_algos.dir/vqe.cc.o.d"
+  "libqpulse_algos.a"
+  "libqpulse_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpulse_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/circuit.cc" "src/circuit/CMakeFiles/qpulse_circuit.dir/circuit.cc.o" "gcc" "src/circuit/CMakeFiles/qpulse_circuit.dir/circuit.cc.o.d"
+  "/root/repo/src/circuit/dag.cc" "src/circuit/CMakeFiles/qpulse_circuit.dir/dag.cc.o" "gcc" "src/circuit/CMakeFiles/qpulse_circuit.dir/dag.cc.o.d"
+  "/root/repo/src/circuit/gate.cc" "src/circuit/CMakeFiles/qpulse_circuit.dir/gate.cc.o" "gcc" "src/circuit/CMakeFiles/qpulse_circuit.dir/gate.cc.o.d"
+  "/root/repo/src/circuit/qasm.cc" "src/circuit/CMakeFiles/qpulse_circuit.dir/qasm.cc.o" "gcc" "src/circuit/CMakeFiles/qpulse_circuit.dir/qasm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/qpulse_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qpulse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpulse_circuit.dir/circuit.cc.o"
+  "CMakeFiles/qpulse_circuit.dir/circuit.cc.o.d"
+  "CMakeFiles/qpulse_circuit.dir/dag.cc.o"
+  "CMakeFiles/qpulse_circuit.dir/dag.cc.o.d"
+  "CMakeFiles/qpulse_circuit.dir/gate.cc.o"
+  "CMakeFiles/qpulse_circuit.dir/gate.cc.o.d"
+  "CMakeFiles/qpulse_circuit.dir/qasm.cc.o"
+  "CMakeFiles/qpulse_circuit.dir/qasm.cc.o.d"
+  "libqpulse_circuit.a"
+  "libqpulse_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpulse_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

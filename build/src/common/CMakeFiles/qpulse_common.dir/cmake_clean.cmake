@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpulse_common.dir/ascii_plot.cc.o"
+  "CMakeFiles/qpulse_common.dir/ascii_plot.cc.o.d"
+  "CMakeFiles/qpulse_common.dir/rng.cc.o"
+  "CMakeFiles/qpulse_common.dir/rng.cc.o.d"
+  "CMakeFiles/qpulse_common.dir/table.cc.o"
+  "CMakeFiles/qpulse_common.dir/table.cc.o.d"
+  "libqpulse_common.a"
+  "libqpulse_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpulse_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpulse_compile.dir/compiler.cc.o"
+  "CMakeFiles/qpulse_compile.dir/compiler.cc.o.d"
+  "CMakeFiles/qpulse_compile.dir/zne.cc.o"
+  "CMakeFiles/qpulse_compile.dir/zne.cc.o.d"
+  "libqpulse_compile.a"
+  "libqpulse_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpulse_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/backend_config.cc" "src/device/CMakeFiles/qpulse_device.dir/backend_config.cc.o" "gcc" "src/device/CMakeFiles/qpulse_device.dir/backend_config.cc.o.d"
+  "/root/repo/src/device/calibration.cc" "src/device/CMakeFiles/qpulse_device.dir/calibration.cc.o" "gcc" "src/device/CMakeFiles/qpulse_device.dir/calibration.cc.o.d"
+  "/root/repo/src/device/pulse_backend.cc" "src/device/CMakeFiles/qpulse_device.dir/pulse_backend.cc.o" "gcc" "src/device/CMakeFiles/qpulse_device.dir/pulse_backend.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pulsesim/CMakeFiles/qpulse_pulsesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pulse/CMakeFiles/qpulse_pulse.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/qpulse_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/qpulse_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/qpulse_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/qpulse_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qpulse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

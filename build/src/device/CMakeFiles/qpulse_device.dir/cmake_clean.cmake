@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpulse_device.dir/backend_config.cc.o"
+  "CMakeFiles/qpulse_device.dir/backend_config.cc.o.d"
+  "CMakeFiles/qpulse_device.dir/calibration.cc.o"
+  "CMakeFiles/qpulse_device.dir/calibration.cc.o.d"
+  "CMakeFiles/qpulse_device.dir/pulse_backend.cc.o"
+  "CMakeFiles/qpulse_device.dir/pulse_backend.cc.o.d"
+  "libqpulse_device.a"
+  "libqpulse_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpulse_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpulse_linalg.dir/eigen.cc.o"
+  "CMakeFiles/qpulse_linalg.dir/eigen.cc.o.d"
+  "CMakeFiles/qpulse_linalg.dir/gates.cc.o"
+  "CMakeFiles/qpulse_linalg.dir/gates.cc.o.d"
+  "CMakeFiles/qpulse_linalg.dir/matrix.cc.o"
+  "CMakeFiles/qpulse_linalg.dir/matrix.cc.o.d"
+  "libqpulse_linalg.a"
+  "libqpulse_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpulse_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

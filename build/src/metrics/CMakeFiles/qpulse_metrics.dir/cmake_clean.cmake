@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpulse_metrics.dir/metrics.cc.o"
+  "CMakeFiles/qpulse_metrics.dir/metrics.cc.o.d"
+  "CMakeFiles/qpulse_metrics.dir/process_tomography.cc.o"
+  "CMakeFiles/qpulse_metrics.dir/process_tomography.cc.o.d"
+  "libqpulse_metrics.a"
+  "libqpulse_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpulse_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

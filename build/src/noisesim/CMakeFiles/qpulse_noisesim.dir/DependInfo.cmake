@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noisesim/density_sim.cc" "src/noisesim/CMakeFiles/qpulse_noisesim.dir/density_sim.cc.o" "gcc" "src/noisesim/CMakeFiles/qpulse_noisesim.dir/density_sim.cc.o.d"
+  "/root/repo/src/noisesim/statevector.cc" "src/noisesim/CMakeFiles/qpulse_noisesim.dir/statevector.cc.o" "gcc" "src/noisesim/CMakeFiles/qpulse_noisesim.dir/statevector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/qpulse_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/qpulse_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qpulse_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pulsesim/CMakeFiles/qpulse_pulsesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pulse/CMakeFiles/qpulse_pulse.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/qpulse_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/qpulse_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/qpulse_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpulse_noisesim.dir/density_sim.cc.o"
+  "CMakeFiles/qpulse_noisesim.dir/density_sim.cc.o.d"
+  "CMakeFiles/qpulse_noisesim.dir/statevector.cc.o"
+  "CMakeFiles/qpulse_noisesim.dir/statevector.cc.o.d"
+  "libqpulse_noisesim.a"
+  "libqpulse_noisesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpulse_noisesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

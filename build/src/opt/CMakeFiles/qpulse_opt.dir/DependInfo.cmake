@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/fitting.cc" "src/opt/CMakeFiles/qpulse_opt.dir/fitting.cc.o" "gcc" "src/opt/CMakeFiles/qpulse_opt.dir/fitting.cc.o.d"
+  "/root/repo/src/opt/nelder_mead.cc" "src/opt/CMakeFiles/qpulse_opt.dir/nelder_mead.cc.o" "gcc" "src/opt/CMakeFiles/qpulse_opt.dir/nelder_mead.cc.o.d"
+  "/root/repo/src/opt/spsa.cc" "src/opt/CMakeFiles/qpulse_opt.dir/spsa.cc.o" "gcc" "src/opt/CMakeFiles/qpulse_opt.dir/spsa.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qpulse_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/qpulse_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

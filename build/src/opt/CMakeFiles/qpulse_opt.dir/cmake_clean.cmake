@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpulse_opt.dir/fitting.cc.o"
+  "CMakeFiles/qpulse_opt.dir/fitting.cc.o.d"
+  "CMakeFiles/qpulse_opt.dir/nelder_mead.cc.o"
+  "CMakeFiles/qpulse_opt.dir/nelder_mead.cc.o.d"
+  "CMakeFiles/qpulse_opt.dir/spsa.cc.o"
+  "CMakeFiles/qpulse_opt.dir/spsa.cc.o.d"
+  "libqpulse_opt.a"
+  "libqpulse_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpulse_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

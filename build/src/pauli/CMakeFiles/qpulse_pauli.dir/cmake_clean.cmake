@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpulse_pauli.dir/pauli.cc.o"
+  "CMakeFiles/qpulse_pauli.dir/pauli.cc.o.d"
+  "libqpulse_pauli.a"
+  "libqpulse_pauli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpulse_pauli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pulse/cmd_def.cc" "src/pulse/CMakeFiles/qpulse_pulse.dir/cmd_def.cc.o" "gcc" "src/pulse/CMakeFiles/qpulse_pulse.dir/cmd_def.cc.o.d"
+  "/root/repo/src/pulse/qobj.cc" "src/pulse/CMakeFiles/qpulse_pulse.dir/qobj.cc.o" "gcc" "src/pulse/CMakeFiles/qpulse_pulse.dir/qobj.cc.o.d"
+  "/root/repo/src/pulse/schedule.cc" "src/pulse/CMakeFiles/qpulse_pulse.dir/schedule.cc.o" "gcc" "src/pulse/CMakeFiles/qpulse_pulse.dir/schedule.cc.o.d"
+  "/root/repo/src/pulse/waveform.cc" "src/pulse/CMakeFiles/qpulse_pulse.dir/waveform.cc.o" "gcc" "src/pulse/CMakeFiles/qpulse_pulse.dir/waveform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/qpulse_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/qpulse_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qpulse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

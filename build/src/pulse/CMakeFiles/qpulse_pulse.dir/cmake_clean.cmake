@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpulse_pulse.dir/cmd_def.cc.o"
+  "CMakeFiles/qpulse_pulse.dir/cmd_def.cc.o.d"
+  "CMakeFiles/qpulse_pulse.dir/qobj.cc.o"
+  "CMakeFiles/qpulse_pulse.dir/qobj.cc.o.d"
+  "CMakeFiles/qpulse_pulse.dir/schedule.cc.o"
+  "CMakeFiles/qpulse_pulse.dir/schedule.cc.o.d"
+  "CMakeFiles/qpulse_pulse.dir/waveform.cc.o"
+  "CMakeFiles/qpulse_pulse.dir/waveform.cc.o.d"
+  "libqpulse_pulse.a"
+  "libqpulse_pulse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpulse_pulse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

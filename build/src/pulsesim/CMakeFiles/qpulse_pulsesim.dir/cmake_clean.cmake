@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpulse_pulsesim.dir/simulator.cc.o"
+  "CMakeFiles/qpulse_pulsesim.dir/simulator.cc.o.d"
+  "CMakeFiles/qpulse_pulsesim.dir/transmon.cc.o"
+  "CMakeFiles/qpulse_pulsesim.dir/transmon.cc.o.d"
+  "libqpulse_pulsesim.a"
+  "libqpulse_pulsesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpulse_pulsesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

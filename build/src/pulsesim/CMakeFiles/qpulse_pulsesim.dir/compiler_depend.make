@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for qpulse_pulsesim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpulse_qudit.dir/qutrit.cc.o"
+  "CMakeFiles/qpulse_qudit.dir/qutrit.cc.o.d"
+  "libqpulse_qudit.a"
+  "libqpulse_qudit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpulse_qudit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpulse_rb.dir/randomized_benchmarking.cc.o"
+  "CMakeFiles/qpulse_rb.dir/randomized_benchmarking.cc.o.d"
+  "libqpulse_rb.a"
+  "libqpulse_rb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpulse_rb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

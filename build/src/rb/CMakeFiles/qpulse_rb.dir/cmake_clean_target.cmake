@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqpulse_rb.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for qpulse_rb.
+# This may be replaced when dependencies are built.

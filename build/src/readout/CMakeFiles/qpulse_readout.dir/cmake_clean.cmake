@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpulse_readout.dir/readout.cc.o"
+  "CMakeFiles/qpulse_readout.dir/readout.cc.o.d"
+  "libqpulse_readout.a"
+  "libqpulse_readout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpulse_readout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/decomposer.cc" "src/synth/CMakeFiles/qpulse_synth.dir/decomposer.cc.o" "gcc" "src/synth/CMakeFiles/qpulse_synth.dir/decomposer.cc.o.d"
+  "/root/repo/src/synth/euler.cc" "src/synth/CMakeFiles/qpulse_synth.dir/euler.cc.o" "gcc" "src/synth/CMakeFiles/qpulse_synth.dir/euler.cc.o.d"
+  "/root/repo/src/synth/weyl.cc" "src/synth/CMakeFiles/qpulse_synth.dir/weyl.cc.o" "gcc" "src/synth/CMakeFiles/qpulse_synth.dir/weyl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/qpulse_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/qpulse_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/qpulse_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qpulse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpulse_synth.dir/decomposer.cc.o"
+  "CMakeFiles/qpulse_synth.dir/decomposer.cc.o.d"
+  "CMakeFiles/qpulse_synth.dir/euler.cc.o"
+  "CMakeFiles/qpulse_synth.dir/euler.cc.o.d"
+  "CMakeFiles/qpulse_synth.dir/weyl.cc.o"
+  "CMakeFiles/qpulse_synth.dir/weyl.cc.o.d"
+  "libqpulse_synth.a"
+  "libqpulse_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpulse_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

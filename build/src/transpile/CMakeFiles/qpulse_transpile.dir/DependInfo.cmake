@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transpile/pass.cc" "src/transpile/CMakeFiles/qpulse_transpile.dir/pass.cc.o" "gcc" "src/transpile/CMakeFiles/qpulse_transpile.dir/pass.cc.o.d"
+  "/root/repo/src/transpile/passes.cc" "src/transpile/CMakeFiles/qpulse_transpile.dir/passes.cc.o" "gcc" "src/transpile/CMakeFiles/qpulse_transpile.dir/passes.cc.o.d"
+  "/root/repo/src/transpile/routing.cc" "src/transpile/CMakeFiles/qpulse_transpile.dir/routing.cc.o" "gcc" "src/transpile/CMakeFiles/qpulse_transpile.dir/routing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/qpulse_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/qpulse_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/qpulse_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/qpulse_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qpulse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

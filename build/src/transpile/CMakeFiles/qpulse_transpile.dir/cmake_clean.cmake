@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpulse_transpile.dir/pass.cc.o"
+  "CMakeFiles/qpulse_transpile.dir/pass.cc.o.d"
+  "CMakeFiles/qpulse_transpile.dir/passes.cc.o"
+  "CMakeFiles/qpulse_transpile.dir/passes.cc.o.d"
+  "CMakeFiles/qpulse_transpile.dir/routing.cc.o"
+  "CMakeFiles/qpulse_transpile.dir/routing.cc.o.d"
+  "libqpulse_transpile.a"
+  "libqpulse_transpile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpulse_transpile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

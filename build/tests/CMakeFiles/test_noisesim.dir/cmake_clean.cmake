@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noisesim.dir/test_noisesim.cc.o"
+  "CMakeFiles/test_noisesim.dir/test_noisesim.cc.o.d"
+  "test_noisesim"
+  "test_noisesim.pdb"
+  "test_noisesim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noisesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_opt.cc" "tests/CMakeFiles/test_opt.dir/test_opt.cc.o" "gcc" "tests/CMakeFiles/test_opt.dir/test_opt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qudit/CMakeFiles/qpulse_qudit.dir/DependInfo.cmake"
+  "/root/repo/build/src/rb/CMakeFiles/qpulse_rb.dir/DependInfo.cmake"
+  "/root/repo/build/src/compile/CMakeFiles/qpulse_compile.dir/DependInfo.cmake"
+  "/root/repo/build/src/transpile/CMakeFiles/qpulse_transpile.dir/DependInfo.cmake"
+  "/root/repo/build/src/noisesim/CMakeFiles/qpulse_noisesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/readout/CMakeFiles/qpulse_readout.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/qpulse_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/algos/CMakeFiles/qpulse_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/qpulse_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/pulsesim/CMakeFiles/qpulse_pulsesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/qpulse_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/pauli/CMakeFiles/qpulse_pauli.dir/DependInfo.cmake"
+  "/root/repo/build/src/pulse/CMakeFiles/qpulse_pulse.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/qpulse_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/qpulse_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/qpulse_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qpulse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

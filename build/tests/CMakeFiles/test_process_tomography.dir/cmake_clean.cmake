@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_process_tomography.dir/test_process_tomography.cc.o"
+  "CMakeFiles/test_process_tomography.dir/test_process_tomography.cc.o.d"
+  "test_process_tomography"
+  "test_process_tomography.pdb"
+  "test_process_tomography[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_process_tomography.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pulsesim.dir/test_pulsesim.cc.o"
+  "CMakeFiles/test_pulsesim.dir/test_pulsesim.cc.o.d"
+  "test_pulsesim"
+  "test_pulsesim.pdb"
+  "test_pulsesim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pulsesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

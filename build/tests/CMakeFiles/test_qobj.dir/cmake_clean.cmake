@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qobj.dir/test_qobj.cc.o"
+  "CMakeFiles/test_qobj.dir/test_qobj.cc.o.d"
+  "test_qobj"
+  "test_qobj.pdb"
+  "test_qobj[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qobj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

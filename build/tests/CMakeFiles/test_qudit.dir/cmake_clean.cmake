@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qudit.dir/test_qudit.cc.o"
+  "CMakeFiles/test_qudit.dir/test_qudit.cc.o.d"
+  "test_qudit"
+  "test_qudit.pdb"
+  "test_qudit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qudit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

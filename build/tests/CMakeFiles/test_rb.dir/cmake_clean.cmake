@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rb.dir/test_rb.cc.o"
+  "CMakeFiles/test_rb.dir/test_rb.cc.o.d"
+  "test_rb"
+  "test_rb.pdb"
+  "test_rb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

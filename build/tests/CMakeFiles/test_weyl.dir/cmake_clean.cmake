@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weyl.dir/test_weyl.cc.o"
+  "CMakeFiles/test_weyl.dir/test_weyl.cc.o.d"
+  "test_weyl"
+  "test_weyl.pdb"
+  "test_weyl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weyl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zne.dir/test_zne.cc.o"
+  "CMakeFiles/test_zne.dir/test_zne.cc.o.d"
+  "test_zne"
+  "test_zne.pdb"
+  "test_zne[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zne.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
