@@ -36,6 +36,7 @@ main()
     rb_config.lengthStride = 1;
     rb_config.sequencesPerLength = 5;
     rb_config.shots = shots::kRbPerPoint;
+    rb_config.parallelSequences = true; // Batch over the thread pool.
 
     const std::pair<RbMode, const char *> modes[] = {
         {RbMode::Optimized, "optimized"},

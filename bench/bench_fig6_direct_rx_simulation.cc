@@ -10,6 +10,7 @@
 
 #include "bench_util.h"
 #include "common/table.h"
+#include "common/thread_pool.h"
 #include "metrics/metrics.h"
 
 using namespace qpulse;
@@ -31,17 +32,23 @@ main()
     ground[0] = Complex{1.0, 0.0};
 
     TextTable table({"k", "theta (deg)", "X", "Y", "Z", "|X| dev"});
-    double max_dev = 0.0, dev_at_0 = 0.0, dev_at_90 = 0.0,
-           dev_at_180 = 0.0;
-    for (int k = 0; k <= 40; ++k) {
+    // The 41 sweep points are independent: fan the evolutions out over
+    // the thread pool, then aggregate/render in order.
+    std::vector<BlochVector> points(41);
+    parallelFor(points.size(), [&](std::size_t k) {
         const double scale = static_cast<double>(k) / 40.0;
         Schedule schedule("direct-rx");
         if (k > 0)
             schedule.play(driveChannel(0),
                           std::make_shared<ScaledWaveform>(
                               cal.x180Pulse(), Complex{scale, 0.0}));
-        const Vector out = sim.evolveState(schedule, ground);
-        const BlochVector bloch = blochFromState(out);
+        points[k] = blochFromState(sim.evolveState(schedule, ground));
+    });
+    double max_dev = 0.0, dev_at_0 = 0.0, dev_at_90 = 0.0,
+           dev_at_180 = 0.0;
+    for (int k = 0; k <= 40; ++k) {
+        const double scale = static_cast<double>(k) / 40.0;
+        const BlochVector &bloch = points[static_cast<std::size_t>(k)];
         max_dev = std::max(max_dev, std::abs(bloch.x));
         if (k == 0)
             dev_at_0 = std::abs(bloch.x);

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Pulse-simulator hot-path performance bench: times single-qubit,
+ * CR-pair and Lindblad evolutions with the propagator cache off and
+ * on, and the repeated-schedule shot workload (PulseBackend::runShots)
+ * in the legacy configuration (no cache, one thread) versus the
+ * optimized one (shared cache, four threads). Results — wall times,
+ * cache hit rates, speedups and cached-vs-uncached agreement — are
+ * printed as a table and written machine-readably to
+ * BENCH_pulsesim.json for regression tracking.
+ *
+ * Acceptance bar (see docs/PERFORMANCE.md): the repeated-schedule
+ * shot workload must run >= 5x faster optimized than legacy, and the
+ * cached evolutions must agree with the exact per-sample path to
+ * 1e-12 in max-abs difference.
+ */
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "common/thread_pool.h"
+
+using namespace qpulse;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+elapsedMs(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     start)
+        .count();
+}
+
+std::string
+fmtExp(double value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1e", value);
+    return buf;
+}
+
+double
+maxAbsDiff(const Matrix &a, const Matrix &b)
+{
+    double max_diff = 0.0;
+    for (std::size_t r = 0; r < a.rows(); ++r)
+        for (std::size_t c = 0; c < a.cols(); ++c)
+            max_diff = std::max(max_diff, std::abs(a(r, c) - b(r, c)));
+    return max_diff;
+}
+
+/** One cache-off-vs-on evolution workload's measurements. */
+struct EvolveRow
+{
+    std::string name;
+    int reps = 0;
+    double uncachedMs = 0.0;
+    double cachedMs = 0.0;
+    double hitRate = 0.0;
+    double maxDiff = 0.0;
+
+    double speedup() const { return uncachedMs / cachedMs; }
+};
+
+/**
+ * Time `reps` repeated evolutions of one schedule with caching
+ * disabled (legacy per-sample path) and with a fresh shared cache,
+ * recording the hit rate and the max-abs difference of the results.
+ */
+EvolveRow
+benchUnitary(const std::string &name, PulseSimulator sim,
+             const Schedule &schedule, int reps)
+{
+    EvolveRow row;
+    row.name = name;
+    row.reps = reps;
+
+    sim.setCachingEnabled(false);
+    Matrix exact;
+    auto start = Clock::now();
+    for (int rep = 0; rep < reps; ++rep)
+        exact = sim.evolveUnitary(schedule).unitary;
+    row.uncachedMs = elapsedMs(start);
+
+    sim.setCachingEnabled(true);
+    auto cache = std::make_shared<PropagatorCache>();
+    sim.setPropagatorCache(cache);
+    Matrix cached;
+    start = Clock::now();
+    for (int rep = 0; rep < reps; ++rep)
+        cached = sim.evolveUnitary(schedule).unitary;
+    row.cachedMs = elapsedMs(start);
+    row.hitRate = cache->stats().hitRate();
+    row.maxDiff = maxAbsDiff(exact, cached);
+    return row;
+}
+
+/** Same as benchUnitary for the Lindblad density-matrix path. */
+EvolveRow
+benchLindblad(const std::string &name, PulseSimulator sim,
+              const Schedule &schedule, int reps)
+{
+    EvolveRow row;
+    row.name = name;
+    row.reps = reps;
+
+    Matrix rho0(sim.model().dim(), sim.model().dim());
+    rho0(0, 0) = Complex{1.0, 0.0};
+
+    sim.setCachingEnabled(false);
+    Matrix exact;
+    auto start = Clock::now();
+    for (int rep = 0; rep < reps; ++rep)
+        exact = sim.evolveLindblad(schedule, rho0);
+    row.uncachedMs = elapsedMs(start);
+
+    sim.setCachingEnabled(true);
+    auto cache = std::make_shared<PropagatorCache>();
+    sim.setPropagatorCache(cache);
+    Matrix cached;
+    start = Clock::now();
+    for (int rep = 0; rep < reps; ++rep)
+        cached = sim.evolveLindblad(schedule, rho0);
+    row.cachedMs = elapsedMs(start);
+    row.hitRate = cache->stats().hitRate();
+    row.maxDiff = maxAbsDiff(exact, cached);
+    return row;
+}
+
+void
+writeJson(const std::vector<EvolveRow> &rows, long shots,
+          double baseline_ms, double optimized_ms, double shot_hit_rate,
+          std::size_t threads)
+{
+    std::FILE *out = std::fopen("BENCH_pulsesim.json", "w");
+    if (out == nullptr) {
+        std::fprintf(stderr,
+                     "warning: could not open BENCH_pulsesim.json\n");
+        return;
+    }
+    const double shot_speedup = baseline_ms / optimized_ms;
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"bench\": \"pulsesim\",\n");
+    std::fprintf(out, "  \"threads\": %zu,\n", threads);
+    std::fprintf(out, "  \"workloads\": [\n");
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+        const EvolveRow &row = rows[k];
+        std::fprintf(out,
+                     "    {\"name\": \"%s\", \"reps\": %d, "
+                     "\"uncached_wall_ms\": %.3f, "
+                     "\"cached_wall_ms\": %.3f, \"speedup\": %.2f, "
+                     "\"cache_hit_rate\": %.4f, "
+                     "\"max_abs_diff\": %.3e},\n",
+                     row.name.c_str(), row.reps, row.uncachedMs,
+                     row.cachedMs, row.speedup(), row.hitRate,
+                     row.maxDiff);
+    }
+    std::fprintf(out,
+                 "    {\"name\": \"repeated_schedule_shots\", "
+                 "\"shots\": %ld, \"baseline_wall_ms\": %.3f, "
+                 "\"optimized_wall_ms\": %.3f, \"speedup\": %.2f, "
+                 "\"cache_hit_rate\": %.4f}\n",
+                 shots, baseline_ms, optimized_ms, shot_speedup,
+                 shot_hit_rate);
+    std::fprintf(out, "  ],\n");
+    std::fprintf(out,
+                 "  \"acceptance\": {\"required_speedup\": 5.0, "
+                 "\"measured_speedup\": %.2f, \"pass\": %s}\n",
+                 shot_speedup, shot_speedup >= 5.0 ? "true" : "false");
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+    std::printf("wrote BENCH_pulsesim.json\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Pulse-simulator perf: propagator cache + threaded shots",
+        "repeated-schedule shot workload >= 5x faster with the cache "
+        "on; cached == uncached to 1e-12");
+
+    const std::size_t threads = ThreadPool::global().size();
+    std::printf("thread pool size: %zu (QPULSE_THREADS overrides)\n\n",
+                threads);
+
+    // --- Workload construction (calibration excluded from timings).
+    const BackendConfig pair_config = almadenLineConfig(2);
+    const auto backend = makeCalibratedBackend(pair_config);
+    Calibrator calibrator(pair_config);
+    const QubitCalibration cal = calibrator.calibrateQubit(0);
+
+    Schedule x_schedule("x180");
+    x_schedule.play(driveChannel(0), cal.x180Pulse());
+
+    const Schedule cnot_schedule =
+        backend->schedule(makeGate(GateType::Cnot, {0, 1}));
+
+    std::vector<EvolveRow> rows;
+    rows.push_back(benchUnitary(
+        "single_qubit_x_unitary",
+        PulseSimulator(calibrator.qubitModel(0)), x_schedule, 32));
+    rows.push_back(benchUnitary("cr_pair_cnot_unitary",
+                                calibrator.pairSimulator(0, 1),
+                                cnot_schedule, 8));
+    rows.push_back(benchLindblad(
+        "single_qubit_x_lindblad",
+        PulseSimulator(calibrator.qubitModel(0)), x_schedule, 32));
+
+    TextTable table({"workload", "reps", "uncached (ms)", "cached (ms)",
+                     "speedup", "hit rate", "max |diff|"});
+    for (const EvolveRow &row : rows)
+        table.addRow({row.name, std::to_string(row.reps),
+                      fmtFixed(row.uncachedMs, 1),
+                      fmtFixed(row.cachedMs, 1),
+                      fmtFixed(row.speedup(), 1) + "x",
+                      fmtPercent(row.hitRate, 1),
+                      fmtExp(row.maxDiff)});
+    std::printf("%s\n", table.render().c_str());
+
+    // --- Repeated-schedule shot workload: the acceptance criterion.
+    // Legacy baseline = the seed code path (no memoization, one
+    // thread); optimized = shared cache + up to four threads.
+    const PulseSimulator shot_sim(calibrator.qubitModel(0));
+    PulseShotOptions legacy;
+    legacy.shots = 192;
+    legacy.seed = 7;
+    legacy.useCache = false;
+    legacy.maxThreads = 1;
+    auto start = Clock::now();
+    const PulseShotResult base =
+        backend->runShots(shot_sim, x_schedule, legacy);
+    const double baseline_ms = elapsedMs(start);
+
+    PulseShotOptions fast;
+    fast.shots = 192;
+    fast.seed = 7;
+    fast.useCache = true;
+    fast.maxThreads = 4;
+    start = Clock::now();
+    const PulseShotResult opt =
+        backend->runShots(shot_sim, x_schedule, fast);
+    const double optimized_ms = elapsedMs(start);
+
+    bool counts_match = base.counts == opt.counts;
+    const double shot_speedup = baseline_ms / optimized_ms;
+    std::printf("repeated-schedule shots (%ld shots of x180):\n",
+                legacy.shots);
+    std::printf("  legacy (no cache, 1 thread):      %8.1f ms\n",
+                baseline_ms);
+    std::printf("  optimized (cache, <=4 threads):   %8.1f ms "
+                "(hit rate %.1f%%)\n",
+                optimized_ms, 100.0 * opt.cacheStats.hitRate());
+    std::printf("  speedup: %.1fx (acceptance: >= 5x) %s\n",
+                shot_speedup, shot_speedup >= 5.0 ? "PASS" : "FAIL");
+    std::printf("  counts identical across configurations: %s\n\n",
+                counts_match ? "yes" : "NO (BUG)");
+
+    writeJson(rows, legacy.shots, baseline_ms, optimized_ms,
+              opt.cacheStats.hitRate(), threads);
+    return shot_speedup >= 5.0 && counts_match ? 0 : 1;
+}

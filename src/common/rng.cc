@@ -34,6 +34,16 @@ Rng::Rng(std::uint64_t seed)
 }
 
 std::uint64_t
+Rng::deriveSeed(std::uint64_t base, std::uint64_t index)
+{
+    // Two splitmix64 rounds over a base/index mix: enough avalanche
+    // that adjacent indices yield unrelated generator states.
+    std::uint64_t state = base ^ (index * 0xD1342543DE82EF95ull);
+    (void)splitmix64(state);
+    return splitmix64(state);
+}
+
+std::uint64_t
 Rng::nextU64()
 {
     const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;

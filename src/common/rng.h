@@ -25,6 +25,15 @@ class Rng
     /** Seed the generator; the same seed yields the same stream. */
     explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
 
+    /**
+     * Derive a decorrelated child seed for stream `index`. Parallel
+     * loops use Rng(Rng::deriveSeed(base, i)) so every iteration gets
+     * its own reproducible stream regardless of execution order or
+     * thread count.
+     */
+    static std::uint64_t deriveSeed(std::uint64_t base,
+                                    std::uint64_t index);
+
     /** Next raw 64-bit draw. */
     std::uint64_t nextU64();
 

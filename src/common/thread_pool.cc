@@ -1,0 +1,163 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <string>
+
+#include "common/logging.h"
+
+namespace qpulse {
+
+namespace {
+
+/** Set inside workerLoop so nested parallelFor calls run inline. */
+thread_local bool tls_in_worker = false;
+
+std::size_t
+configuredThreadCount()
+{
+    if (const char *env = std::getenv("QPULSE_THREADS")) {
+        try {
+            const long parsed = std::stol(env);
+            if (parsed >= 1)
+                return static_cast<std::size_t>(parsed);
+        } catch (const std::exception &) {
+            // Fall through to auto-detection on unparsable values.
+        }
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+} // namespace
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    const std::size_t workers = threads > 1 ? threads - 1 : 0;
+    workers_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        workers_.emplace_back(&ThreadPool::workerLoop, this);
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    tls_in_worker = true;
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty()) {
+                if (stopping_)
+                    return;
+                continue;
+            }
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body,
+                        std::size_t maxThreads)
+{
+    if (n == 0)
+        return;
+    std::size_t width = size();
+    if (maxThreads > 0)
+        width = std::min(width, maxThreads);
+    width = std::min(width, n);
+    if (width <= 1 || workers_.empty() || tls_in_worker) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    struct LoopState
+    {
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> active{0};
+        std::mutex doneMutex;
+        std::condition_variable done;
+        std::exception_ptr error;
+        std::mutex errorMutex;
+    };
+    auto state = std::make_shared<LoopState>();
+    state->active.store(width, std::memory_order_relaxed);
+
+    const auto run = [state, n, &body]() {
+        for (;;) {
+            const std::size_t i =
+                state->next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                break;
+            try {
+                body(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(state->errorMutex);
+                if (!state->error)
+                    state->error = std::current_exception();
+            }
+        }
+        if (state->active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            std::lock_guard<std::mutex> lock(state->doneMutex);
+            state->done.notify_all();
+        }
+    };
+
+    // The body reference stays valid: the calling thread blocks below
+    // until every enqueued task has finished.
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (std::size_t i = 0; i + 1 < width; ++i)
+            queue_.emplace_back(run);
+    }
+    wake_.notify_all();
+
+    run(); // The caller participates as the width-th lane.
+
+    {
+        std::unique_lock<std::mutex> lock(state->doneMutex);
+        state->done.wait(lock, [&state] {
+            return state->active.load(std::memory_order_acquire) == 0;
+        });
+    }
+    if (state->error)
+        std::rethrow_exception(state->error);
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool(configuredThreadCount());
+    return pool;
+}
+
+void
+parallelFor(std::size_t n, const std::function<void(std::size_t)> &body,
+            std::size_t maxThreads)
+{
+    ThreadPool::global().parallelFor(n, body, maxThreads);
+}
+
+} // namespace qpulse

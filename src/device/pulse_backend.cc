@@ -1,8 +1,10 @@
 #include "device/pulse_backend.h"
 
+#include <atomic>
 #include <cmath>
 
 #include "common/constants.h"
+#include "common/thread_pool.h"
 #include "synth/euler.h"
 
 namespace qpulse {
@@ -235,6 +237,65 @@ PulseBackend::gatePulseCount(const Gate &gate) const
             inst.channel.kind != ChannelKind::Measure)
             ++count;
     return count;
+}
+
+PulseShotResult
+PulseBackend::runShots(const PulseSimulator &sim,
+                       const Schedule &schedule,
+                       const PulseShotOptions &opts) const
+{
+    qpulseRequire(opts.shots >= 1, "runShots needs shots >= 1");
+
+    // Work on a copy so the shot run can attach its cache without
+    // mutating the caller's simulator (the copy is a few small
+    // matrices). Concurrent const evolve calls on one simulator are
+    // safe; the shared cache is internally locked.
+    PulseSimulator worker = sim;
+    std::shared_ptr<PropagatorCache> cache;
+    if (opts.useCache) {
+        cache = opts.cache ? opts.cache
+                           : std::make_shared<PropagatorCache>();
+        worker.setPropagatorCache(cache);
+    }
+    worker.setCachingEnabled(opts.useCache);
+    const PropagatorCacheStats before =
+        cache ? cache->stats() : PropagatorCacheStats{};
+
+    const std::size_t dim = worker.model().dim();
+    Vector ground(dim);
+    ground[0] = Complex{1.0, 0.0};
+
+    PulseShotResult result;
+    result.populations =
+        worker.populations(worker.evolveState(schedule, ground));
+
+    std::vector<std::atomic<long>> counts(dim);
+    const std::size_t shots = static_cast<std::size_t>(opts.shots);
+    parallelFor(
+        shots,
+        [&](std::size_t shot) {
+            // Every shot re-evolves the schedule: with the cache hot
+            // this is matvec-only, and per-shot noise sources can slot
+            // in here without changing the sampling contract.
+            const Vector out = worker.evolveState(schedule, ground);
+            Rng rng(Rng::deriveSeed(opts.seed, shot));
+            const std::size_t outcome =
+                rng.discrete(worker.populations(out));
+            counts[outcome].fetch_add(1, std::memory_order_relaxed);
+        },
+        opts.maxThreads);
+
+    result.counts.resize(dim);
+    for (std::size_t i = 0; i < dim; ++i)
+        result.counts[i] = counts[i].load(std::memory_order_relaxed);
+    if (cache) {
+        const PropagatorCacheStats after = cache->stats();
+        result.cacheStats.hits = after.hits - before.hits;
+        result.cacheStats.misses = after.misses - before.misses;
+        result.cacheStats.evictions =
+            after.evictions - before.evictions;
+    }
+    return result;
 }
 
 double

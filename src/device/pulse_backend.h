@@ -11,11 +11,53 @@
 #ifndef QPULSE_DEVICE_PULSE_BACKEND_H
 #define QPULSE_DEVICE_PULSE_BACKEND_H
 
+#include <memory>
+
 #include "circuit/circuit.h"
+#include "common/rng.h"
 #include "device/calibration.h"
 #include "pulse/cmd_def.h"
+#include "pulsesim/simulator.h"
 
 namespace qpulse {
+
+/** Options for pulse-level shot execution (PulseBackend::runShots). */
+struct PulseShotOptions
+{
+    long shots = 1024;
+    std::uint64_t seed = 1;
+
+    /**
+     * Cross-shot propagator cache. When null, runShots creates one
+     * internally for the duration of the call (every shot after the
+     * first still hits); pass a caller-owned cache to extend reuse
+     * across schedules, e.g. over an RB sequence batch.
+     */
+    std::shared_ptr<PropagatorCache> cache;
+
+    /** Disable memoization entirely (legacy per-sample baseline). */
+    bool useCache = true;
+
+    /**
+     * Thread cap for the shot loop: 0 = the global pool's size, 1 =
+     * sequential. Results are identical for every setting — each shot
+     * draws from its own Rng(deriveSeed(seed, shot)) stream.
+     */
+    std::size_t maxThreads = 0;
+};
+
+/** Result of a pulse-level shot run. */
+struct PulseShotResult
+{
+    /** Sampled counts per full-space basis state (sum = shots). */
+    std::vector<long> counts;
+
+    /** Final-state populations the shots were drawn from. */
+    std::vector<double> populations;
+
+    /** Cache counters accumulated during this run (zeros if off). */
+    PropagatorCacheStats cacheStats;
+};
 
 /**
  * A calibrated backend able to translate basis gates into schedules.
@@ -55,6 +97,24 @@ class PulseBackend
 
     /** Peak |d(t)| across the gate's pulses (for the leakage knob). */
     double gatePeakAmplitude(const Gate &gate) const;
+
+    /**
+     * Execute `schedule` on `sim` for opts.shots shots: every shot
+     * evolves the ground state through the schedule (drawing from the
+     * shared propagator cache, so repeated evolutions after the first
+     * are near-free) and samples one measured basis state. Shots are
+     * distributed over the common thread pool; per-shot Rng streams
+     * make the counts deterministic for a fixed seed regardless of
+     * thread count.
+     *
+     * Per-shot evolution is deliberate: forthcoming per-shot noise
+     * (quasi-static drift, stochastic readout) varies shot to shot,
+     * and the cache — not a hoisted single evolution — is what keeps
+     * the repeated-schedule workload cheap.
+     */
+    PulseShotResult runShots(const PulseSimulator &sim,
+                             const Schedule &schedule,
+                             const PulseShotOptions &opts = {}) const;
 
   private:
     void buildCmdDef();

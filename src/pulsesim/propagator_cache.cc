@@ -1,0 +1,76 @@
+#include "pulsesim/propagator_cache.h"
+
+#include "common/logging.h"
+
+namespace qpulse {
+
+PropagatorCache::PropagatorCache(std::size_t capacity)
+    : capacity_(capacity)
+{
+    qpulseRequire(capacity_ >= 1,
+                  "PropagatorCache capacity must be >= 1");
+}
+
+Matrix
+PropagatorCache::getOrCompute(const PropagatorKey &key,
+                              const std::function<Matrix()> &compute)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = index_.find(key);
+        if (it != index_.end()) {
+            ++stats_.hits;
+            lru_.splice(lru_.begin(), lru_, it->second);
+            return it->second->value;
+        }
+        ++stats_.misses;
+    }
+
+    // Compute outside the lock so concurrent shots never serialize on
+    // the eigendecomposition. Two threads may race to compute the same
+    // key; both results are identical and the second insert is a no-op.
+    Matrix value = compute();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (index_.find(key) == index_.end()) {
+        lru_.push_front(Entry{key, value});
+        index_[key] = lru_.begin();
+        if (index_.size() > capacity_) {
+            ++stats_.evictions;
+            index_.erase(lru_.back().key);
+            lru_.pop_back();
+        }
+    }
+    return value;
+}
+
+void
+PropagatorCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    lru_.clear();
+    index_.clear();
+}
+
+std::size_t
+PropagatorCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return index_.size();
+}
+
+PropagatorCacheStats
+PropagatorCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+PropagatorCache::resetStats()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_ = PropagatorCacheStats{};
+}
+
+} // namespace qpulse

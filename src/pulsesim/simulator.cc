@@ -8,6 +8,66 @@
 
 namespace qpulse {
 
+namespace {
+
+/** base^count by binary powering (count >= 1). */
+Matrix
+matrixPower(Matrix base, long count)
+{
+    if (count == 1)
+        return base;
+    Matrix out = Matrix::identity(base.rows());
+    while (count > 0) {
+        if (count & 1)
+            out = base * out;
+        count >>= 1;
+        if (count > 0)
+            base = base * base;
+    }
+    return out;
+}
+
+/**
+ * Per-channel frame-phase lookup in O(log events): sorted event times
+ * with prefix sums. Replaces the per-sample linear rescan of every
+ * ShiftPhase/ShiftFrequency event (quadratic in schedule size).
+ *
+ * The frequency-shift contribution at sample t is
+ *   -2 pi dt * sum_{e: t_e <= t} f_e (t - t_e)
+ *     = -2 pi dt * (t * sum f_e  -  sum f_e t_e),
+ * so two prefix sums make each lookup O(1) after the binary search.
+ */
+struct FrameTrack
+{
+    std::vector<long> phaseTimes;
+    std::vector<double> phasePrefix;
+    std::vector<long> freqTimes;
+    std::vector<double> freqPrefix;     ///< Cumulative sum of f_e.
+    std::vector<double> freqTimePrefix; ///< Cumulative sum of f_e t_e.
+
+    double at(long t) const
+    {
+        double phase = 0.0;
+        const auto pit = std::upper_bound(phaseTimes.begin(),
+                                          phaseTimes.end(), t);
+        if (pit != phaseTimes.begin())
+            phase += phasePrefix[static_cast<std::size_t>(
+                pit - phaseTimes.begin() - 1)];
+        const auto fit = std::upper_bound(freqTimes.begin(),
+                                          freqTimes.end(), t);
+        if (fit != freqTimes.begin()) {
+            const std::size_t k = static_cast<std::size_t>(
+                fit - freqTimes.begin() - 1);
+            phase -= 2.0 * kPi * kDtNs *
+                     (static_cast<double>(t) * freqPrefix[k] -
+                      freqTimePrefix[k]);
+        }
+        return phase;
+    }
+};
+
+} // namespace
+
 PulseSimulator::PulseSimulator(TransmonModel model)
     : model_(std::move(model))
 {
@@ -49,7 +109,8 @@ PulseSimulator::buildDriveTimeline(const Schedule &schedule, long duration,
         std::vector<Complex>(static_cast<std::size_t>(duration),
                              Complex{0.0, 0.0}));
 
-    // Per-channel phase/frequency event lists.
+    // Per-channel phase/frequency events, sorted once and folded into
+    // prefix sums so the per-sample frame lookup is O(log events).
     struct PhaseEvent { long time; double phase; };
     struct FreqEvent { long time; double freqGhz; };
     std::map<Channel, std::vector<PhaseEvent>> phase_events;
@@ -62,32 +123,36 @@ PulseSimulator::buildDriveTimeline(const Schedule &schedule, long duration,
             freq_events[inst.channel].push_back(
                 {inst.startTime, inst.frequencyGhz});
     }
-    for (auto &entry : phase_events)
+
+    std::map<Channel, FrameTrack> frames;
+    for (auto &entry : phase_events) {
         std::sort(entry.second.begin(), entry.second.end(),
                   [](const PhaseEvent &a, const PhaseEvent &b) {
                       return a.time < b.time;
                   });
-    for (auto &entry : freq_events)
+        FrameTrack &track = frames[entry.first];
+        double total = 0.0;
+        for (const auto &event : entry.second) {
+            total += event.phase;
+            track.phaseTimes.push_back(event.time);
+            track.phasePrefix.push_back(total);
+        }
+    }
+    for (auto &entry : freq_events) {
         std::sort(entry.second.begin(), entry.second.end(),
                   [](const FreqEvent &a, const FreqEvent &b) {
                       return a.time < b.time;
                   });
-
-    auto frame_at = [&](const Channel &channel, long t) {
-        double phase = 0.0;
-        const auto it = phase_events.find(channel);
-        if (it != phase_events.end())
-            for (const auto &event : it->second)
-                if (event.time <= t)
-                    phase += event.phase;
-        const auto fit = freq_events.find(channel);
-        if (fit != freq_events.end())
-            for (const auto &event : fit->second)
-                if (event.time <= t)
-                    phase -= 2.0 * kPi * event.freqGhz *
-                             static_cast<double>(t - event.time) * kDtNs;
-        return phase;
-    };
+        FrameTrack &track = frames[entry.first];
+        double f_total = 0.0, ft_total = 0.0;
+        for (const auto &event : entry.second) {
+            f_total += event.freqGhz;
+            ft_total += event.freqGhz * static_cast<double>(event.time);
+            track.freqTimes.push_back(event.time);
+            track.freqPrefix.push_back(f_total);
+            track.freqTimePrefix.push_back(ft_total);
+        }
+    }
 
     for (const auto &inst : schedule.instructions()) {
         if (inst.kind != PulseInstructionKind::Play)
@@ -112,6 +177,9 @@ PulseSimulator::buildDriveTimeline(const Schedule &schedule, long duration,
             continue; // Measurement stimulus does not drive qubits.
         }
 
+        const auto track_it = frames.find(inst.channel);
+        const FrameTrack *track =
+            track_it != frames.end() ? &track_it->second : nullptr;
         for (long k = 0; k < inst.duration; ++k) {
             const long ts = inst.startTime + k;
             if (ts >= duration)
@@ -121,7 +189,7 @@ PulseSimulator::buildDriveTimeline(const Schedule &schedule, long duration,
             // In the transmon's own rotating frame a drive at
             // omega_drive couples through a^dag with phase
             // e^{+i (omega_own - omega_drive) t} = e^{+i detuning t}.
-            const double frame = frame_at(inst.channel, ts);
+            const double frame = track ? track->at(ts) : 0.0;
             const Complex value =
                 inst.waveform->sample(k) *
                 std::exp(Complex{0.0, frame + detuning * t_mid});
@@ -137,6 +205,77 @@ PulseSimulator::buildDriveTimeline(const Schedule &schedule, long duration,
                 (*frame_out)[inst.channel.index] += inst.phase;
     }
     return drives;
+}
+
+PropagatorKey
+PulseSimulator::makeKey(const std::vector<Complex> &drives,
+                        double t_mid_ns) const
+{
+    PropagatorKey key;
+    key.words.reserve(2 * drives.size() + (hasCoupling_ ? 2 : 0));
+    const auto quantize = [](double x) {
+        return static_cast<std::int64_t>(
+            std::llround(x / kDriveQuantum));
+    };
+    for (const Complex &d : drives) {
+        key.words.push_back(quantize(d.real()));
+        key.words.push_back(quantize(d.imag()));
+    }
+    if (hasCoupling_) {
+        // The coupling term rotates at the qubit-qubit detuning, so
+        // the sample time enters the Hamiltonian only through this
+        // phase; keying on it makes time-dependence explicit.
+        const Complex phase =
+            std::exp(Complex{0.0, couplingDetuning_ * t_mid_ns});
+        key.words.push_back(quantize(phase.real()));
+        key.words.push_back(quantize(phase.imag()));
+    }
+    return key;
+}
+
+std::vector<PulseSimulator::DriveStep>
+PulseSimulator::compileSteps(
+    const std::vector<std::vector<Complex>> &drives,
+    long duration) const
+{
+    std::vector<DriveStep> steps;
+    std::vector<Complex> sample(model_.numTransmons());
+    for (long ts = 0; ts < duration; ++ts) {
+        for (std::size_t j = 0; j < model_.numTransmons(); ++j)
+            sample[j] = drives[j][static_cast<std::size_t>(ts)];
+        const double t_mid = (static_cast<double>(ts) + 0.5) * kDtNs;
+        PropagatorKey key = makeKey(sample, t_mid);
+        if (!steps.empty() && steps.back().key == key) {
+            ++steps.back().count;
+            continue;
+        }
+        steps.push_back(
+            DriveStep{std::move(key), sample, t_mid, 1});
+    }
+    return steps;
+}
+
+Matrix
+PulseSimulator::stepUnitary(const DriveStep &step,
+                            PropagatorCache *cache) const
+{
+    if (!cache)
+        return stepPropagator(step.tMidNs, step.drives);
+    return cache->getOrCompute(step.key, [this, &step] {
+        return stepPropagator(step.tMidNs, step.drives);
+    });
+}
+
+PropagatorCache *
+PulseSimulator::activeCache(
+    std::unique_ptr<PropagatorCache> &local) const
+{
+    if (!cachingEnabled_)
+        return nullptr;
+    if (cache_)
+        return cache_.get();
+    local = std::make_unique<PropagatorCache>();
+    return local.get();
 }
 
 Matrix
@@ -180,12 +319,22 @@ PulseSimulator::evolveUnitary(const Schedule &schedule) const
     result.framePhase = frames;
 
     Matrix u = Matrix::identity(model_.dim());
-    for (long ts = 0; ts < duration; ++ts) {
+    if (cachingEnabled_) {
+        std::unique_ptr<PropagatorCache> local;
+        PropagatorCache *cache = activeCache(local);
+        for (const DriveStep &step : compileSteps(drives, duration))
+            u = matrixPower(stepUnitary(step, cache), step.count) * u;
+    } else {
+        // Legacy exact path: one propagator per AWG sample.
         std::vector<Complex> step_drives(model_.numTransmons());
-        for (std::size_t j = 0; j < model_.numTransmons(); ++j)
-            step_drives[j] = drives[j][static_cast<std::size_t>(ts)];
-        const double t_mid = (static_cast<double>(ts) + 0.5) * kDtNs;
-        u = stepPropagator(t_mid, step_drives) * u;
+        for (long ts = 0; ts < duration; ++ts) {
+            for (std::size_t j = 0; j < model_.numTransmons(); ++j)
+                step_drives[j] =
+                    drives[j][static_cast<std::size_t>(ts)];
+            const double t_mid =
+                (static_cast<double>(ts) + 0.5) * kDtNs;
+            u = stepPropagator(t_mid, step_drives) * u;
+        }
     }
     result.unitary = std::move(u);
     return result;
@@ -224,8 +373,24 @@ PulseSimulator::evolveState(const Schedule &schedule,
     const auto drives = buildDriveTimeline(schedule, duration, nullptr);
 
     Vector state = initial;
+    if (cachingEnabled_) {
+        std::unique_ptr<PropagatorCache> local;
+        PropagatorCache *cache = activeCache(local);
+        for (const DriveStep &step : compileSteps(drives, duration)) {
+            const Matrix u = stepUnitary(step, cache);
+            // Long runs (idle stretches, flat-tops): binary powering
+            // costs log2(count) matmuls instead of count matvecs.
+            if (step.count >= 8) {
+                state = matrixPower(u, step.count).apply(state);
+            } else {
+                for (long k = 0; k < step.count; ++k)
+                    state = u.apply(state);
+            }
+        }
+        return state;
+    }
+    std::vector<Complex> step_drives(model_.numTransmons());
     for (long ts = 0; ts < duration; ++ts) {
-        std::vector<Complex> step_drives(model_.numTransmons());
         for (std::size_t j = 0; j < model_.numTransmons(); ++j)
             step_drives[j] = drives[j][static_cast<std::size_t>(ts)];
         const double t_mid = (static_cast<double>(ts) + 0.5) * kDtNs;
@@ -264,52 +429,87 @@ PulseSimulator::evolveLindblad(const Schedule &schedule,
         return (index / divisor) % levels;
     };
 
-    Matrix rho = rho0;
+    // The damping factors are schedule-independent, so hoist them out
+    // of the sample loop: per transmon a dim x dim matrix of coherence
+    // decay factors, the n -> n-1 transfer coefficients, and the
+    // lowered index. Applying them per sample is then exp-free.
     const std::size_t dim = model_.dim();
+    std::vector<std::vector<double>> decay_factor(
+        model_.numTransmons(), std::vector<double>(dim * dim));
+    std::vector<std::vector<double>> transfer_coef(
+        model_.numTransmons(), std::vector<double>(dim, 0.0));
+    std::vector<std::vector<std::size_t>> lower_index(
+        model_.numTransmons(), std::vector<std::size_t>(dim, 0));
+    for (std::size_t j = 0; j < model_.numTransmons(); ++j) {
+        const double g1 = gamma1[j] * kDtNs;
+        const double gp = gamma_phi[j] * kDtNs;
+        for (std::size_t r = 0; r < dim; ++r) {
+            const double nr = static_cast<double>(level_of(r, j));
+            for (std::size_t c = 0; c < dim; ++c) {
+                const double nc =
+                    static_cast<double>(level_of(c, j));
+                const double relax = g1 * (nr + nc) / 2.0;
+                const double diff = nr - nc;
+                const double dephase = gp * diff * diff;
+                decay_factor[j][r * dim + c] =
+                    std::exp(-(relax + dephase));
+            }
+            const std::size_t n = level_of(r, j);
+            if (n == 0)
+                continue;
+            std::size_t divisor = 1;
+            for (std::size_t k = model_.numTransmons(); k-- > j + 1;)
+                divisor *= levels;
+            lower_index[j][r] = r - divisor;
+            transfer_coef[j][r] =
+                std::expm1(static_cast<double>(n) * g1);
+        }
+    }
+
+    // Operator-split decoherence for one dt: coherence decay followed
+    // by the trace-preserving population transfer n -> n-1 (the
+    // diagonal decay removed exactly exp(-n g1 dt) from rho(r,r)).
+    const auto apply_decoherence = [&](Matrix &rho) {
+        for (std::size_t j = 0; j < model_.numTransmons(); ++j) {
+            const std::vector<double> &factor = decay_factor[j];
+            for (std::size_t r = 0; r < dim; ++r)
+                for (std::size_t c = 0; c < dim; ++c)
+                    rho(r, c) *= factor[r * dim + c];
+            for (std::size_t r = 0; r < dim; ++r) {
+                if (transfer_coef[j][r] == 0.0)
+                    continue;
+                const double transfer =
+                    transfer_coef[j][r] * rho(r, r).real();
+                rho(lower_index[j][r], lower_index[j][r]) +=
+                    Complex{transfer, 0.0};
+            }
+        }
+    };
+
+    Matrix rho = rho0;
+    if (cachingEnabled_) {
+        std::unique_ptr<PropagatorCache> local;
+        PropagatorCache *cache = activeCache(local);
+        for (const DriveStep &step : compileSteps(drives, duration)) {
+            // The decoherence split interleaves with every sample, so
+            // runs reuse the propagator but still step sample-wise.
+            const Matrix u = stepUnitary(step, cache);
+            const Matrix u_dag = u.adjoint();
+            for (long k = 0; k < step.count; ++k) {
+                rho = u * rho * u_dag;
+                apply_decoherence(rho);
+            }
+        }
+        return rho;
+    }
+    std::vector<Complex> step_drives(model_.numTransmons());
     for (long ts = 0; ts < duration; ++ts) {
-        std::vector<Complex> step_drives(model_.numTransmons());
         for (std::size_t j = 0; j < model_.numTransmons(); ++j)
             step_drives[j] = drives[j][static_cast<std::size_t>(ts)];
         const double t_mid = (static_cast<double>(ts) + 0.5) * kDtNs;
         const Matrix u = stepPropagator(t_mid, step_drives);
         rho = u * rho * u.adjoint();
-
-        // Operator-split decoherence for one dt.
-        for (std::size_t j = 0; j < model_.numTransmons(); ++j) {
-            const double g1 = gamma1[j] * kDtNs;
-            const double gp = gamma_phi[j] * kDtNs;
-            // Coherence decay.
-            for (std::size_t r = 0; r < dim; ++r) {
-                const double nr =
-                    static_cast<double>(level_of(r, j));
-                for (std::size_t c = 0; c < dim; ++c) {
-                    const double nc =
-                        static_cast<double>(level_of(c, j));
-                    const double relax = g1 * (nr + nc) / 2.0;
-                    const double diff = nr - nc;
-                    const double dephase = gp * diff * diff;
-                    rho(r, c) *= std::exp(-(relax + dephase));
-                }
-            }
-            // Population transfer n -> n-1. The diagonal decay above
-            // removed a factor exp(-n g1 dt) from rho(r,r); move
-            // exactly that probability to the level below so the
-            // trace is preserved to machine precision.
-            for (std::size_t r = 0; r < dim; ++r) {
-                const std::size_t n = level_of(r, j);
-                if (n == 0)
-                    continue;
-                // Index with transmon j one level lower.
-                std::size_t divisor = 1;
-                for (std::size_t k = model_.numTransmons(); k-- > j + 1;)
-                    divisor *= levels;
-                const std::size_t lower = r - divisor;
-                const double transfer =
-                    std::expm1(static_cast<double>(n) * g1) *
-                    rho(r, r).real();
-                rho(lower, lower) += Complex{transfer, 0.0};
-            }
-        }
+        apply_decoherence(rho);
     }
     return rho;
 }

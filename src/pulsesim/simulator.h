@@ -14,14 +14,25 @@
  * Lindblad master-equation path using per-sample operator splitting:
  * the unitary step followed by an amplitude-damping/dephasing step of
  * the same duration.
+ *
+ * Performance model (docs/PERFORMANCE.md): per-sample propagators are
+ * memoized in a PropagatorCache keyed on the quantized drive vector,
+ * and runs of identical consecutive samples (flat-tops, constant CR
+ * tones, idle stretches) collapse into one cached propagator applied
+ * repeatedly. Attaching a caller-owned cache with setPropagatorCache
+ * extends the reuse across calls, making repeated execution of the
+ * same schedule (shots, ZNE stretch sweeps, RB sequences) near-free
+ * after the first pass.
  */
 #ifndef QPULSE_PULSESIM_SIMULATOR_H
 #define QPULSE_PULSESIM_SIMULATOR_H
 
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "pulse/schedule.h"
+#include "pulsesim/propagator_cache.h"
 #include "pulsesim/transmon.h"
 
 namespace qpulse {
@@ -55,6 +66,30 @@ class PulseSimulator
 
     const TransmonModel &model() const { return model_; }
 
+    /**
+     * Attach a caller-owned propagator cache shared across evolve
+     * calls (and safely across threads). Pass nullptr to detach; the
+     * simulator then memoizes only within each call.
+     */
+    void setPropagatorCache(std::shared_ptr<PropagatorCache> cache)
+    {
+        cache_ = std::move(cache);
+    }
+
+    const std::shared_ptr<PropagatorCache> &propagatorCache() const
+    {
+        return cache_;
+    }
+
+    /**
+     * Disable (or re-enable) propagator memoization entirely. With
+     * caching off the simulator takes the legacy exact path — one
+     * eigendecomposition per AWG sample — which exists as the
+     * reference baseline for correctness tests and perf benches.
+     */
+    void setCachingEnabled(bool enabled) { cachingEnabled_ = enabled; }
+    bool cachingEnabled() const { return cachingEnabled_; }
+
     /** Full propagator of the schedule (drive frame, frames reported). */
     UnitaryResult evolveUnitary(const Schedule &schedule) const;
 
@@ -84,12 +119,46 @@ class PulseSimulator
     std::vector<double> populations(const Vector &state) const;
 
   private:
-    struct SampleTimeline;
+    /**
+     * One run of consecutive AWG samples whose quantized Hamiltonian
+     * is identical: a single propagator applied `count` times.
+     */
+    struct DriveStep
+    {
+        PropagatorKey key;
+        std::vector<Complex> drives; ///< Per-transmon summed drive.
+        double tMidNs = 0.0;         ///< Midpoint of the first sample.
+        long count = 0;              ///< Run length in samples.
+    };
 
     /** Per-sample total drive on each transmon (frames applied). */
     std::vector<std::vector<Complex>> buildDriveTimeline(
         const Schedule &schedule, long duration,
         std::vector<double> *frame_out) const;
+
+    /** Quantize one sample's Hamiltonian inputs into a cache key. */
+    PropagatorKey makeKey(const std::vector<Complex> &drives,
+                          double t_mid_ns) const;
+
+    /**
+     * Run-length-encode the drive timeline into DriveSteps (caching
+     * path only).
+     */
+    std::vector<DriveStep> compileSteps(
+        const std::vector<std::vector<Complex>> &drives,
+        long duration) const;
+
+    /** Propagator for one step, through `cache` when non-null. */
+    Matrix stepUnitary(const DriveStep &step,
+                       PropagatorCache *cache) const;
+
+    /**
+     * The cache to use for one evolve call: the attached cross-call
+     * cache if set, else `local` (per-call memoization), else null
+     * when caching is disabled.
+     */
+    PropagatorCache *activeCache(
+        std::unique_ptr<PropagatorCache> &local) const;
 
     Matrix stepPropagator(double t_mid_ns,
                           const std::vector<Complex> &drives) const;
@@ -103,6 +172,10 @@ class PulseSimulator
     Matrix couplingOp_;           ///< J * a_A^dag a_B (0 if uncoupled).
     double couplingDetuning_ = 0.0;
     bool hasCoupling_ = false;
+
+    // Memoization state.
+    std::shared_ptr<PropagatorCache> cache_; ///< Caller-owned, optional.
+    bool cachingEnabled_ = true;
 };
 
 } // namespace qpulse

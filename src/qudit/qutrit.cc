@@ -1,5 +1,7 @@
 #include "qudit/qutrit.h"
 
+#include <memory>
+
 #include "common/constants.h"
 
 namespace qpulse {
@@ -56,6 +58,10 @@ QutritRig::QutritRig(const BackendConfig &config,
       simulator_(TransmonModel::single(config.qubits[0], 3)),
       readout_(IqReadoutModel::qutritDefault())
 {
+    // The counter/parity experiments replay the same hop and cycle
+    // schedules hundreds of times; a rig-lifetime propagator cache
+    // makes every replay after the first matmul-only.
+    simulator_.setPropagatorCache(std::make_shared<PropagatorCache>());
     // Train the LDA discriminator on labelled calibration shots.
     Rng rng(readout_seed);
     std::vector<IqPoint> points;

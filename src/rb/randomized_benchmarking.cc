@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/constants.h"
+#include "common/thread_pool.h"
 #include "linalg/gates.h"
 #include "synth/euler.h"
 
@@ -66,25 +67,69 @@ runRb(const std::shared_ptr<const PulseBackend> &backend, RbMode mode,
     RbResult result;
     result.mode = mode;
 
-    std::vector<double> ks, survivals;
+    std::vector<int> lengths;
     for (int length = config.minLength; length <= config.maxLength;
-         length += config.lengthStride) {
-        double total = 0.0;
-        for (int seq = 0; seq < config.sequencesPerLength; ++seq) {
-            QuantumCircuit circuit = rbSequence(length, 0, 1, rng);
+         length += config.lengthStride)
+        lengths.push_back(length);
+
+    std::vector<double> ks, survivals;
+    if (config.parallelSequences) {
+        // Batched path: every (length, seq) cell gets its own Rng
+        // stream, so the transpile + noisy-run + sampling pipeline —
+        // the dominant cost — fans out over the thread pool while
+        // staying deterministic for any thread count.
+        const std::size_t cells = lengths.size() *
+            static_cast<std::size_t>(config.sequencesPerLength);
+        std::vector<double> cell_survival(cells, 0.0);
+        parallelFor(cells, [&](std::size_t cell) {
+            const int length =
+                lengths[cell / static_cast<std::size_t>(
+                                   config.sequencesPerLength)];
+            Rng cell_rng(Rng::deriveSeed(config.seed, cell));
+            QuantumCircuit circuit = rbSequence(length, 0, 1, cell_rng);
             circuit.measure(0);
             const QuantumCircuit compiled = compiler.transpile(circuit);
             const NoisyRunResult run = simulator.run(compiled);
             const std::vector<long> counts =
-                simulator.sampleCounts(run, config.shots, rng);
-            total += static_cast<double>(counts[0]) /
-                     static_cast<double>(config.shots);
+                simulator.sampleCounts(run, config.shots, cell_rng);
+            cell_survival[cell] = static_cast<double>(counts[0]) /
+                                  static_cast<double>(config.shots);
+        });
+        for (std::size_t li = 0; li < lengths.size(); ++li) {
+            double total = 0.0;
+            for (int seq = 0; seq < config.sequencesPerLength; ++seq)
+                total += cell_survival
+                    [li * static_cast<std::size_t>(
+                              config.sequencesPerLength) +
+                     static_cast<std::size_t>(seq)];
+            const double survival =
+                total / static_cast<double>(config.sequencesPerLength);
+            result.decay.push_back({lengths[li], survival});
+            ks.push_back(static_cast<double>(lengths[li]));
+            survivals.push_back(survival);
         }
-        const double survival =
-            total / static_cast<double>(config.sequencesPerLength);
-        result.decay.push_back({length, survival});
-        ks.push_back(static_cast<double>(length));
-        survivals.push_back(survival);
+    } else {
+        // Sequential path: consumes the single rng stream in program
+        // order — bit-identical to the historical implementation.
+        for (const int length : lengths) {
+            double total = 0.0;
+            for (int seq = 0; seq < config.sequencesPerLength; ++seq) {
+                QuantumCircuit circuit = rbSequence(length, 0, 1, rng);
+                circuit.measure(0);
+                const QuantumCircuit compiled =
+                    compiler.transpile(circuit);
+                const NoisyRunResult run = simulator.run(compiled);
+                const std::vector<long> counts =
+                    simulator.sampleCounts(run, config.shots, rng);
+                total += static_cast<double>(counts[0]) /
+                         static_cast<double>(config.shots);
+            }
+            const double survival =
+                total / static_cast<double>(config.sequencesPerLength);
+            result.decay.push_back({length, survival});
+            ks.push_back(static_cast<double>(length));
+            survivals.push_back(survival);
+        }
     }
 
     // In the slow-decay regime a free-offset exponential fit is

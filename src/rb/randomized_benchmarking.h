@@ -50,6 +50,16 @@ struct RbConfig
     int sequencesPerLength = 5; ///< Paper: 5 random seeds per K.
     long shots = 8000;          ///< Paper: 8k shots per sequence.
     std::uint64_t seed = 0xB35;
+
+    /**
+     * Batch the per-length sequences over the shared thread pool.
+     * Sequence generation and shot sampling then use per-sequence Rng
+     * streams: results are deterministic for a fixed seed and
+     * independent of thread count, but statistically different from
+     * the (default) sequential stream, so tests pin this to false and
+     * the figure benches turn it on.
+     */
+    bool parallelSequences = false;
 };
 
 /**

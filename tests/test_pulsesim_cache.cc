@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Correctness tests for the propagator-cache hot path: the memoized
+ * evolution (run-length collapse + quantized-key LRU cache) must agree
+ * with the exact per-sample path to 1e-12 on schedules that exercise
+ * frame changes, coupled CR tones and Lindblad decoherence; the LRU
+ * must stay correct under eviction pressure; and the threaded shot
+ * loop must be deterministic for a fixed seed regardless of thread
+ * count or caching.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+
+#include "common/constants.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "compile/compiler.h"
+#include "pulsesim/simulator.h"
+
+namespace qpulse {
+namespace {
+
+TransmonParams
+testQubit()
+{
+    TransmonParams params;
+    params.frequencyGhz = 5.0;
+    params.anharmonicityGhz = -0.33;
+    params.driveStrengthGhz = 0.25;
+    return params;
+}
+
+/** The Gaussian amplitude rotating the test qubit by pi in 160 dt. */
+constexpr double kPiAmp = 0.0941;
+
+double
+maxAbsDiff(const Matrix &a, const Matrix &b)
+{
+    double max_diff = 0.0;
+    for (std::size_t r = 0; r < a.rows(); ++r)
+        for (std::size_t c = 0; c < a.cols(); ++c)
+            max_diff = std::max(max_diff, std::abs(a(r, c) - b(r, c)));
+    return max_diff;
+}
+
+double
+maxAbsDiff(const Vector &a, const Vector &b)
+{
+    double max_diff = 0.0;
+    for (std::size_t k = 0; k < a.size(); ++k)
+        max_diff = std::max(max_diff, std::abs(a[k] - b[k]));
+    return max_diff;
+}
+
+/** Coupled 5.0/5.1 GHz pair with the CR control channel mapped. */
+PulseSimulator
+crPairSimulator(double t1_us = 0.0, double t2_us = 0.0)
+{
+    TransmonParams control = testQubit();
+    TransmonParams target = testQubit();
+    target.frequencyGhz = 5.1;
+    if (t1_us > 0.0) {
+        control.t1Us = target.t1Us = t1_us;
+        control.t2Us = target.t2Us = t2_us;
+    }
+    PulseSimulator sim(TransmonModel::pair(
+        control, target, CouplingParams{0, 1, 0.0035}, 3));
+    sim.setControlChannel(
+        0, ControlChannelSpec{0, 2.0 * kPi * (5.0 - 5.1)});
+    return sim;
+}
+
+/**
+ * An echoed-CR schedule: flat-top CR tone, pi on the control with a
+ * virtual-Z frame change, negated CR tone — the shape that exercises
+ * run-length collapse (flat-tops), frame tracking and the coupled
+ * time-dependent key all at once.
+ */
+Schedule
+crEchoSchedule()
+{
+    Schedule schedule("cr-echo");
+    schedule.play(controlChannel(0),
+                  std::make_shared<GaussianSquareWaveform>(
+                      600, 15.0, 60, Complex{0.14, 0.0}));
+    schedule.shiftPhase(driveChannel(0), kPi / 3.0);
+    schedule.play(driveChannel(0),
+                  std::make_shared<GaussianWaveform>(
+                      160, 40.0, Complex{kPiAmp, 0.0}));
+    schedule.shiftPhase(controlChannel(0), kPi);
+    schedule.play(controlChannel(0),
+                  std::make_shared<GaussianSquareWaveform>(
+                      600, 15.0, 60, Complex{0.14, 0.0}));
+    return schedule;
+}
+
+TEST(PulseSimCache, UnitaryMatchesUncachedOnCrEcho)
+{
+    const PulseSimulator cached = crPairSimulator();
+    PulseSimulator exact = crPairSimulator();
+    exact.setCachingEnabled(false);
+    const Schedule schedule = crEchoSchedule();
+
+    const UnitaryResult a = cached.evolveUnitary(schedule);
+    const UnitaryResult b = exact.evolveUnitary(schedule);
+    EXPECT_LE(maxAbsDiff(a.unitary, b.unitary), 1e-12);
+    EXPECT_EQ(a.duration, b.duration);
+    ASSERT_EQ(a.framePhase.size(), b.framePhase.size());
+    for (std::size_t q = 0; q < a.framePhase.size(); ++q)
+        EXPECT_NEAR(a.framePhase[q], b.framePhase[q], 1e-12);
+}
+
+TEST(PulseSimCache, StateMatchesUncachedOnCrEcho)
+{
+    const PulseSimulator cached = crPairSimulator();
+    PulseSimulator exact = crPairSimulator();
+    exact.setCachingEnabled(false);
+    const Schedule schedule = crEchoSchedule();
+
+    Vector ground(9);
+    ground[0] = Complex{1.0, 0.0};
+    EXPECT_LE(maxAbsDiff(cached.evolveState(schedule, ground),
+                         exact.evolveState(schedule, ground)),
+              1e-12);
+}
+
+TEST(PulseSimCache, LindbladMatchesUncachedOnCrEcho)
+{
+    const PulseSimulator cached = crPairSimulator(50.0, 70.0);
+    PulseSimulator exact = crPairSimulator(50.0, 70.0);
+    exact.setCachingEnabled(false);
+    const Schedule schedule = crEchoSchedule();
+
+    Matrix rho0(9, 9);
+    rho0(0, 0) = Complex{1.0, 0.0};
+    EXPECT_LE(maxAbsDiff(cached.evolveLindblad(schedule, rho0),
+                         exact.evolveLindblad(schedule, rho0)),
+              1e-12);
+}
+
+TEST(PulseSimCache, FlatTopCollapsesToFewUniquePropagators)
+{
+    // A constant pulse is one run: the per-call cache sees exactly one
+    // unique single-sample Hamiltonian.
+    PulseSimulator sim(TransmonModel::single(testQubit(), 3));
+    auto cache = std::make_shared<PropagatorCache>();
+    sim.setPropagatorCache(cache);
+
+    Schedule schedule("const");
+    schedule.play(driveChannel(0), std::make_shared<ConstantWaveform>(
+                                       200, Complex{0.05, 0.0}));
+    (void)sim.evolveUnitary(schedule);
+    EXPECT_EQ(cache->stats().misses, 1u);
+}
+
+TEST(PulseSimCache, CrossCallCacheHitsOnRepeatedSchedule)
+{
+    PulseSimulator sim(TransmonModel::single(testQubit(), 3));
+    auto cache = std::make_shared<PropagatorCache>();
+    sim.setPropagatorCache(cache);
+
+    Schedule schedule("x");
+    schedule.play(driveChannel(0), std::make_shared<GaussianWaveform>(
+                                       160, 40.0, Complex{kPiAmp, 0.0}));
+    const UnitaryResult first = sim.evolveUnitary(schedule);
+    const PropagatorCacheStats after_first = cache->stats();
+    EXPECT_GT(after_first.misses, 0u);
+
+    const UnitaryResult second = sim.evolveUnitary(schedule);
+    const PropagatorCacheStats after_second = cache->stats();
+    // Every propagator of the second pass is served from the cache.
+    EXPECT_EQ(after_second.misses, after_first.misses);
+    EXPECT_GT(after_second.hits, after_first.hits);
+    EXPECT_LE(maxAbsDiff(first.unitary, second.unitary), 0.0);
+}
+
+TEST(PulseSimCache, TinyCapacityEvictsButStaysCorrect)
+{
+    // Capacity 2 forces constant LRU churn on a 160-sample Gaussian
+    // (~80 unique keys); the result must not change.
+    PulseSimulator sim(TransmonModel::single(testQubit(), 3));
+    PulseSimulator exact(TransmonModel::single(testQubit(), 3));
+    exact.setCachingEnabled(false);
+    auto tiny = std::make_shared<PropagatorCache>(2);
+    sim.setPropagatorCache(tiny);
+
+    Schedule schedule("x");
+    schedule.play(driveChannel(0), std::make_shared<GaussianWaveform>(
+                                       160, 40.0, Complex{kPiAmp, 0.0}));
+    const Matrix a = sim.evolveUnitary(schedule).unitary;
+    const Matrix b = exact.evolveUnitary(schedule).unitary;
+    EXPECT_LE(maxAbsDiff(a, b), 1e-12);
+    EXPECT_LE(tiny->size(), 2u);
+    EXPECT_GT(tiny->stats().evictions, 0u);
+}
+
+TEST(PulseSimCache, RunShotsDeterministicAcrossThreadsAndCaching)
+{
+    const BackendConfig config = almadenLineConfig(1);
+    const auto backend = makeCalibratedBackend(config);
+    Calibrator calibrator(config);
+    const QubitCalibration cal = calibrator.calibrateQubit(0);
+    const PulseSimulator sim(calibrator.qubitModel(0));
+
+    Schedule schedule("x180");
+    schedule.play(driveChannel(0), cal.x180Pulse());
+
+    PulseShotOptions opts;
+    opts.shots = 96;
+    opts.seed = 0xFEED;
+    opts.useCache = true;
+    opts.maxThreads = 1;
+    const PulseShotResult sequential =
+        backend->runShots(sim, schedule, opts);
+
+    opts.maxThreads = 4;
+    const PulseShotResult threaded =
+        backend->runShots(sim, schedule, opts);
+
+    opts.useCache = false;
+    opts.maxThreads = 4;
+    const PulseShotResult uncached =
+        backend->runShots(sim, schedule, opts);
+
+    long total = 0;
+    for (const long count : sequential.counts)
+        total += count;
+    EXPECT_EQ(total, opts.shots);
+    EXPECT_EQ(sequential.counts, threaded.counts);
+    EXPECT_EQ(sequential.counts, uncached.counts);
+    EXPECT_GT(threaded.cacheStats.hits, 0u);
+    EXPECT_EQ(uncached.cacheStats.hits + uncached.cacheStats.misses,
+              0u);
+
+    // A different seed must give a different (but still complete) draw.
+    opts.useCache = true;
+    opts.seed = 0xBEEF;
+    const PulseShotResult reseeded =
+        backend->runShots(sim, schedule, opts);
+    total = 0;
+    for (const long count : reseeded.counts)
+        total += count;
+    EXPECT_EQ(total, opts.shots);
+}
+
+TEST(PulseSimCache, ParallelForCoversEveryIndexOnce)
+{
+    std::vector<std::atomic<int>> visits(257);
+    for (auto &visit : visits)
+        visit.store(0);
+    parallelFor(visits.size(), [&](std::size_t k) {
+        visits[k].fetch_add(1);
+    });
+    for (const auto &visit : visits)
+        EXPECT_EQ(visit.load(), 1);
+}
+
+TEST(PulseSimCache, DeriveSeedSeparatesStreams)
+{
+    // Derived per-shot seeds must differ from each other and from the
+    // base seed (splitmix64 scrambling).
+    const std::uint64_t base = 42;
+    EXPECT_NE(Rng::deriveSeed(base, 0), base);
+    EXPECT_NE(Rng::deriveSeed(base, 0), Rng::deriveSeed(base, 1));
+    EXPECT_NE(Rng::deriveSeed(base, 1), Rng::deriveSeed(base + 1, 1));
+    // And must be reproducible.
+    EXPECT_EQ(Rng::deriveSeed(base, 7), Rng::deriveSeed(base, 7));
+}
+
+} // namespace
+} // namespace qpulse
