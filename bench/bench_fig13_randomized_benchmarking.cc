@@ -38,6 +38,15 @@ main()
     rb_config.shots = shots::kRbPerPoint;
     rb_config.parallelSequences = true; // Batch over the thread pool.
 
+    // RB-under-faults: QPULSE_FAULT_PLAN (docs/ROBUSTNESS.md) turns on
+    // deterministic per-cell fault accounting, so a faulted Figure 13
+    // is reproducible from this binary alone, e.g.
+    //   QPULSE_FAULT_PLAN="transient=0.2,ro_flip=0.01" ./bench_fig13...
+    rb_config.faultPlan = FaultPlan::fromEnv();
+    if (rb_config.faultPlan.enabled())
+        std::printf("fault plan active: %s\n",
+                    rb_config.faultPlan.toString().c_str());
+
     const std::pair<RbMode, const char *> modes[] = {
         {RbMode::Optimized, "optimized"},
         {RbMode::OptimizedSlow, "optimized-slow"},
@@ -56,6 +65,9 @@ main()
         results.push_back(result);
         std::printf("  %-15s f = %.5f\n", mode.second,
                     result.gateFidelity);
+        if (rb_config.faultPlan.enabled())
+            std::printf("  %-15s resilience: %s\n", "",
+                        result.resilience.toString().c_str());
         std::fflush(stdout);
         ++index;
     }

@@ -1,0 +1,51 @@
+#include "common/env.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace qpulse {
+
+void
+envWarn(const std::string &name, const std::string &detail)
+{
+    std::fprintf(stderr, "qpulse warning: %s: %s\n", name.c_str(),
+                 detail.c_str());
+}
+
+long
+envLong(const char *name, long fallback, long lo, long hi)
+{
+    const char *raw = std::getenv(name);
+    if (raw == nullptr || raw[0] == '\0')
+        return fallback;
+
+    char *end = nullptr;
+    const long parsed = std::strtol(raw, &end, 10);
+    if (end == raw || (end != nullptr && *end != '\0')) {
+        envWarn(name, std::string("unparsable value '") + raw +
+                          "', using default " +
+                          std::to_string(fallback));
+        return fallback;
+    }
+    if (parsed < lo || parsed > hi) {
+        const long clamped = std::clamp(parsed, lo, hi);
+        envWarn(name, "value " + std::to_string(parsed) +
+                          " outside [" + std::to_string(lo) + ", " +
+                          std::to_string(hi) + "], clamping to " +
+                          std::to_string(clamped));
+        return clamped;
+    }
+    return parsed;
+}
+
+std::optional<std::string>
+envString(const char *name)
+{
+    const char *raw = std::getenv(name);
+    if (raw == nullptr || raw[0] == '\0')
+        return std::nullopt;
+    return std::string(raw);
+}
+
+} // namespace qpulse

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Diagnosed environment-variable parsing.
+ *
+ * Every QPULSE_* knob goes through these helpers so that a typo'd or
+ * out-of-range value produces a one-line stderr warning instead of a
+ * silent fallback: QPULSE_THREADS (thread_pool.cc), QPULSE_FAULT_PLAN
+ * (fault_injector.cc). QPULSE_SANITIZE is consumed by CMake at
+ * configure time, not here; see docs/ROBUSTNESS.md for the full list.
+ */
+#ifndef QPULSE_COMMON_ENV_H
+#define QPULSE_COMMON_ENV_H
+
+#include <optional>
+#include <string>
+
+namespace qpulse {
+
+/** One-line "qpulse warning: <name>: <detail>" to stderr. */
+void envWarn(const std::string &name, const std::string &detail);
+
+/**
+ * Read an integer environment variable with a validity range.
+ *
+ * Unset -> `fallback`, silently. Unparsable (not an integer, trailing
+ * junk) -> `fallback`, with a warning. Parsable but outside
+ * [lo, hi] -> clamped to the nearest bound, with a warning.
+ */
+long envLong(const char *name, long fallback, long lo, long hi);
+
+/** Raw string value of an environment variable, if set and non-empty. */
+std::optional<std::string> envString(const char *name);
+
+} // namespace qpulse
+
+#endif // QPULSE_COMMON_ENV_H

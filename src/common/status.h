@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Structured error taxonomy for the execution stack.
+ *
+ * qpulseFatal/qpulseRequire (logging.h) report *what* went wrong as a
+ * string; resilient execution additionally needs *which class* of
+ * failure occurred, because the recovery action differs per class: a
+ * transient shot-batch failure is retried, a validation reject is
+ * never retried (the schedule is structurally wrong), a drift
+ * detection triggers recalibration, and a stale augmented-basis entry
+ * triggers fallback to the standard decomposition. Status carries an
+ * ErrorCode plus a human-readable message; StatusError is the
+ * exception form thrown at API boundaries that cannot return a Status
+ * (it derives from FatalError so existing catch sites keep working).
+ */
+#ifndef QPULSE_COMMON_STATUS_H
+#define QPULSE_COMMON_STATUS_H
+
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace qpulse {
+
+/** Failure classes of the execution stack (docs/ROBUSTNESS.md). */
+enum class ErrorCode
+{
+    Ok = 0,
+
+    // Validation rejects: the schedule is structurally malformed and
+    // must never reach the simulator (each class is distinct so tests
+    // and callers can tell them apart).
+    InvalidArgument,     ///< Malformed request (bad shots, empty plan...).
+    NonFiniteSample,     ///< A Play waveform contains NaN/Inf samples.
+    AmplitudeSaturation, ///< |d(t)| exceeds the OpenPulse bound of 1.
+    UnknownChannel,      ///< Channel index outside the backend's budget.
+    NegativeTime,        ///< Instruction starts before t = 0.
+    NonMonotonicTime,    ///< Overlapping Play spans on one channel.
+
+    // Execution faults: the schedule is fine but the run failed.
+    TransientFailure, ///< Shot batch rejected/failed transiently.
+    Timeout,          ///< Shot batch timed out.
+    RetriesExhausted, ///< Bounded retry gave up; see the message.
+    StaleCalibration, ///< Entry marked stale; fallback recommended.
+
+    ParseError, ///< Spec string (e.g. QPULSE_FAULT_PLAN) is malformed.
+};
+
+/** Stable kebab-case name of a code (used in messages and JSON). */
+inline const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Ok:                  return "ok";
+      case ErrorCode::InvalidArgument:     return "invalid-argument";
+      case ErrorCode::NonFiniteSample:     return "non-finite-sample";
+      case ErrorCode::AmplitudeSaturation: return "amplitude-saturation";
+      case ErrorCode::UnknownChannel:      return "unknown-channel";
+      case ErrorCode::NegativeTime:        return "negative-time";
+      case ErrorCode::NonMonotonicTime:    return "non-monotonic-time";
+      case ErrorCode::TransientFailure:    return "transient-failure";
+      case ErrorCode::Timeout:             return "timeout";
+      case ErrorCode::RetriesExhausted:    return "retries-exhausted";
+      case ErrorCode::StaleCalibration:    return "stale-calibration";
+      case ErrorCode::ParseError:          return "parse-error";
+    }
+    return "unknown";
+}
+
+/** An error code plus context message; cheap to copy and return. */
+class Status
+{
+  public:
+    /** Default: success. */
+    Status() = default;
+
+    Status(ErrorCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {}
+
+    static Status okStatus() { return Status(); }
+
+    static Status
+    error(ErrorCode code, std::string message)
+    {
+        qpulseAssert(code != ErrorCode::Ok,
+                     "Status::error needs a non-Ok code");
+        return Status(code, std::move(message));
+    }
+
+    bool ok() const { return code_ == ErrorCode::Ok; }
+    ErrorCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** "non-finite-sample: pulse on d0 at t=0 ..." (or "ok"). */
+    std::string
+    toString() const
+    {
+        if (ok())
+            return "ok";
+        std::string out = errorCodeName(code_);
+        if (!message_.empty()) {
+            out += ": ";
+            out += message_;
+        }
+        return out;
+    }
+
+  private:
+    ErrorCode code_ = ErrorCode::Ok;
+    std::string message_;
+};
+
+/**
+ * Exception form of a non-Ok Status, thrown at boundaries whose
+ * signature cannot return a Status (e.g. PulseBackend::runShots).
+ * Derives from FatalError so pre-taxonomy catch sites still work.
+ */
+class StatusError : public FatalError
+{
+  public:
+    explicit StatusError(Status status)
+        : FatalError("qpulse fatal: " + status.toString()),
+          status_(std::move(status))
+    {}
+
+    const Status &status() const { return status_; }
+    ErrorCode code() const { return status_.code(); }
+
+  private:
+    Status status_;
+};
+
+/** Throw the Status as a StatusError if it is not Ok. */
+inline void
+throwIfError(const Status &status)
+{
+    if (!status.ok())
+        throw StatusError(status);
+}
+
+} // namespace qpulse
+
+#endif // QPULSE_COMMON_STATUS_H

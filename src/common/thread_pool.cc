@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdlib>
 #include <exception>
 #include <memory>
 #include <string>
 
+#include "common/env.h"
 #include "common/logging.h"
 
 namespace qpulse {
@@ -19,17 +19,14 @@ thread_local bool tls_in_worker = false;
 std::size_t
 configuredThreadCount()
 {
-    if (const char *env = std::getenv("QPULSE_THREADS")) {
-        try {
-            const long parsed = std::stol(env);
-            if (parsed >= 1)
-                return static_cast<std::size_t>(parsed);
-        } catch (const std::exception &) {
-            // Fall through to auto-detection on unparsable values.
-        }
-    }
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw > 0 ? hw : 1;
+    const unsigned hw_raw = std::thread::hardware_concurrency();
+    const long hw = hw_raw > 0 ? static_cast<long>(hw_raw) : 1;
+    // Cap at 4x hardware concurrency: more threads than that only adds
+    // contention, and a mistyped huge value would spawn thousands of
+    // workers. Unparsable or out-of-range values warn (env.h) instead
+    // of silently falling back.
+    return static_cast<std::size_t>(
+        envLong("QPULSE_THREADS", hw, 1, 4 * hw));
 }
 
 } // namespace

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/constants.h"
+#include "device/schedule_validation.h"
 
 namespace qpulse {
 
@@ -56,6 +57,8 @@ PulseCompiler::compile(const QuantumCircuit &circuit) const
         else if (inst.kind == PulseInstructionKind::ShiftPhase)
             ++result.frameChangeCount;
     }
+    result.validation =
+        validateSchedule(result.schedule, backend_->config());
     return result;
 }
 

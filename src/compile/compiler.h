@@ -50,6 +50,18 @@ struct CompileResult
     std::size_t frameChangeCount = 0; ///< Virtual-Z instructions.
     CompileMode mode = CompileMode::Standard;
 
+    /**
+     * Structural validation of the lowered schedule against the
+     * backend's channel budget (device/schedule_validation.h), run as
+     * part of compile(). The compiler's own output always passes on a
+     * healthy library; a non-Ok code here means a cmd_def entry is
+     * miscalibrated (e.g. an augmented DirectRx scaled past |d| = 1)
+     * and flags it *before* the schedule is submitted anywhere —
+     * consumers can divert to the standard decomposition instead of
+     * letting PulseBackend::runShots throw.
+     */
+    Status validation;
+
     /** Makespan in nanoseconds. */
     double durationNs() const;
 };

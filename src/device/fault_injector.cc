@@ -1,0 +1,383 @@
+#include "device/fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "common/env.h"
+
+namespace qpulse {
+
+namespace {
+
+// Salts decorrelating the decision streams from each other and from
+// the shot-sampling streams (which use the raw user seed).
+constexpr std::uint64_t kDriftSalt = 0xD21F7A5Eull;
+constexpr std::uint64_t kAttemptSalt = 0xA77E3B17ull;
+constexpr std::uint64_t kReadoutSalt = 0x2EAD0375ull;
+
+/** Peak |d| above which a clipped upload sits (DAC saturation). */
+constexpr double kClipPeak = 1.5;
+
+bool
+parseDouble(const std::string &text, double &out)
+{
+    char *end = nullptr;
+    out = std::strtod(text.c_str(), &end);
+    return end != text.c_str() && *end == '\0' &&
+           std::isfinite(out);
+}
+
+} // namespace
+
+bool
+FaultPlan::enabled() const
+{
+    return transientRate > 0.0 || timeoutRate > 0.0 ||
+           driftRate > 0.0 || awgNanRate > 0.0 || awgClipRate > 0.0 ||
+           awgDropRate > 0.0 || readoutFlipRate > 0.0 ||
+           readoutDropRate > 0.0;
+}
+
+std::string
+FaultPlan::toString() const
+{
+    auto fmt = [](double value) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%g", value);
+        return std::string(buf);
+    };
+    return "seed=" + std::to_string(seed) +
+           ",transient=" + fmt(transientRate) +
+           ",timeout=" + fmt(timeoutRate) + ",drift=" + fmt(driftRate) +
+           ",drift_khz=" + fmt(driftFreqKhz) +
+           ",drift_amp=" + fmt(driftAmpError) +
+           ",awg_nan=" + fmt(awgNanRate) +
+           ",awg_clip=" + fmt(awgClipRate) +
+           ",awg_drop=" + fmt(awgDropRate) +
+           ",ro_flip=" + fmt(readoutFlipRate) +
+           ",ro_drop=" + fmt(readoutDropRate);
+}
+
+Status
+FaultPlan::parse(const std::string &spec, FaultPlan &out)
+{
+    FaultPlan plan;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t end = spec.find_first_of(",;", pos);
+        if (end == std::string::npos)
+            end = spec.size();
+        std::string item = spec.substr(pos, end - pos);
+        pos = end + 1;
+
+        // Trim surrounding whitespace; empty items are allowed.
+        const std::size_t first = item.find_first_not_of(" \t");
+        if (first == std::string::npos)
+            continue;
+        const std::size_t last = item.find_last_not_of(" \t");
+        item = item.substr(first, last - first + 1);
+
+        const std::size_t eq = item.find('=');
+        if (eq == std::string::npos || eq == 0)
+            return Status::error(ErrorCode::ParseError,
+                                 "fault-plan item '" + item +
+                                     "' is not key=value");
+        const std::string key = item.substr(0, eq);
+        const std::string value = item.substr(eq + 1);
+
+        if (key == "seed") {
+            char *endp = nullptr;
+            const unsigned long long parsed =
+                std::strtoull(value.c_str(), &endp, 10);
+            if (endp == value.c_str() || *endp != '\0')
+                return Status::error(ErrorCode::ParseError,
+                                     "fault-plan seed '" + value +
+                                         "' is not an integer");
+            plan.seed = parsed;
+            continue;
+        }
+
+        double number = 0.0;
+        if (!parseDouble(value, number))
+            return Status::error(ErrorCode::ParseError,
+                                 "fault-plan value '" + value +
+                                     "' for key '" + key +
+                                     "' is not a number");
+
+        // Magnitude knobs take any non-negative value; rates are
+        // probabilities and must stay in [0, 1].
+        if (key == "drift_khz" || key == "drift_amp") {
+            if (number < 0.0)
+                return Status::error(ErrorCode::ParseError,
+                                     "fault-plan '" + key +
+                                         "' must be >= 0");
+            (key == "drift_khz" ? plan.driftFreqKhz
+                                : plan.driftAmpError) = number;
+            continue;
+        }
+        if (number < 0.0 || number > 1.0)
+            return Status::error(ErrorCode::ParseError,
+                                 "fault-plan rate '" + key + "'=" +
+                                     value + " outside [0, 1]");
+        if (key == "transient")
+            plan.transientRate = number;
+        else if (key == "timeout")
+            plan.timeoutRate = number;
+        else if (key == "drift")
+            plan.driftRate = number;
+        else if (key == "awg_nan")
+            plan.awgNanRate = number;
+        else if (key == "awg_clip")
+            plan.awgClipRate = number;
+        else if (key == "awg_drop")
+            plan.awgDropRate = number;
+        else if (key == "ro_flip")
+            plan.readoutFlipRate = number;
+        else if (key == "ro_drop")
+            plan.readoutDropRate = number;
+        else
+            return Status::error(ErrorCode::ParseError,
+                                 "unknown fault-plan key '" + key +
+                                     "'");
+    }
+    out = plan;
+    return Status::okStatus();
+}
+
+FaultPlan
+FaultPlan::fromEnv()
+{
+    FaultPlan plan;
+    const auto spec = envString("QPULSE_FAULT_PLAN");
+    if (!spec)
+        return plan;
+    const Status status = FaultPlan::parse(*spec, plan);
+    if (!status.ok()) {
+        envWarn("QPULSE_FAULT_PLAN",
+                status.toString() + "; fault injection disabled");
+        return FaultPlan{};
+    }
+    return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(plan) {}
+
+void
+FaultInjector::rollDrift(std::uint64_t run)
+{
+    if (plan_.driftRate <= 0.0 || run == lastDriftRollRun_)
+        return;
+    lastDriftRollRun_ = run;
+    Rng rng(Rng::deriveSeed(plan_.seed ^ kDriftSalt, run));
+    if (!driftActive_ && rng.uniform() < plan_.driftRate) {
+        driftActive_ = true;
+        ++stats_.driftSpikes;
+        ++stats_.faultsInjected;
+    }
+}
+
+Schedule
+FaultInjector::applyDrift(const Schedule &clean) const
+{
+    // Coherent drift relative to calibration (the bench_ablation_drift
+    // model): every calibrated envelope is played at a slightly wrong
+    // frequency and amplitude. Correlated across pulses — unlike the
+    // per-pulse AWG faults — which is exactly why only a calibration
+    // refresh (not a retry) can remove it.
+    Schedule drifted(clean.name());
+    const double freq_ghz = plan_.driftFreqKhz * 1e-6;
+    const Complex scale{1.0 + plan_.driftAmpError, 0.0};
+    for (const auto &inst : clean.instructions()) {
+        PulseInstruction copy = inst;
+        if (inst.kind == PulseInstructionKind::Play &&
+            (inst.channel.kind == ChannelKind::Drive ||
+             inst.channel.kind == ChannelKind::Control)) {
+            WaveformPtr wave = inst.waveform;
+            if (freq_ghz != 0.0)
+                wave = std::make_shared<SidebandWaveform>(wave,
+                                                          freq_ghz);
+            if (plan_.driftAmpError != 0.0) {
+                // Materialize the amplitude error instead of wrapping
+                // in ScaledWaveform: that wrapper enforces the
+                // compile-layer |scale| <= 1 invariant, and a drifted
+                // amplifier can legitimately overshoot it (validation
+                // still rejects the envelope if it exceeds |d| = 1).
+                std::vector<Complex> samples = wave->samples();
+                for (Complex &d : samples)
+                    d *= scale;
+                wave = std::make_shared<SampledWaveform>(
+                    std::move(samples),
+                    "drifted(" + inst.waveform->name() + ")");
+            }
+            copy.waveform = wave;
+        }
+        drifted.addInstruction(copy);
+    }
+    return drifted;
+}
+
+Schedule
+FaultInjector::corrupt(const Schedule &clean, Rng &rng, bool nan,
+                       bool clip, bool drop) const
+{
+    // Pick one drive/control Play as the corrupted upload.
+    std::vector<std::size_t> candidates;
+    const auto &insts = clean.instructions();
+    for (std::size_t i = 0; i < insts.size(); ++i)
+        if (insts[i].kind == PulseInstructionKind::Play &&
+            (insts[i].channel.kind == ChannelKind::Drive ||
+             insts[i].channel.kind == ChannelKind::Control))
+            candidates.push_back(i);
+    if (candidates.empty())
+        return clean;
+    const std::size_t target =
+        candidates[rng.uniformInt(candidates.size())];
+
+    std::vector<Complex> samples = insts[target].waveform->samples();
+    if (samples.empty())
+        return clean;
+    if (nan) {
+        samples[rng.uniformInt(samples.size())] =
+            Complex{std::numeric_limits<double>::quiet_NaN(), 0.0};
+    } else if (clip) {
+        // DAC glitch: the whole envelope saturates above |d| = 1, so
+        // the validation gate rejects the upload deterministically.
+        double peak = 0.0;
+        for (const Complex &d : samples)
+            peak = std::max(peak, std::abs(d));
+        const double factor = peak > 0.0 ? kClipPeak / peak : 1.0;
+        for (Complex &d : samples)
+            d *= factor;
+    } else if (drop) {
+        // A contiguous quarter of the samples never reaches the AWG.
+        const std::size_t len = std::max<std::size_t>(
+            1, samples.size() / 4);
+        const std::size_t start =
+            rng.uniformInt(samples.size() - len + 1);
+        for (std::size_t k = start; k < start + len; ++k)
+            samples[k] = Complex{0.0, 0.0};
+    }
+
+    Schedule corrupted(clean.name());
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+        PulseInstruction copy = insts[i];
+        if (i == target)
+            copy.waveform = std::make_shared<SampledWaveform>(
+                std::move(samples),
+                "corrupted(" + insts[i].waveform->name() + ")");
+        corrupted.addInstruction(copy);
+    }
+    return corrupted;
+}
+
+FaultInjector::Injection
+FaultInjector::inject(const Schedule &clean, std::uint64_t run,
+                      int attempt)
+{
+    Injection injection;
+    rollDrift(run);
+
+    Rng rng(Rng::deriveSeed(
+        Rng::deriveSeed(plan_.seed ^ kAttemptSalt, run),
+        static_cast<std::uint64_t>(attempt)));
+
+    // Fixed draw order keeps the sequence reproducible regardless of
+    // which classes are enabled at a given rate.
+    const bool transient = rng.uniform() < plan_.transientRate;
+    const bool timeout = rng.uniform() < plan_.timeoutRate;
+    const bool nan = rng.uniform() < plan_.awgNanRate;
+    const bool clip = rng.uniform() < plan_.awgClipRate;
+    const bool drop = rng.uniform() < plan_.awgDropRate;
+
+    if (transient || timeout) {
+        injection.transient = transient;
+        injection.timeout = !transient && timeout;
+        ++stats_.faultsInjected;
+        if (injection.transient)
+            ++stats_.transientFailures;
+        else
+            ++stats_.timeouts;
+        injection.schedule = clean;
+        return injection;
+    }
+
+    Schedule result = clean;
+    if (nan || clip || drop) {
+        result = corrupt(result, rng, nan, clip, drop);
+        injection.corrupted = true;
+        ++stats_.faultsInjected;
+        ++stats_.corruptedSchedules;
+    }
+    if (driftActive_) {
+        result = applyDrift(result);
+        injection.driftApplied = true;
+    }
+    injection.schedule = std::move(result);
+    return injection;
+}
+
+long
+FaultInjector::applyReadoutFaults(std::vector<long> &counts,
+                                  const std::vector<double> &populations,
+                                  std::uint64_t run, int attempt)
+{
+    if (plan_.readoutFlipRate <= 0.0 && plan_.readoutDropRate <= 0.0)
+        return 0;
+    qpulseRequire(populations.size() == counts.size(),
+                  "readout fault populations/counts size mismatch");
+    Rng rng(Rng::deriveSeed(
+        Rng::deriveSeed(plan_.seed ^ kReadoutSalt, run),
+        static_cast<std::uint64_t>(attempt)));
+    const std::size_t dim = counts.size();
+    long affected = 0;
+
+    if (plan_.readoutFlipRate > 0.0 && dim > 1) {
+        // Flipped shots land uniformly on one of the other states
+        // (channel crosstalk / classification glitch).
+        std::vector<long> incoming(dim, 0);
+        for (std::size_t i = 0; i < dim; ++i) {
+            const long flips =
+                rng.binomial(counts[i], plan_.readoutFlipRate);
+            counts[i] -= flips;
+            for (long f = 0; f < flips; ++f) {
+                std::size_t other = rng.uniformInt(dim - 1);
+                if (other >= i)
+                    ++other;
+                ++incoming[other];
+            }
+            affected += flips;
+        }
+        for (std::size_t i = 0; i < dim; ++i)
+            counts[i] += incoming[i];
+    }
+
+    if (plan_.readoutDropRate > 0.0) {
+        // Dropped shots are re-triggered: redrawn from the run's true
+        // populations so the total shot budget is preserved.
+        long dropped = 0;
+        for (std::size_t i = 0; i < dim; ++i) {
+            const long drops =
+                rng.binomial(counts[i], plan_.readoutDropRate);
+            counts[i] -= drops;
+            dropped += drops;
+        }
+        if (dropped > 0) {
+            const std::vector<long> redraw =
+                rng.multinomial(dropped, populations);
+            for (std::size_t i = 0; i < dim; ++i)
+                counts[i] += redraw[i];
+        }
+        affected += dropped;
+    }
+
+    if (affected > 0) {
+        ++stats_.faultsInjected;
+        stats_.readoutFaultShots += affected;
+    }
+    return affected;
+}
+
+} // namespace qpulse

@@ -5,6 +5,7 @@
 
 #include "common/constants.h"
 #include "common/thread_pool.h"
+#include "device/schedule_validation.h"
 #include "synth/euler.h"
 
 namespace qpulse {
@@ -245,6 +246,13 @@ PulseBackend::runShots(const PulseSimulator &sim,
                        const PulseShotOptions &opts) const
 {
     qpulseRequire(opts.shots >= 1, "runShots needs shots >= 1");
+
+    // Validation gate: a malformed schedule (NaN/Inf samples,
+    // saturated envelopes, unknown channels, non-monotonic times)
+    // must never reach the quantized cache keys or the
+    // eigendecomposition hot path — reject it with its structured
+    // reason here, once per batch, before any evolution.
+    throwIfError(validateSchedule(schedule, library_.config));
 
     // Work on a copy so the shot run can attach its cache without
     // mutating the caller's simulator (the copy is a few small

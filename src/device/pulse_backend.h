@@ -15,7 +15,9 @@
 
 #include "circuit/circuit.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "device/calibration.h"
+#include "device/resilience_stats.h"
 #include "pulse/cmd_def.h"
 #include "pulsesim/simulator.h"
 
@@ -57,6 +59,13 @@ struct PulseShotResult
 
     /** Cache counters accumulated during this run (zeros if off). */
     PropagatorCacheStats cacheStats;
+
+    /**
+     * Resilience counters. Plain runShots leaves this zeroed; the
+     * ResilientExecutor fills in its retry/fault/recalibration
+     * accounting so every consumer reads outcomes from one place.
+     */
+    ResilienceStats resilience;
 };
 
 /**
@@ -111,6 +120,14 @@ class PulseBackend
      * (quasi-static drift, stochastic readout) varies shot to shot,
      * and the cache — not a hoisted single evolution — is what keeps
      * the repeated-schedule workload cheap.
+     *
+     * The schedule is validated against the backend's channel budget
+     * before any evolution (device/schedule_validation.h); a
+     * malformed schedule — NaN/Inf samples, |d| > 1 saturation,
+     * unknown channels, negative or non-monotonic times — throws a
+     * StatusError carrying the distinct reject code instead of
+     * flowing into the propagator cache. Use ResilientExecutor for
+     * the non-throwing, retrying form.
      */
     PulseShotResult runShots(const PulseSimulator &sim,
                              const Schedule &schedule,

@@ -1,0 +1,316 @@
+#include "device/resilient_executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "device/schedule_validation.h"
+
+namespace qpulse {
+
+namespace {
+
+constexpr std::uint64_t kBackoffSalt = 0xBAC0FF01ull;
+
+/** Expected top basis state and its probability, fault-free. */
+struct Baseline
+{
+    std::size_t index = 0;
+    double proxy = 0.0;
+};
+
+Baseline
+cleanBaseline(const PulseSimulator &sim, const Schedule &schedule)
+{
+    Vector ground(sim.model().dim());
+    ground[0] = Complex{1.0, 0.0};
+    const std::vector<double> pops =
+        sim.populations(sim.evolveState(schedule, ground));
+    Baseline baseline;
+    for (std::size_t i = 0; i < pops.size(); ++i)
+        if (pops[i] > baseline.proxy) {
+            baseline.proxy = pops[i];
+            baseline.index = i;
+        }
+    return baseline;
+}
+
+} // namespace
+
+ResilientExecutor::ResilientExecutor(
+    std::shared_ptr<const PulseBackend> backend, RetryPolicy retry,
+    DriftWatchdogPolicy watchdog, DegradePolicy degrade)
+    : backend_(std::move(backend)), retry_(retry), watchdog_(watchdog),
+      degrade_(degrade)
+{
+    qpulseRequire(backend_ != nullptr,
+                  "ResilientExecutor needs a backend");
+    qpulseRequire(retry_.maxAttempts >= 1,
+                  "RetryPolicy needs maxAttempts >= 1");
+}
+
+double
+ResilientExecutor::backoffMs(int attempt, std::uint64_t run_id,
+                             std::uint64_t seed) const
+{
+    // attempt is the retry ordinal (1 = first retry). Deterministic
+    // jitter: the delay depends only on (seed, run, attempt), never on
+    // the clock, preserving the bit-identical-replay contract.
+    double delay = retry_.backoffBaseMs *
+                   std::pow(retry_.backoffFactor, attempt - 1);
+    delay = std::min(delay, retry_.backoffCapMs);
+    Rng rng(Rng::deriveSeed(Rng::deriveSeed(seed ^ kBackoffSalt, run_id),
+                            static_cast<std::uint64_t>(attempt)));
+    delay *= 1.0 + retry_.jitter * (2.0 * rng.uniform() - 1.0);
+    return delay;
+}
+
+bool
+ResilientExecutor::entryStale(const std::string &key) const
+{
+    if (!degrade_.enabled || key.empty())
+        return false;
+    const auto it = failureStreaks_.find(key);
+    return it != failureStreaks_.end() &&
+           it->second >= degrade_.staleAfterFailures;
+}
+
+void
+ResilientExecutor::markFresh(const std::string &key)
+{
+    if (!key.empty())
+        failureStreaks_.erase(key);
+}
+
+void
+ResilientExecutor::registerFailure(const std::string &key)
+{
+    if (!key.empty())
+        ++failureStreaks_[key];
+}
+
+ResilientOutcome
+ResilientExecutor::run(const PulseSimulator &sim,
+                       const ResilientRequest &request,
+                       const PulseShotOptions &opts)
+{
+    const std::uint64_t run_id = runCounter_++;
+    ResilientOutcome outcome;
+    ResilienceStats &stats = outcome.stats;
+    const ChannelBudget budget =
+        ChannelBudget::fromConfig(backend_->config());
+
+    // --- Phase selection: a stale entry skips its primary schedule.
+    bool on_fallback = false;
+    const Schedule *active = &request.schedule;
+    if (request.fallback && entryStale(request.key)) {
+        on_fallback = true;
+        active = &*request.fallback;
+        ++stats.fallbacks;
+        outcome.usedFallback = true;
+        outcome.lastError = Status::error(
+            ErrorCode::StaleCalibration,
+            "entry '" + request.key + "' is stale; using fallback");
+    }
+
+    // --- Validation gate (the primary may be structurally invalid —
+    // e.g. a miscalibrated augmented entry scaling past |d| = 1 — in
+    // which case it is immediately stale and the standard
+    // decomposition takes over).
+    Status valid = validateSchedule(*active, budget);
+    if (!valid.ok()) {
+        ++stats.validationRejects;
+        outcome.lastError = valid;
+        if (!on_fallback && request.fallback) {
+            if (!request.key.empty())
+                failureStreaks_[request.key] =
+                    std::max(failureStreaks_[request.key],
+                             degrade_.staleAfterFailures);
+            on_fallback = true;
+            active = &*request.fallback;
+            ++stats.fallbacks;
+            outcome.usedFallback = true;
+            valid = validateSchedule(*active, budget);
+            if (!valid.ok()) {
+                ++stats.validationRejects;
+                outcome.lastError = valid;
+            }
+        }
+        if (!valid.ok()) {
+            outcome.status = valid;
+            outcome.result.resilience = stats;
+            stats_ += stats;
+            return outcome;
+        }
+    }
+
+    // --- Fidelity-proxy baseline from a clean, fault-free evolution.
+    Baseline baseline = cleanBaseline(sim, *active);
+    if (request.baselineProxy >= 0.0)
+        baseline.proxy = request.baselineProxy;
+    outcome.baseline = baseline.proxy;
+
+    const auto shots = static_cast<double>(opts.shots);
+
+    // One bounded attempt loop over a schedule; returns true when a
+    // result (healthy or accepted-degraded) landed in outcome.result.
+    const auto run_phase = [&](const Schedule &schedule) -> bool {
+        int recalibrations = 0;
+        bool have_best = false;
+        PulseShotResult best;
+        double best_proxy = 0.0;
+        for (int attempt = 0; attempt < retry_.maxAttempts; ++attempt) {
+            ++stats.attempts;
+            if (attempt > 0) {
+                ++stats.retries;
+                const double delay =
+                    backoffMs(attempt, run_id, opts.seed);
+                stats.backoffTotalMs += delay;
+                if (retry_.sleep)
+                    std::this_thread::sleep_for(
+                        std::chrono::duration<double, std::milli>(
+                            delay));
+            }
+
+            FaultInjector::Injection injection;
+            if (injector_) {
+                injection = injector_->inject(schedule, run_id, attempt);
+            } else {
+                injection.schedule = schedule;
+            }
+
+            if (injection.transient || injection.timeout) {
+                ++stats.faultsDetected;
+                if (injection.transient) {
+                    ++stats.transientFailures;
+                    outcome.lastError = Status::error(
+                        ErrorCode::TransientFailure,
+                        "shot batch rejected (attempt " +
+                            std::to_string(attempt + 1) + ")");
+                } else {
+                    ++stats.timeouts;
+                    outcome.lastError = Status::error(
+                        ErrorCode::Timeout,
+                        "shot batch timed out (attempt " +
+                            std::to_string(attempt + 1) + ")");
+                }
+                continue;
+            }
+
+            if (injection.corrupted) {
+                // The validation gate catches structurally-broken
+                // uploads (NaN glitches, clipped envelopes) before
+                // they can poison the propagator cache; re-uploading
+                // is the fix. Silently-degrading corruption (dropped
+                // samples) passes here and is caught by the proxy
+                // check below instead.
+                const Status upload =
+                    validateSchedule(injection.schedule, budget);
+                if (!upload.ok()) {
+                    ++stats.faultsDetected;
+                    ++stats.corruptedSchedules;
+                    ++stats.validationRejects;
+                    outcome.lastError = upload;
+                    continue;
+                }
+            }
+
+            PulseShotResult result =
+                backend_->runShots(sim, injection.schedule, opts);
+            if (injector_)
+                stats.readoutFaultShots +=
+                    injector_->applyReadoutFaults(
+                        result.counts, result.populations, run_id,
+                        attempt);
+
+            const double proxy =
+                static_cast<double>(result.counts[baseline.index]) /
+                shots;
+            outcome.proxy = proxy;
+            if (!watchdog_.enabled ||
+                baseline.proxy - proxy <= watchdog_.tolerance) {
+                outcome.result = std::move(result);
+                return true;
+            }
+
+            // Proxy crossed the threshold: the prime suspect between
+            // daily calibrations is coherent drift, so trigger one
+            // targeted calibration refresh per crossing (bounded),
+            // then retry. Keep the batch as the best-effort result.
+            ++stats.faultsDetected;
+            if (!have_best || proxy > best_proxy) {
+                best = std::move(result);
+                best_proxy = proxy;
+                have_best = true;
+            }
+            outcome.lastError = Status::error(
+                ErrorCode::StaleCalibration,
+                "fidelity proxy " + std::to_string(proxy) +
+                    " fell below baseline " +
+                    std::to_string(baseline.proxy) + " - tolerance");
+            if (recalibrations < watchdog_.maxRecalibrations) {
+                ++recalibrations;
+                ++stats.recalibrations;
+                if (injector_)
+                    injector_->recalibrate();
+                if (recalibrationHook_)
+                    recalibrationHook_();
+            }
+        }
+        if (have_best) {
+            // Budget exhausted with completed-but-degraded batches:
+            // accept the best one rather than erroring out.
+            ++stats.degradedRuns;
+            outcome.degraded = true;
+            outcome.proxy = best_proxy;
+            outcome.result = std::move(best);
+            return true;
+        }
+        return false;
+    };
+
+    bool success = run_phase(*active);
+
+    // --- Graceful degradation: a run whose primary phase exhausted
+    // its budget falls back to the standard decomposition instead of
+    // erroring out; repeated failures mark the entry stale so future
+    // runs skip the primary entirely.
+    if (!success && !on_fallback) {
+        registerFailure(request.key);
+        if (request.fallback) {
+            const Status fallback_valid =
+                validateSchedule(*request.fallback, budget);
+            if (fallback_valid.ok()) {
+                on_fallback = true;
+                ++stats.fallbacks;
+                outcome.usedFallback = true;
+                baseline = cleanBaseline(sim, *request.fallback);
+                outcome.baseline = baseline.proxy;
+                success = run_phase(*request.fallback);
+            } else {
+                ++stats.validationRejects;
+                outcome.lastError = fallback_valid;
+            }
+        }
+    }
+
+    if (success) {
+        if (!on_fallback)
+            markFresh(request.key);
+        outcome.status = Status::okStatus();
+    } else {
+        if (on_fallback)
+            registerFailure(request.key);
+        outcome.status = Status::error(
+            ErrorCode::RetriesExhausted,
+            "gave up after " + std::to_string(stats.attempts) +
+                " attempts; last error: " +
+                outcome.lastError.toString());
+    }
+    outcome.result.resilience = stats;
+    stats_ += stats;
+    return outcome;
+}
+
+} // namespace qpulse

@@ -1,0 +1,113 @@
+#include "device/schedule_validation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace qpulse {
+
+namespace {
+
+std::string
+instContext(const PulseInstruction &inst)
+{
+    return inst.channel.toString() + " at t=" +
+           std::to_string(inst.startTime);
+}
+
+} // namespace
+
+ChannelBudget
+ChannelBudget::fromConfig(const BackendConfig &config)
+{
+    ChannelBudget budget;
+    budget.driveChannels = config.numQubits;
+    budget.controlChannels = config.couplings.size();
+    budget.measureChannels = config.numQubits;
+    budget.acquireChannels = config.numQubits;
+    return budget;
+}
+
+Status
+validateSchedule(const Schedule &schedule, const ChannelBudget &budget)
+{
+    std::map<Channel, std::vector<std::pair<long, long>>> play_spans;
+
+    for (const auto &inst : schedule.instructions()) {
+        if (inst.startTime < 0)
+            return Status::error(
+                ErrorCode::NegativeTime,
+                "instruction on " + instContext(inst) +
+                    " starts before t=0");
+
+        std::size_t limit = 0;
+        switch (inst.channel.kind) {
+          case ChannelKind::Drive:   limit = budget.driveChannels; break;
+          case ChannelKind::Control: limit = budget.controlChannels; break;
+          case ChannelKind::Measure: limit = budget.measureChannels; break;
+          case ChannelKind::Acquire: limit = budget.acquireChannels; break;
+        }
+        if (inst.channel.index >= limit)
+            return Status::error(
+                ErrorCode::UnknownChannel,
+                "channel " + inst.channel.toString() +
+                    " outside the backend budget (" +
+                    std::to_string(limit) + " channels of this kind)");
+
+        if (inst.kind != PulseInstructionKind::Play)
+            continue;
+        if (!inst.waveform)
+            return Status::error(ErrorCode::InvalidArgument,
+                                 "Play without a waveform on " +
+                                     instContext(inst));
+
+        // One pass over the samples covers both the finiteness and the
+        // saturation check without materialising the waveform twice.
+        const long duration = inst.waveform->duration();
+        double peak = 0.0;
+        for (long k = 0; k < duration; ++k) {
+            const Complex d = inst.waveform->sample(k);
+            if (!std::isfinite(d.real()) || !std::isfinite(d.imag()))
+                return Status::error(
+                    ErrorCode::NonFiniteSample,
+                    "non-finite sample " + std::to_string(k) +
+                        " in '" + inst.waveform->name() + "' on " +
+                        instContext(inst));
+            peak = std::max(peak, std::abs(d));
+        }
+        if (peak > 1.0 + 1e-9)
+            return Status::error(
+                ErrorCode::AmplitudeSaturation,
+                "pulse '" + inst.waveform->name() + "' on " +
+                    instContext(inst) + " saturates the AWG (peak |d|=" +
+                    std::to_string(peak) + " > 1)");
+
+        play_spans[inst.channel].emplace_back(inst.startTime,
+                                              inst.endTime());
+    }
+
+    for (auto &entry : play_spans) {
+        auto &spans = entry.second;
+        std::sort(spans.begin(), spans.end());
+        for (std::size_t i = 1; i < spans.size(); ++i)
+            if (spans[i].first < spans[i - 1].second)
+                return Status::error(
+                    ErrorCode::NonMonotonicTime,
+                    "non-monotonic Play times on " +
+                        entry.first.toString() + ": pulse at t=" +
+                        std::to_string(spans[i].first) +
+                        " starts before the previous pulse ends (t=" +
+                        std::to_string(spans[i - 1].second) + ")");
+    }
+    return Status::okStatus();
+}
+
+Status
+validateSchedule(const Schedule &schedule, const BackendConfig &config)
+{
+    return validateSchedule(schedule, ChannelBudget::fromConfig(config));
+}
+
+} // namespace qpulse

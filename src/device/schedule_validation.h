@@ -1,0 +1,59 @@
+/**
+ * @file
+ * validateSchedule(): the structured gate at the PulseBackend /
+ * PulseSimulator boundary. Real OpenPulse backends reject malformed
+ * Qobjs up front; before this gate existed a NaN amplitude or a
+ * saturated envelope flowed silently into the quantized propagator
+ * cache keys and eigendecompositions, producing garbage counts with
+ * no diagnostic. Every malformed-schedule class maps to a distinct
+ * ErrorCode (common/status.h) so callers can branch on the reject
+ * reason: NonFiniteSample, AmplitudeSaturation, UnknownChannel,
+ * NegativeTime, NonMonotonicTime.
+ */
+#ifndef QPULSE_DEVICE_SCHEDULE_VALIDATION_H
+#define QPULSE_DEVICE_SCHEDULE_VALIDATION_H
+
+#include "common/status.h"
+#include "device/backend_config.h"
+#include "pulse/schedule.h"
+
+namespace qpulse {
+
+/** The channels a backend actually exposes. */
+struct ChannelBudget
+{
+    std::size_t driveChannels = 0;   ///< d0..d{n-1}.
+    std::size_t controlChannels = 0; ///< u0..u{e-1} (one per edge).
+    std::size_t measureChannels = 0; ///< m0..m{n-1}.
+    std::size_t acquireChannels = 0; ///< a0..a{n-1}.
+
+    /** Budget implied by a backend config (qubits + directed edges). */
+    static ChannelBudget fromConfig(const BackendConfig &config);
+};
+
+/**
+ * Validate one schedule against a channel budget. Returns the first
+ * violation found (instruction order, then per-channel overlap scan)
+ * as a non-Ok Status with a distinct ErrorCode per malformed class;
+ * Ok when the schedule may safely reach the simulator.
+ *
+ * Checks, in order per instruction:
+ *  - NegativeTime: startTime < 0;
+ *  - UnknownChannel: channel index outside the budget;
+ *  - NonFiniteSample: any NaN/Inf Play sample;
+ *  - AmplitudeSaturation: |d(t)| > 1 + 1e-9 on any Play sample;
+ * then across instructions:
+ *  - NonMonotonicTime: overlapping Play spans on one channel (the
+ *    channel's upload times run backwards relative to the previous
+ *    pulse's end).
+ */
+Status validateSchedule(const Schedule &schedule,
+                        const ChannelBudget &budget);
+
+/** Convenience overload: budget derived from the config. */
+Status validateSchedule(const Schedule &schedule,
+                        const BackendConfig &config);
+
+} // namespace qpulse
+
+#endif // QPULSE_DEVICE_SCHEDULE_VALIDATION_H

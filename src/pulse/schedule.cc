@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "common/status.h"
 
 namespace qpulse {
 
@@ -58,7 +59,11 @@ void
 Schedule::playAt(long start, const Channel &channel, WaveformPtr waveform)
 {
     qpulseRequire(waveform != nullptr, "play requires a waveform");
-    qpulseRequire(start >= 0, "play start must be >= 0");
+    if (start < 0)
+        throw StatusError(Status::error(
+            ErrorCode::NegativeTime,
+            "play on " + channel.toString() + " starts at t = " +
+                std::to_string(start) + " < 0"));
     PulseInstruction inst;
     inst.kind = PulseInstructionKind::Play;
     inst.channel = channel;
@@ -154,8 +159,10 @@ Schedule::shifted(long offset) const
     for (const auto &inst : instructions_) {
         PulseInstruction copy = inst;
         copy.startTime += offset;
-        qpulseRequire(copy.startTime >= 0,
-                      "shifted schedule has a negative start time");
+        if (copy.startTime < 0)
+            throw StatusError(Status::error(
+                ErrorCode::NegativeTime,
+                "shifted schedule has a negative start time"));
         result.instructions_.push_back(std::move(copy));
     }
     return result;
@@ -164,8 +171,11 @@ Schedule::shifted(long offset) const
 void
 Schedule::addInstruction(PulseInstruction instruction)
 {
-    qpulseRequire(instruction.startTime >= 0,
-                  "instruction start time must be >= 0");
+    if (instruction.startTime < 0)
+        throw StatusError(Status::error(
+            ErrorCode::NegativeTime,
+            "instruction start time must be >= 0 (got " +
+                std::to_string(instruction.startTime) + ")"));
     instructions_.push_back(std::move(instruction));
 }
 

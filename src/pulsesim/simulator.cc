@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/constants.h"
+#include "common/status.h"
 #include "linalg/eigen.h"
 
 namespace qpulse {
@@ -193,6 +194,19 @@ PulseSimulator::buildDriveTimeline(const Schedule &schedule, long duration,
             const Complex value =
                 inst.waveform->sample(k) *
                 std::exp(Complex{0.0, frame + detuning * t_mid});
+            // Last line of defence under the validation gate: a
+            // NaN/Inf sample would otherwise poison the quantized
+            // propagator-cache key (llround on NaN is undefined) and
+            // every eigendecomposition derived from it.
+            if (!std::isfinite(value.real()) ||
+                !std::isfinite(value.imag()))
+                throw StatusError(Status::error(
+                    ErrorCode::NonFiniteSample,
+                    "non-finite drive sample on " +
+                        inst.channel.toString() + " at t=" +
+                        std::to_string(ts) +
+                        " reached the simulator; validate the "
+                        "schedule (device/schedule_validation.h)"));
             drives[transmon][static_cast<std::size_t>(ts)] += value;
         }
     }

@@ -81,6 +81,23 @@ runRb(const std::shared_ptr<const PulseBackend> &backend, RbMode mode,
         const std::size_t cells = lengths.size() *
             static_cast<std::size_t>(config.sequencesPerLength);
         std::vector<double> cell_survival(cells, 0.0);
+
+        // RB-under-faults: the density path always completes, so the
+        // batch-level fault classes reduce to deterministic retry
+        // accounting plus readout perturbation of the sampled counts.
+        // AWG/drift classes are pulse-level (they act on schedules)
+        // and are masked off so the injected-side stats stay honest;
+        // the unconditional draw order keeps the transient/timeout
+        // decisions identical to the full plan's.
+        const bool inject_faults = config.faultPlan.enabled();
+        FaultPlan cell_plan = config.faultPlan;
+        cell_plan.awgNanRate = 0.0;
+        cell_plan.awgClipRate = 0.0;
+        cell_plan.awgDropRate = 0.0;
+        cell_plan.driftRate = 0.0;
+        std::vector<ResilienceStats> cell_stats(
+            inject_faults ? cells : 0);
+
         parallelFor(cells, [&](std::size_t cell) {
             const int length =
                 lengths[cell / static_cast<std::size_t>(
@@ -90,11 +107,45 @@ runRb(const std::shared_ptr<const PulseBackend> &backend, RbMode mode,
             circuit.measure(0);
             const QuantumCircuit compiled = compiler.transpile(circuit);
             const NoisyRunResult run = simulator.run(compiled);
-            const std::vector<long> counts =
+            std::vector<long> counts =
                 simulator.sampleCounts(run, config.shots, cell_rng);
+            if (inject_faults) {
+                // One injector per cell, keyed on the cell index, so
+                // the accounting is independent of thread count. A
+                // transient/timeout decision "rejects the batch" and
+                // charges a retry out of the bounded budget; a cell
+                // that exhausts it keeps its (always-available)
+                // density result and is counted as degraded.
+                FaultInjector injector(cell_plan);
+                ResilienceStats &stats = cell_stats[cell];
+                const Schedule batch_marker;
+                int attempt = 0;
+                for (; attempt < config.faultMaxAttempts; ++attempt) {
+                    ++stats.attempts;
+                    if (attempt > 0)
+                        ++stats.retries;
+                    const FaultInjector::Injection injection =
+                        injector.inject(batch_marker, cell, attempt);
+                    if (!injection.transient && !injection.timeout)
+                        break;
+                    ++stats.faultsDetected;
+                }
+                if (attempt == config.faultMaxAttempts) {
+                    ++stats.degradedRuns;
+                    attempt = config.faultMaxAttempts - 1;
+                }
+                stats.readoutFaultShots += injector.applyReadoutFaults(
+                    counts, run.probs, cell, attempt);
+                stats.transientFailures =
+                    injector.stats().transientFailures;
+                stats.timeouts = injector.stats().timeouts;
+                stats.faultsInjected = injector.stats().faultsInjected;
+            }
             cell_survival[cell] = static_cast<double>(counts[0]) /
                                   static_cast<double>(config.shots);
         });
+        for (const ResilienceStats &stats : cell_stats)
+            result.resilience += stats;
         for (std::size_t li = 0; li < lengths.size(); ++li) {
             double total = 0.0;
             for (int seq = 0; seq < config.sequencesPerLength; ++seq)

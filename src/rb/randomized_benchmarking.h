@@ -12,6 +12,7 @@
 #define QPULSE_RB_RANDOMIZED_BENCHMARKING_H
 
 #include "compile/compiler.h"
+#include "device/fault_injector.h"
 #include "opt/fitting.h"
 
 namespace qpulse {
@@ -39,6 +40,13 @@ struct RbResult
     double gateFidelity = 0.0; ///< Fitted f.
     double spamOffset = 0.0;   ///< Fitted b.
     double amplitude = 0.0;    ///< Fitted a.
+
+    /**
+     * Fault/retry accounting accumulated over every (length, seq)
+     * cell when RbConfig::faultPlan is enabled on the batched path;
+     * all-zero otherwise.
+     */
+    ResilienceStats resilience;
 };
 
 /** Configuration for the RB experiment. */
@@ -60,6 +68,23 @@ struct RbConfig
      * the figure benches turn it on.
      */
     bool parallelSequences = false;
+
+    /**
+     * Fault plan for RB-under-faults (disabled by default, so plain
+     * runs are untouched). Honoured only on the batched path: each
+     * (length, seq) cell charges bounded transient/timeout retry
+     * accounting and perturbs its sampled counts with the plan's
+     * readout faults, every decision drawn from a deterministic
+     * per-cell stream (bit-identical across thread counts). The
+     * pulse-level fault classes (AWG corruption, coherent drift) act
+     * on schedules and are exercised by ResilientExecutor, not by
+     * this density-matrix path. The sequential path ignores the plan
+     * and stays bit-identical to the historical implementation.
+     */
+    FaultPlan faultPlan;
+
+    /** Retry budget charged per cell when the fault plan fires. */
+    int faultMaxAttempts = 4;
 };
 
 /**
