@@ -140,12 +140,9 @@ writeJson(const std::vector<EvolveRow> &rows, long shots,
           double baseline_ms, double optimized_ms, double shot_hit_rate,
           std::size_t threads)
 {
-    std::FILE *out = std::fopen("BENCH_pulsesim.json", "w");
-    if (out == nullptr) {
-        std::fprintf(stderr,
-                     "warning: could not open BENCH_pulsesim.json\n");
+    std::FILE *out = bench::openBenchJson("BENCH_pulsesim.json");
+    if (out == nullptr)
         return;
-    }
     const double shot_speedup = baseline_ms / optimized_ms;
     std::fprintf(out, "{\n");
     std::fprintf(out, "  \"bench\": \"pulsesim\",\n");
@@ -171,13 +168,13 @@ writeJson(const std::vector<EvolveRow> &rows, long shots,
                  shots, baseline_ms, optimized_ms, shot_speedup,
                  shot_hit_rate);
     std::fprintf(out, "  ],\n");
+    bench::writeTelemetryField(out);
     std::fprintf(out,
                  "  \"acceptance\": {\"required_speedup\": 5.0, "
                  "\"measured_speedup\": %.2f, \"pass\": %s}\n",
                  shot_speedup, shot_speedup >= 5.0 ? "true" : "false");
     std::fprintf(out, "}\n");
-    std::fclose(out);
-    std::printf("wrote BENCH_pulsesim.json\n");
+    bench::closeBenchJson(out, "BENCH_pulsesim.json");
 }
 
 } // namespace
@@ -266,6 +263,7 @@ main()
     std::printf("  counts identical across configurations: %s\n\n",
                 counts_match ? "yes" : "NO (BUG)");
 
+    bench::printTelemetry();
     writeJson(rows, legacy.shots, baseline_ms, optimized_ms,
               opt.cacheStats.hitRate(), threads);
     return shot_speedup >= 5.0 && counts_match ? 0 : 1;

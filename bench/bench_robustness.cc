@@ -140,14 +140,24 @@ main()
     const BackendConfig config = almadenLineConfig(1);
     const auto backend = makeCalibratedBackend(config);
     Calibrator calibrator(config);
-    const QubitCalibration cal = calibrator.calibrateQubit(0);
     const PulseSimulator sim(calibrator.qubitModel(0));
 
-    Schedule x180("x180");
-    x180.play(driveChannel(0), cal.x180Pulse());
-    Schedule fallback("x90x90");
-    fallback.play(driveChannel(0), cal.x90Pulse());
-    fallback.play(driveChannel(0), cal.x90Pulse());
+    // Compile the primary (augmented direct-X entry) and the fallback
+    // (standard x90-based decomposition) through the full
+    // PulseCompiler rather than hand-assembling schedules: one traced
+    // bench run then exercises every compile stage, the shot-batch
+    // loop and the executor's retry machinery in a single timeline
+    // (docs/OBSERVABILITY.md).
+    QuantumCircuit circuit(1);
+    circuit.x(0);
+    PulseCompiler optimized_compiler(backend, CompileMode::Optimized);
+    PulseCompiler standard_compiler(backend, CompileMode::Standard);
+    const CompileResult primary = optimized_compiler.compile(circuit);
+    const CompileResult secondary = standard_compiler.compile(circuit);
+    throwIfError(primary.validation);
+    throwIfError(secondary.validation);
+    const Schedule &x180 = primary.schedule;
+    const Schedule &fallback = secondary.schedule;
 
     // Fault-free target state: the dominant population after x180.
     Vector ground(sim.model().dim());
@@ -206,12 +216,10 @@ main()
                 strictly_better ? "yes" : "no",
                 pass ? "PASS" : "FAIL");
 
-    std::FILE *out = std::fopen("BENCH_robustness.json", "w");
-    if (out == nullptr) {
-        std::fprintf(stderr,
-                     "warning: could not open BENCH_robustness.json\n");
+    bench::printTelemetry();
+    std::FILE *out = bench::openBenchJson("BENCH_robustness.json");
+    if (out == nullptr)
         return pass ? 0 : 1;
-    }
     std::fprintf(out, "{\n");
     std::fprintf(out, "  \"bench\": \"robustness\",\n");
     std::fprintf(out, "  \"shots\": %ld,\n", kShots);
@@ -239,6 +247,7 @@ main()
                  "  \"determinism\": "
                  "{\"threads1_equals_threads8\": %s},\n",
                  deterministic ? "true" : "false");
+    bench::writeTelemetryField(out);
     std::fprintf(out,
                  "  \"acceptance\": {\"executor_never_worse\": %s, "
                  "\"strictly_better_at_max_rate\": %s, "
@@ -247,7 +256,6 @@ main()
                  strictly_better ? "true" : "false",
                  pass ? "true" : "false");
     std::fprintf(out, "}\n");
-    std::fclose(out);
-    std::printf("wrote BENCH_robustness.json\n");
+    bench::closeBenchJson(out, "BENCH_robustness.json");
     return pass ? 0 : 1;
 }

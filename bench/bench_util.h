@@ -2,7 +2,9 @@
  * @file
  * Shared helpers for the figure/table reproduction benches: calibrated
  * backend construction, qubit-subspace projection and schedule
- * fidelity measurement on the pulse simulator, and banner printing.
+ * fidelity measurement on the pulse simulator, banner printing, and
+ * the BENCH_*.json emission boilerplate (open/close plus the standard
+ * "telemetry" section every bench artifact carries).
  */
 #ifndef QPULSE_BENCH_BENCH_UTIL_H
 #define QPULSE_BENCH_BENCH_UTIL_H
@@ -14,6 +16,7 @@
 #include "compile/compiler.h"
 #include "device/calibration.h"
 #include "linalg/gates.h"
+#include "telemetry/report.h"
 
 namespace qpulse {
 namespace bench {
@@ -61,6 +64,50 @@ scheduleFidelity2q(const PulseSimulator &sim, const Schedule &schedule,
     const UnitaryResult result = sim.evolveUnitary(schedule);
     return averageGateFidelity(
         projectQubits2(sim.effectiveUnitary(result)), target);
+}
+
+/**
+ * Open a BENCH_*.json artifact for writing, warning (not failing) on
+ * an unwritable working directory so benches still report to stdout.
+ */
+inline std::FILE *
+openBenchJson(const std::string &path)
+{
+    std::FILE *out = std::fopen(path.c_str(), "w");
+    if (out == nullptr)
+        std::fprintf(stderr, "warning: could not open %s\n",
+                     path.c_str());
+    return out;
+}
+
+/** Close a BENCH_*.json artifact and announce it on stdout. */
+inline void
+closeBenchJson(std::FILE *out, const std::string &path)
+{
+    std::fclose(out);
+    std::printf("wrote %s\n", path.c_str());
+}
+
+/**
+ * Emit the standard top-level "telemetry" member: a snapshot of the
+ * global metrics registry (counters, gauges, latency histograms) at
+ * the moment the bench writes its artifact. Pass trailing_comma=false
+ * when this is the last member of the enclosing object.
+ */
+inline void
+writeTelemetryField(std::FILE *out, bool trailing_comma = true)
+{
+    const telemetry::Report report = telemetry::Report::capture();
+    std::fprintf(out, "  \"telemetry\": %s%s\n",
+                 report.toJson("  ").c_str(),
+                 trailing_comma ? "," : "");
+}
+
+/** Print the same telemetry snapshot human-readably on stdout. */
+inline void
+printTelemetry()
+{
+    std::printf("%s\n", telemetry::Report::capture().toText().c_str());
 }
 
 } // namespace bench

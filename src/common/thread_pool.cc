@@ -8,6 +8,8 @@
 
 #include "common/env.h"
 #include "common/logging.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace qpulse {
 
@@ -15,6 +17,10 @@ namespace {
 
 /** Set inside workerLoop so nested parallelFor calls run inline. */
 thread_local bool tls_in_worker = false;
+
+/** Stable per-pool identity: 0 = main/external, 1.. = workers. */
+thread_local std::size_t tls_worker_id = 0;
+thread_local std::string tls_worker_name = "main";
 
 std::size_t
 configuredThreadCount()
@@ -36,7 +42,7 @@ ThreadPool::ThreadPool(std::size_t threads)
     const std::size_t workers = threads > 1 ? threads - 1 : 0;
     workers_.reserve(workers);
     for (std::size_t i = 0; i < workers; ++i)
-        workers_.emplace_back(&ThreadPool::workerLoop, this);
+        workers_.emplace_back(&ThreadPool::workerLoop, this, i + 1);
 }
 
 ThreadPool::~ThreadPool()
@@ -50,10 +56,28 @@ ThreadPool::~ThreadPool()
         worker.join();
 }
 
+std::size_t
+ThreadPool::currentWorkerId()
+{
+    return tls_worker_id;
+}
+
+const std::string &
+ThreadPool::currentWorkerName()
+{
+    return tls_worker_name;
+}
+
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(std::size_t worker_id)
 {
     tls_in_worker = true;
+    tls_worker_id = worker_id;
+    tls_worker_name = "worker-" + std::to_string(worker_id);
+    // Hook for the tracer's per-thread buffers: spans recorded from
+    // this worker land on a stable, human-labelled tid row.
+    telemetry::setCurrentThreadInfo(
+        static_cast<std::uint32_t>(worker_id), tls_worker_name);
     for (;;) {
         std::function<void()> task;
         {
@@ -80,6 +104,19 @@ ThreadPool::parallelFor(std::size_t n,
 {
     if (n == 0)
         return;
+    // Counters count *work* (calls, iterations), never scheduling
+    // decisions like inline-vs-pooled: exported values must be
+    // identical for every QPULSE_THREADS (docs/OBSERVABILITY.md).
+    static telemetry::Counter &c_loops =
+        telemetry::MetricsRegistry::global().counter(
+            "threadpool.parallel_for.calls");
+    static telemetry::Counter &c_iterations =
+        telemetry::MetricsRegistry::global().counter(
+            "threadpool.parallel_for.iterations");
+    c_loops.increment();
+    c_iterations.add(n);
+    telemetry::TraceSpan span("threadpool.parallel_for");
+
     std::size_t width = size();
     if (maxThreads > 0)
         width = std::min(width, maxThreads);

@@ -26,6 +26,7 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -51,6 +52,20 @@ class ThreadPool
     std::size_t size() const { return workers_.size() + 1; }
 
     /**
+     * Stable identity of the calling thread within its pool: 0 for
+     * the main thread (or any thread not owned by a pool), 1..N-1 for
+     * pool workers, fixed for the worker's lifetime. Consumers that
+     * need per-thread state without locking — the telemetry tracer's
+     * per-thread buffers, per-worker scratch arenas — key off this
+     * instead of std::this_thread::get_id(), which is neither small
+     * nor stable across runs.
+     */
+    static std::size_t currentWorkerId();
+
+    /** "main" or "worker-<id>", matching currentWorkerId(). */
+    static const std::string &currentWorkerName();
+
+    /**
      * Run body(i) for every i in [0, n), distributing iterations over
      * the pool; the calling thread participates. Blocks until every
      * iteration has finished. The first exception thrown by any
@@ -69,7 +84,7 @@ class ThreadPool
     static ThreadPool &global();
 
   private:
-    void workerLoop();
+    void workerLoop(std::size_t worker_id);
 
     std::vector<std::thread> workers_;
     std::deque<std::function<void()>> queue_;

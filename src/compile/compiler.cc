@@ -4,6 +4,8 @@
 
 #include "common/constants.h"
 #include "device/schedule_validation.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace qpulse {
 
@@ -46,19 +48,58 @@ PulseCompiler::route(const QuantumCircuit &circuit) const
 CompileResult
 PulseCompiler::compile(const QuantumCircuit &circuit) const
 {
-    CompileResult result{transpile(circuit)};
+    telemetry::MetricsRegistry &registry =
+        telemetry::MetricsRegistry::global();
+    static telemetry::Counter &c_compiles =
+        registry.counter("compile.calls");
+    static telemetry::Counter &c_gates_in =
+        registry.counter("compile.gates_in");
+    static telemetry::Counter &c_gates_out =
+        registry.counter("compile.gates_out");
+    static telemetry::Counter &c_pulses =
+        registry.counter("compile.pulses");
+    static telemetry::Histogram &h_wall =
+        registry.histogram("compile.wall_us",
+                           telemetry::defaultLatencyBoundsUs());
+    c_compiles.increment();
+    c_gates_in.add(circuit.gates().size());
+
+    const std::uint64_t t0 = telemetry::Tracer::nowNs();
+    telemetry::TraceSpan total_span("compile.total");
+
+    CompileResult result = [&] {
+        telemetry::TraceSpan span("compile.transpile");
+        return CompileResult{transpile(circuit)};
+    }();
     result.mode = mode_;
-    result.schedule = backend_->scheduleCircuit(result.basisCircuit);
-    result.durationDt = result.schedule.duration();
-    for (const auto &inst : result.schedule.instructions()) {
-        if (inst.kind == PulseInstructionKind::Play &&
-            inst.channel.kind != ChannelKind::Measure)
-            ++result.pulseCount;
-        else if (inst.kind == PulseInstructionKind::ShiftPhase)
-            ++result.frameChangeCount;
+    {
+        telemetry::TraceSpan span("compile.schedule");
+        result.schedule =
+            backend_->scheduleCircuit(result.basisCircuit);
     }
-    result.validation =
-        validateSchedule(result.schedule, backend_->config());
+    result.durationDt = result.schedule.duration();
+    {
+        telemetry::TraceSpan span("compile.analyze");
+        for (const auto &inst : result.schedule.instructions()) {
+            if (inst.kind == PulseInstructionKind::Play &&
+                inst.channel.kind != ChannelKind::Measure)
+                ++result.pulseCount;
+            else if (inst.kind == PulseInstructionKind::ShiftPhase)
+                ++result.frameChangeCount;
+        }
+    }
+    {
+        telemetry::TraceSpan span("compile.validate");
+        result.validation =
+            validateSchedule(result.schedule, backend_->config());
+    }
+    c_gates_out.add(result.basisCircuit.gates().size());
+    c_pulses.add(result.pulseCount);
+    // Wall-clock is scheduling-dependent by nature, so it lives in a
+    // histogram (excluded from the cross-thread determinism contract)
+    // rather than a counter.
+    h_wall.observe(
+        static_cast<double>(telemetry::Tracer::nowNs() - t0) / 1e3);
     return result;
 }
 

@@ -7,6 +7,8 @@
 #include "common/thread_pool.h"
 #include "device/schedule_validation.h"
 #include "synth/euler.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace qpulse {
 
@@ -247,6 +249,18 @@ PulseBackend::runShots(const PulseSimulator &sim,
 {
     qpulseRequire(opts.shots >= 1, "runShots needs shots >= 1");
 
+    telemetry::TraceSpan run_span("backend.run_shots");
+    telemetry::MetricsRegistry &registry =
+        telemetry::MetricsRegistry::global();
+    static telemetry::Counter &c_runs =
+        registry.counter("backend.runs");
+    static telemetry::Counter &c_shots =
+        registry.counter("backend.shots");
+    static telemetry::Counter &c_batches =
+        registry.counter("backend.shot_batches");
+    c_runs.increment();
+    c_shots.add(static_cast<std::uint64_t>(opts.shots));
+
     // Validation gate: a malformed schedule (NaN/Inf samples,
     // saturated envelopes, unknown channels, non-monotonic times)
     // must never reach the quantized cache keys or the
@@ -279,17 +293,30 @@ PulseBackend::runShots(const PulseSimulator &sim,
 
     std::vector<std::atomic<long>> counts(dim);
     const std::size_t shots = static_cast<std::size_t>(opts.shots);
+    // Shots are dispatched in a fixed number of batches (independent
+    // of the worker count) so that (a) every "backend.shot_batch"
+    // span covers enough work to be visible in a trace and (b) the
+    // batch counter is bit-identical across QPULSE_THREADS settings.
+    const std::size_t batches = std::min(shots, kShotBatches);
+    c_batches.add(batches);
     parallelFor(
-        shots,
-        [&](std::size_t shot) {
-            // Every shot re-evolves the schedule: with the cache hot
-            // this is matvec-only, and per-shot noise sources can slot
-            // in here without changing the sampling contract.
-            const Vector out = worker.evolveState(schedule, ground);
-            Rng rng(Rng::deriveSeed(opts.seed, shot));
-            const std::size_t outcome =
-                rng.discrete(worker.populations(out));
-            counts[outcome].fetch_add(1, std::memory_order_relaxed);
+        batches,
+        [&](std::size_t batch) {
+            telemetry::TraceSpan batch_span("backend.shot_batch");
+            const std::size_t begin = batch * shots / batches;
+            const std::size_t end = (batch + 1) * shots / batches;
+            for (std::size_t shot = begin; shot < end; ++shot) {
+                // Every shot re-evolves the schedule: with the cache
+                // hot this is matvec-only, and per-shot noise sources
+                // can slot in here without changing the sampling
+                // contract. The seed derivation stays per-shot, so
+                // sampled counts are independent of the batching.
+                const Vector out = worker.evolveState(schedule, ground);
+                Rng rng(Rng::deriveSeed(opts.seed, shot));
+                const std::size_t outcome =
+                    rng.discrete(worker.populations(out));
+                counts[outcome].fetch_add(1, std::memory_order_relaxed);
+            }
         },
         opts.maxThreads);
 

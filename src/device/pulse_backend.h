@@ -11,6 +11,7 @@
 #ifndef QPULSE_DEVICE_PULSE_BACKEND_H
 #define QPULSE_DEVICE_PULSE_BACKEND_H
 
+#include <cstddef>
 #include <memory>
 
 #include "circuit/circuit.h"
@@ -24,6 +25,13 @@
 namespace qpulse {
 
 /** Options for pulse-level shot execution (PulseBackend::runShots). */
+/**
+ * Shots are chunked into at most this many batches regardless of the
+ * worker count, so shot-batch spans and counters stay deterministic
+ * across QPULSE_THREADS settings (docs/OBSERVABILITY.md).
+ */
+inline constexpr std::size_t kShotBatches = 64;
+
 struct PulseShotOptions
 {
     long shots = 1024;

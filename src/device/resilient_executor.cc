@@ -6,12 +6,52 @@
 #include <thread>
 
 #include "device/schedule_validation.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace qpulse {
 
 namespace {
 
 constexpr std::uint64_t kBackoffSalt = 0xBAC0FF01ull;
+
+/**
+ * Re-export the per-run ResilienceStats delta into the global metrics
+ * registry, so executor health shows up in the one telemetry report
+ * alongside cache and backend counters. Every field counts decisions
+ * taken by the deterministic retry state machine, never scheduling,
+ * so the exported values are thread-count invariant.
+ */
+void
+absorbResilienceStats(const ResilienceStats &stats)
+{
+    telemetry::MetricsRegistry &registry =
+        telemetry::MetricsRegistry::global();
+    static telemetry::Counter &c_attempts =
+        registry.counter("executor.attempts");
+    static telemetry::Counter &c_retries =
+        registry.counter("executor.retries");
+    static telemetry::Counter &c_faults =
+        registry.counter("executor.faults_detected");
+    static telemetry::Counter &c_recals =
+        registry.counter("executor.recalibrations");
+    static telemetry::Counter &c_fallbacks =
+        registry.counter("executor.fallbacks");
+    static telemetry::Counter &c_degraded =
+        registry.counter("executor.degraded_runs");
+    static telemetry::Counter &c_rejects =
+        registry.counter("executor.validation_rejects");
+    const auto u64 = [](long v) {
+        return static_cast<std::uint64_t>(v < 0 ? 0 : v);
+    };
+    c_attempts.add(u64(stats.attempts));
+    c_retries.add(u64(stats.retries));
+    c_faults.add(u64(stats.faultsDetected));
+    c_recals.add(u64(stats.recalibrations));
+    c_fallbacks.add(u64(stats.fallbacks));
+    c_degraded.add(u64(stats.degradedRuns));
+    c_rejects.add(u64(stats.validationRejects));
+}
 
 /** Expected top basis state and its probability, fault-free. */
 struct Baseline
@@ -95,6 +135,11 @@ ResilientExecutor::run(const PulseSimulator &sim,
                        const ResilientRequest &request,
                        const PulseShotOptions &opts)
 {
+    telemetry::TraceSpan run_span("executor.run");
+    static telemetry::Counter &c_runs =
+        telemetry::MetricsRegistry::global().counter("executor.runs");
+    c_runs.increment();
+
     const std::uint64_t run_id = runCounter_++;
     ResilientOutcome outcome;
     ResilienceStats &stats = outcome.stats;
@@ -141,6 +186,7 @@ ResilientExecutor::run(const PulseSimulator &sim,
             outcome.status = valid;
             outcome.result.resilience = stats;
             stats_ += stats;
+            absorbResilienceStats(stats);
             return outcome;
         }
     }
@@ -161,8 +207,10 @@ ResilientExecutor::run(const PulseSimulator &sim,
         PulseShotResult best;
         double best_proxy = 0.0;
         for (int attempt = 0; attempt < retry_.maxAttempts; ++attempt) {
+            telemetry::TraceSpan attempt_span("executor.attempt");
             ++stats.attempts;
             if (attempt > 0) {
+                telemetry::TraceSpan retry_span("executor.retry");
                 ++stats.retries;
                 const double delay =
                     backoffMs(attempt, run_id, opts.seed);
@@ -310,6 +358,7 @@ ResilientExecutor::run(const PulseSimulator &sim,
     }
     outcome.result.resilience = stats;
     stats_ += stats;
+    absorbResilienceStats(stats);
     return outcome;
 }
 

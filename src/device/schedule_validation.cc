@@ -6,6 +6,9 @@
 #include <utility>
 #include <vector>
 
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
 namespace qpulse {
 
 namespace {
@@ -30,8 +33,28 @@ ChannelBudget::fromConfig(const BackendConfig &config)
     return budget;
 }
 
+namespace {
+
+/** Count the gate's verdict into the global metrics sink. */
 Status
-validateSchedule(const Schedule &schedule, const ChannelBudget &budget)
+countValidation(Status status)
+{
+    telemetry::MetricsRegistry &registry =
+        telemetry::MetricsRegistry::global();
+    static telemetry::Counter &c_checks =
+        registry.counter("device.validation.checks");
+    c_checks.increment();
+    if (!status.ok()) {
+        static telemetry::Counter &c_rejects =
+            registry.counter("device.validation.rejects");
+        c_rejects.increment();
+    }
+    return status;
+}
+
+Status
+validateScheduleImpl(const Schedule &schedule,
+                     const ChannelBudget &budget)
 {
     std::map<Channel, std::vector<std::pair<long, long>>> play_spans;
 
@@ -102,6 +125,15 @@ validateSchedule(const Schedule &schedule, const ChannelBudget &budget)
                         std::to_string(spans[i - 1].second) + ")");
     }
     return Status::okStatus();
+}
+
+} // namespace
+
+Status
+validateSchedule(const Schedule &schedule, const ChannelBudget &budget)
+{
+    telemetry::TraceSpan span("device.validate_schedule");
+    return countValidation(validateScheduleImpl(schedule, budget));
 }
 
 Status

@@ -1,8 +1,25 @@
 #include "pulsesim/propagator_cache.h"
 
 #include "common/logging.h"
+#include "telemetry/metrics.h"
 
 namespace qpulse {
+
+namespace {
+
+/**
+ * Every cache instance — per-call locals, caller-owned cross-shot
+ * caches, the RB batch cache — also reports into the one global
+ * metrics sink, so the registry view of hit traffic is complete
+ * without consumers having to absorb per-instance stats themselves.
+ */
+telemetry::Counter &
+cacheCounter(const char *name)
+{
+    return telemetry::MetricsRegistry::global().counter(name);
+}
+
+} // namespace
 
 PropagatorCache::PropagatorCache(std::size_t capacity)
     : capacity_(capacity)
@@ -15,15 +32,21 @@ Matrix
 PropagatorCache::getOrCompute(const PropagatorKey &key,
                               const std::function<Matrix()> &compute)
 {
+    static telemetry::Counter &c_hits =
+        cacheCounter("pulsesim.cache.hits");
+    static telemetry::Counter &c_misses =
+        cacheCounter("pulsesim.cache.misses");
     {
         std::lock_guard<std::mutex> lock(mutex_);
         const auto it = index_.find(key);
         if (it != index_.end()) {
             ++stats_.hits;
+            c_hits.increment();
             lru_.splice(lru_.begin(), lru_, it->second);
             return it->second->value;
         }
         ++stats_.misses;
+        c_misses.increment();
     }
 
     // Compute outside the lock so concurrent shots never serialize on
@@ -37,6 +60,9 @@ PropagatorCache::getOrCompute(const PropagatorKey &key,
         index_[key] = lru_.begin();
         if (index_.size() > capacity_) {
             ++stats_.evictions;
+            static telemetry::Counter &c_evictions =
+                cacheCounter("pulsesim.cache.evictions");
+            c_evictions.increment();
             index_.erase(lru_.back().key);
             lru_.pop_back();
         }
@@ -71,6 +97,15 @@ PropagatorCache::resetStats()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     stats_ = PropagatorCacheStats{};
+}
+
+PropagatorCacheStats
+PropagatorCache::snapshotAndReset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const PropagatorCacheStats snapshot = stats_;
+    stats_ = PropagatorCacheStats{};
+    return snapshot;
 }
 
 } // namespace qpulse

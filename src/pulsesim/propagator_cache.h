@@ -128,6 +128,14 @@ class PropagatorCache
     /** Reset the counters (entries are preserved). */
     void resetStats();
 
+    /**
+     * Atomically snapshot *and* zero the counters under one lock
+     * acquisition. A telemetry flush that did stats() followed by
+     * resetStats() would lose every event landing between the two
+     * calls under concurrent evolve*; this read-and-clear cannot.
+     */
+    PropagatorCacheStats snapshotAndReset();
+
   private:
     struct Entry
     {

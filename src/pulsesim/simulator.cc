@@ -6,10 +6,23 @@
 #include "common/constants.h"
 #include "common/status.h"
 #include "linalg/eigen.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace qpulse {
 
 namespace {
+
+/** Work counters for one evolve call (thread-count invariant). */
+void
+countEvolve(telemetry::Counter &calls, long duration)
+{
+    static telemetry::Counter &c_samples =
+        telemetry::MetricsRegistry::global().counter("sim.samples");
+    calls.increment();
+    c_samples.add(static_cast<std::uint64_t>(
+        duration >= 0 ? duration : 0));
+}
 
 /** base^count by binary powering (count >= 1). */
 Matrix
@@ -325,7 +338,12 @@ PulseSimulator::stepPropagator(double t_mid_ns,
 UnitaryResult
 PulseSimulator::evolveUnitary(const Schedule &schedule) const
 {
+    telemetry::TraceSpan span("sim.evolve_unitary");
+    static telemetry::Counter &c_calls =
+        telemetry::MetricsRegistry::global().counter(
+            "sim.evolve_unitary.calls");
     const long duration = schedule.duration();
+    countEvolve(c_calls, duration);
     UnitaryResult result;
     result.duration = duration;
     std::vector<double> frames;
@@ -383,7 +401,12 @@ PulseSimulator::evolveState(const Schedule &schedule,
 {
     qpulseRequire(initial.size() == model_.dim(),
                   "evolveState dimension mismatch");
+    telemetry::TraceSpan span("sim.evolve_state");
+    static telemetry::Counter &c_calls =
+        telemetry::MetricsRegistry::global().counter(
+            "sim.evolve_state.calls");
     const long duration = schedule.duration();
+    countEvolve(c_calls, duration);
     const auto drives = buildDriveTimeline(schedule, duration, nullptr);
 
     Vector state = initial;
@@ -420,7 +443,12 @@ PulseSimulator::evolveLindblad(const Schedule &schedule,
     qpulseRequire(rho0.rows() == model_.dim() &&
                       rho0.cols() == model_.dim(),
                   "evolveLindblad dimension mismatch");
+    telemetry::TraceSpan span("sim.evolve_lindblad");
+    static telemetry::Counter &c_calls =
+        telemetry::MetricsRegistry::global().counter(
+            "sim.evolve_lindblad.calls");
     const long duration = schedule.duration();
+    countEvolve(c_calls, duration);
     const auto drives = buildDriveTimeline(schedule, duration, nullptr);
 
     // Precompute per-transmon decay rates (per ns).

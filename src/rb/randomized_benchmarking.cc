@@ -6,6 +6,8 @@
 #include "common/thread_pool.h"
 #include "linalg/gates.h"
 #include "synth/euler.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace qpulse {
 
@@ -38,6 +40,13 @@ RbResult
 runRb(const std::shared_ptr<const PulseBackend> &backend, RbMode mode,
       const RbConfig &config)
 {
+    telemetry::TraceSpan run_span("rb.run");
+    telemetry::MetricsRegistry &registry =
+        telemetry::MetricsRegistry::global();
+    static telemetry::Counter &c_runs = registry.counter("rb.runs");
+    static telemetry::Counter &c_cells = registry.counter("rb.cells");
+    c_runs.increment();
+
     const CompileMode compile_mode = mode == RbMode::Standard
         ? CompileMode::Standard
         : CompileMode::Optimized;
@@ -98,7 +107,9 @@ runRb(const std::shared_ptr<const PulseBackend> &backend, RbMode mode,
         std::vector<ResilienceStats> cell_stats(
             inject_faults ? cells : 0);
 
+        c_cells.add(cells);
         parallelFor(cells, [&](std::size_t cell) {
+            telemetry::TraceSpan cell_span("rb.cell");
             const int length =
                 lengths[cell / static_cast<std::size_t>(
                                    config.sequencesPerLength)];
@@ -165,6 +176,8 @@ runRb(const std::shared_ptr<const PulseBackend> &backend, RbMode mode,
         for (const int length : lengths) {
             double total = 0.0;
             for (int seq = 0; seq < config.sequencesPerLength; ++seq) {
+                telemetry::TraceSpan cell_span("rb.cell");
+                c_cells.increment();
                 QuantumCircuit circuit = rbSequence(length, 0, 1, rng);
                 circuit.measure(0);
                 const QuantumCircuit compiled =

@@ -1,0 +1,181 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+
+namespace qpulse {
+namespace telemetry {
+
+namespace {
+
+/** fetch_add for atomic<double> (not guaranteed lock-free pre-C++20). */
+void
+atomicAdd(std::atomic<double> &target, double delta)
+{
+    double current = target.load(std::memory_order_relaxed);
+    while (!target.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+} // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      buckets_(bounds_.size() + 1)
+{
+    std::sort(bounds_.begin(), bounds_.end());
+}
+
+void
+Histogram::observe(double value)
+{
+    const auto it =
+        std::lower_bound(bounds_.begin(), bounds_.end(), value);
+    const std::size_t index =
+        static_cast<std::size_t>(it - bounds_.begin());
+    buckets_[index].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    atomicAdd(sum_, value);
+}
+
+double
+Histogram::Snapshot::percentile(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double rank = q * static_cast<double>(count);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        const std::uint64_t in_bucket = buckets[i];
+        if (in_bucket == 0)
+            continue;
+        if (static_cast<double>(cumulative + in_bucket) >= rank) {
+            const double lower = i == 0 ? 0.0 : bounds[i - 1];
+            if (i >= bounds.size())
+                return lower; // Overflow bucket: no finite upper edge.
+            const double upper = bounds[i];
+            const double fraction =
+                (rank - static_cast<double>(cumulative)) /
+                static_cast<double>(in_bucket);
+            return lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
+        }
+        cumulative += in_bucket;
+    }
+    return bounds.empty() ? 0.0 : bounds.back();
+}
+
+Histogram::Snapshot
+Histogram::snapshot() const
+{
+    Snapshot snap;
+    snap.bounds = bounds_;
+    snap.buckets.reserve(buckets_.size());
+    for (const auto &bucket : buckets_)
+        snap.buckets.push_back(
+            bucket.load(std::memory_order_relaxed));
+    snap.count = count_.load(std::memory_order_relaxed);
+    snap.sum = sum_.load(std::memory_order_relaxed);
+    return snap;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &bucket : buckets_)
+        bucket.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+}
+
+const std::vector<double> &
+defaultLatencyBoundsUs()
+{
+    static const std::vector<double> bounds = {
+        1.0,     2.0,     5.0,     10.0,    20.0,    50.0,
+        100.0,   200.0,   500.0,   1000.0,  2000.0,  5000.0,
+        10000.0, 20000.0, 50000.0, 100000.0, 200000.0, 500000.0,
+        1000000.0,
+    };
+    return bounds;
+}
+
+std::uint64_t
+MetricsSnapshot::counterValue(const std::string &name) const
+{
+    for (const auto &entry : counters)
+        if (entry.first == name)
+            return entry.second;
+    return 0;
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    // Leaked for the same reason as the Tracer: worker threads may
+    // still bump counters while static destructors run.
+    static MetricsRegistry *registry = new MetricsRegistry();
+    return *registry;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           const std::vector<double> &upper_bounds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>(upper_bounds);
+    return *slot;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    for (const auto &entry : counters_)
+        snap.counters.emplace_back(entry.first,
+                                   entry.second->value());
+    for (const auto &entry : gauges_)
+        snap.gauges.emplace_back(entry.first, entry.second->value());
+    for (const auto &entry : histograms_)
+        snap.histograms.emplace_back(entry.first,
+                                     entry.second->snapshot());
+    return snap;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &entry : counters_)
+        entry.second->reset();
+    for (const auto &entry : gauges_)
+        entry.second->reset();
+    for (const auto &entry : histograms_)
+        entry.second->reset();
+}
+
+} // namespace telemetry
+} // namespace qpulse

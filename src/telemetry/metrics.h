@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Process-wide metrics registry: named monotonic counters, gauges and
+ * fixed-bucket latency histograms, exported as one deterministic
+ * snapshot (telemetry/report.h) so every subsystem — the propagator
+ * cache, the thread pool, the compiler, the resilient executor —
+ * reports through a single sink instead of scattering bespoke stat
+ * structs.
+ *
+ * Handles returned by MetricsRegistry are stable for the life of the
+ * process (values live behind unique_ptr; reset() zeroes in place and
+ * never erases), so hot paths cache a reference once:
+ *
+ *   static telemetry::Counter &hits =
+ *       telemetry::MetricsRegistry::global().counter(
+ *           "pulsesim.cache.hits");
+ *   hits.increment();
+ *
+ * and pay one relaxed atomic add per event.
+ *
+ * Determinism contract: counters must count *work*, never *scheduling*
+ * — anything incremented here has to reach the same value whatever
+ * QPULSE_THREADS is (see docs/OBSERVABILITY.md). Histogram bucket
+ * counts share that property; their sums are wall-clock and do not.
+ */
+#ifndef QPULSE_TELEMETRY_METRICS_H
+#define QPULSE_TELEMETRY_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qpulse {
+namespace telemetry {
+
+/** Monotonic counter (relaxed atomic add). */
+class Counter
+{
+  public:
+    void add(std::uint64_t n)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    void increment() { add(1); }
+
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Last-writer-wins instantaneous value. */
+class Gauge
+{
+  public:
+    void set(double value)
+    {
+        value_.store(value, std::memory_order_relaxed);
+    }
+
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { set(0.0); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Fixed-bucket histogram with percentile snapshots.
+ *
+ * Buckets are defined by ascending finite upper bounds plus an
+ * implicit overflow bucket; observation i lands in the first bucket
+ * whose bound is >= the value. Percentiles interpolate linearly
+ * inside the selected bucket (the overflow bucket reports its lower
+ * bound), so for a fixed multiset of observations the snapshot is
+ * exact and reproducible.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<double> upper_bounds);
+
+    void observe(double value);
+
+    struct Snapshot
+    {
+        std::vector<double> bounds;         ///< Finite upper bounds.
+        std::vector<std::uint64_t> buckets; ///< bounds.size() + 1.
+        std::uint64_t count = 0;
+        double sum = 0.0;
+
+        /** Linear-interpolated quantile, q in [0, 1]. */
+        double percentile(double q) const;
+
+        double p50() const { return percentile(0.50); }
+        double p95() const { return percentile(0.95); }
+        double p99() const { return percentile(0.99); }
+        double mean() const
+        {
+            return count == 0 ? 0.0
+                              : sum / static_cast<double>(count);
+        }
+    };
+
+    Snapshot snapshot() const;
+    void reset();
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<std::atomic<std::uint64_t>> buckets_;
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+/**
+ * Log-spaced microsecond latency bounds, 1 us .. 1 s (the default
+ * histogram shape for span-duration metrics).
+ */
+const std::vector<double> &defaultLatencyBoundsUs();
+
+/** Name-sorted point-in-time copy of every registered metric. */
+struct MetricsSnapshot
+{
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+
+    /** Value of a counter by name (0 when absent). */
+    std::uint64_t counterValue(const std::string &name) const;
+};
+
+/**
+ * The registry. get-or-create lookups take a mutex; returned
+ * references stay valid forever, so cache them at call sites.
+ */
+class MetricsRegistry
+{
+  public:
+    /** The process-wide registry every subsystem reports into. */
+    static MetricsRegistry &global();
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+
+    /**
+     * Get-or-create a histogram. Bounds are fixed at creation; later
+     * calls with different bounds return the existing instance.
+     */
+    Histogram &histogram(const std::string &name,
+                         const std::vector<double> &upper_bounds =
+                             defaultLatencyBoundsUs());
+
+    MetricsSnapshot snapshot() const;
+
+    /**
+     * Zero every value in place. Handles cached by call sites remain
+     * valid — names are never erased.
+     */
+    void reset();
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace telemetry
+} // namespace qpulse
+
+#endif // QPULSE_TELEMETRY_METRICS_H

@@ -1,0 +1,95 @@
+#include "telemetry/report.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "telemetry/trace.h"
+
+namespace qpulse {
+namespace telemetry {
+
+namespace {
+
+std::string
+fmtDouble(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.3f", value);
+    return buf;
+}
+
+} // namespace
+
+Report
+Report::capture()
+{
+    Report report;
+    report.metrics = MetricsRegistry::global().snapshot();
+    report.traceEventsDropped = Tracer::instance().dropped();
+    return report;
+}
+
+std::string
+Report::toJson(const std::string &base_indent) const
+{
+    const std::string ind = base_indent + "  ";
+    const std::string ind2 = ind + "  ";
+    std::ostringstream os;
+    os << "{\n";
+
+    os << ind << "\"counters\": {";
+    for (std::size_t i = 0; i < metrics.counters.size(); ++i)
+        os << (i == 0 ? "\n" : ",\n") << ind2 << "\""
+           << metrics.counters[i].first
+           << "\": " << metrics.counters[i].second;
+    os << (metrics.counters.empty() ? "" : "\n" + ind) << "},\n";
+
+    os << ind << "\"gauges\": {";
+    for (std::size_t i = 0; i < metrics.gauges.size(); ++i)
+        os << (i == 0 ? "\n" : ",\n") << ind2 << "\""
+           << metrics.gauges[i].first
+           << "\": " << fmtDouble(metrics.gauges[i].second);
+    os << (metrics.gauges.empty() ? "" : "\n" + ind) << "},\n";
+
+    os << ind << "\"histograms\": {";
+    for (std::size_t i = 0; i < metrics.histograms.size(); ++i) {
+        const auto &entry = metrics.histograms[i];
+        const Histogram::Snapshot &snap = entry.second;
+        os << (i == 0 ? "\n" : ",\n") << ind2 << "\"" << entry.first
+           << "\": {\"count\": " << snap.count
+           << ", \"sum\": " << fmtDouble(snap.sum)
+           << ", \"mean\": " << fmtDouble(snap.mean())
+           << ", \"p50\": " << fmtDouble(snap.p50())
+           << ", \"p95\": " << fmtDouble(snap.p95())
+           << ", \"p99\": " << fmtDouble(snap.p99()) << "}";
+    }
+    os << (metrics.histograms.empty() ? "" : "\n" + ind) << "},\n";
+
+    os << ind << "\"trace_events_dropped\": " << traceEventsDropped
+       << "\n";
+    os << base_indent << "}";
+    return os.str();
+}
+
+std::string
+Report::toText() const
+{
+    std::ostringstream os;
+    os << "telemetry:";
+    if (metrics.counters.empty())
+        os << " (no counters)";
+    for (const auto &entry : metrics.counters)
+        os << "\n  " << entry.first << " = " << entry.second;
+    for (const auto &entry : metrics.histograms) {
+        const Histogram::Snapshot &snap = entry.second;
+        os << "\n  " << entry.first << " (us): count="
+           << snap.count << " mean=" << fmtDouble(snap.mean())
+           << " p50=" << fmtDouble(snap.p50())
+           << " p95=" << fmtDouble(snap.p95())
+           << " p99=" << fmtDouble(snap.p99());
+    }
+    return os.str();
+}
+
+} // namespace telemetry
+} // namespace qpulse

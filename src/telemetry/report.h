@@ -1,0 +1,46 @@
+/**
+ * @file
+ * telemetry::Report: one-call snapshot of the metrics registry (plus
+ * tracer health), renderable as human-readable text for bench stdout
+ * and as a JSON object for the machine-readable BENCH_*.json files —
+ * every bench gains a "telemetry" section through this type (see
+ * bench/bench_util.h).
+ */
+#ifndef QPULSE_TELEMETRY_REPORT_H
+#define QPULSE_TELEMETRY_REPORT_H
+
+#include <cstdint>
+#include <string>
+
+#include "telemetry/metrics.h"
+
+namespace qpulse {
+namespace telemetry {
+
+/** A captured view of everything the telemetry subsystem knows. */
+struct Report
+{
+    MetricsSnapshot metrics;
+    std::uint64_t traceEventsDropped = 0;
+
+    /** Snapshot the global registry and tracer. */
+    static Report capture();
+
+    /**
+     * Pretty-printed JSON object: {"counters": {...}, "gauges":
+     * {...}, "histograms": {...}, "trace_events_dropped": N}. Every
+     * line after the first is prefixed with `base_indent` so the
+     * object can be embedded at any nesting depth of a larger JSON
+     * document. Counters are emitted name-sorted, so two captures of
+     * identical counter states render identically.
+     */
+    std::string toJson(const std::string &base_indent = "") const;
+
+    /** Compact name=value summary for bench stdout. */
+    std::string toText() const;
+};
+
+} // namespace telemetry
+} // namespace qpulse
+
+#endif // QPULSE_TELEMETRY_REPORT_H
