@@ -11,11 +11,28 @@
 #ifndef QPULSE_LINALG_EIGEN_H
 #define QPULSE_LINALG_EIGEN_H
 
+#include <limits>
 #include <vector>
 
 #include "linalg/matrix.h"
+#include "linalg/workspace.h"
 
 namespace qpulse {
+
+/**
+ * Convergence tolerance pinning a Jacobi solve at the round-off floor
+ * (a few eps above the best the iteration can reach, so it still
+ * terminates in finite sweeps). Callers that compose many solve
+ * results — the pulse simulator multiplies ~10^3 per-sample
+ * propagators per schedule — should converge each solve to this floor
+ * rather than the default tolerance: per-solve slack accumulates
+ * linearly across the product, so a 1e-13 residual per step is a
+ * ~1e-10 error budget over a schedule while the floor keeps the total
+ * near 1e-12. Costs about one extra sweep versus the default (Jacobi
+ * converges quadratically near the solution).
+ */
+inline constexpr double kEigFloorTol =
+    8.0 * std::numeric_limits<double>::epsilon();
 
 /** Result of a Hermitian eigendecomposition: A = V diag(values) V^dag. */
 struct EigenSystem
@@ -35,17 +52,64 @@ struct EigenSystem
 EigenSystem eigHermitian(const Matrix &a, double tol = 1e-13);
 
 /**
+ * Workspace-backed Hermitian eigendecomposition with optional warm
+ * start — the allocation-free core behind eigHermitian and the
+ * simulator's per-sample propagator kernel.
+ *
+ * When `seed` is non-null it must be (approximately) unitary with
+ * columns near the eigenvectors of `a` — typically the previous AWG
+ * sample's eigenvectors, which differ by O(dt) in drive amplitude. The
+ * solver first re-unitarizes the seed with one Newton polar iteration
+ * (self-seeded chains would otherwise compound their departure from
+ * unitarity across hundreds of steps), then iterates on
+ * seed^dagger a seed (nearly diagonal already) with the accumulator
+ * initialized to the polished seed, so convergence takes a few sweeps
+ * instead of a cold start's ~7. Seeded solves converge to the
+ * round-off floor rather than `tol`, because any per-step slack
+ * accumulates linearly when propagators are composed over a schedule.
+ *
+ * With sortAscending=false eigenpairs keep the order the iteration
+ * produced (for a seeded call: the seed's column order), which is what
+ * warm-start callers want — any function of the full decomposition,
+ * e.g. V f(diag) V^dagger, is permutation-invariant — and it keeps the
+ * call heap-silent after workspace warm-up. Sorting allocates.
+ *
+ * Hermiticity of `a` is the caller's contract (not re-checked here).
+ * Consumes workspace matrix slots 0-3. Exports sweep counts through
+ * the sim.eig.* counters (docs/OBSERVABILITY.md). Returns the number
+ * of Jacobi sweeps performed.
+ *
+ * @returns number of sweeps (0 when `a` already met the tolerance).
+ */
+int eigHermitianInPlace(const Matrix &a, const Matrix *seed,
+                        std::vector<double> &values, Matrix &vectors,
+                        Workspace &ws, bool sortAscending = true,
+                        double tol = 1e-13);
+
+/**
  * exp(-i * H * t) for Hermitian H, via eigendecomposition.
  *
  * This is the propagator of a time-independent Hamiltonian; it is
- * exactly unitary up to roundoff.
+ * exactly unitary up to roundoff. Callers composing long propagator
+ * products pass kEigFloorTol so the per-factor residual cannot
+ * accumulate (see kEigFloorTol).
  */
-Matrix expMinusIHt(const Matrix &h, double t);
+Matrix expMinusIHt(const Matrix &h, double t, double tol = 1e-13);
 
 /** exp(i * scale * H) for Hermitian H (scale real). */
 Matrix expIH(const Matrix &h, double scale);
 
-/** General matrix exponential via scaling-and-squaring Taylor series. */
+/**
+ * General matrix exponential via scaling-and-squaring Taylor series.
+ *
+ * The Taylor loop stops early once the current term is negligible
+ * relative to the accumulated sum: with the 1-norm of the scaled
+ * matrix at most 1/2, the neglected tail after term T_k is bounded by
+ * ||T_k|| * sum_{j>=1} 2^-j = ||T_k||, so truncating when
+ * ||T_k|| <= eps * ||result|| keeps the relative error of the scaled
+ * exponential at ~eps (pinned against the Hermitian eigensolver path
+ * in tests/test_linalg.cc).
+ */
 Matrix expm(const Matrix &a);
 
 /**

@@ -4,7 +4,94 @@
 #include <iomanip>
 #include <sstream>
 
+#include "linalg/simd.h"
+#include "linalg/workspace.h"
+#include "telemetry/metrics.h"
+
 namespace qpulse {
+
+namespace {
+
+// Work counters (docs/OBSERVABILITY.md): counts and complex
+// multiply-add volume are functions of the work submitted, never of
+// scheduling, so they stay bit-identical across QPULSE_THREADS.
+void
+countGemm(std::size_t m, std::size_t k, std::size_t n)
+{
+    static telemetry::Counter &c_calls =
+        telemetry::MetricsRegistry::global().counter("linalg.gemm.calls");
+    static telemetry::Counter &c_madds =
+        telemetry::MetricsRegistry::global().counter("linalg.gemm.madds");
+    c_calls.increment();
+    c_madds.add(static_cast<std::uint64_t>(m * k * n));
+}
+
+void
+countMatvec(std::size_t m, std::size_t n)
+{
+    static telemetry::Counter &c_calls =
+        telemetry::MetricsRegistry::global().counter(
+            "linalg.gemm.matvec_calls");
+    static telemetry::Counter &c_madds =
+        telemetry::MetricsRegistry::global().counter(
+            "linalg.gemm.matvec_madds");
+    c_calls.increment();
+    c_madds.add(static_cast<std::uint64_t>(m * n));
+}
+
+void
+gemmDispatch(Complex *out, const Complex *a, const Complex *b,
+             std::size_t m, std::size_t k, std::size_t n)
+{
+#if defined(__x86_64__) || defined(__i386__)
+    if (kernels::activeSimd() == kernels::SimdMode::Avx2) {
+        kernels::gemmAvx2(out, a, b, m, k, n);
+        return;
+    }
+#endif
+    kernels::gemmScalar(out, a, b, m, k, n);
+}
+
+void
+gemmAdjBDispatch(Complex *out, const Complex *a, const Complex *b,
+                 std::size_t m, std::size_t k, std::size_t n)
+{
+#if defined(__x86_64__) || defined(__i386__)
+    if (kernels::activeSimd() == kernels::SimdMode::Avx2) {
+        kernels::gemmAdjBAvx2(out, a, b, m, k, n);
+        return;
+    }
+#endif
+    kernels::gemmAdjBScalar(out, a, b, m, k, n);
+}
+
+void
+gemmAdjADispatch(Complex *out, const Complex *a, const Complex *b,
+                 std::size_t m, std::size_t k, std::size_t n)
+{
+#if defined(__x86_64__) || defined(__i386__)
+    if (kernels::activeSimd() == kernels::SimdMode::Avx2) {
+        kernels::gemmAdjAAvx2(out, a, b, m, k, n);
+        return;
+    }
+#endif
+    kernels::gemmAdjAScalar(out, a, b, m, k, n);
+}
+
+void
+matvecDispatch(Complex *out, const Complex *a, const Complex *x,
+               std::size_t m, std::size_t n)
+{
+#if defined(__x86_64__) || defined(__i386__)
+    if (kernels::activeSimd() == kernels::SimdMode::Avx2) {
+        kernels::matvecAvx2(out, a, x, m, n);
+        return;
+    }
+#endif
+    kernels::matvecScalar(out, a, x, m, n);
+}
+
+} // namespace
 
 double
 Vector::normSq() const
@@ -104,6 +191,15 @@ Matrix::identity(std::size_t n)
     return m;
 }
 
+void
+Matrix::setIdentity()
+{
+    qpulseAssert(rows_ == cols_, "setIdentity on non-square matrix");
+    setZero();
+    for (std::size_t i = 0; i < rows_; ++i)
+        (*this)(i, i) = Complex{1.0, 0.0};
+}
+
 Matrix
 Matrix::diagonal(const std::vector<Complex> &entries)
 {
@@ -141,15 +237,9 @@ Matrix::operator*(const Matrix &other) const
     qpulseAssert(cols_ == other.rows_, "Matrix::* shape mismatch: ",
                  rows_, "x", cols_, " * ", other.rows_, "x", other.cols_);
     Matrix result(rows_, other.cols_);
-    for (std::size_t i = 0; i < rows_; ++i) {
-        for (std::size_t k = 0; k < cols_; ++k) {
-            const Complex aik = data_[i * cols_ + k];
-            if (aik == Complex{0.0, 0.0})
-                continue;
-            for (std::size_t j = 0; j < other.cols_; ++j)
-                result(i, j) += aik * other(k, j);
-        }
-    }
+    gemmDispatch(result.data_.data(), data_.data(), other.data_.data(),
+                 rows_, cols_, other.cols_);
+    countGemm(rows_, cols_, other.cols_);
     return result;
 }
 
@@ -195,12 +285,9 @@ Matrix::apply(const Vector &v) const
 {
     qpulseAssert(cols_ == v.size(), "Matrix::apply shape mismatch");
     Vector result(rows_);
-    for (std::size_t i = 0; i < rows_; ++i) {
-        Complex total{0.0, 0.0};
-        for (std::size_t j = 0; j < cols_; ++j)
-            total += data_[i * cols_ + j] * v[j];
-        result[i] = total;
-    }
+    matvecDispatch(result.data().data(), data_.data(), v.data().data(),
+                   rows_, cols_);
+    countMatvec(rows_, cols_);
     return result;
 }
 
@@ -315,6 +402,110 @@ Matrix::toString(int precision) const
         os << "]\n";
     }
     return os.str();
+}
+
+void
+gemmInto(Matrix &out, const Matrix &a, const Matrix &b)
+{
+    qpulseAssert(&out != &a && &out != &b, "gemmInto: out aliases input");
+    qpulseAssert(a.cols() == b.rows(), "gemmInto shape mismatch: ",
+                 a.rows(), "x", a.cols(), " * ", b.rows(), "x", b.cols());
+    out.resize(a.rows(), b.cols());
+    gemmDispatch(out.data().data(), a.data().data(), b.data().data(),
+                 a.rows(), a.cols(), b.cols());
+    countGemm(a.rows(), a.cols(), b.cols());
+}
+
+void
+gemmAdjBInto(Matrix &out, const Matrix &a, const Matrix &b)
+{
+    qpulseAssert(&out != &a && &out != &b,
+                 "gemmAdjBInto: out aliases input");
+    qpulseAssert(a.cols() == b.cols(), "gemmAdjBInto shape mismatch: ",
+                 a.rows(), "x", a.cols(), " * (", b.rows(), "x", b.cols(),
+                 ")^dagger");
+    out.resize(a.rows(), b.rows());
+    gemmAdjBDispatch(out.data().data(), a.data().data(), b.data().data(),
+                     a.rows(), a.cols(), b.rows());
+    countGemm(a.rows(), a.cols(), b.rows());
+}
+
+void
+gemmAdjAInto(Matrix &out, const Matrix &a, const Matrix &b)
+{
+    qpulseAssert(&out != &a && &out != &b,
+                 "gemmAdjAInto: out aliases input");
+    qpulseAssert(a.rows() == b.rows(), "gemmAdjAInto shape mismatch: (",
+                 a.rows(), "x", a.cols(), ")^dagger * ", b.rows(), "x",
+                 b.cols());
+    out.resize(a.cols(), b.cols());
+    gemmAdjADispatch(out.data().data(), a.data().data(), b.data().data(),
+                     a.cols(), a.rows(), b.cols());
+    countGemm(a.cols(), a.rows(), b.cols());
+}
+
+void
+applyInto(Vector &out, const Matrix &a, const Vector &x)
+{
+    qpulseAssert(&out != &x, "applyInto: out aliases input");
+    qpulseAssert(a.cols() == x.size(), "applyInto shape mismatch");
+    out.resize(a.rows());
+    matvecDispatch(out.data().data(), a.data().data(), x.data().data(),
+                   a.rows(), a.cols());
+    countMatvec(a.rows(), a.cols());
+}
+
+void
+addScaledPlusAdjoint(Matrix &h, const Matrix &op, Complex s)
+{
+    const std::size_t n = h.rows();
+    qpulseAssert(h.cols() == n && op.rows() == n && op.cols() == n,
+                 "addScaledPlusAdjoint shape mismatch");
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            h(r, c) += op(r, c) * s + std::conj(op(c, r) * s);
+}
+
+void
+powmInto(Matrix &out, const Matrix &base, std::uint64_t count,
+         Workspace &ws)
+{
+    qpulseAssert(count >= 1, "powmInto requires count >= 1");
+    qpulseAssert(base.rows() == base.cols(),
+                 "powmInto requires a square base");
+    qpulseAssert(&out != &base, "powmInto: out aliases base");
+    const std::size_t n = base.rows();
+    if (count == 1) {
+        out = base;
+        return;
+    }
+    // Mirrors the multiplication order of the historical binary-power
+    // helper (out = sq * out; sq = sq * sq) so scalar-mode results are
+    // bit-identical to the pre-overhaul implementation.
+    Matrix &sq = ws.matrix(0, n, n);
+    Matrix &tmp = ws.matrix(1, n, n);
+    sq = base;
+    out.resize(n, n);
+    out.setIdentity();
+    while (count > 0) {
+        if (count & 1u) {
+            gemmInto(tmp, sq, out);
+            std::swap(out, tmp);
+        }
+        count >>= 1;
+        if (count > 0) {
+            gemmInto(tmp, sq, sq);
+            std::swap(sq, tmp);
+        }
+    }
+}
+
+Matrix
+powm(const Matrix &base, std::uint64_t count)
+{
+    Matrix out;
+    powmInto(out, base, count, tlsWorkspace());
+    return out;
 }
 
 Matrix

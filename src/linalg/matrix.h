@@ -10,6 +10,7 @@
 #ifndef QPULSE_LINALG_MATRIX_H
 #define QPULSE_LINALG_MATRIX_H
 
+#include <cstdint>
 #include <initializer_list>
 #include <string>
 #include <vector>
@@ -18,6 +19,8 @@
 #include "common/logging.h"
 
 namespace qpulse {
+
+class Workspace;
 
 /** Dense complex column vector. */
 class Vector
@@ -32,6 +35,20 @@ class Vector
     Vector(std::initializer_list<Complex> values) : data_(values) {}
 
     std::size_t size() const { return data_.size(); }
+
+    /**
+     * Change the size, reusing existing capacity when possible; newly
+     * exposed entries (growth only) are zero, surviving entries keep
+     * their values.
+     */
+    void resize(std::size_t n) { data_.resize(n, Complex{0.0, 0.0}); }
+
+    /** Set every entry to zero without changing the size. */
+    void setZero()
+    {
+        for (auto &amp : data_)
+            amp = Complex{0.0, 0.0};
+    }
 
     Complex &operator[](std::size_t i) { return data_[i]; }
     const Complex &operator[](std::size_t i) const { return data_[i]; }
@@ -87,6 +104,28 @@ class Matrix
     std::size_t rows() const { return rows_; }
     std::size_t cols() const { return cols_; }
 
+    /**
+     * Change the shape, reusing existing capacity when possible.
+     * Entries are unspecified afterwards (callers fully overwrite or
+     * call setZero); intended for Workspace scratch slots.
+     */
+    void resize(std::size_t rows, std::size_t cols)
+    {
+        rows_ = rows;
+        cols_ = cols;
+        data_.resize(rows * cols);
+    }
+
+    /** Set every entry to zero without changing the shape. */
+    void setZero()
+    {
+        for (auto &entry : data_)
+            entry = Complex{0.0, 0.0};
+    }
+
+    /** Overwrite with the identity (requires square shape). */
+    void setIdentity();
+
     Complex &operator()(std::size_t r, std::size_t c)
     {
         return data_[r * cols_ + c];
@@ -138,12 +177,54 @@ class Matrix
     std::string toString(int precision = 4) const;
 
     const std::vector<Complex> &data() const { return data_; }
+    std::vector<Complex> &data() { return data_; }
 
   private:
     std::size_t rows_ = 0;
     std::size_t cols_ = 0;
     std::vector<Complex> data_;
 };
+
+// ---------------------------------------------------------------------
+// Allocation-free kernel API. Each *Into overload resizes `out` (a
+// capacity-reusing no-op inside warm loops) and fully overwrites it;
+// `out` must not alias any input. Products dispatch through
+// kernels::activeSimd() — see src/linalg/simd.h for the numerics
+// contract — and increment the linalg.gemm.* telemetry counters.
+// ---------------------------------------------------------------------
+
+/** out = a * b. */
+void gemmInto(Matrix &out, const Matrix &a, const Matrix &b);
+
+/** out = a * b^dagger (without materializing the adjoint). */
+void gemmAdjBInto(Matrix &out, const Matrix &a, const Matrix &b);
+
+/** out = a^dagger * b (without materializing the adjoint). */
+void gemmAdjAInto(Matrix &out, const Matrix &a, const Matrix &b);
+
+/** out = a * x. */
+void applyInto(Vector &out, const Matrix &a, const Vector &x);
+
+/**
+ * h += s * op + (s * op)^dagger, in place. Bit-identical to the
+ * expression `h + term + term.adjoint()` with term = op * s: complex
+ * multiplication and addition are evaluated in the same order per
+ * entry, so the Hermitian drive builds in the simulator hot loop
+ * reproduce the historical temporaries exactly.
+ */
+void addScaledPlusAdjoint(Matrix &h, const Matrix &op, Complex s);
+
+/**
+ * Binary-exponentiation matrix power: out = base^count, count >= 1,
+ * O(d^3 log count) and heap-silent after workspace warm-up (consumes
+ * workspace matrix slots 0-1). The multiplication order matches the
+ * historical PulseSimulator::matrixPower helper bit-for-bit.
+ */
+void powmInto(Matrix &out, const Matrix &base, std::uint64_t count,
+              Workspace &ws);
+
+/** Out-of-place powm convenience (uses the thread-local workspace). */
+Matrix powm(const Matrix &base, std::uint64_t count);
 
 /** Kronecker (tensor) product a (x) b. */
 Matrix kron(const Matrix &a, const Matrix &b);

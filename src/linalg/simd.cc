@@ -1,0 +1,142 @@
+#include "linalg/simd.h"
+
+#include <atomic>
+
+#include "common/env.h"
+
+namespace qpulse {
+namespace kernels {
+
+bool
+avx2Supported()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    return __builtin_cpu_supports("avx2") != 0 &&
+           __builtin_cpu_supports("fma") != 0;
+#else
+    return false;
+#endif
+}
+
+namespace {
+
+/** -1 = unresolved; otherwise a SimdMode value. */
+std::atomic<int> g_mode{-1};
+
+SimdMode
+resolveMode()
+{
+    const long enabled = envLong("QPULSE_SIMD", 1, 0, 1);
+    if (enabled == 0 || !avx2Supported())
+        return SimdMode::Scalar;
+    return SimdMode::Avx2;
+}
+
+} // namespace
+
+SimdMode
+activeSimd()
+{
+    int mode = g_mode.load(std::memory_order_relaxed);
+    if (mode < 0) {
+        // A racing first call resolves to the same value, so the
+        // blind store is benign.
+        mode = static_cast<int>(resolveMode());
+        g_mode.store(mode, std::memory_order_relaxed);
+    }
+    return static_cast<SimdMode>(mode);
+}
+
+void
+setActiveSimd(SimdMode mode)
+{
+    if (mode == SimdMode::Avx2 && !avx2Supported()) {
+        envWarn("QPULSE_SIMD",
+                "AVX2 requested but unsupported by this CPU; "
+                "staying scalar");
+        mode = SimdMode::Scalar;
+    }
+    g_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+const char *
+simdModeName(SimdMode mode)
+{
+    return mode == SimdMode::Avx2 ? "avx2" : "scalar";
+}
+
+void
+gemmScalar(Complex *out, const Complex *a, const Complex *b,
+           std::size_t m, std::size_t k, std::size_t n)
+{
+    // Bit-identical to the historical Matrix::operator* triple loop:
+    // zero-initialize, then accumulate row-by-row skipping exact-zero
+    // A entries (the skip preserves signed-zero behaviour of the
+    // original, so scalar results never drift from the seed code).
+    for (std::size_t i = 0; i < m * n; ++i)
+        out[i] = Complex{0.0, 0.0};
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            const Complex aik = a[i * k + kk];
+            if (aik == Complex{0.0, 0.0})
+                continue;
+            const Complex *brow = b + kk * n;
+            Complex *orow = out + i * n;
+            for (std::size_t j = 0; j < n; ++j)
+                orow[j] += aik * brow[j];
+        }
+    }
+}
+
+void
+gemmAdjBScalar(Complex *out, const Complex *a, const Complex *b,
+               std::size_t m, std::size_t k, std::size_t n)
+{
+    for (std::size_t i = 0; i < m; ++i) {
+        const Complex *arow = a + i * k;
+        for (std::size_t j = 0; j < n; ++j) {
+            const Complex *brow = b + j * k;
+            Complex sum{0.0, 0.0};
+            for (std::size_t kk = 0; kk < k; ++kk)
+                sum += arow[kk] * std::conj(brow[kk]);
+            out[i * n + j] = sum;
+        }
+    }
+}
+
+void
+gemmAdjAScalar(Complex *out, const Complex *a, const Complex *b,
+               std::size_t m, std::size_t k, std::size_t n)
+{
+    for (std::size_t i = 0; i < m * n; ++i)
+        out[i] = Complex{0.0, 0.0};
+    for (std::size_t kk = 0; kk < k; ++kk) {
+        const Complex *arow = a + kk * m;
+        const Complex *brow = b + kk * n;
+        for (std::size_t i = 0; i < m; ++i) {
+            const Complex s = std::conj(arow[i]);
+            if (s == Complex{0.0, 0.0})
+                continue;
+            Complex *orow = out + i * n;
+            for (std::size_t j = 0; j < n; ++j)
+                orow[j] += s * brow[j];
+        }
+    }
+}
+
+void
+matvecScalar(Complex *out, const Complex *a, const Complex *x,
+             std::size_t m, std::size_t n)
+{
+    // Bit-identical to the historical Matrix::apply loop.
+    for (std::size_t i = 0; i < m; ++i) {
+        Complex total{0.0, 0.0};
+        const Complex *arow = a + i * n;
+        for (std::size_t j = 0; j < n; ++j)
+            total += arow[j] * x[j];
+        out[i] = total;
+    }
+}
+
+} // namespace kernels
+} // namespace qpulse

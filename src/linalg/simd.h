@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Runtime-dispatched dense complex kernels (the "dense-kernel layer").
+ *
+ * Every dense product in qpulse funnels through these raw row-major
+ * kernels: the scalar variants reproduce the original triple-loop
+ * implementations bit-for-bit (they ARE those loops, hoisted), and the
+ * AVX2/FMA variants vectorize two complex doubles per 256-bit lane.
+ * Dispatch is resolved once per process from a cpuid probe and the
+ * QPULSE_SIMD environment knob (0 forces scalar, the escape hatch for
+ * bit-exact reproduction of historical results); tests can override it
+ * with setActiveSimd().
+ *
+ * Numerics contract (docs/PERFORMANCE.md, "Kernel architecture"):
+ *  - within one dispatch mode results are deterministic — the mode is
+ *    process-wide, so thread count never changes output bits;
+ *  - scalar mode is bit-identical to the pre-overhaul implementation;
+ *  - AVX2 mode agrees with scalar to <= 1e-12 max-abs on every
+ *    matrix this project produces (pinned by tests/test_kernels.cc).
+ */
+#ifndef QPULSE_LINALG_SIMD_H
+#define QPULSE_LINALG_SIMD_H
+
+#include <cstddef>
+
+#include "common/constants.h"
+
+namespace qpulse {
+namespace kernels {
+
+/** Which GEMM/matvec implementation the dispatcher selects. */
+enum class SimdMode
+{
+    Scalar, ///< Portable triple loops (bit-identical to the seed code).
+    Avx2,   ///< AVX2+FMA, two complex doubles per 256-bit lane.
+};
+
+/** True when the CPU supports AVX2 and FMA (false on non-x86). */
+bool avx2Supported();
+
+/**
+ * The active dispatch mode, resolved once on first use: QPULSE_SIMD=0
+ * forces Scalar; otherwise Avx2 when the CPU supports it.
+ */
+SimdMode activeSimd();
+
+/**
+ * Override the dispatch mode (test seam). Requesting Avx2 on a CPU
+ * without support falls back to Scalar with a warning.
+ */
+void setActiveSimd(SimdMode mode);
+
+/** "scalar" / "avx2" (for reports and bench JSON). */
+const char *simdModeName(SimdMode mode);
+
+// ---------------------------------------------------------------------
+// Raw kernels on row-major Complex buffers. `out` must not alias `a`
+// or `b`; every kernel fully (re)defines `out`.
+// ---------------------------------------------------------------------
+
+/** out[m x n] = a[m x k] * b[k x n]. */
+void gemmScalar(Complex *out, const Complex *a, const Complex *b,
+                std::size_t m, std::size_t k, std::size_t n);
+
+/** out[m x n] = a[m x k] * b[n x k]^dagger (B conjugate-transposed). */
+void gemmAdjBScalar(Complex *out, const Complex *a, const Complex *b,
+                    std::size_t m, std::size_t k, std::size_t n);
+
+/** out[m x n] = a[k x m]^dagger * b[k x n] (A conjugate-transposed). */
+void gemmAdjAScalar(Complex *out, const Complex *a, const Complex *b,
+                    std::size_t m, std::size_t k, std::size_t n);
+
+/** out[m] = a[m x n] * x[n]. */
+void matvecScalar(Complex *out, const Complex *a, const Complex *x,
+                  std::size_t m, std::size_t n);
+
+#if defined(__x86_64__) || defined(__i386__)
+/** AVX2/FMA counterparts (defined only on x86; gate on avx2Supported). */
+void gemmAvx2(Complex *out, const Complex *a, const Complex *b,
+              std::size_t m, std::size_t k, std::size_t n);
+
+/**
+ * Fused in-place complex Givens update of two contiguous rows (the
+ * Jacobi eigensolver's inner kernel). With r90(z) = i z elementwise:
+ *
+ *   xp' = c xp - spr xq - spi r90(xq)
+ *   xq' = c xq + spr xp - spi r90(xp)
+ *
+ * which for (spr, spi) = s (Re phase, Im phase) is the row half of the
+ * Hermitian Jacobi rotation a <- J^dag a J; the accumulator update
+ * v <- v J on a row-major transposed accumulator is the same kernel
+ * with spi negated. Rows must not overlap.
+ */
+void rotateRowPairAvx2(Complex *xp, Complex *xq, std::size_t n,
+                       double c, double spr, double spi);
+void gemmAdjBAvx2(Complex *out, const Complex *a, const Complex *b,
+                  std::size_t m, std::size_t k, std::size_t n);
+void gemmAdjAAvx2(Complex *out, const Complex *a, const Complex *b,
+                  std::size_t m, std::size_t k, std::size_t n);
+void matvecAvx2(Complex *out, const Complex *a, const Complex *x,
+                std::size_t m, std::size_t n);
+#endif
+
+} // namespace kernels
+} // namespace qpulse
+
+#endif // QPULSE_LINALG_SIMD_H

@@ -1,0 +1,39 @@
+#include "linalg/workspace.h"
+
+namespace qpulse {
+
+Matrix &
+Workspace::matrix(std::size_t slot, std::size_t rows, std::size_t cols)
+{
+    if (slot >= matrices_.size())
+        matrices_.resize(slot + 1);
+    Matrix &m = matrices_[slot];
+    m.resize(rows, cols);
+    return m;
+}
+
+Vector &
+Workspace::vector(std::size_t slot, std::size_t n)
+{
+    if (slot >= vectors_.size())
+        vectors_.resize(slot + 1);
+    Vector &v = vectors_[slot];
+    v.resize(n);
+    return v;
+}
+
+void
+Workspace::clear()
+{
+    matrices_.clear();
+    vectors_.clear();
+}
+
+Workspace &
+tlsWorkspace()
+{
+    thread_local Workspace ws;
+    return ws;
+}
+
+} // namespace qpulse

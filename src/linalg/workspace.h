@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reusable scratch buffers for the allocation-free kernel API.
+ *
+ * A Workspace owns a set of numbered Matrix/Vector slots whose backing
+ * stores persist across calls: the first request for a slot allocates,
+ * every later request at the same or smaller shape reuses the existing
+ * capacity. Hot loops (the evolve inner loop, powmInto, the seeded
+ * Jacobi solver) thread a Workspace through and become heap-silent
+ * after one warm-up iteration — asserted with a counting allocator in
+ * tests/test_kernels.cc.
+ *
+ * Lifetime rules (docs/PERFORMANCE.md, "Kernel architecture"):
+ *  - a slot reference is valid until the next request for the SAME
+ *    slot; distinct slots never alias;
+ *  - callees that receive a Workspace document which slot range they
+ *    consume, or take a dedicated Workspace (PulseSimulator's
+ *    StepKernel carries one for the eigensolver and one for itself);
+ *  - Workspace is not thread-safe; use tlsWorkspace() or one instance
+ *    per thread.
+ */
+#ifndef QPULSE_LINALG_WORKSPACE_H
+#define QPULSE_LINALG_WORKSPACE_H
+
+#include <cstddef>
+#include <deque>
+
+#include "linalg/matrix.h"
+
+namespace qpulse {
+
+/** Slot-indexed pool of reusable Matrix/Vector scratch buffers. */
+class Workspace
+{
+  public:
+    /**
+     * Scratch matrix for `slot`, resized to rows x cols. Contents are
+     * unspecified (callers fully overwrite or call setZero). Reuses
+     * the slot's backing store whenever capacity allows.
+     */
+    Matrix &matrix(std::size_t slot, std::size_t rows, std::size_t cols);
+
+    /** Scratch vector for `slot`, resized to n; contents unspecified. */
+    Vector &vector(std::size_t slot, std::size_t n);
+
+    /** Drop all slots and their backing stores. */
+    void clear();
+
+  private:
+    // Deques, not vectors: requesting a NEW slot must never move the
+    // buffers behind references handed out for existing slots (a
+    // kernel typically holds several slot references at once).
+    std::deque<Matrix> matrices_;
+    std::deque<Vector> vectors_;
+};
+
+/**
+ * Per-thread workspace for call sites without a caller-provided one
+ * (e.g. the out-of-place powm convenience wrapper).
+ */
+Workspace &tlsWorkspace();
+
+} // namespace qpulse
+
+#endif // QPULSE_LINALG_WORKSPACE_H

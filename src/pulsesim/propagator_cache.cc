@@ -71,6 +71,48 @@ PropagatorCache::getOrCompute(const PropagatorKey &key,
 }
 
 void
+PropagatorCache::getOrComputeInto(const PropagatorKey &key,
+                                  const std::function<Matrix()> &compute,
+                                  Matrix &out)
+{
+    static telemetry::Counter &c_hits =
+        cacheCounter("pulsesim.cache.hits");
+    static telemetry::Counter &c_misses =
+        cacheCounter("pulsesim.cache.misses");
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = index_.find(key);
+        if (it != index_.end()) {
+            ++stats_.hits;
+            c_hits.increment();
+            lru_.splice(lru_.begin(), lru_, it->second);
+            out = it->second->value;
+            return;
+        }
+        ++stats_.misses;
+        c_misses.increment();
+    }
+
+    // Same race policy as getOrCompute: compute outside the lock,
+    // duplicate inserts are identical no-ops.
+    out = compute();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (index_.find(key) == index_.end()) {
+        lru_.push_front(Entry{key, out});
+        index_[key] = lru_.begin();
+        if (index_.size() > capacity_) {
+            ++stats_.evictions;
+            static telemetry::Counter &c_evictions =
+                cacheCounter("pulsesim.cache.evictions");
+            c_evictions.increment();
+            index_.erase(lru_.back().key);
+            lru_.pop_back();
+        }
+    }
+}
+
+void
 PropagatorCache::clear()
 {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -114,6 +114,17 @@ class PropagatorCache
     Matrix getOrCompute(const PropagatorKey &key,
                         const std::function<Matrix()> &compute);
 
+    /**
+     * Allocation-aware variant of getOrCompute: the cached (or freshly
+     * computed) value is copy-assigned into `out`, reusing `out`'s
+     * backing store when its capacity suffices. Inside a warm evolve
+     * loop every hit is therefore heap-silent, where the by-value
+     * overload pays one matrix allocation per lookup.
+     */
+    void getOrComputeInto(const PropagatorKey &key,
+                          const std::function<Matrix()> &compute,
+                          Matrix &out);
+
     /** Drop every entry (counters are preserved). */
     void clear();
 

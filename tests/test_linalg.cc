@@ -207,6 +207,36 @@ TEST(Expm, Identity)
     EXPECT_TRUE(expm(z).isIdentity(1e-12));
 }
 
+TEST(Expm, EarlyExitKeepsHermitianAgreementAcrossScales)
+{
+    // The Taylor loop's relative early exit (documented bound: tail
+    // after term T_k is <= ||T_k|| once the scaled 1-norm is <= 1/2)
+    // must agree with the eigendecomposition path at small norms (no
+    // squaring), at norms just above the squaring threshold, and at
+    // large norms (many squarings compound the truncation error).
+    Rng rng(11);
+    const Matrix h = randomHermitian(5, rng);
+    for (const double t : {1e-4, 0.3, 1.0, 7.0, 30.0}) {
+        const Matrix via_eig = expMinusIHt(h, t);
+        const Matrix via_taylor = expm(h * Complex{0.0, -t});
+        EXPECT_LT(via_eig.maxAbsDiff(via_taylor), 1e-9)
+            << "expm diverged from the Hermitian path at t=" << t;
+        EXPECT_TRUE(via_taylor.isUnitary(1e-8));
+    }
+}
+
+TEST(Expm, EarlyExitMatchesScaledIdentity)
+{
+    // exp(a I) = e^a I exactly; the early exit fires after very few
+    // terms here and must not degrade the result.
+    const double a = 0.125;
+    Matrix m = Matrix::identity(4);
+    m *= Complex{a, 0.0};
+    const Matrix e = expm(m);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_NEAR(e(i, i).real(), std::exp(a), 1e-13);
+}
+
 TEST(SolveLinear, SolvesKnownSystem)
 {
     // x + 2y = 5; 3x - y = 1 -> x = 1, y = 2.
