@@ -61,6 +61,7 @@ struct SweepPoint
     double unprotectedFidelity = 0.0;
     double executorFidelity = 0.0;
     ResilienceStats stats;
+    bench::LatencySummary latency;
 };
 
 /** P(target state) averaged over runs, unprotected client. */
@@ -111,9 +112,13 @@ runProtected(const std::shared_ptr<const PulseBackend> &backend,
     request.fallback = fallback;
 
     SweepPoint point;
+    std::vector<double> latencies;
+    latencies.reserve(kRuns);
     for (int run = 0; run < kRuns; ++run) {
+        const bench::Stopwatch watch;
         const ResilientOutcome outcome = executor.run(
             sim, request, runOptions(run, max_threads));
+        latencies.push_back(watch.elapsedMs());
         if (outcome.status.ok())
             point.executorFidelity +=
                 static_cast<double>(outcome.result.counts[target]) /
@@ -123,6 +128,7 @@ runProtected(const std::shared_ptr<const PulseBackend> &backend,
     }
     point.executorFidelity /= kRuns;
     point.stats = executor.stats();
+    point.latency = bench::LatencySummary::of(std::move(latencies));
     return point;
 }
 
@@ -172,7 +178,8 @@ main()
     const double rates[] = {0.0, 0.1, 0.2, 0.4};
     std::vector<SweepPoint> sweep;
     TextTable table({"fault rate", "unprotected", "executor",
-                     "retries", "recals", "fallbacks"});
+                     "retries", "recals", "fallbacks", "p50 ms",
+                     "p95 ms"});
     for (const double rate : rates) {
         const FaultPlan plan = planAtRate(rate);
         SweepPoint point =
@@ -186,7 +193,9 @@ main()
                       fmtFixed(point.executorFidelity, 4),
                       std::to_string(point.stats.retries),
                       std::to_string(point.stats.recalibrations),
-                      std::to_string(point.stats.fallbacks)});
+                      std::to_string(point.stats.fallbacks),
+                      fmtFixed(point.latency.p50Ms, 2),
+                      fmtFixed(point.latency.p95Ms, 2)});
         sweep.push_back(point);
     }
     std::printf("%s\n", table.render().c_str());
@@ -234,12 +243,14 @@ main()
             "\"executor_fidelity\": %.4f, \"attempts\": %ld, "
             "\"retries\": %ld, \"recalibrations\": %ld, "
             "\"fallbacks\": %ld, \"degraded_runs\": %ld, "
-            "\"validation_rejects\": %ld}%s\n",
+            "\"validation_rejects\": %ld, "
+            "\"job_latency_ms\": {\"p50\": %.3f, \"p95\": %.3f}}%s\n",
             point.rate, point.unprotectedFidelity,
             point.executorFidelity, point.stats.attempts,
             point.stats.retries, point.stats.recalibrations,
             point.stats.fallbacks, point.stats.degradedRuns,
-            point.stats.validationRejects,
+            point.stats.validationRejects, point.latency.p50Ms,
+            point.latency.p95Ms,
             k + 1 < sweep.size() ? "," : "");
     }
     std::fprintf(out, "  ],\n");

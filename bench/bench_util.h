@@ -9,9 +9,12 @@
 #ifndef QPULSE_BENCH_BENCH_UTIL_H
 #define QPULSE_BENCH_BENCH_UTIL_H
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "compile/compiler.h"
 #include "device/calibration.h"
@@ -109,6 +112,52 @@ printTelemetry()
 {
     std::printf("%s\n", telemetry::Report::capture().toText().c_str());
 }
+
+/** Wall-clock stopwatch for per-job latency measurements. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+    double
+    elapsedMs() const
+    {
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/**
+ * Exact p50/p95 over a sample set (nearest-rank on the sorted copy —
+ * unlike the fixed-bucket telemetry histograms there is no
+ * interpolation error, which keeps small bench sample sets honest).
+ */
+struct LatencySummary
+{
+    double p50Ms = 0.0;
+    double p95Ms = 0.0;
+
+    static LatencySummary
+    of(std::vector<double> samples)
+    {
+        LatencySummary summary;
+        if (samples.empty())
+            return summary;
+        std::sort(samples.begin(), samples.end());
+        const auto rank = [&](double q) {
+            const std::size_t idx = static_cast<std::size_t>(
+                q * static_cast<double>(samples.size() - 1) + 0.5);
+            return samples[std::min(idx, samples.size() - 1)];
+        };
+        summary.p50Ms = rank(0.50);
+        summary.p95Ms = rank(0.95);
+        return summary;
+    }
+};
 
 } // namespace bench
 } // namespace qpulse

@@ -37,12 +37,20 @@ enum class ErrorCode
     UnknownChannel,      ///< Channel index outside the backend's budget.
     NegativeTime,        ///< Instruction starts before t = 0.
     NonMonotonicTime,    ///< Overlapping Play spans on one channel.
+    EmptySchedule,       ///< Schedule carries no instructions at all.
+    ZeroDurationPlay,    ///< A Play instruction has no samples.
 
     // Execution faults: the schedule is fine but the run failed.
     TransientFailure, ///< Shot batch rejected/failed transiently.
     Timeout,          ///< Shot batch timed out.
     RetriesExhausted, ///< Bounded retry gave up; see the message.
     StaleCalibration, ///< Entry marked stale; fallback recommended.
+
+    // Service-layer outcomes (src/service, common/cancellation.h).
+    Cancelled,         ///< Cooperative cancellation via a CancelToken.
+    DeadlineExceeded,  ///< The job's deadline/budget expired.
+    ResourceExhausted, ///< Admission control rejected or shed the job.
+    Unavailable,       ///< Backend circuit breaker is open: fail fast.
 
     ParseError, ///< Spec string (e.g. QPULSE_FAULT_PLAN) is malformed.
 };
@@ -59,10 +67,16 @@ errorCodeName(ErrorCode code)
       case ErrorCode::UnknownChannel:      return "unknown-channel";
       case ErrorCode::NegativeTime:        return "negative-time";
       case ErrorCode::NonMonotonicTime:    return "non-monotonic-time";
+      case ErrorCode::EmptySchedule:       return "empty-schedule";
+      case ErrorCode::ZeroDurationPlay:    return "zero-duration-play";
       case ErrorCode::TransientFailure:    return "transient-failure";
       case ErrorCode::Timeout:             return "timeout";
       case ErrorCode::RetriesExhausted:    return "retries-exhausted";
       case ErrorCode::StaleCalibration:    return "stale-calibration";
+      case ErrorCode::Cancelled:           return "cancelled";
+      case ErrorCode::DeadlineExceeded:    return "deadline-exceeded";
+      case ErrorCode::ResourceExhausted:   return "resource-exhausted";
+      case ErrorCode::Unavailable:         return "unavailable";
       case ErrorCode::ParseError:          return "parse-error";
     }
     return "unknown";

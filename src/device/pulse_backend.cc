@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <mutex>
 
 #include "common/constants.h"
 #include "common/thread_pool.h"
@@ -280,6 +281,12 @@ PulseBackend::runShots(const PulseSimulator &sim,
         worker.setPropagatorCache(cache);
     }
     worker.setCachingEnabled(opts.useCache);
+    // The worker polls the token and any *wall-clock* deadline
+    // mid-evolution. Virtual budgets are deliberately not checked
+    // inside evolve (setInterrupt drops them): their charge happens at
+    // batch admission below, and an admitted batch must run to
+    // completion or the partial counts would depend on scheduling.
+    worker.setInterrupt(opts.token, opts.deadline);
     const PropagatorCacheStats before =
         cache ? cache->stats() : PropagatorCacheStats{};
 
@@ -288,8 +295,36 @@ PulseBackend::runShots(const PulseSimulator &sim,
     ground[0] = Complex{1.0, 0.0};
 
     PulseShotResult result;
-    result.populations =
-        worker.populations(worker.evolveState(schedule, ground));
+    result.shotsRequested = opts.shots;
+    result.counts.assign(dim, 0);
+    result.populations.assign(dim, 0.0);
+
+    static telemetry::Counter &c_interrupted =
+        registry.counter("backend.runs_interrupted");
+    const auto finishInterrupted = [&](Status reason) {
+        result.partial = true;
+        result.interruption = std::move(reason);
+        c_interrupted.increment();
+    };
+
+    // Pre-start gate: a job already cancelled or expired returns an
+    // empty partial result instead of burning the warm-up evolution.
+    if (const Status gate = opts.deadline.check(opts.token);
+        !gate.ok()) {
+        finishInterrupted(gate);
+        return result;
+    }
+
+    try {
+        result.populations =
+            worker.populations(worker.evolveState(schedule, ground));
+    } catch (const StatusError &err) {
+        if (err.code() != ErrorCode::Cancelled &&
+            err.code() != ErrorCode::DeadlineExceeded)
+            throw;
+        finishInterrupted(err.status());
+        return result;
+    }
 
     std::vector<std::atomic<long>> counts(dim);
     const std::size_t shots = static_cast<std::size_t>(opts.shots);
@@ -299,30 +334,86 @@ PulseBackend::runShots(const PulseSimulator &sim,
     // batch counter is bit-identical across QPULSE_THREADS settings.
     const std::size_t batches = std::min(shots, kShotBatches);
     c_batches.add(batches);
+
+    // Virtual-time admission: charge every batch's simulated-sample
+    // cost sequentially, *before* the parallel dispatch, so the set of
+    // admitted batches — and with it shotsCompleted and the partial
+    // counts — is a pure function of the workload, bit-identical
+    // across maxThreads settings. Wall-clock/unlimited deadlines admit
+    // everything here; the per-shot checks inside the batch body (and
+    // the worker's mid-evolve polls) bound them instead.
+    const std::uint64_t sample_cost = static_cast<std::uint64_t>(
+        std::max<long>(schedule.duration(), 1));
+    std::vector<char> admitted(batches, 1);
+    if (opts.deadline.isVirtual())
+        for (std::size_t batch = 0; batch < batches; ++batch) {
+            const std::uint64_t batch_shots = static_cast<std::uint64_t>(
+                (batch + 1) * shots / batches - batch * shots / batches);
+            admitted[batch] =
+                opts.deadline.tryCharge(batch_shots * sample_cost) ? 1
+                                                                   : 0;
+        }
+
+    std::atomic<long> completed{0};
+    std::atomic<bool> interrupted{false};
+    std::mutex interrupt_mutex;
+    Status interrupt_reason;
     parallelFor(
         batches,
         [&](std::size_t batch) {
+            if (!admitted[batch])
+                return; // Refused at virtual admission: never starts.
             telemetry::TraceSpan batch_span("backend.shot_batch");
             const std::size_t begin = batch * shots / batches;
             const std::size_t end = (batch + 1) * shots / batches;
-            for (std::size_t shot = begin; shot < end; ++shot) {
-                // Every shot re-evolves the schedule: with the cache
-                // hot this is matvec-only, and per-shot noise sources
-                // can slot in here without changing the sampling
-                // contract. The seed derivation stays per-shot, so
-                // sampled counts are independent of the batching.
-                const Vector out = worker.evolveState(schedule, ground);
-                Rng rng(Rng::deriveSeed(opts.seed, shot));
-                const std::size_t outcome =
-                    rng.discrete(worker.populations(out));
-                counts[outcome].fetch_add(1, std::memory_order_relaxed);
+            try {
+                for (std::size_t shot = begin; shot < end; ++shot) {
+                    worker.checkInterrupt();
+                    // Every shot re-evolves the schedule: with the
+                    // cache hot this is matvec-only, and per-shot
+                    // noise sources can slot in here without changing
+                    // the sampling contract. The seed derivation stays
+                    // per-shot, so sampled counts are independent of
+                    // the batching.
+                    const Vector out =
+                        worker.evolveState(schedule, ground);
+                    Rng rng(Rng::deriveSeed(opts.seed, shot));
+                    const std::size_t outcome =
+                        rng.discrete(worker.populations(out));
+                    counts[outcome].fetch_add(1,
+                                              std::memory_order_relaxed);
+                    completed.fetch_add(1, std::memory_order_relaxed);
+                }
+            } catch (const StatusError &err) {
+                // An interrupt mid-batch keeps the shots already
+                // sampled (they are complete, valid draws) and records
+                // the first reason; anything else propagates.
+                if (err.code() != ErrorCode::Cancelled &&
+                    err.code() != ErrorCode::DeadlineExceeded)
+                    throw;
+                std::lock_guard<std::mutex> lock(interrupt_mutex);
+                if (!interrupted.load(std::memory_order_relaxed)) {
+                    interrupt_reason = err.status();
+                    interrupted.store(true, std::memory_order_relaxed);
+                }
             }
         },
         opts.maxThreads);
 
-    result.counts.resize(dim);
     for (std::size_t i = 0; i < dim; ++i)
         result.counts[i] = counts[i].load(std::memory_order_relaxed);
+    result.shotsCompleted = completed.load(std::memory_order_relaxed);
+    if (interrupted.load(std::memory_order_relaxed)) {
+        finishInterrupted(interrupt_reason);
+    } else if (result.shotsCompleted < opts.shots) {
+        // Only virtual admission refusals can get here: deterministic
+        // partial result, flagged with the budget's structured reason.
+        finishInterrupted(Status::error(
+            ErrorCode::DeadlineExceeded,
+            "virtual-time budget exhausted after " +
+                std::to_string(result.shotsCompleted) + " of " +
+                std::to_string(opts.shots) + " shots"));
+    }
     if (cache) {
         const PropagatorCacheStats after = cache->stats();
         result.cacheStats.hits = after.hits - before.hits;

@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "circuit/circuit.h"
+#include "common/cancellation.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "device/calibration.h"
@@ -54,6 +55,24 @@ struct PulseShotOptions
      * draws from its own Rng(deriveSeed(seed, shot)) stream.
      */
     std::size_t maxThreads = 0;
+
+    /**
+     * Cooperative cancellation. The default token is inert (free to
+     * check, can never fire); pass CancelToken::make() and cancel it
+     * from another thread to wind the run down between shots / every
+     * few hundred simulated samples. The shots completed so far come
+     * back as a partial result (PulseShotResult::partial).
+     */
+    CancelToken token;
+
+    /**
+     * Execution deadline. Wall-clock deadlines are checked per shot
+     * and mid-evolution; virtual-time budgets (common/cancellation.h)
+     * are charged sequentially at shot-batch granularity before the
+     * parallel dispatch, so the admitted batch set — and therefore the
+     * partial counts — is bit-identical across maxThreads settings.
+     */
+    Deadline deadline;
 };
 
 /** Result of a pulse-level shot run. */
@@ -74,6 +93,19 @@ struct PulseShotResult
      * accounting so every consumer reads outcomes from one place.
      */
     ResilienceStats resilience;
+
+    /**
+     * Partial-result channel. When a cancel token fires or a deadline
+     * expires mid-run, runShots returns normally with the shots that
+     * did complete (sum(counts) == shotsCompleted < shotsRequested),
+     * partial = true, and `interruption` carrying the structured
+     * Cancelled / DeadlineExceeded reason. A full run has partial =
+     * false and an Ok interruption.
+     */
+    bool partial = false;
+    long shotsRequested = 0;
+    long shotsCompleted = 0;
+    Status interruption;
 };
 
 /**

@@ -199,6 +199,13 @@ ResilientExecutor::run(const PulseSimulator &sim,
 
     const auto shots = static_cast<double>(opts.shots);
 
+    // Cooperative interruption: set once the token fires or the
+    // deadline expires; the attempt loop stops retrying and the
+    // partial shot result (if any attempt got that far) is surfaced.
+    Status interrupt;
+    PulseShotResult interrupt_partial;
+    double backoff_spent_ms = 0.0; // Cumulative, both phases.
+
     // One bounded attempt loop over a schedule; returns true when a
     // result (healthy or accepted-degraded) landed in outcome.result.
     const auto run_phase = [&](const Schedule &schedule) -> bool {
@@ -207,15 +214,27 @@ ResilientExecutor::run(const PulseSimulator &sim,
         PulseShotResult best;
         double best_proxy = 0.0;
         for (int attempt = 0; attempt < retry_.maxAttempts; ++attempt) {
+            interrupt = opts.deadline.check(opts.token);
+            if (!interrupt.ok())
+                return false; // Cancelled/expired: stop retrying.
             telemetry::TraceSpan attempt_span("executor.attempt");
             ++stats.attempts;
             if (attempt > 0) {
                 telemetry::TraceSpan retry_span("executor.retry");
                 ++stats.retries;
-                const double delay =
-                    backoffMs(attempt, run_id, opts.seed);
+                double delay = backoffMs(attempt, run_id, opts.seed);
+                // Per-attempt budget: never sleep past the cumulative
+                // backoff cap, and never past the wall-clock deadline
+                // (remainingMs() is +inf for unlimited/virtual, so
+                // those never shrink a delay).
+                if (retry_.maxTotalBackoffMs >= 0.0)
+                    delay = std::min(
+                        delay, std::max(0.0, retry_.maxTotalBackoffMs -
+                                                 backoff_spent_ms));
+                delay = std::min(delay, opts.deadline.remainingMs());
+                backoff_spent_ms += delay;
                 stats.backoffTotalMs += delay;
-                if (retry_.sleep)
+                if (retry_.sleep && delay > 0.0)
                     std::this_thread::sleep_for(
                         std::chrono::duration<double, std::milli>(
                             delay));
@@ -272,6 +291,15 @@ ResilientExecutor::run(const PulseSimulator &sim,
                         result.counts, result.populations, run_id,
                         attempt);
 
+            if (!result.interruption.ok()) {
+                // The run was cut short mid-shots. Keep the partial
+                // counts — they are complete, valid draws — and stop
+                // retrying: more attempts cannot outlive the deadline.
+                interrupt = result.interruption;
+                interrupt_partial = std::move(result);
+                return false;
+            }
+
             const double proxy =
                 static_cast<double>(result.counts[baseline.index]) /
                 shots;
@@ -323,7 +351,28 @@ ResilientExecutor::run(const PulseSimulator &sim,
     // --- Graceful degradation: a run whose primary phase exhausted
     // its budget falls back to the standard decomposition instead of
     // erroring out; repeated failures mark the entry stale so future
-    // runs skip the primary entirely.
+    // runs skip the primary entirely. An interrupted run never falls
+    // back: the fallback would face the same dead token/deadline.
+    if (!success && !interrupt.ok()) {
+        static telemetry::Counter &c_interrupts =
+            telemetry::MetricsRegistry::global().counter(
+                "executor.interrupted_runs");
+        c_interrupts.increment();
+        if (!interrupt_partial.partial) {
+            // Interrupt fired before any shot ran: synthesize an
+            // empty partial so consumers see one uniform shape.
+            interrupt_partial.partial = true;
+            interrupt_partial.shotsRequested = opts.shots;
+            interrupt_partial.interruption = interrupt;
+        }
+        outcome.lastError = interrupt;
+        outcome.status = interrupt;
+        outcome.result = std::move(interrupt_partial);
+        outcome.result.resilience = stats;
+        stats_ += stats;
+        absorbResilienceStats(stats);
+        return outcome;
+    }
     if (!success && !on_fallback) {
         registerFailure(request.key);
         if (request.fallback) {

@@ -53,6 +53,16 @@ struct RetryPolicy
     double backoffCapMs = 64.0; ///< Upper bound on a single delay.
     double jitter = 0.25;       ///< +/- fraction, deterministic.
     /**
+     * Cap on the *cumulative* backoff of one run() call, both phases
+     * included. backoffCapMs bounds a single delay, but maxAttempts
+     * delays still sum to ~maxAttempts * cap — a latency hole under a
+     * deadline. Once the cumulative delay reaches this cap, later
+     * retries proceed immediately. Negative = unbounded (legacy
+     * behaviour). Delays are additionally clamped to the deadline's
+     * remainingMs() so backoff can never overshoot the job budget.
+     */
+    double maxTotalBackoffMs = -1.0;
+    /**
      * Actually sleep the computed delays. Off by default: tests and
      * benches only need the accounting (backoffTotalMs), and the
      * simulated backend has no rate limit to respect.

@@ -56,6 +56,15 @@ Status
 validateScheduleImpl(const Schedule &schedule,
                      const ChannelBudget &budget)
 {
+    // An empty schedule is structurally meaningless as a job payload:
+    // before this check it flowed through admission, burned a full
+    // execution attempt and only failed downstream (zero-length drive
+    // timeline, counts drawn from an unevolved ground state).
+    if (schedule.instructions().empty())
+        return Status::error(
+            ErrorCode::EmptySchedule,
+            "schedule '" + schedule.name() + "' has no instructions");
+
     std::map<Channel, std::vector<std::pair<long, long>>> play_spans;
 
     for (const auto &inst : schedule.instructions()) {
@@ -89,6 +98,11 @@ validateScheduleImpl(const Schedule &schedule,
         // One pass over the samples covers both the finiteness and the
         // saturation check without materialising the waveform twice.
         const long duration = inst.waveform->duration();
+        if (duration <= 0)
+            return Status::error(
+                ErrorCode::ZeroDurationPlay,
+                "zero-duration Play of '" + inst.waveform->name() +
+                    "' on " + instContext(inst));
         double peak = 0.0;
         for (long k = 0; k < duration; ++k) {
             const Complex d = inst.waveform->sample(k);

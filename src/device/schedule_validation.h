@@ -37,9 +37,14 @@ struct ChannelBudget
  * as a non-Ok Status with a distinct ErrorCode per malformed class;
  * Ok when the schedule may safely reach the simulator.
  *
- * Checks, in order per instruction:
+ * Checks, before anything else:
+ *  - EmptySchedule: the schedule has no instructions at all (an empty
+ *    payload used to burn a full execution attempt before failing
+ *    downstream);
+ * then in order per instruction:
  *  - NegativeTime: startTime < 0;
  *  - UnknownChannel: channel index outside the budget;
+ *  - ZeroDurationPlay: a Play whose waveform has no samples;
  *  - NonFiniteSample: any NaN/Inf Play sample;
  *  - AmplitudeSaturation: |d(t)| > 1 + 1e-9 on any Play sample;
  * then across instructions:

@@ -430,6 +430,17 @@ PulseSimulator::compileSteps(
     return steps;
 }
 
+void
+PulseSimulator::throwIfInterrupted() const
+{
+    if (cancelToken_.cancelled())
+        throw StatusError(cancelToken_.reason());
+    if (wallDeadline_.expired())
+        throw StatusError(Status::error(
+            ErrorCode::DeadlineExceeded,
+            "wall-clock deadline passed mid-evolution"));
+}
+
 PropagatorCache *
 PulseSimulator::activeCache(
     std::unique_ptr<PropagatorCache> &local) const
@@ -714,6 +725,7 @@ PulseSimulator::evolveUnitary(const Schedule &schedule) const
         Workspace pow_ws;
         Matrix step_u, u_pow, u_next;
         for (const DriveStep &step : compileSteps(drives, duration)) {
+            checkInterrupt();
             cache->getOrComputeInto(
                 step.key,
                 [this, &step] {
@@ -735,6 +747,8 @@ PulseSimulator::evolveUnitary(const Schedule &schedule) const
         std::vector<double> step_rates(model_.numTransmons());
         Matrix u_next;
         for (long ts = 0; ts < duration; ++ts) {
+            if ((ts % kInterruptStride) == 0)
+                checkInterrupt();
             for (std::size_t j = 0; j < model_.numTransmons(); ++j) {
                 const std::size_t sts = static_cast<std::size_t>(ts);
                 step_drives[j] = drives[j][sts];
@@ -752,6 +766,8 @@ PulseSimulator::evolveUnitary(const Schedule &schedule) const
         // Pre-overhaul exact path: one cold propagator per AWG sample.
         std::vector<Complex> step_drives(model_.numTransmons());
         for (long ts = 0; ts < duration; ++ts) {
+            if ((ts % kInterruptStride) == 0)
+                checkInterrupt();
             for (std::size_t j = 0; j < model_.numTransmons(); ++j)
                 step_drives[j] =
                     drives[j][static_cast<std::size_t>(ts)];
@@ -812,6 +828,7 @@ PulseSimulator::evolveState(const Schedule &schedule,
         Workspace pow_ws;
         Matrix step_u, u_pow;
         for (const DriveStep &step : compileSteps(drives, duration)) {
+            checkInterrupt();
             cache->getOrComputeInto(
                 step.key,
                 [this, &step] {
@@ -840,6 +857,8 @@ PulseSimulator::evolveState(const Schedule &schedule,
         std::vector<Complex> step_env(model_.numTransmons());
         std::vector<double> step_rates(model_.numTransmons());
         for (long ts = 0; ts < duration; ++ts) {
+            if ((ts % kInterruptStride) == 0)
+                checkInterrupt();
             for (std::size_t j = 0; j < model_.numTransmons(); ++j) {
                 const std::size_t sts = static_cast<std::size_t>(ts);
                 step_drives[j] = drives[j][sts];
@@ -856,6 +875,8 @@ PulseSimulator::evolveState(const Schedule &schedule,
         return state;
     }
     for (long ts = 0; ts < duration; ++ts) {
+        if ((ts % kInterruptStride) == 0)
+            checkInterrupt();
         for (std::size_t j = 0; j < model_.numTransmons(); ++j)
             step_drives[j] = drives[j][static_cast<std::size_t>(ts)];
         const double t_mid = (static_cast<double>(ts) + 0.5) * kDtNs;
@@ -966,6 +987,7 @@ PulseSimulator::evolveLindblad(const Schedule &schedule,
         PropagatorCache *cache = activeCache(local);
         Matrix step_u;
         for (const DriveStep &step : compileSteps(drives, duration)) {
+            checkInterrupt();
             // The decoherence split interleaves with every sample, so
             // runs reuse the propagator but still step sample-wise.
             cache->getOrComputeInto(
@@ -989,6 +1011,8 @@ PulseSimulator::evolveLindblad(const Schedule &schedule,
         std::vector<Complex> step_env(model_.numTransmons());
         std::vector<double> step_rates(model_.numTransmons());
         for (long ts = 0; ts < duration; ++ts) {
+            if ((ts % kInterruptStride) == 0)
+                checkInterrupt();
             for (std::size_t j = 0; j < model_.numTransmons(); ++j) {
                 const std::size_t sts = static_cast<std::size_t>(ts);
                 step_drives[j] = drives[j][sts];
@@ -1007,6 +1031,8 @@ PulseSimulator::evolveLindblad(const Schedule &schedule,
         return rho;
     }
     for (long ts = 0; ts < duration; ++ts) {
+        if ((ts % kInterruptStride) == 0)
+            checkInterrupt();
         for (std::size_t j = 0; j < model_.numTransmons(); ++j)
             step_drives[j] = drives[j][static_cast<std::size_t>(ts)];
         const double t_mid = (static_cast<double>(ts) + 0.5) * kDtNs;

@@ -32,6 +32,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "linalg/workspace.h"
 #include "pulse/schedule.h"
 #include "pulsesim/propagator_cache.h"
@@ -107,6 +108,41 @@ class PulseSimulator
         driftKernelEnabled_ = enabled;
     }
     bool driftKernelEnabled() const { return driftKernelEnabled_; }
+
+    /**
+     * Attach a cooperative interrupt to this simulator instance: the
+     * evolve loops poll the token — and a *wall-clock* deadline —
+     * every kInterruptStride AWG samples (per collapsed run on the
+     * cached path) and throw a StatusError carrying the structured
+     * Cancelled / DeadlineExceeded reason mid-evolution. Virtual-time
+     * deadlines are deliberately ignored here: their budget is charged
+     * deterministically at shot-batch admission (PulseBackend), and an
+     * admitted batch must be allowed to finish even when the charge
+     * crossed the budget boundary. Default (inert token, no deadline)
+     * costs one branch per stride.
+     */
+    void setInterrupt(CancelToken token, Deadline deadline = {})
+    {
+        cancelToken_ = std::move(token);
+        wallDeadline_ =
+            deadline.isVirtual() ? Deadline::none() : deadline;
+        interruptible_ = cancelToken_.cancellable() ||
+                         !wallDeadline_.unlimited();
+    }
+
+    /** Samples between interrupt polls on the per-sample paths. */
+    static constexpr long kInterruptStride = 256;
+
+    /**
+     * Poll the attached interrupt (see setInterrupt); throws
+     * StatusError(Cancelled|DeadlineExceeded) when it fired. Public so
+     * batch drivers (runShots) can share one check between shots.
+     */
+    void checkInterrupt() const
+    {
+        if (interruptible_)
+            throwIfInterrupted();
+    }
 
     /**
      * Fingerprint of the drift-frame prediagonalization inputs (static
@@ -206,6 +242,9 @@ class PulseSimulator
     Matrix stepPropagator(double t_mid_ns,
                           const std::vector<Complex> &drives) const;
 
+    /** Slow half of checkInterrupt: throws if the interrupt fired. */
+    void throwIfInterrupted() const;
+
     /**
      * Per-evolve-call state of the drift-frame step kernel: scratch
      * matrices plus the previous sample's eigenvectors used to warm
@@ -288,6 +327,12 @@ class PulseSimulator
     std::shared_ptr<PropagatorCache> cache_; ///< Caller-owned, optional.
     bool cachingEnabled_ = true;
     bool driftKernelEnabled_ = true;
+
+    // Cooperative interruption (setInterrupt). Copies of the simulator
+    // share the token/deadline state through their shared_ptr guts.
+    CancelToken cancelToken_;
+    Deadline wallDeadline_;
+    bool interruptible_ = false;
 };
 
 } // namespace qpulse

@@ -1,0 +1,97 @@
+#include "service/circuit_breaker.h"
+
+#include "common/status.h"
+
+namespace qpulse {
+
+const char *
+breakerStateName(BreakerState state)
+{
+    switch (state) {
+      case BreakerState::Closed:   return "closed";
+      case BreakerState::Open:     return "open";
+      case BreakerState::HalfOpen: return "half-open";
+    }
+    return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerPolicy policy)
+    : policy_(policy)
+{
+    qpulseRequire(policy_.window >= 1,
+                  "CircuitBreakerPolicy needs window >= 1");
+    qpulseRequire(policy_.minSamples >= 1,
+                  "CircuitBreakerPolicy needs minSamples >= 1");
+    qpulseRequire(policy_.cooldownDenials >= 0,
+                  "CircuitBreakerPolicy needs cooldownDenials >= 0");
+    qpulseRequire(policy_.halfOpenSuccesses >= 1,
+                  "CircuitBreakerPolicy needs halfOpenSuccesses >= 1");
+}
+
+bool
+CircuitBreaker::allow()
+{
+    if (state_ != BreakerState::Open)
+        return true;
+    if (cooldownSpent_ < policy_.cooldownDenials) {
+        ++cooldownSpent_;
+        ++denials_;
+        return false;
+    }
+    // Cooldown spent: this call is the Half-Open probe.
+    state_ = BreakerState::HalfOpen;
+    probeStreak_ = 0;
+    return true;
+}
+
+void
+CircuitBreaker::recordSuccess()
+{
+    if (state_ == BreakerState::HalfOpen) {
+        if (++probeStreak_ >= policy_.halfOpenSuccesses) {
+            state_ = BreakerState::Closed;
+            window_.clear();
+        }
+        return;
+    }
+    record(false);
+}
+
+void
+CircuitBreaker::recordFailure()
+{
+    if (state_ == BreakerState::HalfOpen) {
+        // A failed probe re-opens immediately: the backend is still
+        // unhealthy and a fresh cooldown starts.
+        state_ = BreakerState::Open;
+        cooldownSpent_ = 0;
+        window_.clear();
+        return;
+    }
+    record(true);
+}
+
+void
+CircuitBreaker::record(bool failure)
+{
+    if (state_ == BreakerState::Open)
+        return; // Shouldn't happen (Open jobs never run); be safe.
+    window_.push_back(failure);
+    while (static_cast<int>(window_.size()) > policy_.window)
+        window_.pop_front();
+    if (static_cast<int>(window_.size()) < policy_.minSamples)
+        return;
+    int failures = 0;
+    for (bool f : window_)
+        failures += f ? 1 : 0;
+    const double rate = static_cast<double>(failures) /
+                        static_cast<double>(window_.size());
+    if (rate >= policy_.openFailureRate) {
+        state_ = BreakerState::Open;
+        cooldownSpent_ = 0;
+        window_.clear();
+        ++trips_;
+    }
+}
+
+} // namespace qpulse

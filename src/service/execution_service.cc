@@ -1,0 +1,280 @@
+#include "service/execution_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <iterator>
+
+#include "common/env.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace qpulse {
+
+namespace {
+
+/** Wall-clock microseconds since `t0` (histogram-only; not counted). */
+double
+wallUsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+ExecutionService::ExecutionService(
+    std::shared_ptr<const PulseBackend> backend, PulseSimulator sim,
+    ServicePolicy policy)
+    : backend_(std::move(backend)), sim_(std::move(sim)),
+      policy_(policy),
+      capacity_(policy.queueCapacity != 0
+                    ? policy.queueCapacity
+                    : static_cast<std::size_t>(envLong(
+                          "QPULSE_SERVICE_QUEUE", 32, 1, 4096))),
+      executor_(backend_, policy.retry, policy.watchdog, policy.degrade)
+{
+}
+
+CircuitBreaker &
+ExecutionService::breaker(const std::string &backendName)
+{
+    auto it = breakers_.find(backendName);
+    if (it == breakers_.end())
+        it = breakers_
+                 .emplace(backendName, CircuitBreaker(policy_.breaker))
+                 .first;
+    return it->second;
+}
+
+void
+ExecutionService::noteTerminal(const Status &status, bool /*executed*/)
+{
+    telemetry::MetricsRegistry &registry =
+        telemetry::MetricsRegistry::global();
+    static telemetry::Counter &c_completed =
+        registry.counter("service.completed");
+    static telemetry::Counter &c_cancelled =
+        registry.counter("service.cancelled");
+    static telemetry::Counter &c_deadline =
+        registry.counter("service.deadline_exceeded");
+    static telemetry::Counter &c_failed =
+        registry.counter("service.failed");
+    switch (status.code()) {
+      case ErrorCode::Ok:
+        ++stats_.completed;
+        c_completed.increment();
+        break;
+      case ErrorCode::Cancelled:
+        ++stats_.cancelled;
+        c_cancelled.increment();
+        break;
+      case ErrorCode::DeadlineExceeded:
+        ++stats_.deadlineExceeded;
+        c_deadline.increment();
+        break;
+      default:
+        ++stats_.failed;
+        c_failed.increment();
+        break;
+    }
+}
+
+Status
+ExecutionService::submit(JobRequest request)
+{
+    telemetry::MetricsRegistry &registry =
+        telemetry::MetricsRegistry::global();
+    static telemetry::Counter &c_submitted =
+        registry.counter("service.submitted");
+    static telemetry::Counter &c_admitted =
+        registry.counter("service.admitted");
+    static telemetry::Counter &c_rejected =
+        registry.counter("service.rejected");
+    static telemetry::Counter &c_shed =
+        registry.counter("service.shed");
+    static telemetry::Gauge &g_depth =
+        registry.gauge("service.queue_depth");
+
+    ++stats_.submitted;
+    c_submitted.increment();
+
+    // A job whose token/deadline already fired never takes a slot.
+    if (Status gate = request.deadline.check(request.token);
+        !gate.ok()) {
+        noteTerminal(gate, /*executed=*/false);
+        return gate;
+    }
+
+    if (queue_.size() >= capacity_) {
+        // Shed candidate: the lowest-priority queued job; among ties
+        // the most recently submitted loses (earlier submissions of
+        // equal priority have waited longer and keep their claim).
+        auto victim = queue_.end();
+        for (auto it = queue_.begin(); it != queue_.end(); ++it)
+            if (victim == queue_.end() ||
+                it->request.priority < victim->request.priority ||
+                (it->request.priority == victim->request.priority &&
+                 it->id > victim->id))
+                victim = it;
+        if (victim == queue_.end() ||
+            victim->request.priority >= request.priority) {
+            ++stats_.rejected;
+            c_rejected.increment();
+            return Status::error(
+                ErrorCode::ResourceExhausted,
+                "queue full (" + std::to_string(capacity_) +
+                    " jobs) and priority " +
+                    std::to_string(request.priority) +
+                    " does not outrank any queued job");
+        }
+        JobOutcome out;
+        out.id = victim->id;
+        out.key = victim->request.key;
+        out.priority = victim->request.priority;
+        out.shed = true;
+        out.status = Status::error(
+            ErrorCode::ResourceExhausted,
+            "shed by admission control: displaced by a priority-" +
+                std::to_string(request.priority) + " job");
+        shedOutcomes_.push_back(std::move(out));
+        queue_.erase(victim);
+        ++stats_.shed;
+        c_shed.increment();
+    }
+
+    PendingJob job;
+    job.id = nextId_++;
+    job.request = std::move(request);
+    queue_.push_back(std::move(job));
+    ++stats_.admitted;
+    c_admitted.increment();
+    g_depth.set(static_cast<double>(queue_.size()));
+    return Status::okStatus();
+}
+
+JobOutcome
+ExecutionService::executeJob(PendingJob &job)
+{
+    telemetry::TraceSpan span("service.job");
+    telemetry::MetricsRegistry &registry =
+        telemetry::MetricsRegistry::global();
+    static telemetry::Counter &c_fastfail =
+        registry.counter("service.breaker_fastfail");
+    static telemetry::Histogram &h_wall =
+        registry.histogram("service.job.wall_us");
+    const auto t0 = std::chrono::steady_clock::now();
+
+    JobOutcome out;
+    out.id = job.id;
+    out.key = job.request.key;
+    out.priority = job.request.priority;
+
+    // Gate 1: a cancelled or expired job terminates without touching
+    // the backend (and without charging the breaker either way).
+    if (Status gate =
+            job.request.deadline.check(job.request.token);
+        !gate.ok()) {
+        out.status = std::move(gate);
+        noteTerminal(out.status, /*executed=*/false);
+        h_wall.observe(wallUsSince(t0));
+        return out;
+    }
+
+    // Gate 2: the backend's circuit breaker. Open = fail fast with a
+    // structured `unavailable` instead of burning the retry budget.
+    CircuitBreaker &brk = breaker(job.request.backendName);
+    telemetry::Gauge &g_state = registry.gauge(
+        "service.breaker.state." + job.request.backendName);
+    if (!brk.allow()) {
+        out.breakerFastFail = true;
+        out.status = Status::error(
+            ErrorCode::Unavailable,
+            "circuit breaker open for backend '" +
+                job.request.backendName + "': failing fast");
+        ++stats_.breakerFastFails;
+        c_fastfail.increment();
+        g_state.set(brk.stateValue());
+        h_wall.observe(wallUsSince(t0));
+        return out;
+    }
+
+    ResilientRequest request;
+    request.schedule = job.request.schedule;
+    request.key = job.request.key;
+    request.fallback = job.request.fallback;
+    request.baselineProxy = job.request.baselineProxy;
+
+    PulseShotOptions opts;
+    opts.shots = job.request.shots;
+    opts.seed = job.request.seed;
+    opts.maxThreads = policy_.maxThreads;
+    opts.token = job.request.token;
+    opts.deadline = job.request.deadline;
+
+    out.execution = executor_.run(sim_, request, opts);
+    out.executed = true;
+    out.status = out.execution.status;
+
+    // Breaker accounting: backend-health outcomes only. A deadline
+    // expiry counts as a failure — a healthy backend finishes inside
+    // its budget, and a wedged one (100% timeouts) must trip the
+    // breaker so the rest of the queue fails fast instead of timing
+    // out job by job. Cancellation and validation rejects say nothing
+    // about backend health and record neither.
+    switch (out.status.code()) {
+      case ErrorCode::Ok:
+        brk.recordSuccess();
+        break;
+      case ErrorCode::TransientFailure:
+      case ErrorCode::Timeout:
+      case ErrorCode::RetriesExhausted:
+      case ErrorCode::DeadlineExceeded:
+        brk.recordFailure();
+        break;
+      default:
+        break;
+    }
+    g_state.set(brk.stateValue());
+    noteTerminal(out.status, /*executed=*/true);
+    h_wall.observe(wallUsSince(t0));
+    return out;
+}
+
+std::vector<JobOutcome>
+ExecutionService::drain()
+{
+    static telemetry::Gauge &g_depth =
+        telemetry::MetricsRegistry::global().gauge(
+            "service.queue_depth");
+
+    std::vector<PendingJob> jobs(
+        std::make_move_iterator(queue_.begin()),
+        std::make_move_iterator(queue_.end()));
+    queue_.clear();
+    g_depth.set(0.0);
+
+    // Highest priority first; submission order among equals. The sort
+    // key is total, so the execution order — and every counter derived
+    // from it — is deterministic.
+    std::sort(jobs.begin(), jobs.end(),
+              [](const PendingJob &a, const PendingJob &b) {
+                  if (a.request.priority != b.request.priority)
+                      return a.request.priority > b.request.priority;
+                  return a.id < b.id;
+              });
+
+    std::vector<JobOutcome> outcomes = std::move(shedOutcomes_);
+    shedOutcomes_.clear();
+    outcomes.reserve(outcomes.size() + jobs.size());
+    for (PendingJob &job : jobs)
+        outcomes.push_back(executeJob(job));
+
+    std::sort(outcomes.begin(), outcomes.end(),
+              [](const JobOutcome &a, const JobOutcome &b) {
+                  return a.id < b.id;
+              });
+    return outcomes;
+}
+
+} // namespace qpulse

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * ExecutionService: the admission-controlled job layer over the
+ * resilient execution stack.
+ *
+ * A production pulse backend is a shared resource: clients submit jobs
+ * faster than the device can run them, some jobs matter more than
+ * others, and a wedged device must not take the whole queue down with
+ * it. This service provides the missing layer:
+ *
+ *   submit(JobRequest) --> bounded queue (admission control)
+ *        |                   full? shed the lowest-priority job
+ *        v                   (resource-exhausted) or reject the
+ *   drain()                  newcomer when nothing outranks it
+ *        |
+ *        v per job, priority order
+ *   CancelToken/Deadline gate --> cancelled / deadline-exceeded
+ *        |
+ *        v
+ *   CircuitBreaker::allow() --> unavailable (fast fail, no retries)
+ *        |
+ *        v
+ *   ResilientExecutor::run --> validate / inject / retry /
+ *        |                     recalibrate / degrade, with the token
+ *        v                     and deadline threaded down to the shot
+ *   JobOutcome                 loop and the simulator evolve loops
+ *
+ * Deadlines expire to a structured `deadline-exceeded` Status carrying
+ * the *partial result* — the shots completed before expiry — rather
+ * than discarding finished work. Under QPULSE_VIRTUAL_TIME=1 deadlines
+ * built with Deadline::afterMsOrBudget become simulated-sample budgets
+ * charged deterministically at shot-batch granularity, so every
+ * counter and partial result is bit-identical across QPULSE_THREADS.
+ *
+ * The service is sequential by design: submit()/drain() run on one
+ * thread (the ResilientExecutor beneath is sequential state); the
+ * parallelism lives inside each job's shot loop. Telemetry: the
+ * service.* counters/gauges/spans registered in docs/OBSERVABILITY.md.
+ */
+#ifndef QPULSE_SERVICE_EXECUTION_SERVICE_H
+#define QPULSE_SERVICE_EXECUTION_SERVICE_H
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/status.h"
+#include "device/resilient_executor.h"
+#include "service/circuit_breaker.h"
+
+namespace qpulse {
+
+/** Service-wide policy knobs. */
+struct ServicePolicy
+{
+    /**
+     * Bounded queue capacity. 0 = read QPULSE_SERVICE_QUEUE (default
+     * 32, clamped to [1, 4096]).
+     */
+    std::size_t queueCapacity = 0;
+
+    /** Policies forwarded to the per-service ResilientExecutor. */
+    RetryPolicy retry;
+    DriftWatchdogPolicy watchdog;
+    DegradePolicy degrade;
+
+    /** Per-backend circuit-breaker policy. */
+    CircuitBreakerPolicy breaker;
+
+    /** Thread cap forwarded to every job's shot loop (0 = pool). */
+    std::size_t maxThreads = 0;
+};
+
+/** One unit of work a client submits. */
+struct JobRequest
+{
+    Schedule schedule; ///< Primary schedule to execute.
+    /** Standard-flow decomposition to degrade to (optional). */
+    std::optional<Schedule> fallback;
+    /** Stale-tracking identity (ResilientRequest::key). */
+    std::string key;
+    /** Breaker scope: jobs against one backend share one breaker. */
+    std::string backendName = "default";
+    long shots = 256;
+    std::uint64_t seed = 1;
+    /** Higher = more important. Ties broken by submission order. */
+    int priority = 0;
+    /** Job budget; default unlimited. See common/cancellation.h. */
+    Deadline deadline;
+    /** Cooperative cancel; default inert. */
+    CancelToken token;
+    /** Baseline proxy override (ResilientRequest::baselineProxy). */
+    double baselineProxy = -1.0;
+};
+
+/** Terminal record of one submitted job. */
+struct JobOutcome
+{
+    std::uint64_t id = 0; ///< Submission order (0 = first submit).
+    std::string key;
+    int priority = 0;
+    /**
+     * Terminal status: Ok, or the structured reason — cancelled,
+     * deadline-exceeded (partial result in execution.result),
+     * resource-exhausted (shed), unavailable (breaker fast-fail),
+     * or the executor's terminal error.
+     */
+    Status status;
+    /** Full executor outcome; meaningful only when executed. */
+    ResilientOutcome execution;
+    bool executed = false;       ///< Reached the executor.
+    bool shed = false;           ///< Evicted by admission control.
+    bool breakerFastFail = false; ///< Denied by an Open breaker.
+};
+
+/**
+ * Deterministic service counters, mirrored into the service.*
+ * telemetry registry. Every field counts admission/terminal decisions
+ * — work, never scheduling — so values are thread-count invariant
+ * (under virtual-time deadlines; wall-clock deadlines are inherently
+ * timing-dependent).
+ */
+struct ServiceStats
+{
+    long submitted = 0;
+    long admitted = 0;
+    long rejected = 0; ///< Newcomer refused at admission.
+    long shed = 0;     ///< Queued job evicted for a newcomer.
+    long cancelled = 0;
+    long deadlineExceeded = 0;
+    long breakerFastFails = 0;
+    long completed = 0; ///< Terminal Ok.
+    long failed = 0;    ///< Terminal non-Ok other than the above.
+};
+
+class ExecutionService
+{
+  public:
+    /**
+     * The service owns a simulator copy and a ResilientExecutor over
+     * `backend`. Sequential use only (see file comment).
+     */
+    ExecutionService(std::shared_ptr<const PulseBackend> backend,
+                     PulseSimulator sim, ServicePolicy policy = {});
+
+    /** Attach the fault source (forwarded to the executor). */
+    void setFaultInjector(std::shared_ptr<FaultInjector> injector)
+    {
+        executor_.setFaultInjector(std::move(injector));
+    }
+
+    /** Drift-watchdog recalibration hook (forwarded). */
+    void setRecalibrationHook(std::function<void()> hook)
+    {
+        executor_.setRecalibrationHook(std::move(hook));
+    }
+
+    /**
+     * Admission control. Queue has room: admit, return Ok. Queue full:
+     * when the newcomer strictly outranks the lowest-priority queued
+     * job, that job is shed (most-recently-submitted among ties) and
+     * recorded as a resource-exhausted JobOutcome; otherwise the
+     * newcomer is rejected with resource-exhausted. A job whose token
+     * or deadline already fired is refused up front with its reason.
+     */
+    Status submit(JobRequest request);
+
+    /**
+     * Execute every queued job, highest priority first (submission
+     * order among equals), and return all outcomes — executed, shed
+     * and fast-failed — sorted by submission id. Clears the queue.
+     */
+    std::vector<JobOutcome> drain();
+
+    std::size_t queueDepth() const { return queue_.size(); }
+    std::size_t queueCapacity() const { return capacity_; }
+
+    const ServiceStats &stats() const { return stats_; }
+
+    /** The breaker gating `backendName` (created on first use). */
+    CircuitBreaker &breaker(const std::string &backendName);
+
+    ResilientExecutor &executor() { return executor_; }
+
+  private:
+    struct PendingJob
+    {
+        std::uint64_t id = 0;
+        JobRequest request;
+    };
+
+    JobOutcome executeJob(PendingJob &job);
+    void noteTerminal(const Status &status, bool executed);
+
+    std::shared_ptr<const PulseBackend> backend_;
+    PulseSimulator sim_;
+    ServicePolicy policy_;
+    std::size_t capacity_ = 0;
+    ResilientExecutor executor_;
+    std::deque<PendingJob> queue_;
+    std::vector<JobOutcome> shedOutcomes_; ///< Victims since last drain.
+    std::map<std::string, CircuitBreaker> breakers_;
+    ServiceStats stats_;
+    std::uint64_t nextId_ = 0;
+};
+
+} // namespace qpulse
+
+#endif // QPULSE_SERVICE_EXECUTION_SERVICE_H
