@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "common/constants.h"
+#include "common/env.h"
 #include "common/thread_pool.h"
 #include "device/schedule_validation.h"
 #include "synth/euler.h"
@@ -335,6 +336,15 @@ PulseBackend::runShots(const PulseSimulator &sim,
     const std::size_t batches = std::min(shots, kShotBatches);
     c_batches.add(batches);
 
+    // Panel width for the batched evolution inside each shot chunk:
+    // the option wins, then the QPULSE_BATCH environment knob, then
+    // the default. Width 1 selects the looped per-shot reference path.
+    const std::size_t batch_width =
+        opts.batchWidth > 0
+            ? opts.batchWidth
+            : static_cast<std::size_t>(
+                  envLong("QPULSE_BATCH", 64, 1, 4096));
+
     // Virtual-time admission: charge every batch's simulated-sample
     // cost sequentially, *before* the parallel dispatch, so the set of
     // admitted batches — and with it shotsCompleted and the partial
@@ -367,22 +377,58 @@ PulseBackend::runShots(const PulseSimulator &sim,
             const std::size_t begin = batch * shots / batches;
             const std::size_t end = (batch + 1) * shots / batches;
             try {
-                for (std::size_t shot = begin; shot < end; ++shot) {
-                    worker.checkInterrupt();
-                    // Every shot re-evolves the schedule: with the
-                    // cache hot this is matvec-only, and per-shot
-                    // noise sources can slot in here without changing
-                    // the sampling contract. The seed derivation stays
-                    // per-shot, so sampled counts are independent of
-                    // the batching.
-                    const Vector out =
-                        worker.evolveState(schedule, ground);
+                // Commit one shot's draw into the shared tallies.
+                const auto commitShot = [&](std::size_t shot,
+                                            const Vector &out) {
                     Rng rng(Rng::deriveSeed(opts.seed, shot));
                     const std::size_t outcome =
                         rng.discrete(worker.populations(out));
                     counts[outcome].fetch_add(1,
                                               std::memory_order_relaxed);
                     completed.fetch_add(1, std::memory_order_relaxed);
+                };
+                if (batch_width <= 1) {
+                    // Looped per-shot reference path (QPULSE_BATCH=1).
+                    for (std::size_t shot = begin; shot < end; ++shot) {
+                        worker.checkInterrupt();
+                        // Every shot re-evolves the schedule: with the
+                        // cache hot this is matvec-only, and per-shot
+                        // noise sources can slot in here without
+                        // changing the sampling contract. The seed
+                        // derivation stays per-shot, so sampled counts
+                        // are independent of the batching.
+                        const Vector out =
+                            worker.evolveState(schedule, ground);
+                        commitShot(shot, out);
+                    }
+                } else {
+                    // Batched path: pack up to batch_width ground
+                    // states into one panel and evolve them through
+                    // the schedule together — one propagator
+                    // computation per sample shared by the whole
+                    // panel. Per-shot RNG streams are untouched (the
+                    // seed still derives from the absolute shot
+                    // index), so counts are independent of the panel
+                    // width and of maxThreads. The per-thread
+                    // workspace keeps the loop heap-silent once warm.
+                    Workspace &ws = tlsWorkspace();
+                    Vector &shot_state = ws.vector(0, dim);
+                    std::size_t shot = begin;
+                    while (shot < end) {
+                        worker.checkInterrupt();
+                        const std::size_t width =
+                            std::min(batch_width, end - shot);
+                        StatePanel &panel =
+                            ws.statePanel(1, dim, width);
+                        panel.fillColumns(ground);
+                        worker.evolveStatesBatched(schedule, panel,
+                                                   ws);
+                        for (std::size_t c = 0; c < width;
+                             ++c, ++shot) {
+                            panel.getColumn(c, shot_state);
+                            commitShot(shot, shot_state);
+                        }
+                    }
                 }
             } catch (const StatusError &err) {
                 // An interrupt mid-batch keeps the shots already

@@ -57,6 +57,18 @@ struct PulseShotOptions
     std::size_t maxThreads = 0;
 
     /**
+     * Maximum states packed into one StatePanel per evolution
+     * (pulsesim/simulator.h, evolveStatesBatched): the per-sample
+     * propagators are computed once per panel and applied to all K
+     * resident states as a single gemm. 0 = the QPULSE_BATCH
+     * environment default (64); 1 = the looped per-shot path. Panel
+     * boundaries are a pure function of shot indices, so counts and
+     * counters stay bit-identical across maxThreads settings whatever
+     * the width.
+     */
+    std::size_t batchWidth = 0;
+
+    /**
      * Cooperative cancellation. The default token is inert (free to
      * check, can never fire); pass CancelToken::make() and cancel it
      * from another thread to wind the run down between shots / every

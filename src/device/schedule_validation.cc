@@ -41,9 +41,9 @@ countValidation(Status status)
 {
     telemetry::MetricsRegistry &registry =
         telemetry::MetricsRegistry::global();
-    static telemetry::Counter &c_checks =
-        registry.counter("device.validation.checks");
-    c_checks.increment();
+    static telemetry::Counter &c_calls =
+        registry.counter("device.validation.calls");
+    c_calls.increment();
     if (!status.ok()) {
         static telemetry::Counter &c_rejects =
             registry.counter("device.validation.rejects");

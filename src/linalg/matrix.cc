@@ -39,58 +39,6 @@ countMatvec(std::size_t m, std::size_t n)
     c_madds.add(static_cast<std::uint64_t>(m * n));
 }
 
-void
-gemmDispatch(Complex *out, const Complex *a, const Complex *b,
-             std::size_t m, std::size_t k, std::size_t n)
-{
-#if defined(__x86_64__) || defined(__i386__)
-    if (kernels::activeSimd() == kernels::SimdMode::Avx2) {
-        kernels::gemmAvx2(out, a, b, m, k, n);
-        return;
-    }
-#endif
-    kernels::gemmScalar(out, a, b, m, k, n);
-}
-
-void
-gemmAdjBDispatch(Complex *out, const Complex *a, const Complex *b,
-                 std::size_t m, std::size_t k, std::size_t n)
-{
-#if defined(__x86_64__) || defined(__i386__)
-    if (kernels::activeSimd() == kernels::SimdMode::Avx2) {
-        kernels::gemmAdjBAvx2(out, a, b, m, k, n);
-        return;
-    }
-#endif
-    kernels::gemmAdjBScalar(out, a, b, m, k, n);
-}
-
-void
-gemmAdjADispatch(Complex *out, const Complex *a, const Complex *b,
-                 std::size_t m, std::size_t k, std::size_t n)
-{
-#if defined(__x86_64__) || defined(__i386__)
-    if (kernels::activeSimd() == kernels::SimdMode::Avx2) {
-        kernels::gemmAdjAAvx2(out, a, b, m, k, n);
-        return;
-    }
-#endif
-    kernels::gemmAdjAScalar(out, a, b, m, k, n);
-}
-
-void
-matvecDispatch(Complex *out, const Complex *a, const Complex *x,
-               std::size_t m, std::size_t n)
-{
-#if defined(__x86_64__) || defined(__i386__)
-    if (kernels::activeSimd() == kernels::SimdMode::Avx2) {
-        kernels::matvecAvx2(out, a, x, m, n);
-        return;
-    }
-#endif
-    kernels::matvecScalar(out, a, x, m, n);
-}
-
 } // namespace
 
 double
@@ -237,7 +185,7 @@ Matrix::operator*(const Matrix &other) const
     qpulseAssert(cols_ == other.rows_, "Matrix::* shape mismatch: ",
                  rows_, "x", cols_, " * ", other.rows_, "x", other.cols_);
     Matrix result(rows_, other.cols_);
-    gemmDispatch(result.data_.data(), data_.data(), other.data_.data(),
+    kernels::gemmDispatch(result.data_.data(), data_.data(), other.data_.data(),
                  rows_, cols_, other.cols_);
     countGemm(rows_, cols_, other.cols_);
     return result;
@@ -285,7 +233,7 @@ Matrix::apply(const Vector &v) const
 {
     qpulseAssert(cols_ == v.size(), "Matrix::apply shape mismatch");
     Vector result(rows_);
-    matvecDispatch(result.data().data(), data_.data(), v.data().data(),
+    kernels::matvecDispatch(result.data().data(), data_.data(), v.data().data(),
                    rows_, cols_);
     countMatvec(rows_, cols_);
     return result;
@@ -411,7 +359,7 @@ gemmInto(Matrix &out, const Matrix &a, const Matrix &b)
     qpulseAssert(a.cols() == b.rows(), "gemmInto shape mismatch: ",
                  a.rows(), "x", a.cols(), " * ", b.rows(), "x", b.cols());
     out.resize(a.rows(), b.cols());
-    gemmDispatch(out.data().data(), a.data().data(), b.data().data(),
+    kernels::gemmDispatch(out.data().data(), a.data().data(), b.data().data(),
                  a.rows(), a.cols(), b.cols());
     countGemm(a.rows(), a.cols(), b.cols());
 }
@@ -425,7 +373,7 @@ gemmAdjBInto(Matrix &out, const Matrix &a, const Matrix &b)
                  a.rows(), "x", a.cols(), " * (", b.rows(), "x", b.cols(),
                  ")^dagger");
     out.resize(a.rows(), b.rows());
-    gemmAdjBDispatch(out.data().data(), a.data().data(), b.data().data(),
+    kernels::gemmAdjBDispatch(out.data().data(), a.data().data(), b.data().data(),
                      a.rows(), a.cols(), b.rows());
     countGemm(a.rows(), a.cols(), b.rows());
 }
@@ -439,7 +387,7 @@ gemmAdjAInto(Matrix &out, const Matrix &a, const Matrix &b)
                  a.rows(), "x", a.cols(), ")^dagger * ", b.rows(), "x",
                  b.cols());
     out.resize(a.cols(), b.cols());
-    gemmAdjADispatch(out.data().data(), a.data().data(), b.data().data(),
+    kernels::gemmAdjADispatch(out.data().data(), a.data().data(), b.data().data(),
                      a.cols(), a.rows(), b.cols());
     countGemm(a.cols(), a.rows(), b.cols());
 }
@@ -450,7 +398,7 @@ applyInto(Vector &out, const Matrix &a, const Vector &x)
     qpulseAssert(&out != &x, "applyInto: out aliases input");
     qpulseAssert(a.cols() == x.size(), "applyInto shape mismatch");
     out.resize(a.rows());
-    matvecDispatch(out.data().data(), a.data().data(), x.data().data(),
+    kernels::matvecDispatch(out.data().data(), a.data().data(), x.data().data(),
                    a.rows(), a.cols());
     countMatvec(a.rows(), a.cols());
 }

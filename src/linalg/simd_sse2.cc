@@ -1,0 +1,199 @@
+/**
+ * @file
+ * SSE2 variants of the dense complex kernels — the FMA-free fallback
+ * tier. One 128-bit register holds one complex double [re, im]; a
+ * complex multiply-accumulate is two broadcasts, one in-lane swap, one
+ * sign flip and two mul/add pairs (no FMA, so the tier runs on every
+ * x86-64 CPU including pre-Haswell parts):
+ *
+ *   acc += (ar + i*ai) * [br, bi]
+ *     t    = (ai * swap(b)) ^ [-0.0, 0.0]  // [-ai*bi, ai*br]
+ *     acc += ar * b + t                    // [ar*br - ai*bi,
+ *                                          //  ar*bi + ai*br]
+ *
+ * Compiled with per-function target attributes so the translation unit
+ * stays buildable with a baseline -march (relevant only on i386; on
+ * x86-64 SSE2 is the baseline).
+ */
+#if defined(__x86_64__) || defined(__i386__)
+
+#include "linalg/simd.h"
+
+#include <emmintrin.h>
+
+namespace qpulse {
+namespace kernels {
+
+namespace {
+
+#define QPULSE_SSE2 __attribute__((target("sse2")))
+
+QPULSE_SSE2 inline const double *
+dp(const Complex *z)
+{
+    return reinterpret_cast<const double *>(z);
+}
+
+QPULSE_SSE2 inline double *
+dp(Complex *z)
+{
+    return reinterpret_cast<double *>(z);
+}
+
+/** [-0.0, 0.0]: XOR negates the low (real) lane. */
+QPULSE_SSE2 inline __m128d
+flipLow()
+{
+    return _mm_setr_pd(-0.0, 0.0);
+}
+
+/** acc += (ar + i*ai) * b for one complex double. */
+QPULSE_SSE2 inline __m128d
+cplxMulAcc(__m128d acc, __m128d are, __m128d aim, __m128d bv)
+{
+    const __m128d bswap = _mm_shuffle_pd(bv, bv, 0x1);
+    const __m128d t = _mm_xor_pd(_mm_mul_pd(aim, bswap), flipLow());
+    return _mm_add_pd(acc, _mm_add_pd(_mm_mul_pd(are, bv), t));
+}
+
+} // namespace
+
+QPULSE_SSE2 void
+gemmSse2(Complex *out, const Complex *a, const Complex *b,
+         std::size_t m, std::size_t k, std::size_t n)
+{
+    // Row-accumulate ordering (i, kk, j) so B streams contiguously,
+    // matching the scalar kernel's accumulation order exactly — the
+    // only numeric difference from Scalar mode is the absence of the
+    // exact-zero skip.
+    for (std::size_t i = 0; i < m * n; ++i)
+        out[i] = Complex{0.0, 0.0};
+    for (std::size_t i = 0; i < m; ++i) {
+        const Complex *arow = a + i * k;
+        Complex *orow = out + i * n;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            const double *az = dp(arow + kk);
+            const __m128d are = _mm_set1_pd(az[0]);
+            const __m128d aim = _mm_set1_pd(az[1]);
+            const Complex *brow = b + kk * n;
+            for (std::size_t j = 0; j < n; ++j) {
+                const __m128d acc = cplxMulAcc(
+                    _mm_loadu_pd(dp(orow + j)), are, aim,
+                    _mm_loadu_pd(dp(brow + j)));
+                _mm_storeu_pd(dp(orow + j), acc);
+            }
+        }
+    }
+}
+
+QPULSE_SSE2 void
+gemmAdjBSse2(Complex *out, const Complex *a, const Complex *b,
+             std::size_t m, std::size_t k, std::size_t n)
+{
+    // out(i, j) = <row_j(b) | row_i(a)>: accumulate the lane products
+    // [xr*yr, xi*yi] and [xr*yi, xi*yr]; the conjugated inner product
+    // is re = sum(lo + hi of acc_r), im = sum(hi - lo of acc_i).
+    for (std::size_t i = 0; i < m; ++i) {
+        const Complex *arow = a + i * k;
+        for (std::size_t j = 0; j < n; ++j) {
+            const Complex *brow = b + j * k;
+            __m128d acc_r = _mm_setzero_pd();
+            __m128d acc_i = _mm_setzero_pd();
+            for (std::size_t kk = 0; kk < k; ++kk) {
+                const __m128d x = _mm_loadu_pd(dp(arow + kk));
+                const __m128d y = _mm_loadu_pd(dp(brow + kk));
+                acc_r = _mm_add_pd(acc_r, _mm_mul_pd(x, y));
+                acc_i = _mm_add_pd(
+                    acc_i,
+                    _mm_mul_pd(x, _mm_shuffle_pd(y, y, 0x1)));
+            }
+            const __m128d hr = _mm_unpackhi_pd(acc_r, acc_r);
+            const __m128d hi = _mm_unpackhi_pd(acc_i, acc_i);
+            const double re =
+                _mm_cvtsd_f64(acc_r) + _mm_cvtsd_f64(hr);
+            const double im =
+                _mm_cvtsd_f64(hi) - _mm_cvtsd_f64(acc_i);
+            out[i * n + j] = Complex{re, im};
+        }
+    }
+}
+
+QPULSE_SSE2 void
+gemmAdjASse2(Complex *out, const Complex *a, const Complex *b,
+             std::size_t m, std::size_t k, std::size_t n)
+{
+    for (std::size_t i = 0; i < m * n; ++i)
+        out[i] = Complex{0.0, 0.0};
+    for (std::size_t kk = 0; kk < k; ++kk) {
+        const Complex *arow = a + kk * m;
+        const Complex *brow = b + kk * n;
+        for (std::size_t i = 0; i < m; ++i) {
+            const double *az = dp(arow + i);
+            // conj(a(kk, i)): negate the broadcast imaginary part.
+            const __m128d sre = _mm_set1_pd(az[0]);
+            const __m128d sim = _mm_set1_pd(-az[1]);
+            Complex *orow = out + i * n;
+            for (std::size_t j = 0; j < n; ++j) {
+                const __m128d acc = cplxMulAcc(
+                    _mm_loadu_pd(dp(orow + j)), sre, sim,
+                    _mm_loadu_pd(dp(brow + j)));
+                _mm_storeu_pd(dp(orow + j), acc);
+            }
+        }
+    }
+}
+
+QPULSE_SSE2 void
+matvecSse2(Complex *out, const Complex *a, const Complex *x,
+           std::size_t m, std::size_t n)
+{
+    // Unconjugated inner product: re = lo - hi of [ar*xr, ai*xi],
+    // im = lo + hi of [ar*xi, ai*xr].
+    for (std::size_t i = 0; i < m; ++i) {
+        const Complex *arow = a + i * n;
+        __m128d acc_r = _mm_setzero_pd();
+        __m128d acc_i = _mm_setzero_pd();
+        for (std::size_t j = 0; j < n; ++j) {
+            const __m128d av = _mm_loadu_pd(dp(arow + j));
+            const __m128d xv = _mm_loadu_pd(dp(x + j));
+            acc_r = _mm_add_pd(acc_r, _mm_mul_pd(av, xv));
+            acc_i = _mm_add_pd(
+                acc_i, _mm_mul_pd(av, _mm_shuffle_pd(xv, xv, 0x1)));
+        }
+        const __m128d hr = _mm_unpackhi_pd(acc_r, acc_r);
+        const __m128d hi = _mm_unpackhi_pd(acc_i, acc_i);
+        const double re = _mm_cvtsd_f64(acc_r) - _mm_cvtsd_f64(hr);
+        const double im = _mm_cvtsd_f64(acc_i) + _mm_cvtsd_f64(hi);
+        out[i] = Complex{re, im};
+    }
+}
+
+QPULSE_SSE2 void
+gemmAccTileSse2(Complex *out, const Complex *a, const Complex *b,
+                std::size_t m, std::size_t kt, std::size_t nt,
+                std::size_t lda, std::size_t ldb, std::size_t ldo)
+{
+    for (std::size_t i = 0; i < m; ++i) {
+        const Complex *arow = a + i * lda;
+        Complex *orow = out + i * ldo;
+        for (std::size_t kk = 0; kk < kt; ++kk) {
+            const double *az = dp(arow + kk);
+            const __m128d are = _mm_set1_pd(az[0]);
+            const __m128d aim = _mm_set1_pd(az[1]);
+            const Complex *brow = b + kk * ldb;
+            for (std::size_t j = 0; j < nt; ++j) {
+                const __m128d acc = cplxMulAcc(
+                    _mm_loadu_pd(dp(orow + j)), are, aim,
+                    _mm_loadu_pd(dp(brow + j)));
+                _mm_storeu_pd(dp(orow + j), acc);
+            }
+        }
+    }
+}
+
+#undef QPULSE_SSE2
+
+} // namespace kernels
+} // namespace qpulse
+
+#endif // x86

@@ -1,0 +1,143 @@
+#include "linalg/state_panel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/simd.h"
+#include "telemetry/metrics.h"
+
+namespace qpulse {
+
+namespace {
+
+// Batched-product work counters (docs/OBSERVABILITY.md): one call per
+// panel product, madds = total complex multiply-adds across the batch.
+// Functions of the work submitted, never of scheduling, so they stay
+// bit-identical across QPULSE_THREADS.
+void
+countBatchedGemm(std::size_t m, std::size_t k, std::size_t n)
+{
+    static telemetry::Counter &c_calls =
+        telemetry::MetricsRegistry::global().counter(
+            "linalg.gemm.batched_calls");
+    static telemetry::Counter &c_madds =
+        telemetry::MetricsRegistry::global().counter(
+            "linalg.gemm.batched_madds");
+    c_calls.increment();
+    c_madds.add(static_cast<std::uint64_t>(m * k * n));
+}
+
+} // namespace
+
+void
+StatePanel::setColumn(std::size_t col, const Vector &state)
+{
+    qpulseAssert(col < width(), "StatePanel::setColumn out of range");
+    qpulseAssert(state.size() == dim(),
+                 "StatePanel::setColumn dimension mismatch");
+    for (std::size_t i = 0; i < dim(); ++i)
+        storage_(i, col) = state[i];
+}
+
+void
+StatePanel::getColumn(std::size_t col, Vector &state) const
+{
+    qpulseAssert(col < width(), "StatePanel::getColumn out of range");
+    state.resize(dim());
+    for (std::size_t i = 0; i < dim(); ++i)
+        state[i] = storage_(i, col);
+}
+
+void
+StatePanel::fillColumns(const Vector &state)
+{
+    qpulseAssert(state.size() == dim(),
+                 "StatePanel::fillColumns dimension mismatch");
+    for (std::size_t i = 0; i < dim(); ++i) {
+        const Complex amp = state[i];
+        Complex *row = storage_.data().data() + i * width();
+        std::fill(row, row + width(), amp);
+    }
+}
+
+void
+DensityPanel::setBlock(std::size_t col, const Matrix &rho)
+{
+    qpulseAssert(col < width_, "DensityPanel::setBlock out of range");
+    qpulseAssert(rho.rows() == dim() && rho.cols() == dim(),
+                 "DensityPanel::setBlock shape mismatch");
+    const std::size_t d = dim();
+    std::copy(rho.data().begin(), rho.data().end(),
+              storage_.data().begin() +
+                  static_cast<std::ptrdiff_t>(col * d * d));
+}
+
+void
+DensityPanel::getBlock(std::size_t col, Matrix &rho) const
+{
+    qpulseAssert(col < width_, "DensityPanel::getBlock out of range");
+    const std::size_t d = dim();
+    rho.resize(d, d);
+    const auto begin = storage_.data().begin() +
+                       static_cast<std::ptrdiff_t>(col * d * d);
+    std::copy(begin, begin + static_cast<std::ptrdiff_t>(d * d),
+              rho.data().begin());
+}
+
+void
+applyPanelInto(StatePanel &out, const Matrix &u, const StatePanel &in)
+{
+    qpulseAssert(&out != &in, "applyPanelInto: out aliases input");
+    qpulseAssert(u.cols() == in.dim(),
+                 "applyPanelInto shape mismatch");
+    out.resize(u.rows(), in.width());
+    kernels::gemmDispatch(out.storage().data().data(),
+                          u.data().data(),
+                          in.storage().data().data(), u.rows(),
+                          u.cols(), in.width());
+    countBatchedGemm(u.rows(), u.cols(), in.width());
+}
+
+void
+conjugatePanelInto(DensityPanel &out, const Matrix &u,
+                   const DensityPanel &in, DensityPanel &tmp)
+{
+    qpulseAssert(&out != &in && &tmp != &in && &out != &tmp,
+                 "conjugatePanelInto: aliasing panels");
+    const std::size_t d = in.dim();
+    const std::size_t width = in.width();
+    qpulseAssert(u.rows() == d && u.cols() == d,
+                 "conjugatePanelInto shape mismatch");
+    tmp.resize(d, width);
+    out.resize(d, width);
+    // Left factor: K contiguous block gemms tmp_i = u * rho_i (each
+    // block is a d x d sub-matrix at a fixed row offset, so the raw
+    // kernels see packed operands).
+    const Complex *uptr = u.data().data();
+    const Complex *iptr = in.storage().data().data();
+    Complex *tptr = tmp.storage().data().data();
+    for (std::size_t i = 0; i < width; ++i)
+        kernels::gemmDispatch(tptr + i * d * d, uptr, iptr + i * d * d,
+                              d, d, d);
+    // Right factor, batched: out = tmp * u^dagger as ONE gemmAdjB over
+    // the full (K*d) x d stack.
+    kernels::gemmAdjBDispatch(out.storage().data().data(), tptr, uptr,
+                              width * d, d, d);
+    countBatchedGemm(width * d, d, d);
+    countBatchedGemm(width * d, d, d);
+}
+
+double
+panelMaxAbsDiff(const StatePanel &a, const StatePanel &b)
+{
+    qpulseAssert(a.dim() == b.dim() && a.width() == b.width(),
+                 "panelMaxAbsDiff shape mismatch");
+    double worst = 0.0;
+    const auto &da = a.storage().data();
+    const auto &db = b.storage().data();
+    for (std::size_t i = 0; i < da.size(); ++i)
+        worst = std::max(worst, std::abs(da[i] - db[i]));
+    return worst;
+}
+
+} // namespace qpulse

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Structure-of-arrays state panels: the batched-evolution data layout.
+ *
+ * A StatePanel packs K pure states of dimension d as the COLUMNS of
+ * one contiguous row-major d x K matrix, so applying a propagator to
+ * all K states at once is a single gemm (`U * panel`): the SIMD layer
+ * streams each row of U exactly once per panel instead of once per
+ * shot, and the batch dimension K lands on the contiguous (vectorized)
+ * axis of the kernel. A DensityPanel does the same for K density
+ * matrices by stacking the d x d blocks VERTICALLY into one
+ * (K*d) x d matrix: the left half of the conjugation (U * rho_i) is K
+ * contiguous block gemms and the right half (* U^dagger) is one
+ * batched gemmAdjB over all K blocks.
+ *
+ * Both panel products dispatch through the same kernels::activeSimd()
+ * tier as single-state products (src/linalg/simd.h numerics contract:
+ * each column of the batched result is bit-identical across
+ * QPULSE_THREADS for a fixed dispatch mode) and count their work into
+ * the linalg.gemm.batched_* telemetry counters.
+ */
+#ifndef QPULSE_LINALG_STATE_PANEL_H
+#define QPULSE_LINALG_STATE_PANEL_H
+
+#include "linalg/matrix.h"
+
+namespace qpulse {
+
+/** K pure states as columns of one row-major d x K buffer. */
+class StatePanel
+{
+  public:
+    StatePanel() = default;
+
+    StatePanel(std::size_t dim, std::size_t width) { resize(dim, width); }
+
+    std::size_t dim() const { return storage_.rows(); }
+    std::size_t width() const { return storage_.cols(); }
+
+    /**
+     * Change the shape, reusing existing capacity when possible.
+     * Entries are unspecified afterwards (callers fully overwrite).
+     */
+    void resize(std::size_t dim, std::size_t width)
+    {
+        storage_.resize(dim, width);
+    }
+
+    void setZero() { storage_.setZero(); }
+
+    Complex &at(std::size_t i, std::size_t col)
+    {
+        return storage_(i, col);
+    }
+    const Complex &at(std::size_t i, std::size_t col) const
+    {
+        return storage_(i, col);
+    }
+
+    /** Overwrite column `col` with the given state. */
+    void setColumn(std::size_t col, const Vector &state);
+
+    /** Copy column `col` out into `state` (resized to dim). */
+    void getColumn(std::size_t col, Vector &state) const;
+
+    /** Overwrite every column with the same state. */
+    void fillColumns(const Vector &state);
+
+    const Matrix &storage() const { return storage_; }
+    Matrix &storage() { return storage_; }
+
+  private:
+    Matrix storage_; // dim x width, row-major: row i holds amplitude i
+                     // of every state in the batch.
+};
+
+/** K density matrices stacked vertically: (K*d) x d, block i at rows
+ *  [i*d, (i+1)*d). */
+class DensityPanel
+{
+  public:
+    DensityPanel() = default;
+
+    DensityPanel(std::size_t dim, std::size_t width)
+    {
+        resize(dim, width);
+    }
+
+    std::size_t dim() const { return storage_.cols(); }
+    std::size_t width() const { return width_; }
+
+    void resize(std::size_t dim, std::size_t width)
+    {
+        width_ = width;
+        storage_.resize(dim * width, dim);
+    }
+
+    void setZero() { storage_.setZero(); }
+
+    /** Entry (r, c) of block `col`. */
+    Complex &at(std::size_t col, std::size_t r, std::size_t c)
+    {
+        return storage_(col * dim() + r, c);
+    }
+    const Complex &at(std::size_t col, std::size_t r,
+                      std::size_t c) const
+    {
+        return storage_(col * dim() + r, c);
+    }
+
+    /** Overwrite block `col` with the given density matrix. */
+    void setBlock(std::size_t col, const Matrix &rho);
+
+    /** Copy block `col` out into `rho` (resized to dim x dim). */
+    void getBlock(std::size_t col, Matrix &rho) const;
+
+    const Matrix &storage() const { return storage_; }
+    Matrix &storage() { return storage_; }
+
+  private:
+    std::size_t width_ = 0;
+    Matrix storage_; // (width * dim) x dim
+};
+
+/**
+ * out = u * in, all columns at once (one gemm of shape
+ * d x d x K). `out` must not alias `in`; resized to match.
+ */
+void applyPanelInto(StatePanel &out, const Matrix &u,
+                    const StatePanel &in);
+
+/**
+ * out_i = u * in_i * u^dagger for every block i: K block gemms for the
+ * left factor plus ONE batched gemmAdjB of shape (K*d) x d x d for the
+ * right factor, staged through `tmp`. Neither `out` nor `tmp` may
+ * alias `in` (or each other); both are resized to match.
+ */
+void conjugatePanelInto(DensityPanel &out, const Matrix &u,
+                        const DensityPanel &in, DensityPanel &tmp);
+
+/** Max elementwise |a - b| over two same-shape panels. */
+double panelMaxAbsDiff(const StatePanel &a, const StatePanel &b);
+
+} // namespace qpulse
+
+#endif // QPULSE_LINALG_STATE_PANEL_H

@@ -22,11 +22,35 @@ Workspace::vector(std::size_t slot, std::size_t n)
     return v;
 }
 
+StatePanel &
+Workspace::statePanel(std::size_t slot, std::size_t dim,
+                      std::size_t width)
+{
+    if (slot >= state_panels_.size())
+        state_panels_.resize(slot + 1);
+    StatePanel &p = state_panels_[slot];
+    p.resize(dim, width);
+    return p;
+}
+
+DensityPanel &
+Workspace::densityPanel(std::size_t slot, std::size_t dim,
+                        std::size_t width)
+{
+    if (slot >= density_panels_.size())
+        density_panels_.resize(slot + 1);
+    DensityPanel &p = density_panels_[slot];
+    p.resize(dim, width);
+    return p;
+}
+
 void
 Workspace::clear()
 {
     matrices_.clear();
     vectors_.clear();
+    state_panels_.clear();
+    density_panels_.clear();
 }
 
 Workspace &

@@ -26,6 +26,7 @@
 #include <deque>
 
 #include "linalg/matrix.h"
+#include "linalg/state_panel.h"
 
 namespace qpulse {
 
@@ -43,6 +44,19 @@ class Workspace
     /** Scratch vector for `slot`, resized to n; contents unspecified. */
     Vector &vector(std::size_t slot, std::size_t n);
 
+    /**
+     * Scratch state panel for `slot`, resized to dim x width. Panel
+     * slots are sized by dim * width, so the batched evolve loops are
+     * heap-silent after one warm-up at the widest batch they see
+     * (asserted in tests/test_batch.cc).
+     */
+    StatePanel &statePanel(std::size_t slot, std::size_t dim,
+                           std::size_t width);
+
+    /** Scratch density panel for `slot` ((width * dim) x dim). */
+    DensityPanel &densityPanel(std::size_t slot, std::size_t dim,
+                               std::size_t width);
+
     /** Drop all slots and their backing stores. */
     void clear();
 
@@ -52,6 +66,8 @@ class Workspace
     // kernel typically holds several slot references at once).
     std::deque<Matrix> matrices_;
     std::deque<Vector> vectors_;
+    std::deque<StatePanel> state_panels_;
+    std::deque<DensityPanel> density_panels_;
 };
 
 /**

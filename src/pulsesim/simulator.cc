@@ -885,6 +885,107 @@ PulseSimulator::evolveState(const Schedule &schedule,
     return state;
 }
 
+namespace {
+
+/**
+ * Schedule-independent decoherence tables for the operator-split
+ * Lindblad step, hoisted out of the sample loop: per transmon a
+ * dim x dim matrix of coherence decay factors, the n -> n-1 transfer
+ * coefficients, and the lowered index. Applying them per sample is
+ * then exp-free. Shared by the single-rho and batched paths so both
+ * apply bit-identical damping.
+ */
+struct DecoherenceModel
+{
+    std::size_t dim = 0;
+    std::size_t numTransmons = 0;
+    std::vector<std::vector<double>> decayFactor;
+    std::vector<std::vector<double>> transferCoef;
+    std::vector<std::vector<std::size_t>> lowerIndex;
+
+    explicit DecoherenceModel(const TransmonModel &model)
+        : dim(model.dim()), numTransmons(model.numTransmons())
+    {
+        // Per-transmon decay rates (per ns).
+        std::vector<double> gamma1(numTransmons);
+        std::vector<double> gamma_phi(numTransmons);
+        for (std::size_t j = 0; j < numTransmons; ++j) {
+            const auto &params = model.qubit(j);
+            const double t1_ns = params.t1Us * 1000.0;
+            const double t2_ns = params.t2Us * 1000.0;
+            gamma1[j] = 1.0 / t1_ns;
+            gamma_phi[j] = std::max(0.0, 1.0 / t2_ns - 0.5 / t1_ns);
+        }
+
+        // Decompose a full-space index into per-transmon levels.
+        const std::size_t levels = model.levels();
+        auto level_of = [&](std::size_t index, std::size_t j) {
+            std::size_t divisor = 1;
+            for (std::size_t k = numTransmons; k-- > j + 1;)
+                divisor *= levels;
+            return (index / divisor) % levels;
+        };
+
+        decayFactor.assign(numTransmons,
+                           std::vector<double>(dim * dim));
+        transferCoef.assign(numTransmons,
+                            std::vector<double>(dim, 0.0));
+        lowerIndex.assign(numTransmons,
+                          std::vector<std::size_t>(dim, 0));
+        for (std::size_t j = 0; j < numTransmons; ++j) {
+            const double g1 = gamma1[j] * kDtNs;
+            const double gp = gamma_phi[j] * kDtNs;
+            for (std::size_t r = 0; r < dim; ++r) {
+                const double nr = static_cast<double>(level_of(r, j));
+                for (std::size_t c = 0; c < dim; ++c) {
+                    const double nc =
+                        static_cast<double>(level_of(c, j));
+                    const double relax = g1 * (nr + nc) / 2.0;
+                    const double diff = nr - nc;
+                    const double dephase = gp * diff * diff;
+                    decayFactor[j][r * dim + c] =
+                        std::exp(-(relax + dephase));
+                }
+                const std::size_t n = level_of(r, j);
+                if (n == 0)
+                    continue;
+                std::size_t divisor = 1;
+                for (std::size_t k = numTransmons; k-- > j + 1;)
+                    divisor *= levels;
+                lowerIndex[j][r] = r - divisor;
+                transferCoef[j][r] =
+                    std::expm1(static_cast<double>(n) * g1);
+            }
+        }
+    }
+
+    /**
+     * Operator-split decoherence for one dt on a row-major dim x dim
+     * block: coherence decay followed by the trace-preserving
+     * population transfer n -> n-1 (the diagonal decay removed
+     * exactly exp(-n g1 dt) from rho(r,r)).
+     */
+    void apply(Complex *rho) const
+    {
+        for (std::size_t j = 0; j < numTransmons; ++j) {
+            const std::vector<double> &factor = decayFactor[j];
+            for (std::size_t r = 0; r < dim; ++r)
+                for (std::size_t c = 0; c < dim; ++c)
+                    rho[r * dim + c] *= factor[r * dim + c];
+            for (std::size_t r = 0; r < dim; ++r) {
+                if (transferCoef[j][r] == 0.0)
+                    continue;
+                const double transfer =
+                    transferCoef[j][r] * rho[r * dim + r].real();
+                const std::size_t lo = lowerIndex[j][r];
+                rho[lo * dim + lo] += Complex{transfer, 0.0};
+            }
+        }
+    }
+};
+
+} // namespace
+
 Matrix
 PulseSimulator::evolveLindblad(const Schedule &schedule,
                                const Matrix &rho0) const
@@ -903,81 +1004,9 @@ PulseSimulator::evolveLindblad(const Schedule &schedule,
     const auto drives = buildDriveTimeline(schedule, duration, nullptr,
                                            want_mod ? &mod : nullptr);
 
-    // Precompute per-transmon decay rates (per ns).
-    std::vector<double> gamma1(model_.numTransmons());
-    std::vector<double> gamma_phi(model_.numTransmons());
-    for (std::size_t j = 0; j < model_.numTransmons(); ++j) {
-        const auto &params = model_.qubit(j);
-        const double t1_ns = params.t1Us * 1000.0;
-        const double t2_ns = params.t2Us * 1000.0;
-        gamma1[j] = 1.0 / t1_ns;
-        gamma_phi[j] = std::max(0.0, 1.0 / t2_ns - 0.5 / t1_ns);
-    }
-
-    // Decompose a full-space index into per-transmon levels.
-    const std::size_t levels = model_.levels();
-    auto level_of = [&](std::size_t index, std::size_t j) {
-        std::size_t divisor = 1;
-        for (std::size_t k = model_.numTransmons(); k-- > j + 1;)
-            divisor *= levels;
-        return (index / divisor) % levels;
-    };
-
-    // The damping factors are schedule-independent, so hoist them out
-    // of the sample loop: per transmon a dim x dim matrix of coherence
-    // decay factors, the n -> n-1 transfer coefficients, and the
-    // lowered index. Applying them per sample is then exp-free.
-    const std::size_t dim = model_.dim();
-    std::vector<std::vector<double>> decay_factor(
-        model_.numTransmons(), std::vector<double>(dim * dim));
-    std::vector<std::vector<double>> transfer_coef(
-        model_.numTransmons(), std::vector<double>(dim, 0.0));
-    std::vector<std::vector<std::size_t>> lower_index(
-        model_.numTransmons(), std::vector<std::size_t>(dim, 0));
-    for (std::size_t j = 0; j < model_.numTransmons(); ++j) {
-        const double g1 = gamma1[j] * kDtNs;
-        const double gp = gamma_phi[j] * kDtNs;
-        for (std::size_t r = 0; r < dim; ++r) {
-            const double nr = static_cast<double>(level_of(r, j));
-            for (std::size_t c = 0; c < dim; ++c) {
-                const double nc =
-                    static_cast<double>(level_of(c, j));
-                const double relax = g1 * (nr + nc) / 2.0;
-                const double diff = nr - nc;
-                const double dephase = gp * diff * diff;
-                decay_factor[j][r * dim + c] =
-                    std::exp(-(relax + dephase));
-            }
-            const std::size_t n = level_of(r, j);
-            if (n == 0)
-                continue;
-            std::size_t divisor = 1;
-            for (std::size_t k = model_.numTransmons(); k-- > j + 1;)
-                divisor *= levels;
-            lower_index[j][r] = r - divisor;
-            transfer_coef[j][r] =
-                std::expm1(static_cast<double>(n) * g1);
-        }
-    }
-
-    // Operator-split decoherence for one dt: coherence decay followed
-    // by the trace-preserving population transfer n -> n-1 (the
-    // diagonal decay removed exactly exp(-n g1 dt) from rho(r,r)).
+    const DecoherenceModel deco(model_);
     const auto apply_decoherence = [&](Matrix &rho) {
-        for (std::size_t j = 0; j < model_.numTransmons(); ++j) {
-            const std::vector<double> &factor = decay_factor[j];
-            for (std::size_t r = 0; r < dim; ++r)
-                for (std::size_t c = 0; c < dim; ++c)
-                    rho(r, c) *= factor[r * dim + c];
-            for (std::size_t r = 0; r < dim; ++r) {
-                if (transfer_coef[j][r] == 0.0)
-                    continue;
-                const double transfer =
-                    transfer_coef[j][r] * rho(r, r).real();
-                rho(lower_index[j][r], lower_index[j][r]) +=
-                    Complex{transfer, 0.0};
-            }
-        }
+        deco.apply(rho.data().data());
     };
 
     Matrix rho = rho0;
@@ -1041,6 +1070,215 @@ PulseSimulator::evolveLindblad(const Schedule &schedule,
         apply_decoherence(rho);
     }
     return rho;
+}
+
+namespace {
+
+/** Work counters for one batched evolve (thread-count invariant):
+ *  calls, states packed into the panel, and AWG samples walked —
+ *  sim.batch.states / sim.batch.calls is the realized mean batch
+ *  width K. */
+void
+countBatch(long duration, std::size_t width)
+{
+    static telemetry::Counter &c_calls =
+        telemetry::MetricsRegistry::global().counter("sim.batch.calls");
+    static telemetry::Counter &c_states =
+        telemetry::MetricsRegistry::global().counter(
+            "sim.batch.states");
+    static telemetry::Counter &c_samples =
+        telemetry::MetricsRegistry::global().counter(
+            "sim.batch.samples");
+    c_calls.increment();
+    c_states.add(static_cast<std::uint64_t>(width));
+    c_samples.add(
+        static_cast<std::uint64_t>(duration >= 0 ? duration : 0));
+}
+
+} // namespace
+
+void
+PulseSimulator::evolveStatesBatched(const Schedule &schedule,
+                                    StatePanel &panel,
+                                    Workspace &ws) const
+{
+    qpulseRequire(panel.dim() == model_.dim(),
+                  "evolveStatesBatched dimension mismatch");
+    const std::size_t width = panel.width();
+    if (width == 0)
+        return;
+    telemetry::TraceSpan span("sim.evolve_batched");
+    const long duration = schedule.duration();
+    countBatch(duration, width);
+    DriveModulation mod;
+    const bool want_mod = !cachingEnabled_ && driftKernelEnabled_;
+    const auto drives = buildDriveTimeline(schedule, duration, nullptr,
+                                           want_mod ? &mod : nullptr);
+
+    const std::size_t dim = model_.dim();
+    // Scratch: state-panel slot 0 (ping-pong target) plus matrix slots
+    // 0-3 (0-1 are powmInto's, 2-3 hold the step propagator and its
+    // binary power). All reuse capacity across calls, so the loop is
+    // heap-silent once `ws` has warmed at this width.
+    StatePanel &next = ws.statePanel(0, dim, width);
+    if (cachingEnabled_) {
+        std::unique_ptr<PropagatorCache> local;
+        PropagatorCache *cache = activeCache(local);
+        Matrix &step_u = ws.matrix(2, dim, dim);
+        Matrix &u_pow = ws.matrix(3, dim, dim);
+        for (const DriveStep &step : compileSteps(drives, duration)) {
+            checkInterrupt();
+            cache->getOrComputeInto(
+                step.key,
+                [this, &step] {
+                    return stepPropagator(step.tMidNs, step.drives);
+                },
+                step_u);
+            // Long runs (idle stretches, flat-tops): binary powering
+            // costs log2(count) matmuls instead of count panel gemms.
+            if (step.count >= 8) {
+                powmInto(u_pow, step_u,
+                         static_cast<std::uint64_t>(step.count), ws);
+                applyPanelInto(next, u_pow, panel);
+                std::swap(panel, next);
+            } else {
+                for (long k = 0; k < step.count; ++k) {
+                    applyPanelInto(next, step_u, panel);
+                    std::swap(panel, next);
+                }
+            }
+        }
+        return;
+    }
+    std::vector<Complex> step_drives(model_.numTransmons());
+    if (driftKernelEnabled_) {
+        StepKernel kernel;
+        std::vector<Complex> step_env(model_.numTransmons());
+        std::vector<double> step_rates(model_.numTransmons());
+        for (long ts = 0; ts < duration; ++ts) {
+            if ((ts % kInterruptStride) == 0)
+                checkInterrupt();
+            for (std::size_t j = 0; j < model_.numTransmons(); ++j) {
+                const std::size_t sts = static_cast<std::size_t>(ts);
+                step_drives[j] = drives[j][sts];
+                step_env[j] = mod.env[j][sts];
+                step_rates[j] = mod.rate[j][sts];
+            }
+            const double t_mid =
+                (static_cast<double>(ts) + 0.5) * kDtNs;
+            stepPropagatorInto(kernel, t_mid, step_drives, step_env,
+                               step_rates);
+            applyPanelInto(next, kernel.u, panel);
+            std::swap(panel, next);
+        }
+        return;
+    }
+    for (long ts = 0; ts < duration; ++ts) {
+        if ((ts % kInterruptStride) == 0)
+            checkInterrupt();
+        for (std::size_t j = 0; j < model_.numTransmons(); ++j)
+            step_drives[j] = drives[j][static_cast<std::size_t>(ts)];
+        const double t_mid = (static_cast<double>(ts) + 0.5) * kDtNs;
+        applyPanelInto(next, stepPropagator(t_mid, step_drives), panel);
+        std::swap(panel, next);
+    }
+}
+
+void
+PulseSimulator::evolveStatesBatched(const Schedule &schedule,
+                                    StatePanel &panel) const
+{
+    evolveStatesBatched(schedule, panel, tlsWorkspace());
+}
+
+void
+PulseSimulator::evolveLindbladBatched(const Schedule &schedule,
+                                      DensityPanel &panel,
+                                      Workspace &ws) const
+{
+    qpulseRequire(panel.dim() == model_.dim(),
+                  "evolveLindbladBatched dimension mismatch");
+    const std::size_t width = panel.width();
+    if (width == 0)
+        return;
+    telemetry::TraceSpan span("sim.evolve_batched");
+    const long duration = schedule.duration();
+    countBatch(duration, width);
+    DriveModulation mod;
+    const bool want_mod = !cachingEnabled_ && driftKernelEnabled_;
+    const auto drives = buildDriveTimeline(schedule, duration, nullptr,
+                                           want_mod ? &mod : nullptr);
+
+    const DecoherenceModel deco(model_);
+    const std::size_t dim = model_.dim();
+    // One dt of decoherence on every block of the panel.
+    const auto apply_decoherence_panel = [&](DensityPanel &p) {
+        Complex *base = p.storage().data().data();
+        for (std::size_t i = 0; i < width; ++i)
+            deco.apply(base + i * dim * dim);
+    };
+
+    // Scratch: density-panel slots 0 (ping-pong target) and 1
+    // (conjugation staging), matrix slot 2 for the step propagator.
+    DensityPanel &next = ws.densityPanel(0, dim, width);
+    DensityPanel &stage = ws.densityPanel(1, dim, width);
+    if (cachingEnabled_) {
+        std::unique_ptr<PropagatorCache> local;
+        PropagatorCache *cache = activeCache(local);
+        Matrix &step_u = ws.matrix(2, dim, dim);
+        for (const DriveStep &step : compileSteps(drives, duration)) {
+            checkInterrupt();
+            // The decoherence split interleaves with every sample, so
+            // runs reuse the propagator but still step sample-wise.
+            cache->getOrComputeInto(
+                step.key,
+                [this, &step] {
+                    return stepPropagator(step.tMidNs, step.drives);
+                },
+                step_u);
+            for (long k = 0; k < step.count; ++k) {
+                conjugatePanelInto(next, step_u, panel, stage);
+                std::swap(panel, next);
+                apply_decoherence_panel(panel);
+            }
+        }
+        return;
+    }
+    std::vector<Complex> step_drives(model_.numTransmons());
+    if (driftKernelEnabled_) {
+        StepKernel kernel;
+        std::vector<Complex> step_env(model_.numTransmons());
+        std::vector<double> step_rates(model_.numTransmons());
+        for (long ts = 0; ts < duration; ++ts) {
+            if ((ts % kInterruptStride) == 0)
+                checkInterrupt();
+            for (std::size_t j = 0; j < model_.numTransmons(); ++j) {
+                const std::size_t sts = static_cast<std::size_t>(ts);
+                step_drives[j] = drives[j][sts];
+                step_env[j] = mod.env[j][sts];
+                step_rates[j] = mod.rate[j][sts];
+            }
+            const double t_mid =
+                (static_cast<double>(ts) + 0.5) * kDtNs;
+            stepPropagatorInto(kernel, t_mid, step_drives, step_env,
+                               step_rates);
+            conjugatePanelInto(next, kernel.u, panel, stage);
+            std::swap(panel, next);
+            apply_decoherence_panel(panel);
+        }
+        return;
+    }
+    for (long ts = 0; ts < duration; ++ts) {
+        if ((ts % kInterruptStride) == 0)
+            checkInterrupt();
+        for (std::size_t j = 0; j < model_.numTransmons(); ++j)
+            step_drives[j] = drives[j][static_cast<std::size_t>(ts)];
+        const double t_mid = (static_cast<double>(ts) + 0.5) * kDtNs;
+        conjugatePanelInto(next, stepPropagator(t_mid, step_drives),
+                           panel, stage);
+        std::swap(panel, next);
+        apply_decoherence_panel(panel);
+    }
 }
 
 std::vector<double>

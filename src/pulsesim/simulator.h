@@ -168,6 +168,38 @@ class PulseSimulator
                        const Vector &initial) const;
 
     /**
+     * Batched state evolution: every column of `panel` is evolved
+     * through the schedule in place, so the per-sample propagators
+     * (cache lookups, eigensolves, binary powers) are computed ONCE
+     * and applied to all K states as a single gemm per step
+     * (linalg/state_panel.h). Matches per-column evolveState to
+     * <= 1e-12 max-abs (pinned in tests/test_batch.cc); within one
+     * dispatch mode the result is deterministic, so it is bit-identical
+     * across QPULSE_THREADS. Interrupt polling keeps evolveState's
+     * stride semantics (kInterruptStride samples per poll, per
+     * collapsed run on the cached path). `ws` provides panel scratch
+     * (state-panel slot 0); the loop is heap-silent once `ws` has
+     * warmed at the panel's width.
+     */
+    void evolveStatesBatched(const Schedule &schedule, StatePanel &panel,
+                             Workspace &ws) const;
+
+    /** evolveStatesBatched against the thread-local workspace. */
+    void evolveStatesBatched(const Schedule &schedule,
+                             StatePanel &panel) const;
+
+    /**
+     * Batched Lindblad evolution: every d x d block of `panel` is
+     * evolved with T1/T2 decoherence in place — one propagator
+     * computation per sample shared across the batch, with the
+     * two-sided conjugation batched through conjugatePanelInto
+     * (density-panel slots 0-1 of `ws`). Matches per-block
+     * evolveLindblad to <= 1e-12 max-abs.
+     */
+    void evolveLindbladBatched(const Schedule &schedule,
+                               DensityPanel &panel, Workspace &ws) const;
+
+    /**
      * Density-matrix evolution with T1/T2 decoherence. The initial
      * density matrix must match the model dimension.
      */

@@ -306,8 +306,8 @@ TEST(Instrumentation, ValidationGateCountsChecksAndRejects)
     EXPECT_TRUE(validateSchedule(good, budget).ok());
     EXPECT_FALSE(validateSchedule(bad, budget).ok());
     const telemetry::MetricsSnapshot after = registry.snapshot();
-    EXPECT_EQ(after.counterValue("device.validation.checks") -
-                  before.counterValue("device.validation.checks"),
+    EXPECT_EQ(after.counterValue("device.validation.calls") -
+                  before.counterValue("device.validation.calls"),
               2u);
     EXPECT_EQ(after.counterValue("device.validation.rejects") -
                   before.counterValue("device.validation.rejects"),
@@ -352,7 +352,7 @@ TEST(Instrumentation, CountersAreIdenticalAcrossShotThreadCounts)
         "backend.runs",
         "backend.shots",
         "backend.shot_batches",
-        "device.validation.checks",
+        "device.validation.calls",
         "pulsesim.cache.hits",
         "pulsesim.cache.misses",
         "sim.evolve_state.calls",
