@@ -17,6 +17,7 @@ namespace {
 constexpr std::uint64_t kDriftSalt = 0xD21F7A5Eull;
 constexpr std::uint64_t kAttemptSalt = 0xA77E3B17ull;
 constexpr std::uint64_t kReadoutSalt = 0x2EAD0375ull;
+constexpr std::uint64_t kFleetSalt = 0xF1EE7BACull;
 
 /** Peak |d| above which a clipped upload sits (DAC saturation). */
 constexpr double kClipPeak = 1.5;
@@ -145,6 +146,14 @@ FaultPlan::parse(const std::string &spec, FaultPlan &out)
     }
     out = plan;
     return Status::okStatus();
+}
+
+FaultPlan
+FaultPlan::deriveForBackend(std::uint64_t backend_index) const
+{
+    FaultPlan derived = *this;
+    derived.seed = Rng::deriveSeed(seed ^ kFleetSalt, backend_index);
+    return derived;
 }
 
 FaultPlan

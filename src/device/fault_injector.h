@@ -79,6 +79,15 @@ struct FaultPlan
      * silently half-applying.
      */
     static FaultPlan fromEnv();
+
+    /**
+     * The same rates with a seed derived (splitmix64) from this
+     * plan's seed and `backend_index`, so every member of a backend
+     * fleet draws its transients, timeouts and drift spikes from an
+     * *independent* deterministic stream — backends fail and drift
+     * independently, yet the whole fleet replays bit-identically.
+     */
+    FaultPlan deriveForBackend(std::uint64_t backend_index) const;
 };
 
 /**

@@ -226,6 +226,17 @@ PulseBackend::scheduleCircuit(const QuantumCircuit &circuit) const
     return total;
 }
 
+Schedule
+PulseBackend::probeSchedule(std::size_t qubit) const
+{
+    qpulseRequire(qubit < library_.qubits.size(),
+                  "probeSchedule: qubit outside the backend");
+    Schedule schedule("health_probe");
+    schedule.play(driveChannel(qubit),
+                  library_.qubits[qubit].x180Pulse());
+    return schedule;
+}
+
 long
 PulseBackend::gateDuration(const Gate &gate) const
 {
@@ -337,13 +348,11 @@ PulseBackend::runShots(const PulseSimulator &sim,
     c_batches.add(batches);
 
     // Panel width for the batched evolution inside each shot chunk:
-    // the option wins, then the QPULSE_BATCH environment knob, then
-    // the default. Width 1 selects the looped per-shot reference path.
+    // the option wins, then the QPULSE_BATCH environment knob (warn-
+    // and-clamp diagnosed parse, common/env.h), then the default.
+    // Width 1 selects the looped per-shot reference path.
     const std::size_t batch_width =
-        opts.batchWidth > 0
-            ? opts.batchWidth
-            : static_cast<std::size_t>(
-                  envLong("QPULSE_BATCH", 64, 1, 4096));
+        opts.batchWidth > 0 ? opts.batchWidth : envBatchWidth();
 
     // Virtual-time admission: charge every batch's simulated-sample
     // cost sequentially, *before* the parallel dispatch, so the set of

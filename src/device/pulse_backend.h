@@ -150,6 +150,15 @@ class PulseBackend
      */
     Schedule scheduleCircuit(const QuantumCircuit &circuit) const;
 
+    /**
+     * Minimal health-probe schedule for fleet quarantine recovery: the
+     * calibrated x180 on `qubit`, the cheapest pulse whose outcome
+     * distribution still separates a healthy substrate from a wedged
+     * or badly drifted one. BackendPool runs this through the
+     * backend's executor as the deterministic half-open probe job.
+     */
+    Schedule probeSchedule(std::size_t qubit = 0) const;
+
     /** Duration (dt) the backend charges a single gate instance. */
     long gateDuration(const Gate &gate) const;
 

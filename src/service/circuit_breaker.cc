@@ -15,17 +15,63 @@ breakerStateName(BreakerState state)
     return "unknown";
 }
 
+Status
+validateBreakerPolicy(const CircuitBreakerPolicy &policy)
+{
+    const auto invalid = [](const std::string &detail) {
+        return Status::error(ErrorCode::InvalidArgument,
+                             "CircuitBreakerPolicy: " + detail);
+    };
+    if (policy.window < 1)
+        return invalid("window must be >= 1, got " +
+                       std::to_string(policy.window));
+    if (policy.minSamples < 1)
+        return invalid("minSamples must be >= 1, got " +
+                       std::to_string(policy.minSamples));
+    if (policy.minSamples > policy.window)
+        return invalid(
+            "minSamples (" + std::to_string(policy.minSamples) +
+            ") exceeds window (" + std::to_string(policy.window) +
+            "): the failure rate would never be evaluated and the "
+            "breaker could never open");
+    if (!(policy.openFailureRate > 0.0))
+        return invalid("openFailureRate must be > 0 (got " +
+                       std::to_string(policy.openFailureRate) +
+                       "): the breaker would trip on any sample");
+    if (policy.openFailureRate > 1.0)
+        return invalid("openFailureRate must be <= 1 (got " +
+                       std::to_string(policy.openFailureRate) +
+                       "): the rate can never exceed 1, so the "
+                       "breaker could never open");
+    if (policy.cooldownDenials < 0)
+        return invalid("cooldownDenials must be >= 0, got " +
+                       std::to_string(policy.cooldownDenials));
+    if (policy.halfOpenSuccesses < 1)
+        return invalid("halfOpenSuccesses must be >= 1 (got " +
+                       std::to_string(policy.halfOpenSuccesses) +
+                       "): an Open breaker could never close again");
+    return Status::okStatus();
+}
+
+std::string
+breakerDenialMessage(const std::string &backendName,
+                     const CircuitBreaker &breaker)
+{
+    std::string message = "backend '" + backendName +
+                          "' unavailable: circuit breaker " +
+                          breakerStateName(breaker.state());
+    if (breaker.state() == BreakerState::Open)
+        message += " (" +
+                   std::to_string(breaker.cooldownRemaining()) +
+                   " more denied jobs until the half-open probe)";
+    message += "; failing fast";
+    return message;
+}
+
 CircuitBreaker::CircuitBreaker(CircuitBreakerPolicy policy)
     : policy_(policy)
 {
-    qpulseRequire(policy_.window >= 1,
-                  "CircuitBreakerPolicy needs window >= 1");
-    qpulseRequire(policy_.minSamples >= 1,
-                  "CircuitBreakerPolicy needs minSamples >= 1");
-    qpulseRequire(policy_.cooldownDenials >= 0,
-                  "CircuitBreakerPolicy needs cooldownDenials >= 0");
-    qpulseRequire(policy_.halfOpenSuccesses >= 1,
-                  "CircuitBreakerPolicy needs halfOpenSuccesses >= 1");
+    throwIfError(validateBreakerPolicy(policy_));
 }
 
 bool

@@ -24,6 +24,8 @@
 #include <cstdint>
 #include <deque>
 
+#include "common/status.h"
+
 namespace qpulse {
 
 /** The classic three-state breaker. */
@@ -55,9 +57,34 @@ struct CircuitBreakerPolicy
     int halfOpenSuccesses = 2;
 };
 
+/**
+ * Structured validation of a breaker policy. Degenerate configs —
+ * a breaker that can never open (openFailureRate > 1, minSamples >
+ * window) or never close (non-positive halfOpenSuccesses) — are
+ * rejected with an `invalid-argument` Status naming the field, so a
+ * service refuses to start with a breaker that silently can't do its
+ * job. CircuitBreaker's constructor throws the same Status as a
+ * StatusError; validate first when a throw is unwanted.
+ */
+Status validateBreakerPolicy(const CircuitBreakerPolicy &policy);
+
+class CircuitBreaker;
+
+/**
+ * The structured fast-fail message for a job denied by `breaker`:
+ * names the backend, the breaker state and — while Open — how many
+ * more denied jobs remain before the half-open probe, so an
+ * `unavailable` Status tells the caller *which* backend refused and
+ * how far through its cooldown it is. Call after allow() returned
+ * false (the denial just counted is already reflected).
+ */
+std::string breakerDenialMessage(const std::string &backendName,
+                                 const CircuitBreaker &breaker);
+
 class CircuitBreaker
 {
   public:
+    /** Throws StatusError(validateBreakerPolicy(policy)) if invalid. */
     explicit CircuitBreaker(CircuitBreakerPolicy policy = {});
 
     /**
@@ -81,6 +108,20 @@ class CircuitBreaker
 
     /** Lifetime count of fast-failed (denied) allow() calls. */
     std::uint64_t denials() const { return denials_; }
+
+    /**
+     * Denied allow() calls still owed before an Open breaker admits
+     * its Half-Open probe (0 unless Open). Surfaced so fast-fail
+     * Status messages and cooldown-accounting tests can report how
+     * far through the cooldown a backend is.
+     */
+    int
+    cooldownRemaining() const
+    {
+        if (state_ != BreakerState::Open)
+            return 0;
+        return policy_.cooldownDenials - cooldownSpent_;
+    }
 
     /** Lifetime count of Closed->Open transitions. */
     std::uint64_t trips() const { return trips_; }

@@ -21,19 +21,118 @@ wallUsSince(std::chrono::steady_clock::time_point t0)
         .count();
 }
 
+/** Queue capacity from the policy or the diagnosed env default. */
+std::size_t
+resolveCapacity(const ServicePolicy &policy)
+{
+    return policy.queueCapacity != 0
+               ? policy.queueCapacity
+               : static_cast<std::size_t>(envLong(
+                     "QPULSE_SERVICE_QUEUE", 32, 1, 4096));
+}
+
+/**
+ * Construction-time policy validation: a service must refuse to start
+ * with a breaker that can never trip/close or a fleet scheduler whose
+ * shares are degenerate, instead of misbehaving silently later.
+ */
+Status
+validateServicePolicy(const ServicePolicy &policy, bool fleet)
+{
+    if (Status breakerStatus = validateBreakerPolicy(policy.breaker);
+        !breakerStatus.ok())
+        return breakerStatus;
+    if (!fleet)
+        return Status::okStatus();
+    if (policy.fleet.failoverBudget < 1)
+        return Status::error(
+            ErrorCode::InvalidArgument,
+            "FleetPolicy: failoverBudget must be >= 1 (a job always "
+            "tries at least one backend), got " +
+                std::to_string(policy.fleet.failoverBudget));
+    if (!(policy.fleet.defaultQuota.weight > 0.0))
+        return Status::error(ErrorCode::InvalidArgument,
+                             "FleetPolicy: defaultQuota.weight must "
+                             "be > 0 for weighted-fair dequeue");
+    for (const auto &entry : policy.fleet.tenants)
+        if (!(entry.second.weight > 0.0))
+            return Status::error(
+                ErrorCode::InvalidArgument,
+                "FleetPolicy: tenant '" + entry.first +
+                    "' weight must be > 0 for weighted-fair dequeue");
+    return Status::okStatus();
+}
+
+/**
+ * Codes worth retrying on another fleet member. Backend-health
+ * failures (and a breaker denial) fail over; a deadline expiry ends
+ * the job (its budget is spent and the partial result is preserved),
+ * and cancellation/validation codes mean the same thing everywhere.
+ */
+bool
+failoverEligible(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::TransientFailure:
+      case ErrorCode::Timeout:
+      case ErrorCode::RetriesExhausted:
+      case ErrorCode::StaleCalibration:
+      case ErrorCode::Unavailable:
+        return true;
+      default:
+        return false;
+    }
+}
+
 } // namespace
 
 ExecutionService::ExecutionService(
     std::shared_ptr<const PulseBackend> backend, PulseSimulator sim,
     ServicePolicy policy)
     : backend_(std::move(backend)), sim_(std::move(sim)),
-      policy_(policy),
-      capacity_(policy.queueCapacity != 0
-                    ? policy.queueCapacity
-                    : static_cast<std::size_t>(envLong(
-                          "QPULSE_SERVICE_QUEUE", 32, 1, 4096))),
-      executor_(backend_, policy.retry, policy.watchdog, policy.degrade)
+      policy_(policy), capacity_(resolveCapacity(policy))
 {
+    throwIfError(validateServicePolicy(policy_, /*fleet=*/false));
+    executor_ = std::make_unique<ResilientExecutor>(
+        backend_, policy_.retry, policy_.watchdog, policy_.degrade);
+}
+
+ExecutionService::ExecutionService(std::shared_ptr<BackendPool> pool,
+                                   ServicePolicy policy)
+    : policy_(policy), capacity_(resolveCapacity(policy)),
+      pool_(std::move(pool))
+{
+    qpulseRequire(pool_ != nullptr,
+                  "ExecutionService: fleet constructor needs a "
+                  "non-null BackendPool");
+    throwIfError(validateServicePolicy(policy_, /*fleet=*/true));
+}
+
+BackendPool &
+ExecutionService::pool()
+{
+    qpulseRequire(pool_ != nullptr,
+                  "ExecutionService::pool: not a fleet-mode service");
+    return *pool_;
+}
+
+const TenantQuota &
+ExecutionService::tenantQuota(const std::string &tenant) const
+{
+    auto it = policy_.fleet.tenants.find(tenant);
+    return it == policy_.fleet.tenants.end()
+               ? policy_.fleet.defaultQuota
+               : it->second;
+}
+
+std::size_t
+ExecutionService::queuedForTenant(const std::string &tenant) const
+{
+    std::size_t count = 0;
+    for (const PendingJob &job : queue_)
+        if (job.request.tenant == tenant)
+            ++count;
+    return count;
 }
 
 CircuitBreaker &
@@ -106,6 +205,27 @@ ExecutionService::submit(JobRequest request)
         return gate;
     }
 
+    // Fleet tenant quota: one tenant may never crowd the shared queue
+    // past its cap, however fast it submits — capacity left open this
+    // way is what keeps other tenants' jobs admissible.
+    if (pool_ != nullptr) {
+        static telemetry::Counter &c_tenant_rejected =
+            registry.counter("service.tenant_rejected");
+        const TenantQuota &quota = tenantQuota(request.tenant);
+        if (quota.maxQueued > 0 &&
+            queuedForTenant(request.tenant) >= quota.maxQueued) {
+            ++stats_.rejected;
+            ++stats_.tenantRejected;
+            c_rejected.increment();
+            c_tenant_rejected.increment();
+            return Status::error(
+                ErrorCode::ResourceExhausted,
+                "tenant '" + request.tenant + "' is at its quota (" +
+                    std::to_string(quota.maxQueued) +
+                    " queued jobs): admission refused");
+        }
+    }
+
     if (queue_.size() >= capacity_) {
         // Shed candidate: the lowest-priority queued job; among ties
         // the most recently submitted loses (earlier submissions of
@@ -169,6 +289,8 @@ ExecutionService::executeJob(PendingJob &job)
     out.id = job.id;
     out.key = job.request.key;
     out.priority = job.request.priority;
+    out.tenant = job.request.tenant;
+    out.backend = job.request.backendName;
 
     // Gate 1: a cancelled or expired job terminates without touching
     // the backend (and without charging the breaker either way).
@@ -182,7 +304,8 @@ ExecutionService::executeJob(PendingJob &job)
     }
 
     // Gate 2: the backend's circuit breaker. Open = fail fast with a
-    // structured `unavailable` instead of burning the retry budget.
+    // structured `unavailable` naming the backend, the breaker state
+    // and the cooldown progress, instead of burning the retry budget.
     CircuitBreaker &brk = breaker(job.request.backendName);
     telemetry::Gauge &g_state = registry.gauge(
         "service.breaker.state." + job.request.backendName);
@@ -190,8 +313,7 @@ ExecutionService::executeJob(PendingJob &job)
         out.breakerFastFail = true;
         out.status = Status::error(
             ErrorCode::Unavailable,
-            "circuit breaker open for backend '" +
-                job.request.backendName + "': failing fast");
+            breakerDenialMessage(job.request.backendName, brk));
         ++stats_.breakerFastFails;
         c_fastfail.increment();
         g_state.set(brk.stateValue());
@@ -212,7 +334,7 @@ ExecutionService::executeJob(PendingJob &job)
     opts.token = job.request.token;
     opts.deadline = job.request.deadline;
 
-    out.execution = executor_.run(sim_, request, opts);
+    out.execution = executor_->run(*sim_, request, opts);
     out.executed = true;
     out.status = out.execution.status;
 
@@ -241,6 +363,157 @@ ExecutionService::executeJob(PendingJob &job)
     return out;
 }
 
+JobOutcome
+ExecutionService::executeFleetJob(PendingJob &job)
+{
+    telemetry::TraceSpan span("service.job");
+    telemetry::MetricsRegistry &registry =
+        telemetry::MetricsRegistry::global();
+    static telemetry::Counter &c_fastfail =
+        registry.counter("service.breaker_fastfail");
+    static telemetry::Counter &c_failovers =
+        registry.counter("fleet.failovers");
+    static telemetry::Histogram &h_wall =
+        registry.histogram("service.job.wall_us");
+    const auto t0 = std::chrono::steady_clock::now();
+
+    JobOutcome out;
+    out.id = job.id;
+    out.key = job.request.key;
+    out.priority = job.request.priority;
+    out.tenant = job.request.tenant;
+
+    // Gate 1: cancellation/deadline, as in single-backend mode.
+    if (Status gate =
+            job.request.deadline.check(job.request.token);
+        !gate.ok()) {
+        out.status = std::move(gate);
+        noteTerminal(out.status, /*executed=*/false);
+        h_wall.observe(wallUsSince(t0));
+        return out;
+    }
+
+    // Routing set. "default" routes freely across the healthy fleet;
+    // any other name pins the job to that member — no failover, and a
+    // fast fail naming the backend when it is not in service.
+    const bool pinned = !job.request.backendName.empty() &&
+                        job.request.backendName != "default";
+    std::vector<std::string> candidates;
+    if (pinned) {
+        const std::string &name = job.request.backendName;
+        if (!pool_->has(name)) {
+            out.status = Status::error(
+                ErrorCode::InvalidArgument,
+                "unknown backend '" + name + "': not in the fleet");
+            noteTerminal(out.status, /*executed=*/false);
+            h_wall.observe(wallUsSince(t0));
+            return out;
+        }
+        const BackendAdminState admin = pool_->adminState(name);
+        if (admin != BackendAdminState::Active) {
+            out.breakerFastFail = true;
+            out.backend = name;
+            out.status = Status::error(
+                ErrorCode::Unavailable,
+                admin == BackendAdminState::Draining
+                    ? "backend '" + name +
+                          "' unavailable: draining for "
+                          "recalibration; failing fast"
+                    : breakerDenialMessage(name,
+                                           pool_->breaker(name)));
+            ++stats_.breakerFastFails;
+            c_fastfail.increment();
+            h_wall.observe(wallUsSince(t0));
+            return out;
+        }
+        candidates.push_back(name);
+    } else {
+        candidates = pool_->routingOrder();
+    }
+
+    if (candidates.empty()) {
+        out.breakerFastFail = true;
+        out.status = Status::error(
+            ErrorCode::Unavailable,
+            "no active backends in the fleet (all quarantined or "
+            "draining): failing fast");
+        ++stats_.breakerFastFails;
+        c_fastfail.increment();
+        h_wall.observe(wallUsSince(t0));
+        return out;
+    }
+
+    ResilientRequest request;
+    request.schedule = job.request.schedule;
+    request.key = job.request.key;
+    request.fallback = job.request.fallback;
+    request.baselineProxy = job.request.baselineProxy;
+
+    PulseShotOptions opts;
+    opts.shots = job.request.shots;
+    opts.seed = job.request.seed;
+    opts.maxThreads = policy_.maxThreads;
+    opts.token = job.request.token;
+    opts.deadline = job.request.deadline;
+
+    // Failover loop: walk the routing order healthiest-first, up to
+    // the budget of distinct backends. The deadline is shared across
+    // hops (Deadline state is shared), so failing over never buys a
+    // job more budget than it was admitted with.
+    const int budget = (!pinned && policy_.fleet.failoverEnabled)
+                           ? std::max(1, policy_.fleet.failoverBudget)
+                           : 1;
+    int hops = 0;
+    for (const std::string &name : candidates) {
+        if (hops >= budget)
+            break;
+        ++hops;
+        BackendPool::PoolRun run = pool_->runOn(name, request, opts);
+        out.path.push_back(FailoverHop{name, run.outcome.status.code()});
+        out.backend = name;
+        out.executed = out.executed || run.ran;
+        out.execution = std::move(run.outcome);
+        const ErrorCode code = out.execution.status.code();
+        if (code == ErrorCode::Ok || !failoverEligible(code))
+            break;
+    }
+    if (hops > 1) {
+        stats_.failovers += hops - 1;
+        c_failovers.add(static_cast<std::uint64_t>(hops - 1));
+    }
+
+    out.status = out.execution.status;
+    if (!out.status.ok() && out.path.size() > 1) {
+        // Breadcrumb trail: the terminal Status records every backend
+        // tried and how each hop ended.
+        std::string trail;
+        for (std::size_t i = 0; i < out.path.size(); ++i) {
+            if (i != 0)
+                trail += " -> ";
+            trail += out.path[i].backend;
+            trail += ':';
+            trail += errorCodeName(out.path[i].code);
+        }
+        out.status = Status(out.status.code(),
+                            out.status.message() +
+                                " [fleet path: " + trail + "]");
+    }
+
+    if (!out.executed &&
+        out.status.code() == ErrorCode::Unavailable) {
+        // Every hop was a breaker denial: the job never ran anywhere.
+        out.breakerFastFail = true;
+        ++stats_.breakerFastFails;
+        c_fastfail.increment();
+        h_wall.observe(wallUsSince(t0));
+        return out;
+    }
+
+    noteTerminal(out.status, out.executed);
+    h_wall.observe(wallUsSince(t0));
+    return out;
+}
+
 std::vector<JobOutcome>
 ExecutionService::drain()
 {
@@ -254,21 +527,79 @@ ExecutionService::drain()
     queue_.clear();
     g_depth.set(0.0);
 
-    // Highest priority first; submission order among equals. The sort
-    // key is total, so the execution order — and every counter derived
-    // from it — is deterministic.
-    std::sort(jobs.begin(), jobs.end(),
-              [](const PendingJob &a, const PendingJob &b) {
-                  if (a.request.priority != b.request.priority)
-                      return a.request.priority > b.request.priority;
-                  return a.id < b.id;
-              });
-
     std::vector<JobOutcome> outcomes = std::move(shedOutcomes_);
     shedOutcomes_.clear();
     outcomes.reserve(outcomes.size() + jobs.size());
-    for (PendingJob &job : jobs)
-        outcomes.push_back(executeJob(job));
+    long seq = 0;
+
+    if (pool_ == nullptr) {
+        // Highest priority first; submission order among equals. The
+        // sort key is total, so the execution order — and every
+        // counter derived from it — is deterministic.
+        std::sort(jobs.begin(), jobs.end(),
+                  [](const PendingJob &a, const PendingJob &b) {
+                      if (a.request.priority != b.request.priority)
+                          return a.request.priority >
+                                 b.request.priority;
+                      return a.id < b.id;
+                  });
+        for (PendingJob &job : jobs) {
+            JobOutcome out = executeJob(job);
+            out.drainSeq = seq++;
+            outcomes.push_back(std::move(out));
+        }
+    } else {
+        // Weighted-fair interleave across tenants: each dequeue goes
+        // to the tenant with the smallest virtual finish time
+        // (jobs served / weight; ties to the lexicographically first
+        // tenant), priority order within the tenant. A heavy tenant
+        // gets proportionally more slots but can never lock the
+        // lighter ones out of the drain.
+        std::map<std::string, std::deque<PendingJob>> lanes;
+        {
+            std::sort(jobs.begin(), jobs.end(),
+                      [](const PendingJob &a, const PendingJob &b) {
+                          if (a.request.priority !=
+                              b.request.priority)
+                              return a.request.priority >
+                                     b.request.priority;
+                          return a.id < b.id;
+                      });
+            for (PendingJob &job : jobs)
+                lanes[job.request.tenant].push_back(std::move(job));
+        }
+        std::map<std::string, long> served;
+
+        // Give quarantined members a recovery pump before routing —
+        // probes, not scheduled jobs, are their way back in.
+        pool_->pumpProbes();
+
+        while (!lanes.empty()) {
+            auto next = lanes.end();
+            double nextFinish = 0.0;
+            for (auto it = lanes.begin(); it != lanes.end(); ++it) {
+                const double weight =
+                    tenantQuota(it->first).weight;
+                const double finish =
+                    static_cast<double>(served[it->first] + 1) /
+                    weight;
+                if (next == lanes.end() || finish < nextFinish) {
+                    next = it;
+                    nextFinish = finish;
+                }
+            }
+            PendingJob job = std::move(next->second.front());
+            next->second.pop_front();
+            ++served[next->first];
+            if (next->second.empty())
+                lanes.erase(next);
+
+            JobOutcome out = executeFleetJob(job);
+            out.drainSeq = seq++;
+            outcomes.push_back(std::move(out));
+            pool_->pumpProbes();
+        }
+    }
 
     std::sort(outcomes.begin(), outcomes.end(),
               [](const JobOutcome &a, const JobOutcome &b) {

@@ -36,6 +36,21 @@
  * thread (the ResilientExecutor beneath is sequential state); the
  * parallelism lives inside each job's shot loop. Telemetry: the
  * service.* counters/gauges/spans registered in docs/OBSERVABILITY.md.
+ *
+ * **Fleet mode.** Constructed over a BackendPool instead of a single
+ * backend, the service becomes a fleet scheduler (docs/ROBUSTNESS.md
+ * section 8): jobs are admitted per tenant against a quota, dequeued
+ * weighted-fair across tenants, routed to the healthiest active
+ * backend (BackendPool::routingOrder), and failed over to the next
+ * candidate — up to FleetPolicy::failoverBudget distinct backends —
+ * when a hop fails with a backend-health code. Every hop is recorded
+ * as a FailoverHop breadcrumb on the JobOutcome, and the terminal
+ * Status message carries the full path. A backend whose breaker trips
+ * is quarantined and only rejoins routing after deterministic
+ * half-open health probes succeed; pinned jobs (backendName other
+ * than "default") fail fast against a non-active backend with a
+ * Status naming the backend and its breaker state. All of it replays
+ * bit-identically across QPULSE_THREADS under QPULSE_VIRTUAL_TIME=1.
  */
 #ifndef QPULSE_SERVICE_EXECUTION_SERVICE_H
 #define QPULSE_SERVICE_EXECUTION_SERVICE_H
@@ -50,9 +65,32 @@
 #include "common/cancellation.h"
 #include "common/status.h"
 #include "device/resilient_executor.h"
+#include "service/backend_pool.h"
 #include "service/circuit_breaker.h"
 
 namespace qpulse {
+
+/** Per-tenant admission quota and fair-share weight (fleet mode). */
+struct TenantQuota
+{
+    /** Weighted-fair dequeue share; must be > 0. */
+    double weight = 1.0;
+    /** Max jobs a tenant may hold queued at once; 0 = uncapped. */
+    std::size_t maxQueued = 0;
+};
+
+/** Fleet-scheduling policy (read only by pool-backed services). */
+struct FleetPolicy
+{
+    /** Route failed jobs to the next-healthiest backend. */
+    bool failoverEnabled = true;
+    /** Max distinct backends one job may try (>= 1). */
+    int failoverBudget = 3;
+    /** Quota for tenants absent from `tenants`. */
+    TenantQuota defaultQuota;
+    /** Per-tenant overrides, keyed by tenant name. */
+    std::map<std::string, TenantQuota> tenants;
+};
 
 /** Service-wide policy knobs. */
 struct ServicePolicy
@@ -73,6 +111,9 @@ struct ServicePolicy
 
     /** Thread cap forwarded to every job's shot loop (0 = pool). */
     std::size_t maxThreads = 0;
+
+    /** Fleet scheduling knobs; ignored by single-backend services. */
+    FleetPolicy fleet;
 };
 
 /** One unit of work a client submits. */
@@ -83,8 +124,14 @@ struct JobRequest
     std::optional<Schedule> fallback;
     /** Stale-tracking identity (ResilientRequest::key). */
     std::string key;
-    /** Breaker scope: jobs against one backend share one breaker. */
+    /**
+     * Breaker scope: jobs against one backend share one breaker. In
+     * fleet mode "default" means "route freely"; any other value pins
+     * the job to that named pool member (no failover).
+     */
     std::string backendName = "default";
+    /** Submitting tenant: quota + weighted-fair lane (fleet mode). */
+    std::string tenant = "default";
     long shots = 256;
     std::uint64_t seed = 1;
     /** Higher = more important. Ties broken by submission order. */
@@ -95,6 +142,13 @@ struct JobRequest
     CancelToken token;
     /** Baseline proxy override (ResilientRequest::baselineProxy). */
     double baselineProxy = -1.0;
+};
+
+/** One hop of a fleet job's routing path (failover breadcrumb). */
+struct FailoverHop
+{
+    std::string backend;            ///< Pool member tried.
+    ErrorCode code = ErrorCode::Ok; ///< That hop's terminal code.
 };
 
 /** Terminal record of one submitted job. */
@@ -115,6 +169,15 @@ struct JobOutcome
     bool executed = false;       ///< Reached the executor.
     bool shed = false;           ///< Evicted by admission control.
     bool breakerFastFail = false; ///< Denied by an Open breaker.
+
+    /** Backend that produced the terminal outcome ("" = none ran). */
+    std::string backend;
+    /** Submitting tenant (scheduling lane in fleet mode). */
+    std::string tenant;
+    /** Execution order within its drain; -1 = never dequeued (shed). */
+    long drainSeq = -1;
+    /** Fleet routing breadcrumbs, one entry per backend tried. */
+    std::vector<FailoverHop> path;
 };
 
 /**
@@ -135,6 +198,8 @@ struct ServiceStats
     long breakerFastFails = 0;
     long completed = 0; ///< Terminal Ok.
     long failed = 0;    ///< Terminal non-Ok other than the above.
+    long failovers = 0; ///< Extra backends tried beyond the first.
+    long tenantRejected = 0; ///< Admissions refused by tenant quota.
 };
 
 class ExecutionService
@@ -143,20 +208,40 @@ class ExecutionService
     /**
      * The service owns a simulator copy and a ResilientExecutor over
      * `backend`. Sequential use only (see file comment).
+     * Throws StatusError on a degenerate policy (validateBreakerPolicy
+     * and the fleet checks), so a service never starts with a breaker
+     * or scheduler that silently cannot do its job.
      */
     ExecutionService(std::shared_ptr<const PulseBackend> backend,
                      PulseSimulator sim, ServicePolicy policy = {});
 
-    /** Attach the fault source (forwarded to the executor). */
+    /**
+     * Fleet mode: the service schedules over a shared BackendPool —
+     * health-aware routing, cross-backend failover, quarantine and
+     * weighted-fair tenant dequeue (file comment). The pool is shared
+     * so callers can administer it (drain/readmit, fault injectors)
+     * alongside the service. Same policy validation as above.
+     */
+    ExecutionService(std::shared_ptr<BackendPool> pool,
+                     ServicePolicy policy = {});
+
+    /** True when this service schedules over a BackendPool. */
+    bool fleetMode() const { return pool_ != nullptr; }
+
+    /** The fleet (fleet mode only; fatals otherwise). */
+    BackendPool &pool();
+
+    /** Attach the fault source (single-backend mode only; fleet
+     *  members get injectors via BackendPool::setFaultInjector). */
     void setFaultInjector(std::shared_ptr<FaultInjector> injector)
     {
-        executor_.setFaultInjector(std::move(injector));
+        executor().setFaultInjector(std::move(injector));
     }
 
-    /** Drift-watchdog recalibration hook (forwarded). */
+    /** Drift-watchdog recalibration hook (single-backend mode). */
     void setRecalibrationHook(std::function<void()> hook)
     {
-        executor_.setRecalibrationHook(std::move(hook));
+        executor().setRecalibrationHook(std::move(hook));
     }
 
     /**
@@ -170,9 +255,15 @@ class ExecutionService
     Status submit(JobRequest request);
 
     /**
-     * Execute every queued job, highest priority first (submission
-     * order among equals), and return all outcomes — executed, shed
-     * and fast-failed — sorted by submission id. Clears the queue.
+     * Execute every queued job and return all outcomes — executed,
+     * shed and fast-failed — sorted by submission id. Clears the
+     * queue. Single-backend mode runs highest priority first
+     * (submission order among equals). Fleet mode interleaves tenants
+     * weighted-fair — each dequeue goes to the tenant with the
+     * smallest virtual finish time (jobs served / weight), priority
+     * order within the tenant — and pumps the quarantine probe loop
+     * between jobs. JobOutcome::drainSeq records the actual execution
+     * order for both modes.
      */
     std::vector<JobOutcome> drain();
 
@@ -184,7 +275,22 @@ class ExecutionService
     /** The breaker gating `backendName` (created on first use). */
     CircuitBreaker &breaker(const std::string &backendName);
 
-    ResilientExecutor &executor() { return executor_; }
+    /** The single-backend executor (fatals in fleet mode: each pool
+     *  member owns its own). */
+    ResilientExecutor &executor()
+    {
+        qpulseRequire(executor_ != nullptr,
+                      "ExecutionService::executor: fleet-mode "
+                      "services keep per-backend executors inside "
+                      "the BackendPool");
+        return *executor_;
+    }
+
+    /** Effective quota for `tenant` (override or the default). */
+    const TenantQuota &tenantQuota(const std::string &tenant) const;
+
+    /** Jobs `tenant` currently holds in the queue. */
+    std::size_t queuedForTenant(const std::string &tenant) const;
 
   private:
     struct PendingJob
@@ -194,13 +300,15 @@ class ExecutionService
     };
 
     JobOutcome executeJob(PendingJob &job);
+    JobOutcome executeFleetJob(PendingJob &job);
     void noteTerminal(const Status &status, bool executed);
 
     std::shared_ptr<const PulseBackend> backend_;
-    PulseSimulator sim_;
+    std::optional<PulseSimulator> sim_;   ///< Single-backend mode.
     ServicePolicy policy_;
     std::size_t capacity_ = 0;
-    ResilientExecutor executor_;
+    std::unique_ptr<ResilientExecutor> executor_; ///< Single-backend.
+    std::shared_ptr<BackendPool> pool_;           ///< Fleet mode.
     std::deque<PendingJob> queue_;
     std::vector<JobOutcome> shedOutcomes_; ///< Victims since last drain.
     std::map<std::string, CircuitBreaker> breakers_;

@@ -17,6 +17,7 @@
 #include <thread>
 
 #include "common/cancellation.h"
+#include "common/env.h"
 #include "common/status.h"
 #include "compile/compiler.h"
 #include "device/fault_injector.h"
@@ -451,6 +452,83 @@ TEST(Breaker, TripsAfterWindowedFailureRateAndRecovers)
     EXPECT_EQ(breaker.state(), BreakerState::Closed);
 }
 
+TEST(Breaker, PolicyValidationRejectsDegenerateConfigs)
+{
+    const CircuitBreakerPolicy good;
+    EXPECT_TRUE(validateBreakerPolicy(good).ok());
+
+    CircuitBreakerPolicy bad = good;
+    bad.window = 0;
+    EXPECT_EQ(validateBreakerPolicy(bad).code(),
+              ErrorCode::InvalidArgument);
+
+    bad = good;
+    bad.minSamples = bad.window + 1; // Rate never evaluated.
+    const Status neverOpens = validateBreakerPolicy(bad);
+    EXPECT_EQ(neverOpens.code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(neverOpens.message().find("never"), std::string::npos)
+        << neverOpens.message();
+
+    bad = good;
+    bad.openFailureRate = 1.5; // Rate can never exceed 1.
+    EXPECT_EQ(validateBreakerPolicy(bad).code(),
+              ErrorCode::InvalidArgument);
+
+    bad = good;
+    bad.openFailureRate = 0.0;
+    EXPECT_EQ(validateBreakerPolicy(bad).code(),
+              ErrorCode::InvalidArgument);
+
+    bad = good;
+    bad.cooldownDenials = -1;
+    EXPECT_EQ(validateBreakerPolicy(bad).code(),
+              ErrorCode::InvalidArgument);
+
+    bad = good;
+    bad.halfOpenSuccesses = 0; // Open could never close again.
+    EXPECT_EQ(validateBreakerPolicy(bad).code(),
+              ErrorCode::InvalidArgument);
+    // The constructor throws the same structured Status.
+    EXPECT_THROW(CircuitBreaker breaker(bad), StatusError);
+}
+
+TEST(Breaker, ServiceRefusesToStartWithDegenerateBreakerPolicy)
+{
+    const Rig rig;
+    ServicePolicy policy;
+    policy.queueCapacity = 4;
+    policy.breaker.minSamples = policy.breaker.window + 1;
+    EXPECT_THROW(ExecutionService service(rig.backend, rig.sim,
+                                          policy),
+                 StatusError);
+}
+
+TEST(EnvKnobs, BatchWidthParsesWarnsAndClamps)
+{
+    {
+        EnvGuard guard("QPULSE_BATCH", nullptr);
+        EXPECT_EQ(envBatchWidth(), 64u);
+    }
+    {
+        EnvGuard guard("QPULSE_BATCH", "16");
+        EXPECT_EQ(envBatchWidth(), 16u);
+    }
+    {
+        // Garbage warns and falls back to the default.
+        EnvGuard guard("QPULSE_BATCH", "garbage");
+        EXPECT_EQ(envBatchWidth(), 64u);
+    }
+    {
+        // Out-of-range values warn and clamp, like QPULSE_THREADS.
+        EnvGuard guard("QPULSE_BATCH", "99999");
+        EXPECT_EQ(envBatchWidth(), 4096u);
+    }
+    {
+        EnvGuard guard("QPULSE_BATCH", "0");
+        EXPECT_EQ(envBatchWidth(), 1u);
+    }
+}
+
 // ---------------------------------------------------------------------
 // ExecutionService: admission control, draining, fast fail.
 
@@ -568,6 +646,113 @@ TEST(Service, WedgedBackendTripsBreakerAndFastFailsTheQueue)
     EXPECT_GE(fastfailed, 3);
     EXPECT_EQ(service.stats().breakerFastFails, fastfailed);
     EXPECT_EQ(service.breaker("default").state(), BreakerState::Open);
+}
+
+TEST(Service, UnavailableStatusNamesBackendStateAndCooldown)
+{
+    const Rig rig;
+    ServicePolicy policy = smallQueuePolicy(16);
+    policy.retry.maxAttempts = 2;
+    policy.breaker.window = 4;
+    policy.breaker.minSamples = 2;
+    policy.breaker.openFailureRate = 0.5;
+    policy.breaker.cooldownDenials = 3;
+    ExecutionService service(rig.backend, rig.sim, policy);
+    service.setFaultInjector(
+        std::make_shared<FaultInjector>([] {
+            FaultPlan plan;
+            plan.timeoutRate = 1.0;
+            return plan;
+        }()));
+
+    // Two failed jobs trip the breaker; the third is denied.
+    for (int i = 0; i < 3; ++i)
+        EXPECT_TRUE(service.submit(makeJob(rig, 0, 16)).ok());
+    const std::vector<JobOutcome> outcomes = service.drain();
+    ASSERT_EQ(outcomes.size(), 3u);
+    const JobOutcome &denied = outcomes[2];
+    ASSERT_TRUE(denied.breakerFastFail);
+    EXPECT_EQ(denied.status.code(), ErrorCode::Unavailable);
+    // The satellite contract: the message carries the backend name,
+    // the breaker state, and the cooldown progress.
+    const std::string &message = denied.status.message();
+    EXPECT_NE(message.find("backend 'default'"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("circuit breaker open"),
+              std::string::npos)
+        << message;
+    EXPECT_NE(message.find("2 more denied jobs"), std::string::npos)
+        << message;
+    EXPECT_EQ(service.breaker("default").cooldownRemaining(), 2);
+}
+
+TEST(Service, HalfOpenProbeFailureReopensAndRestartsCooldown)
+{
+    // Deterministic breaker trajectory under virtual time: trip ->
+    // cooldown (counted in denied jobs) -> half-open probe fails ->
+    // re-open with a fresh cooldown -> fault clears -> probes close.
+    EnvGuard guard("QPULSE_VIRTUAL_TIME", "1");
+    const Rig rig;
+    ServicePolicy policy = smallQueuePolicy(16);
+    policy.retry.maxAttempts = 2;
+    policy.breaker.window = 4;
+    policy.breaker.minSamples = 2;
+    policy.breaker.openFailureRate = 0.5;
+    policy.breaker.cooldownDenials = 2;
+    policy.breaker.halfOpenSuccesses = 2;
+    ExecutionService service(rig.backend, rig.sim, policy);
+    FaultPlan wedged;
+    wedged.timeoutRate = 1.0;
+    service.setFaultInjector(
+        std::make_shared<FaultInjector>(wedged));
+
+    const auto drainCodes = [&](int jobs) {
+        for (int i = 0; i < jobs; ++i)
+            EXPECT_TRUE(service.submit(makeJob(rig, 0, 16)).ok());
+        std::vector<ErrorCode> codes;
+        for (const JobOutcome &out : service.drain())
+            codes.push_back(out.status.code());
+        return codes;
+    };
+
+    // Trip: two retries-exhausted jobs open the breaker.
+    EXPECT_EQ(drainCodes(2),
+              (std::vector<ErrorCode>{ErrorCode::RetriesExhausted,
+                                      ErrorCode::RetriesExhausted}));
+    EXPECT_EQ(service.breaker("default").state(), BreakerState::Open);
+    EXPECT_EQ(service.breaker("default").cooldownRemaining(), 2);
+
+    // Cooldown accounting: each denied job spends one denial.
+    EXPECT_EQ(drainCodes(1),
+              (std::vector<ErrorCode>{ErrorCode::Unavailable}));
+    EXPECT_EQ(service.breaker("default").cooldownRemaining(), 1);
+    EXPECT_EQ(drainCodes(1),
+              (std::vector<ErrorCode>{ErrorCode::Unavailable}));
+    EXPECT_EQ(service.breaker("default").cooldownRemaining(), 0);
+    EXPECT_EQ(service.stats().breakerFastFails, 2);
+
+    // Cooldown spent: the next job is the half-open probe. Still
+    // wedged, it fails — the breaker re-opens and the cooldown
+    // restarts in full.
+    EXPECT_EQ(drainCodes(1),
+              (std::vector<ErrorCode>{ErrorCode::RetriesExhausted}));
+    EXPECT_EQ(service.breaker("default").state(), BreakerState::Open);
+    EXPECT_EQ(service.breaker("default").cooldownRemaining(), 2);
+
+    // The fault clears; the same path now closes the breaker: two
+    // denials, then two successful probes.
+    service.setFaultInjector(nullptr);
+    EXPECT_EQ(drainCodes(2),
+              (std::vector<ErrorCode>{ErrorCode::Unavailable,
+                                      ErrorCode::Unavailable}));
+    EXPECT_EQ(drainCodes(1),
+              (std::vector<ErrorCode>{ErrorCode::Ok}));
+    EXPECT_EQ(service.breaker("default").state(),
+              BreakerState::HalfOpen);
+    EXPECT_EQ(drainCodes(1),
+              (std::vector<ErrorCode>{ErrorCode::Ok}));
+    EXPECT_EQ(service.breaker("default").state(),
+              BreakerState::Closed);
 }
 
 TEST(Service, SaturationIsBitIdenticalAcrossThreadCountsUnderVirtualTime)
