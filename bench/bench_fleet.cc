@@ -423,7 +423,7 @@ main()
     if (out == nullptr)
         return pass ? 0 : 1;
     std::fprintf(out, "{\n");
-    std::fprintf(out, "  \"bench\": \"fleet\",\n");
+    bench::writeBenchHeader(out, "fleet");
     std::fprintf(out,
                  "  \"thresholds\": {\"min_jobs\": %ld, "
                  "\"min_tenants\": %d, \"backends\": %zu, "

@@ -363,7 +363,7 @@ writeJson(const std::vector<EvolveRow> &rows,
         return;
     const double shot_speedup = baseline_ms / optimized_ms;
     std::fprintf(out, "{\n");
-    std::fprintf(out, "  \"bench\": \"pulsesim\",\n");
+    bench::writeBenchHeader(out, "pulsesim");
     std::fprintf(out, "  \"threads\": %zu,\n", threads);
     std::fprintf(out, "  \"workloads\": [\n");
     for (std::size_t k = 0; k < rows.size(); ++k) {

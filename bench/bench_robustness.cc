@@ -230,7 +230,7 @@ main()
     if (out == nullptr)
         return pass ? 0 : 1;
     std::fprintf(out, "{\n");
-    std::fprintf(out, "  \"bench\": \"robustness\",\n");
+    bench::writeBenchHeader(out, "robustness");
     std::fprintf(out, "  \"shots\": %ld,\n", kShots);
     std::fprintf(out, "  \"runs_per_rate\": %d,\n", kRuns);
     std::fprintf(out, "  \"sweep\": [\n");

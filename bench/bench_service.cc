@@ -272,7 +272,7 @@ main()
     if (out == nullptr)
         return pass ? 0 : 1;
     std::fprintf(out, "{\n");
-    std::fprintf(out, "  \"bench\": \"service\",\n");
+    bench::writeBenchHeader(out, "service");
     std::fprintf(out, "  \"shots\": %ld,\n", kShots);
     std::fprintf(out, "  \"queue_capacity\": %zu,\n", kQueueCapacity);
     std::fprintf(

@@ -92,6 +92,40 @@ closeBenchJson(std::FILE *out, const std::string &path)
 }
 
 /**
+ * Version of the BENCH_*.json artifact layout. Bump when a field
+ * every artifact carries (the header written below, "telemetry")
+ * changes shape, so downstream tooling can dispatch on it instead of
+ * sniffing fields.
+ */
+constexpr int kBenchSchemaVersion = 1;
+
+/** `git describe` of the tree the bench binary was built from
+ *  (configure-time; "unknown" outside a git checkout). */
+inline const char *
+gitDescribe()
+{
+#ifdef QPULSE_GIT_DESCRIBE
+    return QPULSE_GIT_DESCRIBE;
+#else
+    return "unknown";
+#endif
+}
+
+/**
+ * Emit the uniform artifact header every BENCH_*.json starts with:
+ * the bench name, the schema version, and the provenance of the
+ * binary that wrote it. Call immediately after the opening "{".
+ */
+inline void
+writeBenchHeader(std::FILE *out, const std::string &bench_name)
+{
+    std::fprintf(out, "  \"bench\": \"%s\",\n", bench_name.c_str());
+    std::fprintf(out, "  \"schema_version\": %d,\n",
+                 kBenchSchemaVersion);
+    std::fprintf(out, "  \"git_describe\": \"%s\",\n", gitDescribe());
+}
+
+/**
  * Emit the standard top-level "telemetry" member: a snapshot of the
  * global metrics registry (counters, gauges, latency histograms) at
  * the moment the bench writes its artifact. Pass trailing_comma=false

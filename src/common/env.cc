@@ -55,4 +55,18 @@ envString(const char *name)
     return std::string(raw);
 }
 
+std::optional<std::string>
+envCacheDir()
+{
+    return envString("QPULSE_CACHE_DIR");
+}
+
+long
+envCacheMaxBytes()
+{
+    constexpr long kMiB = 1024L * 1024L;
+    return envLong("QPULSE_CACHE_MAX_BYTES", 256L * kMiB, kMiB,
+                   kMiB * kMiB);
+}
+
 } // namespace qpulse

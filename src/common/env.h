@@ -6,7 +6,8 @@
  * out-of-range value produces a one-line stderr warning instead of a
  * silent fallback: QPULSE_THREADS (thread_pool.cc), QPULSE_BATCH
  * (envBatchWidth below), QPULSE_SERVICE_QUEUE (execution_service.cc),
- * QPULSE_FAULT_PLAN (fault_injector.cc). QPULSE_SANITIZE is consumed
+ * QPULSE_FAULT_PLAN (fault_injector.cc), QPULSE_CACHE_DIR /
+ * QPULSE_CACHE_MAX_BYTES (src/store). QPULSE_SANITIZE is consumed
  * by CMake at configure time, not here; see docs/ROBUSTNESS.md for
  * the full list.
  */
@@ -42,6 +43,22 @@ std::optional<std::string> envString(const char *name);
  * flip the variable between runs.
  */
 std::size_t envBatchWidth();
+
+/**
+ * QPULSE_CACHE_DIR: directory of the persistent artifact store
+ * (docs/PERSISTENCE.md). Unset or empty -> nullopt, which disables
+ * persistence entirely (behavior is then bit-identical to a build
+ * without the store).
+ */
+std::optional<std::string> envCacheDir();
+
+/**
+ * QPULSE_CACHE_MAX_BYTES: on-disk budget of the persistent artifact
+ * store. Oldest whole segments are deleted at flush time once the
+ * budget is exceeded. Unset -> 256 MiB; garbage -> default with a
+ * warning; clamped to [1 MiB, 1 TiB] with a warning.
+ */
+long envCacheMaxBytes();
 
 } // namespace qpulse
 

@@ -53,6 +53,12 @@ enum class ErrorCode
     Unavailable,       ///< Backend circuit breaker is open: fail fast.
 
     ParseError, ///< Spec string (e.g. QPULSE_FAULT_PLAN) is malformed.
+
+    // Persistent artifact store (src/store, docs/PERSISTENCE.md).
+    // Both classes fail *closed*: the loader quarantines the record
+    // and the caller falls back to fresh derivation.
+    StoreCorrupt,         ///< Checksum/framing failure in a persisted record.
+    StoreVersionMismatch, ///< Record written under a different format version.
 };
 
 /** Stable kebab-case name of a code (used in messages and JSON). */
@@ -78,6 +84,9 @@ errorCodeName(ErrorCode code)
       case ErrorCode::ResourceExhausted:   return "resource-exhausted";
       case ErrorCode::Unavailable:         return "unavailable";
       case ErrorCode::ParseError:          return "parse-error";
+      case ErrorCode::StoreCorrupt:        return "store-corrupt";
+      case ErrorCode::StoreVersionMismatch:
+          return "store-version-mismatch";
     }
     return "unknown";
 }

@@ -24,6 +24,18 @@
  *
  * Thread safety: all methods are mutex-protected, so one cache can be
  * shared by concurrent shots drawing from the same schedule.
+ *
+ * Lock order (shared with PersistentPropagatorCache, src/store): the
+ * LRU mutex `mutex_` here and the derived class's persist-queue mutex
+ * are BOTH leaf locks — no code path holds one while acquiring the
+ * other. getOrCompute* releases `mutex_` before invoking the compute
+ * factory (which, in the persistent adapter, takes the queue mutex to
+ * enqueue a write-back), and re-acquires it only after the factory
+ * returns. Combined stats snapshots (snapshotAndReset here, then the
+ * adapter's persist snapshot) acquire the two locks strictly
+ * sequentially in that order, never nested. Any future extension must
+ * preserve this: never call back into the cache from inside a factory,
+ * and never touch the persist queue while holding `mutex_`.
  */
 #ifndef QPULSE_PULSESIM_PROPAGATOR_CACHE_H
 #define QPULSE_PULSESIM_PROPAGATOR_CACHE_H
@@ -102,6 +114,8 @@ class PropagatorCache
     /** @param capacity Maximum resident entries before LRU eviction. */
     explicit PropagatorCache(std::size_t capacity = kDefaultCapacity);
 
+    virtual ~PropagatorCache() = default;
+
     /** Default entry bound: ~4k 9x9 matrices is a few MiB. */
     static constexpr std::size_t kDefaultCapacity = 4096;
 
@@ -109,10 +123,11 @@ class PropagatorCache
      * Look up `key`, computing and inserting via `compute` on a miss.
      * The factory runs outside the lock-free fast path but inside a
      * single-threaded critical section per cache; it must not reenter
-     * the cache.
+     * the cache. Virtual so PersistentPropagatorCache (src/store) can
+     * interpose a disk tier between the memory miss and the factory.
      */
-    Matrix getOrCompute(const PropagatorKey &key,
-                        const std::function<Matrix()> &compute);
+    virtual Matrix getOrCompute(const PropagatorKey &key,
+                                const std::function<Matrix()> &compute);
 
     /**
      * Allocation-aware variant of getOrCompute: the cached (or freshly
@@ -121,9 +136,9 @@ class PropagatorCache
      * loop every hit is therefore heap-silent, where the by-value
      * overload pays one matrix allocation per lookup.
      */
-    void getOrComputeInto(const PropagatorKey &key,
-                          const std::function<Matrix()> &compute,
-                          Matrix &out);
+    virtual void getOrComputeInto(const PropagatorKey &key,
+                                  const std::function<Matrix()> &compute,
+                                  Matrix &out);
 
     /** Drop every entry (counters are preserved). */
     void clear();

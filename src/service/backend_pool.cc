@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "common/rng.h"
+#include "store/persistent_propagator_cache.h"
+#include "store/serde.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
@@ -69,6 +71,20 @@ healthFailure(ErrorCode code)
     }
 }
 
+/** Generation of one member: its simulator basis version, its name
+ *  (so same-named bases on different members never cross-serve), and
+ *  its monotonic recalibration epoch. Any recalibration changes the
+ *  epoch, so previously persisted propagators become unreachable. */
+std::uint64_t
+memberGeneration(const PulseSimulator &sim, const std::string &name,
+                 std::uint64_t persistEpoch)
+{
+    const std::uint64_t base = store::mixHash(
+        sim.basisVersion(),
+        store::hashBytes(name.data(), name.size()));
+    return store::mixHash(base, persistEpoch);
+}
+
 } // namespace
 
 BackendPool::Entry::Entry(std::string name_,
@@ -90,6 +106,8 @@ BackendPool::BackendPool(Policies policies)
     throwIfError(validateBreakerPolicy(policies_.breaker));
     throwIfError(validateHealthPolicy(policies_.health));
     throwIfError(validateProbePolicy(policies_.probe));
+    store_ = policies_.artifactStore ? policies_.artifactStore
+                                     : store::ArtifactStore::openFromEnv();
 }
 
 void
@@ -120,8 +138,16 @@ BackendPool::addBackend(std::string name,
         std::move(name), std::move(backend), std::move(sim),
         std::move(probe), policies_));
     Entry *entry = entries_.back().get();
+    if (store_)
+        entry->persistCache =
+            std::make_shared<store::PersistentPropagatorCache>(
+                store_,
+                memberGeneration(entry->sim, entry->name,
+                                 entry->persistEpoch),
+                store::simConfigFingerprint(entry->sim));
     // The drift watchdog's targeted refresh re-tunes the member: its
-    // calibration is fresh again, and the fleet counts the event.
+    // calibration is fresh again, the fleet counts the event, and any
+    // persisted propagators from the stale calibration are retired.
     entry->executor.setRecalibrationHook([this, entry] {
         static telemetry::Counter &c_recal =
             telemetry::MetricsRegistry::global().counter(
@@ -129,6 +155,7 @@ BackendPool::addBackend(std::string name,
         entry->jobsSinceCalibration = 0;
         ++stats_.recalibrations;
         c_recal.increment();
+        bumpPersistGeneration(*entry);
     });
     updateGauges();
 }
@@ -246,7 +273,13 @@ BackendPool::runOn(const std::string &name,
     c_jobs.increment();
     registry.counter("fleet.routed." + entry.name).increment();
 
-    run.outcome = entry.executor.run(entry.sim, request, opts);
+    // With persistence on, route the job's propagator derivations
+    // through the member's disk-backed cache (memory -> disk ->
+    // derive). A caller-supplied cache wins: it is an explicit choice.
+    PulseShotOptions effective = opts;
+    if (entry.persistCache && !effective.cache)
+        effective.cache = entry.persistCache;
+    run.outcome = entry.executor.run(entry.sim, request, effective);
     ++entry.jobsSinceCalibration;
 
     const ErrorCode code = run.outcome.status.code();
@@ -335,6 +368,7 @@ BackendPool::readmit(const std::string &name)
         entry.injector->recalibrate();
     entry.jobsSinceCalibration = 0;
     ++entry.calibrationVersion;
+    bumpPersistGeneration(entry);
     entry.breaker = CircuitBreaker(policies_.breaker);
     std::fill(entry.window.begin(), entry.window.end(), 0);
     entry.windowNext = 0;
@@ -448,6 +482,8 @@ BackendPool::runProbe(Entry &entry)
     opts.seed = Rng::deriveSeed(policies_.probe.seed,
                                 entry.probeCounter++);
     opts.maxThreads = policies_.probe.maxThreads;
+    if (entry.persistCache)
+        opts.cache = entry.persistCache;
 
     const ResilientOutcome outcome =
         entry.executor.run(entry.sim, request, opts);
@@ -476,6 +512,36 @@ BackendPool::runProbe(Entry &entry)
         .set(entry.breaker.stateValue());
     registry.gauge("fleet.health." + entry.name).set(scoreOf(entry));
     updateGauges();
+}
+
+std::shared_ptr<store::PersistentPropagatorCache>
+BackendPool::persistentCache(const std::string &name) const
+{
+    return find(name).persistCache;
+}
+
+Status
+BackendPool::flushPersistence()
+{
+    Status first = Status::okStatus();
+    for (auto &entry : entries_) {
+        if (!entry->persistCache)
+            continue;
+        const Status status = entry->persistCache->flush();
+        if (!status.ok() && first.ok())
+            first = status;
+    }
+    return first;
+}
+
+void
+BackendPool::bumpPersistGeneration(Entry &entry)
+{
+    if (!entry.persistCache)
+        return;
+    ++entry.persistEpoch;
+    entry.persistCache->setGeneration(
+        memberGeneration(entry.sim, entry.name, entry.persistEpoch));
 }
 
 void

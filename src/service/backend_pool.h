@@ -47,6 +47,11 @@
 
 namespace qpulse {
 
+namespace store {
+class ArtifactStore;
+class PersistentPropagatorCache;
+} // namespace store
+
 /** Administrative state of one fleet member. */
 enum class BackendAdminState
 {
@@ -108,6 +113,16 @@ class BackendPool
         CircuitBreakerPolicy breaker;
         HealthPolicy health;
         ProbePolicy probe;
+        /**
+         * Persistent artifact store shared by every member (null:
+         * resolved from QPULSE_CACHE_DIR at construction; still null
+         * after that means persistence is off and behavior is
+         * bit-identical to a store-less pool). Each member gets its
+         * own PersistentPropagatorCache over this store, keyed by its
+         * basis version and per-member generation epoch
+         * (docs/PERSISTENCE.md).
+         */
+        std::shared_ptr<store::ArtifactStore> artifactStore;
     };
 
     /** Result of routing one job to one member. */
@@ -205,6 +220,25 @@ class BackendPool
     /** The shared policy block (read-only). */
     const Policies &policies() const { return policies_; }
 
+    /** The shared artifact store (null: persistence disabled). */
+    const std::shared_ptr<store::ArtifactStore> &artifactStore() const
+    {
+        return store_;
+    }
+
+    /**
+     * One member's persistent propagator cache (null when persistence
+     * is disabled). Its generation changes on every recalibration of
+     * that member — drift-watchdog refresh or drain/readmit — so
+     * artifacts persisted under the old calibration become
+     * unreachable (docs/PERSISTENCE.md invalidation model).
+     */
+    std::shared_ptr<store::PersistentPropagatorCache>
+    persistentCache(const std::string &name) const;
+
+    /** Drain every member's write-back queue into the store. */
+    Status flushPersistence();
+
   private:
     struct Entry
     {
@@ -223,6 +257,10 @@ class BackendPool
         long jobsSinceCalibration = 0;
         long calibrationVersion = 0;
         std::uint64_t probeCounter = 0;
+        /** Disk tier over the pool's shared store (null: disabled). */
+        std::shared_ptr<store::PersistentPropagatorCache> persistCache;
+        /** Monotonic recalibration count keyed into the generation. */
+        std::uint64_t persistEpoch = 0;
 
         Entry(std::string name_,
               std::shared_ptr<const PulseBackend> backend_,
@@ -242,8 +280,11 @@ class BackendPool
     void runProbe(Entry &entry);
     /** Refresh the fleet.* admin gauges after a state change. */
     void updateGauges() const;
+    /** Advance `entry`'s generation after a recalibration. */
+    void bumpPersistGeneration(Entry &entry);
 
     Policies policies_;
+    std::shared_ptr<store::ArtifactStore> store_;
     std::vector<std::unique_ptr<Entry>> entries_;
     FleetStats stats_;
 };

@@ -5,6 +5,8 @@
 #include <iterator>
 
 #include "common/env.h"
+#include "store/persistent_propagator_cache.h"
+#include "store/serde.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
@@ -95,6 +97,46 @@ ExecutionService::ExecutionService(
     throwIfError(validateServicePolicy(policy_, /*fleet=*/false));
     executor_ = std::make_unique<ResilientExecutor>(
         backend_, policy_.retry, policy_.watchdog, policy_.degrade);
+    artifactStore_ = policy_.artifactStore
+                         ? policy_.artifactStore
+                         : store::ArtifactStore::openFromEnv();
+    if (artifactStore_)
+        persistCache_ =
+            std::make_shared<store::PersistentPropagatorCache>(
+                artifactStore_,
+                store::mixHash(sim_->basisVersion(), recalEpoch_),
+                store::simConfigFingerprint(*sim_));
+    // Composite hook: a recalibration means the calibration the
+    // persisted propagators were derived under is gone — retire the
+    // generation before any user-visible bookkeeping runs.
+    executor_->setRecalibrationHook([this] { onRecalibration(); });
+}
+
+void
+ExecutionService::onRecalibration()
+{
+    if (persistCache_) {
+        ++recalEpoch_;
+        persistCache_->setGeneration(
+            store::mixHash(sim_->basisVersion(), recalEpoch_));
+    }
+    if (userRecalHook_)
+        userRecalHook_();
+}
+
+std::shared_ptr<store::ArtifactStore>
+ExecutionService::artifactStore() const
+{
+    return pool_ != nullptr ? pool_->artifactStore() : artifactStore_;
+}
+
+Status
+ExecutionService::flushPersistence()
+{
+    if (pool_ != nullptr)
+        return pool_->flushPersistence();
+    return persistCache_ ? persistCache_->flush()
+                         : Status::okStatus();
 }
 
 ExecutionService::ExecutionService(std::shared_ptr<BackendPool> pool,
@@ -333,6 +375,10 @@ ExecutionService::executeJob(PendingJob &job)
     opts.maxThreads = policy_.maxThreads;
     opts.token = job.request.token;
     opts.deadline = job.request.deadline;
+    // Persistence on: propagator derivations go through the disk-
+    // backed cache (memory hit -> disk hit -> derive and write back).
+    if (persistCache_)
+        opts.cache = persistCache_;
 
     out.execution = executor_->run(*sim_, request, opts);
     out.executed = true;
@@ -605,6 +651,13 @@ ExecutionService::drain()
               [](const JobOutcome &a, const JobOutcome &b) {
                   return a.id < b.id;
               });
+
+    // End-of-drain persistence flush: newly derived propagators reach
+    // disk at a deterministic point, so a process that exits after a
+    // drain leaves a warm cache behind. Flush failures are structured
+    // but non-fatal — the cache is an accelerator, never a
+    // correctness dependency.
+    flushPersistence();
     return outcomes;
 }
 

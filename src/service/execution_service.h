@@ -114,6 +114,16 @@ struct ServicePolicy
 
     /** Fleet scheduling knobs; ignored by single-backend services. */
     FleetPolicy fleet;
+
+    /**
+     * Persistent artifact store for the propagator disk tier (null:
+     * resolved from QPULSE_CACHE_DIR at construction; still null
+     * after that means persistence stays off and the service behaves
+     * bit-identically to one without a store). Fleet-mode services
+     * ignore this — the BackendPool owns the shared store there
+     * (BackendPool::Policies::artifactStore).
+     */
+    std::shared_ptr<store::ArtifactStore> artifactStore;
 };
 
 /** One unit of work a client submits. */
@@ -238,11 +248,40 @@ class ExecutionService
         executor().setFaultInjector(std::move(injector));
     }
 
-    /** Drift-watchdog recalibration hook (single-backend mode). */
+    /**
+     * Drift-watchdog recalibration hook (single-backend mode). The
+     * service keeps its own composite hook installed on the executor
+     * — a recalibration first retires the persisted-propagator
+     * generation (docs/PERSISTENCE.md), then runs this user hook.
+     */
     void setRecalibrationHook(std::function<void()> hook)
     {
-        executor().setRecalibrationHook(std::move(hook));
+        executor(); // Fatals in fleet mode, as before.
+        userRecalHook_ = std::move(hook);
     }
+
+    /** This service's artifact store (null: persistence disabled;
+     *  fleet mode: the pool's store). */
+    std::shared_ptr<store::ArtifactStore> artifactStore() const;
+
+    /**
+     * The single-backend persistent propagator cache (null when
+     * persistence is off or in fleet mode — fleet members keep
+     * per-member caches inside the BackendPool).
+     */
+    const std::shared_ptr<store::PersistentPropagatorCache> &
+    persistentCache() const
+    {
+        return persistCache_;
+    }
+
+    /**
+     * Push every queued propagator write-back to disk — this
+     * service's cache, or every pool member's in fleet mode. drain()
+     * already calls this at the end of each drain; call it directly
+     * before a planned process exit.
+     */
+    Status flushPersistence();
 
     /**
      * Admission control. Queue has room: admit, return Ok. Queue full:
@@ -302,6 +341,9 @@ class ExecutionService
     JobOutcome executeJob(PendingJob &job);
     JobOutcome executeFleetJob(PendingJob &job);
     void noteTerminal(const Status &status, bool executed);
+    /** Composite recalibration handler: retire the persisted
+     *  generation, then run the user hook (single-backend mode). */
+    void onRecalibration();
 
     std::shared_ptr<const PulseBackend> backend_;
     std::optional<PulseSimulator> sim_;   ///< Single-backend mode.
@@ -309,6 +351,10 @@ class ExecutionService
     std::size_t capacity_ = 0;
     std::unique_ptr<ResilientExecutor> executor_; ///< Single-backend.
     std::shared_ptr<BackendPool> pool_;           ///< Fleet mode.
+    std::shared_ptr<store::ArtifactStore> artifactStore_;
+    std::shared_ptr<store::PersistentPropagatorCache> persistCache_;
+    std::function<void()> userRecalHook_;
+    std::uint64_t recalEpoch_ = 0; ///< Keys the persist generation.
     std::deque<PendingJob> queue_;
     std::vector<JobOutcome> shedOutcomes_; ///< Victims since last drain.
     std::map<std::string, CircuitBreaker> breakers_;

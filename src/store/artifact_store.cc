@@ -1,0 +1,669 @@
+#include "store/artifact_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/env.h"
+#include "pulse/schedule.h"
+#include "store/serde.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace qpulse {
+namespace store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Record framing (all integers little-endian, docs/PERSISTENCE.md):
+//   u32 magic 'QPSR' | u32 formatVersion | u32 kind | u32 reserved
+//   u64 contentHash | u64 generation | u64 configFingerprint
+//   u64 payloadBytes | payload... | u64 crc64(header + payload)
+constexpr std::uint32_t kRecordMagic = 0x52535051u;  // "QPSR"
+constexpr std::uint32_t kIndexMagic = 0x49535051u;   // "QPSI"
+constexpr std::size_t kRecordHeaderBytes = 4 * 4 + 4 * 8;
+constexpr std::size_t kRecordTrailerBytes = 8;
+
+telemetry::Counter &
+persistCounter(const char *name)
+{
+    return telemetry::MetricsRegistry::global().counter(name);
+}
+
+std::uint64_t
+readLeU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint32_t
+readLeU32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+/** Write a whole buffer to `path` crash-safely: tmp + fsync + rename. */
+Status
+atomicWriteFile(const std::string &path,
+                const std::uint8_t *data, std::size_t size)
+{
+    const std::string tmp = path + ".tmp";
+    std::FILE *out = std::fopen(tmp.c_str(), "wb");
+    if (out == nullptr)
+        return Status::error(ErrorCode::Unavailable,
+                             "cannot open " + tmp + " for writing");
+    if (size > 0 && std::fwrite(data, 1, size, out) != size) {
+        std::fclose(out);
+        std::remove(tmp.c_str());
+        return Status::error(ErrorCode::Unavailable,
+                             "short write to " + tmp);
+    }
+    std::fflush(out);
+    ::fsync(::fileno(out));
+    std::fclose(out);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return Status::error(ErrorCode::Unavailable,
+                             "cannot rename " + tmp + " into place");
+    }
+    return Status::okStatus();
+}
+
+/** Frame one record (header + payload + checksum trailer). */
+std::vector<std::uint8_t>
+frameRecord(const ArtifactKey &key,
+            const std::vector<std::uint8_t> &payload)
+{
+    ByteWriter w;
+    w.u32(kRecordMagic);
+    w.u32(kFormatVersion);
+    w.u32(key.kind);
+    w.u32(0); // Reserved.
+    w.u64(key.contentHash);
+    w.u64(key.generation);
+    w.u64(key.configFingerprint);
+    w.u64(payload.size());
+    w.raw(payload.data(), payload.size());
+    const std::uint64_t checksum = crc64(w.bytes().data(), w.size());
+    w.u64(checksum);
+    return w.take();
+}
+
+} // namespace
+
+std::size_t
+ArtifactKeyHash::operator()(const ArtifactKey &key) const
+{
+    std::uint64_t h = mixHash(key.contentHash, key.generation);
+    h = mixHash(h, key.configFingerprint);
+    h = mixHash(h, key.kind);
+    return static_cast<std::size_t>(h);
+}
+
+ArtifactStore::ArtifactStore(std::string dir, std::uint64_t max_bytes)
+    : dir_(std::move(dir)), maxBytes_(max_bytes)
+{}
+
+ArtifactStore::~ArtifactStore()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Segment &segment : segments_)
+        unmapSegment(segment);
+}
+
+std::shared_ptr<ArtifactStore>
+ArtifactStore::open(const std::string &dir, std::uint64_t max_bytes,
+                    Status *status)
+{
+    telemetry::TraceSpan span("store.open");
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+        const Status s = Status::error(
+            ErrorCode::Unavailable,
+            "cannot create artifact store directory " + dir + ": " +
+                ec.message());
+        if (status != nullptr)
+            *status = s;
+        return nullptr;
+    }
+    std::shared_ptr<ArtifactStore> store(
+        new ArtifactStore(dir, max_bytes));
+    const Status s = store->loadExisting();
+    if (status != nullptr)
+        *status = s;
+    if (!s.ok())
+        return nullptr;
+    return store;
+}
+
+std::shared_ptr<ArtifactStore>
+ArtifactStore::openFromEnv()
+{
+    const std::optional<std::string> dir = envCacheDir();
+    if (!dir.has_value())
+        return nullptr; // Persistence disabled.
+    Status status;
+    std::shared_ptr<ArtifactStore> store =
+        open(*dir, static_cast<std::uint64_t>(envCacheMaxBytes()),
+             &status);
+    if (store == nullptr)
+        envWarn("QPULSE_CACHE_DIR",
+                "disabling persistence: " + status.toString());
+    return store;
+}
+
+Status
+ArtifactStore::loadExisting()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    // Collect and map existing segments in (id, name) order.
+    std::vector<std::pair<std::uint32_t, std::string>> found;
+    std::error_code ec;
+    for (const fs::directory_entry &entry :
+         fs::directory_iterator(dir_, ec)) {
+        const std::string name = entry.path().filename().string();
+        unsigned id = 0;
+        if (std::sscanf(name.c_str(), "seg-%u", &id) == 1 &&
+            name.size() > 4 &&
+            name.compare(name.size() - 4, 4, ".qps") == 0)
+            found.emplace_back(id, entry.path().string());
+    }
+    if (ec)
+        return Status::error(ErrorCode::Unavailable,
+                             "cannot list " + dir_ + ": " +
+                                 ec.message());
+    std::sort(found.begin(), found.end());
+    for (const auto &[id, path] : found) {
+        Segment segment;
+        segment.id = id;
+        segment.path = path;
+        if (Status s = mapSegment(segment); !s.ok()) {
+            // A transiently unreadable segment is skipped, not fatal:
+            // its artifacts simply miss and re-derive.
+            ++stats_.corrupt;
+            continue;
+        }
+        segments_.push_back(segment);
+    }
+
+    // Prefer the index file; fall back to scanning on any damage.
+    bool usable = false;
+    if (Status s = readIndexFile(usable); !s.ok())
+        return s;
+    if (!usable) {
+        index_.clear();
+        for (Segment &segment : segments_)
+            if (Status s = scanSegment(segment); !s.ok())
+                return s;
+    }
+    return Status::okStatus();
+}
+
+Status
+ArtifactStore::mapSegment(Segment &segment)
+{
+    const int fd = ::open(segment.path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return Status::error(ErrorCode::Unavailable,
+                             "cannot open " + segment.path);
+    struct stat st = {};
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+        ::close(fd);
+        return Status::error(ErrorCode::Unavailable,
+                             "cannot stat " + segment.path);
+    }
+    segment.size = static_cast<std::size_t>(st.st_size);
+    if (segment.size == 0) {
+        segment.map = nullptr;
+        ::close(fd);
+        return Status::okStatus();
+    }
+    void *map =
+        ::mmap(nullptr, segment.size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (map == MAP_FAILED)
+        return Status::error(ErrorCode::Unavailable,
+                             "cannot mmap " + segment.path);
+    // Cold-start serves touch most of the segment in record order;
+    // asking the kernel to read ahead overlaps the page-ins with
+    // validation instead of faulting one 4 KiB page at a time.
+    // Advisory only — a refusal just means slower first touches.
+    ::madvise(map, segment.size, MADV_WILLNEED);
+    segment.map = static_cast<const std::uint8_t *>(map);
+    return Status::okStatus();
+}
+
+void
+ArtifactStore::unmapSegment(Segment &segment)
+{
+    if (segment.map != nullptr) {
+        ::munmap(const_cast<std::uint8_t *>(segment.map),
+                 segment.size);
+        segment.map = nullptr;
+    }
+}
+
+Status
+ArtifactStore::scanSegment(Segment &segment)
+{
+    // Walk the record chain. Framing damage (bad magic, a record
+    // running past the file) makes the rest of the segment
+    // unaddressable — stop there and count it; everything before the
+    // damage stays served. Checksums are verified lazily on first get.
+    std::size_t offset = 0;
+    while (offset + kRecordHeaderBytes + kRecordTrailerBytes <=
+           segment.size) {
+        const std::uint8_t *p = segment.map + offset;
+        const std::uint32_t magic = readLeU32(p);
+        if (magic != kRecordMagic)
+            break; // Counted below: offset stops short of the size.
+        const std::uint32_t version = readLeU32(p + 4);
+        ArtifactKey key;
+        key.kind = readLeU32(p + 8);
+        key.contentHash = readLeU64(p + 16);
+        key.generation = readLeU64(p + 24);
+        key.configFingerprint = readLeU64(p + 32);
+        const std::uint64_t payloadBytes = readLeU64(p + 40);
+        const std::uint64_t recordBytes = kRecordHeaderBytes +
+                                          payloadBytes +
+                                          kRecordTrailerBytes;
+        if (offset + recordBytes > segment.size)
+            break; // Truncated tail; counted below.
+        IndexEntry entry;
+        entry.segment = segment.id;
+        entry.offset = offset;
+        entry.recordBytes = recordBytes;
+        if (version != kFormatVersion) {
+            entry.state = RecordState::QuarantinedVersion;
+            ++stats_.versionMismatch;
+            ++stats_.quarantined;
+        }
+        index_[key] = entry; // Newest record for a key wins.
+        offset += static_cast<std::size_t>(recordBytes);
+    }
+    if (offset < segment.size) {
+        // Framing damage — bad magic, a record running past the file,
+        // or a tail too short to frame one (crash mid-copy of a
+        // foreign tool, disk full...). The prefix stays served; the
+        // damaged remainder is quarantined as one unit.
+        ++stats_.corrupt;
+        ++stats_.quarantined;
+    }
+    return Status::okStatus();
+}
+
+Status
+ArtifactStore::readIndexFile(bool &usable)
+{
+    usable = false;
+    const std::string path = dir_ + "/index.qpi";
+    std::FILE *in = std::fopen(path.c_str(), "rb");
+    if (in == nullptr)
+        return Status::okStatus(); // No index: rebuild by scan.
+    std::fseek(in, 0, SEEK_END);
+    const long size = std::ftell(in);
+    std::fseek(in, 0, SEEK_SET);
+    if (size < 0) {
+        std::fclose(in);
+        return Status::okStatus();
+    }
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+    const std::size_t read =
+        bytes.empty() ? 0 : std::fread(bytes.data(), 1, bytes.size(), in);
+    std::fclose(in);
+    if (read != bytes.size() || bytes.size() < 4 + 4 + 8 + 8)
+        return Status::okStatus(); // Short index: rebuild by scan.
+
+    // Trailing CRC over everything before it.
+    const std::uint64_t expected =
+        readLeU64(bytes.data() + bytes.size() - 8);
+    if (crc64(bytes.data(), bytes.size() - 8) != expected) {
+        ++stats_.corrupt;
+        return Status::okStatus(); // Corrupt index: rebuild by scan.
+    }
+    if (readLeU32(bytes.data()) != kIndexMagic ||
+        readLeU32(bytes.data() + 4) != kFormatVersion) {
+        ++stats_.versionMismatch;
+        return Status::okStatus();
+    }
+    const std::uint64_t count = readLeU64(bytes.data() + 8);
+    constexpr std::size_t kEntryBytes = 8 * 3 + 4 * 2 + 8 * 2;
+    if (16 + count * kEntryBytes + 8 != bytes.size()) {
+        ++stats_.corrupt;
+        return Status::okStatus();
+    }
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint8_t *p = bytes.data() + 16 + i * kEntryBytes;
+        ArtifactKey key;
+        key.contentHash = readLeU64(p);
+        key.generation = readLeU64(p + 8);
+        key.configFingerprint = readLeU64(p + 16);
+        key.kind = readLeU32(p + 24);
+        IndexEntry entry;
+        entry.segment = readLeU32(p + 28);
+        entry.offset = readLeU64(p + 32);
+        entry.recordBytes = readLeU64(p + 40);
+        // Entries must land inside a live, mapped segment; stale ones
+        // (dropped segments, foreign writers) are simply skipped.
+        const auto segment = std::find_if(
+            segments_.begin(), segments_.end(),
+            [&](const Segment &s) { return s.id == entry.segment; });
+        if (segment == segments_.end() ||
+            entry.offset + entry.recordBytes > segment->size)
+            continue;
+        index_[key] = entry;
+    }
+    usable = true;
+    return Status::okStatus();
+}
+
+Status
+ArtifactStore::writeIndexFile()
+{
+    ByteWriter w;
+    w.u32(kIndexMagic);
+    w.u32(kFormatVersion);
+    w.u64(index_.size());
+    for (const auto &[key, entry] : index_) {
+        w.u64(key.contentHash);
+        w.u64(key.generation);
+        w.u64(key.configFingerprint);
+        w.u32(key.kind);
+        w.u32(entry.segment);
+        w.u64(entry.offset);
+        w.u64(entry.recordBytes);
+    }
+    w.u64(crc64(w.bytes().data(), w.size()));
+    return atomicWriteFile(dir_ + "/index.qpi", w.bytes().data(),
+                           w.size());
+}
+
+Status
+ArtifactStore::put(const ArtifactKey &key,
+                   const std::vector<std::uint8_t> &payload)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_.push_back(Pending{key, frameRecord(key, payload)});
+    ++stats_.puts;
+    return Status::okStatus();
+}
+
+std::uint32_t
+ArtifactStore::nextSegmentId() const
+{
+    std::uint32_t next = 1;
+    for (const Segment &segment : segments_)
+        next = std::max(next, segment.id + 1);
+    return next;
+}
+
+Status
+ArtifactStore::flush()
+{
+    static telemetry::Counter &c_flushes =
+        persistCounter("cache.persist.flushes");
+    static telemetry::Counter &c_bytes =
+        persistCounter("cache.persist.bytes_written");
+    telemetry::TraceSpan span("cache.persist.flush");
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (pending_.empty())
+        return Status::okStatus();
+
+    Segment segment;
+    segment.id = nextSegmentId();
+    // The pid suffix keeps two processes flushing into one directory
+    // from racing to the same name; ordering stays by id.
+    char name[64];
+    std::snprintf(name, sizeof name, "seg-%06u-%d.qps", segment.id,
+                  static_cast<int>(::getpid()));
+    segment.path = dir_ + "/" + name;
+
+    ByteWriter w;
+    std::vector<std::pair<ArtifactKey, IndexEntry>> fresh;
+    fresh.reserve(pending_.size());
+    for (const Pending &p : pending_) {
+        IndexEntry entry;
+        entry.segment = segment.id;
+        entry.offset = w.size();
+        entry.recordBytes = p.record.size();
+        entry.state = RecordState::Valid;
+        entry.payloadOffset = entry.offset + kRecordHeaderBytes;
+        entry.payloadBytes = p.record.size() - kRecordHeaderBytes -
+                             kRecordTrailerBytes;
+        fresh.emplace_back(p.key, entry);
+        w.raw(p.record.data(), p.record.size());
+    }
+
+    if (Status s =
+            atomicWriteFile(segment.path, w.bytes().data(), w.size());
+        !s.ok())
+        return s;
+    if (Status s = mapSegment(segment); !s.ok())
+        return s;
+    segments_.push_back(segment);
+    for (auto &[key, entry] : fresh)
+        index_[key] = entry;
+    pending_.clear();
+    stats_.bytesWritten += w.size();
+    c_bytes.add(w.size());
+    ++stats_.flushes;
+    c_flushes.increment();
+
+    if (Status s = enforceBudget(); !s.ok())
+        return s;
+    return writeIndexFile();
+}
+
+Status
+ArtifactStore::enforceBudget()
+{
+    if (maxBytes_ == 0)
+        return Status::okStatus();
+    auto total = [&] {
+        std::uint64_t bytes = 0;
+        for (const Segment &segment : segments_)
+            bytes += segment.size;
+        return bytes;
+    };
+    // Drop oldest whole segments until under budget; the newest one
+    // (just flushed) always survives so fresh write-backs are never
+    // reclaimed before a single serve.
+    while (segments_.size() > 1 && total() > maxBytes_) {
+        Segment victim = segments_.front();
+        segments_.erase(segments_.begin());
+        for (auto it = index_.begin(); it != index_.end();)
+            it = it->second.segment == victim.id ? index_.erase(it)
+                                                 : std::next(it);
+        unmapSegment(victim);
+        std::remove(victim.path.c_str());
+        ++stats_.segmentsDropped;
+    }
+    return Status::okStatus();
+}
+
+Status
+ArtifactStore::validate(const ArtifactKey &key, IndexEntry &entry)
+{
+    static telemetry::Counter &c_corrupt =
+        persistCounter("cache.persist.corrupt");
+    static telemetry::Counter &c_version =
+        persistCounter("cache.persist.version_mismatch");
+    static telemetry::Counter &c_quarantined =
+        persistCounter("cache.persist.quarantined");
+
+    const auto segment = std::find_if(
+        segments_.begin(), segments_.end(),
+        [&](const Segment &s) { return s.id == entry.segment; });
+    const auto quarantineCorrupt = [&](const std::string &why) {
+        entry.state = RecordState::QuarantinedCorrupt;
+        ++stats_.corrupt;
+        ++stats_.quarantined;
+        c_corrupt.increment();
+        c_quarantined.increment();
+        return Status::error(ErrorCode::StoreCorrupt, why);
+    };
+    if (segment == segments_.end() ||
+        entry.offset + entry.recordBytes > segment->size ||
+        entry.recordBytes <
+            kRecordHeaderBytes + kRecordTrailerBytes)
+        return quarantineCorrupt("record outside its segment");
+
+    const std::uint8_t *p = segment->map + entry.offset;
+    if (readLeU32(p) != kRecordMagic)
+        return quarantineCorrupt("bad record magic");
+    if (readLeU32(p + 4) != kFormatVersion) {
+        entry.state = RecordState::QuarantinedVersion;
+        ++stats_.versionMismatch;
+        ++stats_.quarantined;
+        c_version.increment();
+        c_quarantined.increment();
+        return Status::error(ErrorCode::StoreVersionMismatch,
+                             "record format version " +
+                                 std::to_string(readLeU32(p + 4)) +
+                                 " != " +
+                                 std::to_string(kFormatVersion));
+    }
+    ArtifactKey stored;
+    stored.kind = readLeU32(p + 8);
+    stored.contentHash = readLeU64(p + 16);
+    stored.generation = readLeU64(p + 24);
+    stored.configFingerprint = readLeU64(p + 32);
+    if (!(stored == key))
+        return quarantineCorrupt("record key does not echo the "
+                                 "requested key (index damage)");
+    const std::uint64_t payloadBytes = readLeU64(p + 40);
+    if (kRecordHeaderBytes + payloadBytes + kRecordTrailerBytes !=
+        entry.recordBytes)
+        return quarantineCorrupt("record length mismatch");
+    const std::uint64_t expected =
+        readLeU64(p + entry.recordBytes - kRecordTrailerBytes);
+    if (crc64(p, static_cast<std::size_t>(entry.recordBytes -
+                                          kRecordTrailerBytes)) !=
+        expected)
+        return quarantineCorrupt("record checksum mismatch");
+
+    entry.state = RecordState::Valid;
+    entry.payloadOffset = entry.offset + kRecordHeaderBytes;
+    entry.payloadBytes = payloadBytes;
+    return Status::okStatus();
+}
+
+Status
+ArtifactStore::get(const ArtifactKey &key, ArtifactView &view)
+{
+    static telemetry::Counter &c_read =
+        persistCounter("cache.persist.bytes_read");
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    view = ArtifactView{};
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++stats_.misses;
+        return Status::error(ErrorCode::InvalidArgument,
+                             "artifact not found");
+    }
+    IndexEntry &entry = it->second;
+    switch (entry.state) {
+      case RecordState::QuarantinedCorrupt:
+        ++stats_.misses;
+        return Status::error(ErrorCode::StoreCorrupt,
+                             "record is quarantined");
+      case RecordState::QuarantinedVersion:
+        ++stats_.misses;
+        return Status::error(ErrorCode::StoreVersionMismatch,
+                             "record is quarantined (foreign format "
+                             "version)");
+      case RecordState::Unvalidated:
+        if (Status s = validate(key, entry); !s.ok()) {
+            ++stats_.misses;
+            return s;
+        }
+        break;
+      case RecordState::Valid:
+        break;
+    }
+    const auto segment = std::find_if(
+        segments_.begin(), segments_.end(),
+        [&](const Segment &s) { return s.id == entry.segment; });
+    if (segment == segments_.end()) {
+        ++stats_.misses;
+        return Status::error(ErrorCode::StoreCorrupt,
+                             "segment dropped");
+    }
+    view.data = segment->map + entry.payloadOffset;
+    view.size = static_cast<std::size_t>(entry.payloadBytes);
+    ++stats_.hits;
+    stats_.bytesRead += view.size;
+    c_read.add(view.size);
+    return Status::okStatus();
+}
+
+bool
+ArtifactStore::contains(const ArtifactKey &key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return index_.find(key) != index_.end();
+}
+
+std::size_t
+ArtifactStore::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return index_.size();
+}
+
+std::uint64_t
+ArtifactStore::diskBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t bytes = 0;
+    for (const Segment &segment : segments_)
+        bytes += segment.size;
+    return bytes;
+}
+
+StoreStats
+ArtifactStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+Status
+putSchedule(ArtifactStore &store, const ArtifactKey &key,
+            const Schedule &schedule)
+{
+    ByteWriter w;
+    serializeSchedule(schedule, w);
+    return store.put(key, w.bytes());
+}
+
+Status
+getSchedule(ArtifactStore &store, const ArtifactKey &key,
+            Schedule &out)
+{
+    ArtifactView view;
+    if (Status s = store.get(key, view); !s.ok())
+        return s;
+    ByteReader r(view.data, view.size);
+    return deserializeSchedule(r, out);
+}
+
+} // namespace store
+} // namespace qpulse

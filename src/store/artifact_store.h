@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Content-addressed persistent artifact store (docs/PERSISTENCE.md).
+ *
+ * Derived artifacts — propagator blocks, compiled schedules,
+ * calibration snapshots — are pure functions of their inputs, so they
+ * are addressed by content, not by name: the key is
+ * (content hash, generation, sim-config fingerprint, kind). A fresh
+ * process pointed at the same QPULSE_CACHE_DIR finds the artifacts a
+ * previous process derived and serves them without paying the
+ * derivation cost again.
+ *
+ * On-disk layout (`<dir>/`):
+ *
+ *   seg-000001.qps   immutable record segments, written whole via
+ *   seg-000002.qps   temp file + fsync + atomic rename — a crash
+ *   ...              leaves either the complete segment or no segment,
+ *                    never a half-visible one;
+ *   index.qpi        key -> (segment, offset) table, rewritten
+ *                    atomically after every flush. Advisory only: a
+ *                    missing or corrupt index is rebuilt by scanning
+ *                    the segments.
+ *
+ * Each record carries magic, format version, its full key, the payload
+ * length and a CRC-64 over everything before the checksum. Reads go
+ * through a read-only mmap of the segment; a record is validated once
+ * (magic + version + key echo + CRC) and then served as a zero-copy
+ * view into the mapping. Validation failure quarantines the record for
+ * the lifetime of the store — it is never retried, never trusted, and
+ * the caller falls back to fresh derivation (fail closed).
+ *
+ * Invalidation is by *unreachability*, not deletion: recalibration
+ * bumps the generation component of the key, so every artifact of the
+ * old generation simply stops being addressable. Old bytes are only
+ * physically reclaimed by the size budget (QPULSE_CACHE_MAX_BYTES),
+ * which drops the oldest whole segments at flush time.
+ *
+ * Thread safety: all public methods are mutex-protected. Cross-process
+ * writers are coordinated by the atomic-rename protocol (each process
+ * writes its own segments; the index is last-writer-wins and
+ * self-healing).
+ */
+#ifndef QPULSE_STORE_ARTIFACT_STORE_H
+#define QPULSE_STORE_ARTIFACT_STORE_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qpulse {
+
+class Schedule;
+
+namespace store {
+
+/** What a persisted payload decodes to. */
+enum class ArtifactKind : std::uint32_t
+{
+    PropagatorBlock = 1,   ///< PropagatorKey words + Matrix.
+    CompiledSchedule = 2,  ///< Serialized Schedule.
+    CalibrationSnapshot = 3, ///< Serialized PulseLibrary.
+};
+
+/** Content address of one artifact (docs/PERSISTENCE.md keying). */
+struct ArtifactKey
+{
+    std::uint64_t contentHash = 0; ///< Hash of the derivation inputs.
+    std::uint64_t generation = 0;  ///< Calibration/basis generation.
+    std::uint64_t configFingerprint = 0; ///< simConfigFingerprint.
+    std::uint32_t kind = 0;        ///< ArtifactKind.
+
+    bool operator==(const ArtifactKey &other) const
+    {
+        return contentHash == other.contentHash &&
+               generation == other.generation &&
+               configFingerprint == other.configFingerprint &&
+               kind == other.kind;
+    }
+};
+
+struct ArtifactKeyHash
+{
+    std::size_t operator()(const ArtifactKey &key) const;
+};
+
+/** Zero-copy view of a validated record payload inside an mmap. */
+struct ArtifactView
+{
+    const std::uint8_t *data = nullptr;
+    std::size_t size = 0;
+};
+
+/** Monotonic per-store counters (also mirrored into cache.persist.*). */
+struct StoreStats
+{
+    std::uint64_t puts = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t corrupt = 0;         ///< Checksum/framing failures.
+    std::uint64_t versionMismatch = 0; ///< Foreign format versions.
+    std::uint64_t quarantined = 0;     ///< Records marked untrusted.
+    std::uint64_t flushes = 0;
+    std::uint64_t segmentsDropped = 0; ///< Reclaimed by the size budget.
+    std::uint64_t bytesWritten = 0;
+    std::uint64_t bytesRead = 0;
+};
+
+class ArtifactStore
+{
+  public:
+    ~ArtifactStore();
+
+    ArtifactStore(const ArtifactStore &) = delete;
+    ArtifactStore &operator=(const ArtifactStore &) = delete;
+
+    /**
+     * Open (creating if needed) the store at `dir`. Reads the index if
+     * present, else rebuilds it by scanning segments. Returns nullptr
+     * with a structured Status on an unusable directory.
+     */
+    static std::shared_ptr<ArtifactStore>
+    open(const std::string &dir, std::uint64_t max_bytes,
+         Status *status = nullptr);
+
+    /**
+     * Open from QPULSE_CACHE_DIR / QPULSE_CACHE_MAX_BYTES. Unset or
+     * empty dir -> nullptr (persistence disabled); an unusable dir
+     * warns via envWarn and also returns nullptr, so a bad knob can
+     * never take the execution path down.
+     */
+    static std::shared_ptr<ArtifactStore> openFromEnv();
+
+    /**
+     * Buffer one artifact for the next flush(). Duplicate keys (same
+     * content re-derived by a racing process) are benign: the newest
+     * record wins in the index, both decode identically.
+     */
+    Status put(const ArtifactKey &key,
+               const std::vector<std::uint8_t> &payload);
+
+    /**
+     * Write every buffered artifact into a new immutable segment
+     * (temp + fsync + atomic rename), update the in-memory index,
+     * rewrite the index file atomically, and enforce the size budget
+     * by dropping the oldest whole segments. No-op when nothing is
+     * buffered.
+     */
+    Status flush();
+
+    /**
+     * Look up `key` and validate its record (first access only).
+     * Ok: `view` points at the payload inside the segment mapping,
+     * valid until the store is destroyed or the segment is dropped by
+     * the size budget — consume before the next flush().
+     * Miss: StoreCorrupt/StoreVersionMismatch for quarantined records,
+     * InvalidArgument("not found") for absent keys.
+     */
+    Status get(const ArtifactKey &key, ArtifactView &view);
+
+    /** True if `key` is indexed (validation state notwithstanding). */
+    bool contains(const ArtifactKey &key) const;
+
+    /** Indexed record count (including quarantined ones). */
+    std::size_t size() const;
+
+    /** Bytes currently on disk across live segments. */
+    std::uint64_t diskBytes() const;
+
+    StoreStats stats() const;
+
+    const std::string &directory() const { return dir_; }
+
+  private:
+    ArtifactStore(std::string dir, std::uint64_t max_bytes);
+
+    struct Segment
+    {
+        std::uint32_t id = 0;
+        std::string path;
+        const std::uint8_t *map = nullptr; ///< Read-only mmap base.
+        std::size_t size = 0;
+    };
+
+    enum class RecordState : std::uint8_t
+    {
+        Unvalidated,
+        Valid,
+        QuarantinedCorrupt,
+        QuarantinedVersion,
+    };
+
+    struct IndexEntry
+    {
+        std::uint32_t segment = 0;
+        std::uint64_t offset = 0;
+        std::uint64_t recordBytes = 0;
+        RecordState state = RecordState::Unvalidated;
+        std::uint64_t payloadOffset = 0; ///< Set on validation.
+        std::uint64_t payloadBytes = 0;
+    };
+
+    Status loadExisting();
+    Status scanSegment(Segment &segment);
+    Status mapSegment(Segment &segment);
+    void unmapSegment(Segment &segment);
+    Status writeIndexFile();
+    Status readIndexFile(bool &usable);
+    Status enforceBudget();
+    Status validate(const ArtifactKey &key, IndexEntry &entry);
+    std::uint32_t nextSegmentId() const;
+
+    std::string dir_;
+    std::uint64_t maxBytes_ = 0;
+    std::vector<Segment> segments_; ///< Ascending id order.
+    std::unordered_map<ArtifactKey, IndexEntry, ArtifactKeyHash>
+        index_;
+    struct Pending
+    {
+        ArtifactKey key;
+        std::vector<std::uint8_t> record; ///< Full framed record.
+    };
+    std::vector<Pending> pending_;
+    StoreStats stats_;
+    mutable std::mutex mutex_;
+};
+
+/** Serialize-and-put / get-and-deserialize conveniences. */
+Status putSchedule(ArtifactStore &store, const ArtifactKey &key,
+                   const Schedule &schedule);
+Status getSchedule(ArtifactStore &store, const ArtifactKey &key,
+                   Schedule &out);
+
+} // namespace store
+} // namespace qpulse
+
+#endif // QPULSE_STORE_ARTIFACT_STORE_H

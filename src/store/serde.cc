@@ -1,0 +1,749 @@
+#include "store/serde.h"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+#include "common/constants.h"
+#include "linalg/simd.h"
+#include "pulsesim/simulator.h"
+
+namespace qpulse {
+namespace store {
+
+namespace {
+
+/**
+ * Lazily built CRC-64/XZ tables (ECMA-182 polynomial, reflected),
+ * slice-by-16: table[0] is the classic byte-at-a-time table; table[k]
+ * advances a byte through k additional zero bytes, so sixteen input
+ * bytes fold per loop iteration. Identical output to the byte-wise
+ * loop — record validation sits on the cold-start serve path, and the
+ * update is a serial dependency chain, so halving the iterations
+ * (vs slice-by-8) is a direct latency win worth the 32 KiB of tables.
+ */
+const std::array<std::array<std::uint64_t, 256>, 16> &
+crcTables()
+{
+    static const std::array<std::array<std::uint64_t, 256>, 16>
+        tables = [] {
+            std::array<std::array<std::uint64_t, 256>, 16> t{};
+            constexpr std::uint64_t kPoly = 0xC96C5795D7870F42ull;
+            for (std::uint64_t i = 0; i < 256; ++i) {
+                std::uint64_t crc = i;
+                for (int bit = 0; bit < 8; ++bit)
+                    crc = (crc >> 1) ^ (kPoly & (0ull - (crc & 1)));
+                t[0][i] = crc;
+            }
+            for (std::size_t k = 1; k < 16; ++k)
+                for (std::size_t i = 0; i < 256; ++i)
+                    t[k][i] = (t[k - 1][i] >> 8) ^
+                              t[0][t[k - 1][i] & 0xFF];
+            return t;
+        }();
+    return tables;
+}
+
+Status
+corrupt(const std::string &what)
+{
+    return Status::error(ErrorCode::StoreCorrupt, what);
+}
+
+constexpr bool kHostLittleEndian =
+    std::endian::native == std::endian::little;
+
+constexpr std::uint64_t
+byteswap64(std::uint64_t v)
+{
+    v = ((v & 0x00FF00FF00FF00FFull) << 8) |
+        ((v >> 8) & 0x00FF00FF00FF00FFull);
+    v = ((v & 0x0000FFFF0000FFFFull) << 16) |
+        ((v >> 16) & 0x0000FFFF0000FFFFull);
+    return (v << 32) | (v >> 32);
+}
+
+} // namespace
+
+std::uint64_t
+crc64(const void *bytes, std::size_t size, std::uint64_t seed)
+{
+    const auto &t = crcTables();
+    const auto *p = static_cast<const std::uint8_t *>(bytes);
+    std::uint64_t crc = ~seed;
+    while (size >= 16) {
+        std::uint64_t lo, hi;
+        std::memcpy(&lo, p, 8);
+        std::memcpy(&hi, p + 8, 8);
+        if constexpr (!kHostLittleEndian) {
+            lo = byteswap64(lo);
+            hi = byteswap64(hi);
+        }
+        lo ^= crc;
+        crc = t[15][lo & 0xFF] ^ t[14][(lo >> 8) & 0xFF] ^
+              t[13][(lo >> 16) & 0xFF] ^ t[12][(lo >> 24) & 0xFF] ^
+              t[11][(lo >> 32) & 0xFF] ^ t[10][(lo >> 40) & 0xFF] ^
+              t[9][(lo >> 48) & 0xFF] ^ t[8][lo >> 56] ^
+              t[7][hi & 0xFF] ^ t[6][(hi >> 8) & 0xFF] ^
+              t[5][(hi >> 16) & 0xFF] ^ t[4][(hi >> 24) & 0xFF] ^
+              t[3][(hi >> 32) & 0xFF] ^ t[2][(hi >> 40) & 0xFF] ^
+              t[1][(hi >> 48) & 0xFF] ^ t[0][hi >> 56];
+        p += 16;
+        size -= 16;
+    }
+    while (size >= 8) {
+        std::uint64_t block;
+        std::memcpy(&block, p, 8);
+        if constexpr (!kHostLittleEndian)
+            block = byteswap64(block);
+        crc ^= block;
+        crc = t[7][crc & 0xFF] ^ t[6][(crc >> 8) & 0xFF] ^
+              t[5][(crc >> 16) & 0xFF] ^ t[4][(crc >> 24) & 0xFF] ^
+              t[3][(crc >> 32) & 0xFF] ^ t[2][(crc >> 40) & 0xFF] ^
+              t[1][(crc >> 48) & 0xFF] ^ t[0][crc >> 56];
+        p += 8;
+        size -= 8;
+    }
+    for (std::size_t i = 0; i < size; ++i)
+        crc = t[0][(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+    return ~crc;
+}
+
+std::uint64_t
+hashBytes(const void *bytes, std::size_t size, std::uint64_t seed)
+{
+    const auto *p = static_cast<const std::uint8_t *>(bytes);
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= p[i];
+        h *= 0x100000001B3ull;
+    }
+    return h;
+}
+
+std::uint64_t
+mixHash(std::uint64_t a, std::uint64_t b)
+{
+    // splitmix64 finalizer over the ordered pair.
+    std::uint64_t z = a + 0x9E3779B97F4A7C15ull + (b << 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31) ^ b;
+}
+
+// ------------------------------------------------------------------
+// ByteWriter
+// ------------------------------------------------------------------
+
+void
+ByteWriter::u32(std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+ByteWriter::u64(std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+ByteWriter::f64(double v)
+{
+    u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void
+ByteWriter::c128(const Complex &v)
+{
+    f64(v.real());
+    f64(v.imag());
+}
+
+void
+ByteWriter::str(const std::string &v)
+{
+    u64(v.size());
+    raw(v.data(), v.size());
+}
+
+void
+ByteWriter::raw(const void *data, std::size_t size)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    bytes_.insert(bytes_.end(), p, p + size);
+}
+
+void
+ByteWriter::i64Array(const std::int64_t *src, std::size_t count)
+{
+    if constexpr (kHostLittleEndian) {
+        raw(src, count * sizeof(std::int64_t));
+    } else {
+        for (std::size_t i = 0; i < count; ++i)
+            i64(src[i]);
+    }
+}
+
+void
+ByteWriter::f64Array(const double *src, std::size_t count)
+{
+    if constexpr (kHostLittleEndian) {
+        raw(src, count * sizeof(double));
+    } else {
+        for (std::size_t i = 0; i < count; ++i)
+            f64(src[i]);
+    }
+}
+
+// ------------------------------------------------------------------
+// ByteReader
+// ------------------------------------------------------------------
+
+Status
+ByteReader::need(std::size_t n)
+{
+    if (size_ - pos_ < n)
+        return corrupt("record payload truncated: wanted " +
+                       std::to_string(n) + " bytes, have " +
+                       std::to_string(size_ - pos_));
+    return Status::okStatus();
+}
+
+Status
+ByteReader::u8(std::uint8_t &v)
+{
+    if (Status s = need(1); !s.ok())
+        return s;
+    v = data_[pos_++];
+    return Status::okStatus();
+}
+
+Status
+ByteReader::u32(std::uint32_t &v)
+{
+    if (Status s = need(4); !s.ok())
+        return s;
+    v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    return Status::okStatus();
+}
+
+Status
+ByteReader::u64(std::uint64_t &v)
+{
+    if (Status s = need(8); !s.ok())
+        return s;
+    v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    return Status::okStatus();
+}
+
+Status
+ByteReader::i64(std::int64_t &v)
+{
+    std::uint64_t raw = 0;
+    if (Status s = u64(raw); !s.ok())
+        return s;
+    v = static_cast<std::int64_t>(raw);
+    return Status::okStatus();
+}
+
+Status
+ByteReader::f64(double &v)
+{
+    std::uint64_t raw = 0;
+    if (Status s = u64(raw); !s.ok())
+        return s;
+    v = std::bit_cast<double>(raw);
+    return Status::okStatus();
+}
+
+Status
+ByteReader::c128(Complex &v)
+{
+    double re = 0.0, im = 0.0;
+    if (Status s = f64(re); !s.ok())
+        return s;
+    if (Status s = f64(im); !s.ok())
+        return s;
+    v = Complex{re, im};
+    return Status::okStatus();
+}
+
+Status
+ByteReader::str(std::string &v)
+{
+    std::uint64_t size = 0;
+    if (Status s = u64(size); !s.ok())
+        return s;
+    if (Status s = need(static_cast<std::size_t>(size)); !s.ok())
+        return s;
+    v.assign(reinterpret_cast<const char *>(data_ + pos_),
+             static_cast<std::size_t>(size));
+    pos_ += static_cast<std::size_t>(size);
+    return Status::okStatus();
+}
+
+Status
+ByteReader::i64Array(std::int64_t *dst, std::size_t count)
+{
+    if (Status s = need(count * sizeof(std::int64_t)); !s.ok())
+        return s;
+    if constexpr (kHostLittleEndian) {
+        std::memcpy(dst, data_ + pos_, count * sizeof(std::int64_t));
+        pos_ += count * sizeof(std::int64_t);
+    } else {
+        for (std::size_t i = 0; i < count; ++i)
+            i64(dst[i]);
+    }
+    return Status::okStatus();
+}
+
+Status
+ByteReader::f64Array(double *dst, std::size_t count)
+{
+    if (Status s = need(count * sizeof(double)); !s.ok())
+        return s;
+    if constexpr (kHostLittleEndian) {
+        std::memcpy(dst, data_ + pos_, count * sizeof(double));
+        pos_ += count * sizeof(double);
+    } else {
+        for (std::size_t i = 0; i < count; ++i)
+            f64(dst[i]);
+    }
+    return Status::okStatus();
+}
+
+// ------------------------------------------------------------------
+// Matrix / PropagatorKey
+// ------------------------------------------------------------------
+
+void
+serializeMatrix(const Matrix &m, ByteWriter &w)
+{
+    w.u64(m.rows());
+    w.u64(m.cols());
+    // std::complex<double> is layout-compatible with double[2]
+    // (re, im) — the bulk append writes the same consecutive
+    // little-endian f64 pairs c128 would.
+    w.f64Array(reinterpret_cast<const double *>(m.data().data()),
+               m.data().size() * 2);
+}
+
+Status
+deserializeMatrix(ByteReader &r, Matrix &out)
+{
+    std::uint64_t rows = 0, cols = 0;
+    if (Status s = r.u64(rows); !s.ok())
+        return s;
+    if (Status s = r.u64(cols); !s.ok())
+        return s;
+    // Entries are 16 bytes each; bound the claimed shape by the bytes
+    // actually present so a corrupt header cannot trigger a huge
+    // allocation before the payload read fails.
+    if (rows * cols > r.remaining() / 16 + 1)
+        return corrupt("matrix header claims " + std::to_string(rows) +
+                       "x" + std::to_string(cols) +
+                       " entries beyond the payload");
+    out.resize(static_cast<std::size_t>(rows),
+               static_cast<std::size_t>(cols));
+    return r.f64Array(reinterpret_cast<double *>(out.data().data()),
+                      out.data().size() * 2);
+}
+
+void
+serializePropagatorKey(const PropagatorKey &key, ByteWriter &w)
+{
+    w.u64(key.words.size());
+    w.i64Array(key.words.data(), key.words.size());
+}
+
+Status
+deserializePropagatorKey(ByteReader &r, PropagatorKey &out)
+{
+    std::uint64_t count = 0;
+    if (Status s = r.u64(count); !s.ok())
+        return s;
+    if (count > r.remaining() / 8 + 1)
+        return corrupt("propagator key claims " + std::to_string(count) +
+                       " words beyond the payload");
+    out.words.resize(static_cast<std::size_t>(count));
+    return r.i64Array(out.words.data(), out.words.size());
+}
+
+// ------------------------------------------------------------------
+// Schedule
+// ------------------------------------------------------------------
+
+void
+serializeSchedule(const Schedule &schedule, ByteWriter &w)
+{
+    w.str(schedule.name());
+    const auto &instructions = schedule.instructions();
+    w.u64(instructions.size());
+    for (const PulseInstruction &instr : instructions) {
+        w.u8(static_cast<std::uint8_t>(instr.kind));
+        w.u8(static_cast<std::uint8_t>(instr.channel.kind));
+        w.u64(instr.channel.index);
+        w.i64(instr.startTime);
+        w.f64(instr.phase);
+        w.f64(instr.frequencyGhz);
+        w.i64(instr.duration);
+        if (instr.kind == PulseInstructionKind::Play &&
+            instr.waveform != nullptr) {
+            const std::vector<Complex> samples =
+                instr.waveform->samples();
+            w.str(instr.waveform->name());
+            w.u64(samples.size());
+            for (const Complex &sample : samples)
+                w.c128(sample);
+        } else {
+            w.str(std::string());
+            w.u64(0);
+        }
+    }
+}
+
+Status
+deserializeSchedule(ByteReader &r, Schedule &out)
+{
+    std::string name;
+    if (Status s = r.str(name); !s.ok())
+        return s;
+    out = Schedule(std::move(name));
+    std::uint64_t count = 0;
+    if (Status s = r.u64(count); !s.ok())
+        return s;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        PulseInstruction instr;
+        std::uint8_t kind = 0, chanKind = 0;
+        std::uint64_t chanIndex = 0;
+        if (Status s = r.u8(kind); !s.ok())
+            return s;
+        if (kind > static_cast<std::uint8_t>(
+                       PulseInstructionKind::Acquire))
+            return corrupt("unknown instruction kind " +
+                           std::to_string(kind));
+        if (Status s = r.u8(chanKind); !s.ok())
+            return s;
+        if (chanKind >
+            static_cast<std::uint8_t>(ChannelKind::Acquire))
+            return corrupt("unknown channel kind " +
+                           std::to_string(chanKind));
+        if (Status s = r.u64(chanIndex); !s.ok())
+            return s;
+        instr.kind = static_cast<PulseInstructionKind>(kind);
+        instr.channel.kind = static_cast<ChannelKind>(chanKind);
+        instr.channel.index = static_cast<std::size_t>(chanIndex);
+        if (Status s = r.i64(instr.startTime); !s.ok())
+            return s;
+        if (Status s = r.f64(instr.phase); !s.ok())
+            return s;
+        if (Status s = r.f64(instr.frequencyGhz); !s.ok())
+            return s;
+        if (Status s = r.i64(instr.duration); !s.ok())
+            return s;
+        std::string label;
+        if (Status s = r.str(label); !s.ok())
+            return s;
+        std::uint64_t sampleCount = 0;
+        if (Status s = r.u64(sampleCount); !s.ok())
+            return s;
+        if (sampleCount > r.remaining() / 16 + 1)
+            return corrupt("waveform claims " +
+                           std::to_string(sampleCount) +
+                           " samples beyond the payload");
+        if (sampleCount > 0) {
+            std::vector<Complex> samples(
+                static_cast<std::size_t>(sampleCount));
+            for (Complex &sample : samples)
+                if (Status s = r.c128(sample); !s.ok())
+                    return s;
+            instr.waveform = std::make_shared<SampledWaveform>(
+                std::move(samples), std::move(label));
+        }
+        out.addInstruction(std::move(instr));
+    }
+    return Status::okStatus();
+}
+
+// ------------------------------------------------------------------
+// PulseLibrary (calibration snapshot)
+// ------------------------------------------------------------------
+
+namespace {
+
+void
+serializeBackendConfig(const BackendConfig &config, ByteWriter &w)
+{
+    w.str(config.name);
+    w.u64(config.numQubits);
+    w.u64(config.qubits.size());
+    for (const TransmonParams &q : config.qubits) {
+        w.f64(q.frequencyGhz);
+        w.f64(q.anharmonicityGhz);
+        w.f64(q.driveStrengthGhz);
+        w.f64(q.t1Us);
+        w.f64(q.t2Us);
+    }
+    w.u64(config.couplings.size());
+    for (const CouplingEdge &edge : config.couplings) {
+        w.u64(edge.control);
+        w.u64(edge.target);
+        w.f64(edge.strengthGhz);
+    }
+    w.u64(config.readout.size());
+    for (const ReadoutError &err : config.readout) {
+        w.f64(err.probFlip0to1);
+        w.f64(err.probFlip1to0);
+    }
+    w.f64(config.noise.perPulseError1q);
+    w.f64(config.noise.perPulseError2q);
+    w.f64(config.noise.amplitudeError);
+    w.f64(config.noise.leakagePerAmpSq);
+    w.i64(config.pulseDuration);
+    w.f64(config.pulseSigma);
+    w.i64(config.crRisefall);
+    w.f64(config.crAmplitude);
+    w.i64(config.measureDuration);
+}
+
+Status
+deserializeBackendConfig(ByteReader &r, BackendConfig &out)
+{
+    if (Status s = r.str(out.name); !s.ok())
+        return s;
+    std::uint64_t numQubits = 0;
+    if (Status s = r.u64(numQubits); !s.ok())
+        return s;
+    out.numQubits = static_cast<std::size_t>(numQubits);
+    std::uint64_t count = 0;
+    if (Status s = r.u64(count); !s.ok())
+        return s;
+    if (count > r.remaining() / 40 + 1)
+        return corrupt("config claims too many qubits");
+    out.qubits.resize(static_cast<std::size_t>(count));
+    for (TransmonParams &q : out.qubits) {
+        if (Status s = r.f64(q.frequencyGhz); !s.ok())
+            return s;
+        if (Status s = r.f64(q.anharmonicityGhz); !s.ok())
+            return s;
+        if (Status s = r.f64(q.driveStrengthGhz); !s.ok())
+            return s;
+        if (Status s = r.f64(q.t1Us); !s.ok())
+            return s;
+        if (Status s = r.f64(q.t2Us); !s.ok())
+            return s;
+    }
+    if (Status s = r.u64(count); !s.ok())
+        return s;
+    if (count > r.remaining() / 24 + 1)
+        return corrupt("config claims too many couplings");
+    out.couplings.resize(static_cast<std::size_t>(count));
+    for (CouplingEdge &edge : out.couplings) {
+        std::uint64_t control = 0, target = 0;
+        if (Status s = r.u64(control); !s.ok())
+            return s;
+        if (Status s = r.u64(target); !s.ok())
+            return s;
+        edge.control = static_cast<std::size_t>(control);
+        edge.target = static_cast<std::size_t>(target);
+        if (Status s = r.f64(edge.strengthGhz); !s.ok())
+            return s;
+    }
+    if (Status s = r.u64(count); !s.ok())
+        return s;
+    if (count > r.remaining() / 16 + 1)
+        return corrupt("config claims too many readout entries");
+    out.readout.resize(static_cast<std::size_t>(count));
+    for (ReadoutError &err : out.readout) {
+        if (Status s = r.f64(err.probFlip0to1); !s.ok())
+            return s;
+        if (Status s = r.f64(err.probFlip1to0); !s.ok())
+            return s;
+    }
+    if (Status s = r.f64(out.noise.perPulseError1q); !s.ok())
+        return s;
+    if (Status s = r.f64(out.noise.perPulseError2q); !s.ok())
+        return s;
+    if (Status s = r.f64(out.noise.amplitudeError); !s.ok())
+        return s;
+    if (Status s = r.f64(out.noise.leakagePerAmpSq); !s.ok())
+        return s;
+    if (Status s = r.i64(out.pulseDuration); !s.ok())
+        return s;
+    if (Status s = r.f64(out.pulseSigma); !s.ok())
+        return s;
+    if (Status s = r.i64(out.crRisefall); !s.ok())
+        return s;
+    if (Status s = r.f64(out.crAmplitude); !s.ok())
+        return s;
+    if (Status s = r.i64(out.measureDuration); !s.ok())
+        return s;
+    return Status::okStatus();
+}
+
+} // namespace
+
+void
+serializePulseLibrary(const PulseLibrary &library, ByteWriter &w)
+{
+    serializeBackendConfig(library.config, w);
+    w.u64(library.qubits.size());
+    for (const QubitCalibration &cal : library.qubits) {
+        w.i64(cal.duration);
+        w.f64(cal.sigma);
+        w.f64(cal.x90Amp);
+        w.f64(cal.x180Amp);
+        w.f64(cal.dragBeta);
+        w.f64(cal.x12Amp);
+        w.f64(cal.x02Amp);
+        w.i64(cal.qutritDuration);
+    }
+    w.u64(library.crs.size());
+    for (const CrCalibration &cr : library.crs) {
+        w.u64(cr.control);
+        w.u64(cr.target);
+        w.f64(cr.amplitude);
+        w.i64(cr.risefall);
+        w.f64(cr.sigma);
+        w.i64(cr.flatFor90);
+        w.f64(cr.radPerDtFlat);
+        w.f64(cr.radAtZeroFlat);
+        w.f64(cr.phaseFixControl);
+        w.f64(cr.phaseFixTarget);
+        w.f64(cr.axisPhaseTarget);
+        w.u64(cr.fixTable.size());
+        for (const CrCalibration::PhaseFixPoint &fix : cr.fixTable) {
+            w.f64(fix.theta);
+            w.f64(fix.control);
+            w.f64(fix.target);
+            w.f64(fix.axis);
+        }
+    }
+}
+
+Status
+deserializePulseLibrary(ByteReader &r, PulseLibrary &out)
+{
+    if (Status s = deserializeBackendConfig(r, out.config); !s.ok())
+        return s;
+    std::uint64_t count = 0;
+    if (Status s = r.u64(count); !s.ok())
+        return s;
+    if (count > r.remaining() / 64 + 1)
+        return corrupt("library claims too many qubit calibrations");
+    out.qubits.resize(static_cast<std::size_t>(count));
+    for (QubitCalibration &cal : out.qubits) {
+        if (Status s = r.i64(cal.duration); !s.ok())
+            return s;
+        if (Status s = r.f64(cal.sigma); !s.ok())
+            return s;
+        if (Status s = r.f64(cal.x90Amp); !s.ok())
+            return s;
+        if (Status s = r.f64(cal.x180Amp); !s.ok())
+            return s;
+        if (Status s = r.f64(cal.dragBeta); !s.ok())
+            return s;
+        if (Status s = r.f64(cal.x12Amp); !s.ok())
+            return s;
+        if (Status s = r.f64(cal.x02Amp); !s.ok())
+            return s;
+        if (Status s = r.i64(cal.qutritDuration); !s.ok())
+            return s;
+    }
+    if (Status s = r.u64(count); !s.ok())
+        return s;
+    if (count > r.remaining() / 96 + 1)
+        return corrupt("library claims too many CR calibrations");
+    out.crs.resize(static_cast<std::size_t>(count));
+    for (CrCalibration &cr : out.crs) {
+        std::uint64_t control = 0, target = 0;
+        if (Status s = r.u64(control); !s.ok())
+            return s;
+        if (Status s = r.u64(target); !s.ok())
+            return s;
+        cr.control = static_cast<std::size_t>(control);
+        cr.target = static_cast<std::size_t>(target);
+        if (Status s = r.f64(cr.amplitude); !s.ok())
+            return s;
+        if (Status s = r.i64(cr.risefall); !s.ok())
+            return s;
+        if (Status s = r.f64(cr.sigma); !s.ok())
+            return s;
+        if (Status s = r.i64(cr.flatFor90); !s.ok())
+            return s;
+        if (Status s = r.f64(cr.radPerDtFlat); !s.ok())
+            return s;
+        if (Status s = r.f64(cr.radAtZeroFlat); !s.ok())
+            return s;
+        if (Status s = r.f64(cr.phaseFixControl); !s.ok())
+            return s;
+        if (Status s = r.f64(cr.phaseFixTarget); !s.ok())
+            return s;
+        if (Status s = r.f64(cr.axisPhaseTarget); !s.ok())
+            return s;
+        std::uint64_t fixCount = 0;
+        if (Status s = r.u64(fixCount); !s.ok())
+            return s;
+        if (fixCount > r.remaining() / 32 + 1)
+            return corrupt("CR fix table beyond the payload");
+        cr.fixTable.resize(static_cast<std::size_t>(fixCount));
+        for (CrCalibration::PhaseFixPoint &fix : cr.fixTable) {
+            if (Status s = r.f64(fix.theta); !s.ok())
+                return s;
+            if (Status s = r.f64(fix.control); !s.ok())
+                return s;
+            if (Status s = r.f64(fix.target); !s.ok())
+                return s;
+            if (Status s = r.f64(fix.axis); !s.ok())
+                return s;
+        }
+    }
+    return Status::okStatus();
+}
+
+// ------------------------------------------------------------------
+// Content hashes / fingerprints
+// ------------------------------------------------------------------
+
+std::uint64_t
+hashSchedule(const Schedule &schedule)
+{
+    ByteWriter w;
+    serializeSchedule(schedule, w);
+    return hashBytes(w.bytes().data(), w.size());
+}
+
+std::uint64_t
+hashPulseLibrary(const PulseLibrary &library)
+{
+    ByteWriter w;
+    serializePulseLibrary(library, w);
+    return hashBytes(w.bytes().data(), w.size());
+}
+
+std::uint64_t
+simConfigFingerprint(const PulseSimulator &sim)
+{
+    ByteWriter w;
+    w.u32(kFormatVersion);
+    w.u64(sim.model().dim());
+    w.u64(sim.model().numTransmons());
+    w.u64(sim.model().levels());
+    w.f64(kDtNs);
+    w.f64(kDriveQuantum);
+    // Propagator values depend on the active SIMD tier within the
+    // 1e-12 agreement budget; a cross-tier disk serve must miss and
+    // re-derive rather than smuggle another tier's rounding in.
+    w.u8(static_cast<std::uint8_t>(kernels::activeSimd()));
+    return hashBytes(w.bytes().data(), w.size());
+}
+
+} // namespace store
+} // namespace qpulse

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Canonical binary serialization for persisted artifacts
+ * (docs/PERSISTENCE.md).
+ *
+ * Everything the ArtifactStore writes goes through this layer so the
+ * on-disk bytes are host-independent and self-validating:
+ *
+ *  - **explicit endianness**: every value is encoded little-endian,
+ *    so an artifact written on any host decodes identically on any
+ *    other. Scalar accessors encode by byte shifts; the bulk array
+ *    accessors take a memcpy fast path only when the host is
+ *    little-endian (std::endian check) and fall back to the same
+ *    byte shifts otherwise — the bytes on disk are identical either
+ *    way;
+ *  - **exact doubles**: f64 values round-trip through their IEEE-754
+ *    bit pattern (std::bit_cast to/from uint64), so a deserialized
+ *    propagator is *bit-identical* to the one that was derived —
+ *    stronger than the repo-wide 1e-12 agreement budget;
+ *  - **format version**: kFormatVersion is stamped into every record
+ *    header; a decoder never guesses at bytes written by a different
+ *    layout (ErrorCode::StoreVersionMismatch, fail closed);
+ *  - **per-record checksums**: CRC-64/XZ over the full record; a
+ *    truncated or bit-flipped record fails the checksum and is
+ *    quarantined, never decoded (ErrorCode::StoreCorrupt).
+ *
+ * Serializable artifacts: Matrix (propagator/unitary blocks),
+ * PropagatorKey, Schedule (waveforms materialized to samples — the
+ * parametric Waveform subclasses hold closures-worth of behavior, but
+ * their *samples* are the canonical content), and PulseLibrary (the
+ * calibration snapshot CmdDef tables are built from; CmdDef itself is
+ * a map of std::function builders and is reconstructed from the
+ * library, not persisted).
+ */
+#ifndef QPULSE_STORE_SERDE_H
+#define QPULSE_STORE_SERDE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "device/calibration.h"
+#include "linalg/matrix.h"
+#include "pulse/schedule.h"
+#include "pulsesim/propagator_cache.h"
+
+namespace qpulse {
+
+class PulseSimulator;
+
+namespace store {
+
+/** On-disk layout version; bump on any encoding change. */
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/** CRC-64/XZ (ECMA-182 polynomial, reflected) over a byte range. */
+std::uint64_t crc64(const void *bytes, std::size_t size,
+                    std::uint64_t seed = 0);
+
+/** FNV-1a over a byte range (content hashing, not integrity). */
+std::uint64_t hashBytes(const void *bytes, std::size_t size,
+                        std::uint64_t seed = 0xCBF29CE484222325ull);
+
+/** Order-dependent combine of two 64-bit hashes. */
+std::uint64_t mixHash(std::uint64_t a, std::uint64_t b);
+
+/** Append-only little-endian encoder. */
+class ByteWriter
+{
+  public:
+    void u8(std::uint8_t v) { bytes_.push_back(v); }
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+    /** IEEE-754 bit pattern; exact round-trip. */
+    void f64(double v);
+    void c128(const Complex &v);
+    /** u64 length prefix + raw bytes. */
+    void str(const std::string &v);
+    void raw(const void *data, std::size_t size);
+    /**
+     * Contiguous value arrays (matrix entries, key words). The
+     * encoding is the same consecutive little-endian values the
+     * scalar calls produce; on little-endian hosts the whole block
+     * is appended with one memcpy instead of a per-byte loop.
+     */
+    void i64Array(const std::int64_t *src, std::size_t count);
+    void f64Array(const double *src, std::size_t count);
+
+    const std::vector<std::uint8_t> &bytes() const { return bytes_; }
+    std::vector<std::uint8_t> take() { return std::move(bytes_); }
+    std::size_t size() const { return bytes_.size(); }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+};
+
+/**
+ * Bounds-checked little-endian decoder over a borrowed byte range
+ * (typically an mmap'ed record payload — the reader never copies the
+ * input). Every read returns a Status; a short buffer yields
+ * StoreCorrupt, never UB.
+ */
+class ByteReader
+{
+  public:
+    ByteReader(const void *data, std::size_t size)
+        : data_(static_cast<const std::uint8_t *>(data)), size_(size)
+    {}
+
+    Status u8(std::uint8_t &v);
+    Status u32(std::uint32_t &v);
+    Status u64(std::uint64_t &v);
+    Status i64(std::int64_t &v);
+    Status f64(double &v);
+    Status c128(Complex &v);
+    Status str(std::string &v);
+    /** Bulk counterparts of ByteWriter's array appends (bounds-
+     *  checked once for the whole block; memcpy on LE hosts). */
+    Status i64Array(std::int64_t *dst, std::size_t count);
+    Status f64Array(double *dst, std::size_t count);
+
+    std::size_t remaining() const { return size_ - pos_; }
+    bool exhausted() const { return pos_ == size_; }
+
+  private:
+    Status need(std::size_t n);
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+// ------------------------------------------------------------------
+// Artifact serializers. Serialize never fails; deserialize returns a
+// structured Status (StoreCorrupt on malformed payloads) and leaves
+// the output unspecified on failure.
+// ------------------------------------------------------------------
+
+void serializeMatrix(const Matrix &m, ByteWriter &w);
+Status deserializeMatrix(ByteReader &r, Matrix &out);
+
+void serializePropagatorKey(const PropagatorKey &key, ByteWriter &w);
+Status deserializePropagatorKey(ByteReader &r, PropagatorKey &out);
+
+/**
+ * Schedule encoding: name + instruction list. Play waveforms are
+ * materialized to their samples, so a deserialized schedule carries
+ * SampledWaveform envelopes that are sample-for-sample bit-identical
+ * to the original parametric pulses.
+ */
+void serializeSchedule(const Schedule &schedule, ByteWriter &w);
+Status deserializeSchedule(ByteReader &r, Schedule &out);
+
+void serializePulseLibrary(const PulseLibrary &library, ByteWriter &w);
+Status deserializePulseLibrary(ByteReader &r, PulseLibrary &out);
+
+// ------------------------------------------------------------------
+// Content hashes / fingerprints (key components, docs/PERSISTENCE.md).
+// ------------------------------------------------------------------
+
+/**
+ * Stable content hash of a schedule: instruction kinds, channels,
+ * times, phases, frequencies, and the bit patterns of every waveform
+ * sample. Two schedules that produce the same pulse program hash
+ * equal; any sample or timing change reroutes the key.
+ */
+std::uint64_t hashSchedule(const Schedule &schedule);
+
+/** Content hash of a calibration snapshot. */
+std::uint64_t hashPulseLibrary(const PulseLibrary &library);
+
+/**
+ * Fingerprint of the simulation configuration an artifact was derived
+ * under: Hilbert-space shape, sample period, drive quantization, the
+ * active SIMD tier (propagator values are tier-dependent within the
+ * 1e-12 budget, so cross-tier serves must miss and re-derive), and
+ * the serialization format version.
+ */
+std::uint64_t simConfigFingerprint(const PulseSimulator &sim);
+
+} // namespace store
+} // namespace qpulse
+
+#endif // QPULSE_STORE_SERDE_H
