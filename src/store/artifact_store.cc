@@ -1,8 +1,10 @@
 #include "store/artifact_store.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
+#include <unordered_set>
 
 #include <fcntl.h>
 #include <sys/mman.h>
@@ -30,6 +32,33 @@ constexpr std::uint32_t kRecordMagic = 0x52535051u;  // "QPSR"
 constexpr std::uint32_t kIndexMagic = 0x49535051u;   // "QPSI"
 constexpr std::size_t kRecordHeaderBytes = 4 * 4 + 4 * 8;
 constexpr std::size_t kRecordTrailerBytes = 8;
+// Index-file layout version, independent of the record format: v2
+// widened the per-entry segment identity from a u32 numeric id to the
+// full u64 (sequence, writer-tag) uid. A v1 index simply fails this
+// check and the store rebuilds by scanning — the index is advisory.
+constexpr std::uint32_t kIndexVersion = 2;
+
+/**
+ * Identity of this writer, unique across every live ArtifactStore in
+ * every process sharing a directory: the pid separates processes, the
+ * low bits separate stores within one process. It is parsed back out
+ * of segment filenames, so two writers racing to the same sequence
+ * number produce distinct segment uids (and distinct filenames — an
+ * id-only scheme would let the second rename clobber the first).
+ */
+std::uint32_t
+makeWriterTag()
+{
+    static std::atomic<std::uint32_t> ordinal{0};
+    return (static_cast<std::uint32_t>(::getpid()) << 10) ^
+           ordinal.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t
+segmentUid(std::uint32_t seq, std::uint32_t tag)
+{
+    return (static_cast<std::uint64_t>(seq) << 32) | tag;
+}
 
 telemetry::Counter &
 persistCounter(const char *name)
@@ -113,16 +142,20 @@ ArtifactKeyHash::operator()(const ArtifactKey &key) const
     return static_cast<std::size_t>(h);
 }
 
+ArtifactStore::Mapping::~Mapping()
+{
+    if (base != nullptr)
+        ::munmap(const_cast<std::uint8_t *>(base), size);
+}
+
 ArtifactStore::ArtifactStore(std::string dir, std::uint64_t max_bytes)
-    : dir_(std::move(dir)), maxBytes_(max_bytes)
+    : dir_(std::move(dir)), maxBytes_(max_bytes),
+      writerTag_(makeWriterTag())
 {}
 
-ArtifactStore::~ArtifactStore()
-{
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (Segment &segment : segments_)
-        unmapSegment(segment);
-}
+// Mappings are shared with outstanding ArtifactViews; each one is
+// unmapped when its last reference dies, which may outlive the store.
+ArtifactStore::~ArtifactStore() = default;
 
 std::shared_ptr<ArtifactStore>
 ArtifactStore::open(const std::string &dir, std::uint64_t max_bytes,
@@ -171,26 +204,30 @@ ArtifactStore::loadExisting()
 {
     std::lock_guard<std::mutex> lock(mutex_);
 
-    // Collect and map existing segments in (id, name) order.
-    std::vector<std::pair<std::uint32_t, std::string>> found;
+    // Collect and map existing segments in (sequence, tag) order —
+    // oldest first for budget eviction. Both fields are parsed back
+    // out of the filename so the uid is stable across processes.
+    std::vector<std::pair<std::uint64_t, std::string>> found;
     std::error_code ec;
     for (const fs::directory_entry &entry :
          fs::directory_iterator(dir_, ec)) {
         const std::string name = entry.path().filename().string();
-        unsigned id = 0;
-        if (std::sscanf(name.c_str(), "seg-%u", &id) == 1 &&
+        unsigned seq = 0, tag = 0;
+        if (std::sscanf(name.c_str(), "seg-%u-%u.qps", &seq, &tag) ==
+                2 &&
             name.size() > 4 &&
             name.compare(name.size() - 4, 4, ".qps") == 0)
-            found.emplace_back(id, entry.path().string());
+            found.emplace_back(segmentUid(seq, tag),
+                               entry.path().string());
     }
     if (ec)
         return Status::error(ErrorCode::Unavailable,
                              "cannot list " + dir_ + ": " +
                                  ec.message());
     std::sort(found.begin(), found.end());
-    for (const auto &[id, path] : found) {
+    for (const auto &[uid, path] : found) {
         Segment segment;
-        segment.id = id;
+        segment.uid = uid;
         segment.path = path;
         if (Status s = mapSegment(segment); !s.ok()) {
             // A transiently unreadable segment is skipped, not fatal:
@@ -210,6 +247,21 @@ ArtifactStore::loadExisting()
         for (Segment &segment : segments_)
             if (Status s = scanSegment(segment); !s.ok())
                 return s;
+    } else {
+        // The index file is last-writer-wins: when two writers flush
+        // into one directory concurrently, the loser's segments exist
+        // on disk but carry no index entries. Scan any unreferenced
+        // segment so every writer's records stay addressable (benign
+        // for duplicate keys — content addressing means both records
+        // decode identically).
+        std::unordered_set<std::uint64_t> referenced;
+        for (const auto &[key, entry] : index_)
+            referenced.insert(entry.segment);
+        for (Segment &segment : segments_)
+            if (segment.size > 0 &&
+                referenced.count(segment.uid) == 0)
+                if (Status s = scanSegment(segment); !s.ok())
+                    return s;
     }
     return Status::okStatus();
 }
@@ -229,7 +281,7 @@ ArtifactStore::mapSegment(Segment &segment)
     }
     segment.size = static_cast<std::size_t>(st.st_size);
     if (segment.size == 0) {
-        segment.map = nullptr;
+        segment.map.reset();
         ::close(fd);
         return Status::okStatus();
     }
@@ -244,18 +296,20 @@ ArtifactStore::mapSegment(Segment &segment)
     // validation instead of faulting one 4 KiB page at a time.
     // Advisory only — a refusal just means slower first touches.
     ::madvise(map, segment.size, MADV_WILLNEED);
-    segment.map = static_cast<const std::uint8_t *>(map);
+    auto mapping = std::make_shared<Mapping>();
+    mapping->base = static_cast<const std::uint8_t *>(map);
+    mapping->size = segment.size;
+    segment.map = std::move(mapping);
     return Status::okStatus();
 }
 
 void
 ArtifactStore::unmapSegment(Segment &segment)
 {
-    if (segment.map != nullptr) {
-        ::munmap(const_cast<std::uint8_t *>(segment.map),
-                 segment.size);
-        segment.map = nullptr;
-    }
+    // Drops the store's reference only: outstanding ArtifactViews
+    // keep the mapping alive, and munmap runs when the last of them
+    // is destroyed (Mapping::~Mapping).
+    segment.map.reset();
 }
 
 Status
@@ -268,7 +322,7 @@ ArtifactStore::scanSegment(Segment &segment)
     std::size_t offset = 0;
     while (offset + kRecordHeaderBytes + kRecordTrailerBytes <=
            segment.size) {
-        const std::uint8_t *p = segment.map + offset;
+        const std::uint8_t *p = segment.map->base + offset;
         const std::uint32_t magic = readLeU32(p);
         if (magic != kRecordMagic)
             break; // Counted below: offset stops short of the size.
@@ -279,13 +333,20 @@ ArtifactStore::scanSegment(Segment &segment)
         key.generation = readLeU64(p + 24);
         key.configFingerprint = readLeU64(p + 32);
         const std::uint64_t payloadBytes = readLeU64(p + 40);
-        const std::uint64_t recordBytes = kRecordHeaderBytes +
-                                          payloadBytes +
-                                          kRecordTrailerBytes;
-        if (offset + recordBytes > segment.size)
-            break; // Truncated tail; counted below.
+        // Bound the claimed payload by the bytes actually left BEFORE
+        // computing the record span: a corrupt length near 2^64 would
+        // wrap recordBytes to ~0, pass the span check, and the scan
+        // would never advance past the damaged record.
+        const std::size_t room = segment.size - offset -
+                                 kRecordHeaderBytes -
+                                 kRecordTrailerBytes;
+        if (payloadBytes > room)
+            break; // Truncated/corrupt tail; counted below.
+        const std::size_t recordBytes =
+            kRecordHeaderBytes + static_cast<std::size_t>(payloadBytes) +
+            kRecordTrailerBytes;
         IndexEntry entry;
-        entry.segment = segment.id;
+        entry.segment = segment.uid;
         entry.offset = offset;
         entry.recordBytes = recordBytes;
         if (version != kFormatVersion) {
@@ -294,7 +355,7 @@ ArtifactStore::scanSegment(Segment &segment)
             ++stats_.quarantined;
         }
         index_[key] = entry; // Newest record for a key wins.
-        offset += static_cast<std::size_t>(recordBytes);
+        offset += recordBytes;
     }
     if (offset < segment.size) {
         // Framing damage — bad magic, a record running past the file,
@@ -337,13 +398,14 @@ ArtifactStore::readIndexFile(bool &usable)
         return Status::okStatus(); // Corrupt index: rebuild by scan.
     }
     if (readLeU32(bytes.data()) != kIndexMagic ||
-        readLeU32(bytes.data() + 4) != kFormatVersion) {
+        readLeU32(bytes.data() + 4) != kIndexVersion) {
         ++stats_.versionMismatch;
         return Status::okStatus();
     }
     const std::uint64_t count = readLeU64(bytes.data() + 8);
-    constexpr std::size_t kEntryBytes = 8 * 3 + 4 * 2 + 8 * 2;
-    if (16 + count * kEntryBytes + 8 != bytes.size()) {
+    constexpr std::size_t kEntryBytes = 8 * 3 + 4 + 8 * 3;
+    if (count > (bytes.size() - 16 - 8) / kEntryBytes ||
+        16 + count * kEntryBytes + 8 != bytes.size()) {
         ++stats_.corrupt;
         return Status::okStatus();
     }
@@ -355,16 +417,21 @@ ArtifactStore::readIndexFile(bool &usable)
         key.configFingerprint = readLeU64(p + 16);
         key.kind = readLeU32(p + 24);
         IndexEntry entry;
-        entry.segment = readLeU32(p + 28);
-        entry.offset = readLeU64(p + 32);
-        entry.recordBytes = readLeU64(p + 40);
+        entry.segment = readLeU64(p + 28);
+        entry.offset = readLeU64(p + 36);
+        entry.recordBytes = readLeU64(p + 44);
         // Entries must land inside a live, mapped segment; stale ones
-        // (dropped segments, foreign writers) are simply skipped.
+        // (dropped segments, foreign writers) are simply skipped. The
+        // bounds are checked by subtraction so a corrupt offset near
+        // 2^64 cannot wrap the sum past the size.
         const auto segment = std::find_if(
             segments_.begin(), segments_.end(),
-            [&](const Segment &s) { return s.id == entry.segment; });
+            [&](const Segment &s) { return s.uid == entry.segment; });
         if (segment == segments_.end() ||
-            entry.offset + entry.recordBytes > segment->size)
+            entry.recordBytes <
+                kRecordHeaderBytes + kRecordTrailerBytes ||
+            entry.recordBytes > segment->size ||
+            entry.offset > segment->size - entry.recordBytes)
             continue;
         index_[key] = entry;
     }
@@ -377,14 +444,14 @@ ArtifactStore::writeIndexFile()
 {
     ByteWriter w;
     w.u32(kIndexMagic);
-    w.u32(kFormatVersion);
+    w.u32(kIndexVersion);
     w.u64(index_.size());
     for (const auto &[key, entry] : index_) {
         w.u64(key.contentHash);
         w.u64(key.generation);
         w.u64(key.configFingerprint);
         w.u32(key.kind);
-        w.u32(entry.segment);
+        w.u64(entry.segment);
         w.u64(entry.offset);
         w.u64(entry.recordBytes);
     }
@@ -404,11 +471,12 @@ ArtifactStore::put(const ArtifactKey &key,
 }
 
 std::uint32_t
-ArtifactStore::nextSegmentId() const
+ArtifactStore::nextSegmentSeq() const
 {
     std::uint32_t next = 1;
     for (const Segment &segment : segments_)
-        next = std::max(next, segment.id + 1);
+        next = std::max(
+            next, static_cast<std::uint32_t>(segment.uid >> 32) + 1);
     return next;
 }
 
@@ -426,12 +494,15 @@ ArtifactStore::flush()
         return Status::okStatus();
 
     Segment segment;
-    segment.id = nextSegmentId();
-    // The pid suffix keeps two processes flushing into one directory
-    // from racing to the same name; ordering stays by id.
+    const std::uint32_t seq = nextSegmentSeq();
+    // The writer tag keeps two writers flushing into one directory
+    // from racing to the same name or the same uid — both parts are
+    // parsed back on reload, so each writer's records stay
+    // addressable; ordering (budget eviction) stays by sequence.
+    segment.uid = segmentUid(seq, writerTag_);
     char name[64];
-    std::snprintf(name, sizeof name, "seg-%06u-%d.qps", segment.id,
-                  static_cast<int>(::getpid()));
+    std::snprintf(name, sizeof name, "seg-%06u-%u.qps", seq,
+                  writerTag_);
     segment.path = dir_ + "/" + name;
 
     ByteWriter w;
@@ -439,7 +510,7 @@ ArtifactStore::flush()
     fresh.reserve(pending_.size());
     for (const Pending &p : pending_) {
         IndexEntry entry;
-        entry.segment = segment.id;
+        entry.segment = segment.uid;
         entry.offset = w.size();
         entry.recordBytes = p.record.size();
         entry.state = RecordState::Valid;
@@ -488,8 +559,8 @@ ArtifactStore::enforceBudget()
         Segment victim = segments_.front();
         segments_.erase(segments_.begin());
         for (auto it = index_.begin(); it != index_.end();)
-            it = it->second.segment == victim.id ? index_.erase(it)
-                                                 : std::next(it);
+            it = it->second.segment == victim.uid ? index_.erase(it)
+                                                  : std::next(it);
         unmapSegment(victim);
         std::remove(victim.path.c_str());
         ++stats_.segmentsDropped;
@@ -509,7 +580,7 @@ ArtifactStore::validate(const ArtifactKey &key, IndexEntry &entry)
 
     const auto segment = std::find_if(
         segments_.begin(), segments_.end(),
-        [&](const Segment &s) { return s.id == entry.segment; });
+        [&](const Segment &s) { return s.uid == entry.segment; });
     const auto quarantineCorrupt = [&](const std::string &why) {
         entry.state = RecordState::QuarantinedCorrupt;
         ++stats_.corrupt;
@@ -518,13 +589,16 @@ ArtifactStore::validate(const ArtifactKey &key, IndexEntry &entry)
         c_quarantined.increment();
         return Status::error(ErrorCode::StoreCorrupt, why);
     };
+    // Subtraction, not addition: a corrupt offset/recordBytes pair
+    // near 2^64 must not wrap the bound check.
     if (segment == segments_.end() ||
-        entry.offset + entry.recordBytes > segment->size ||
         entry.recordBytes <
-            kRecordHeaderBytes + kRecordTrailerBytes)
+            kRecordHeaderBytes + kRecordTrailerBytes ||
+        entry.recordBytes > segment->size ||
+        entry.offset > segment->size - entry.recordBytes)
         return quarantineCorrupt("record outside its segment");
 
-    const std::uint8_t *p = segment->map + entry.offset;
+    const std::uint8_t *p = segment->map->base + entry.offset;
     if (readLeU32(p) != kRecordMagic)
         return quarantineCorrupt("bad record magic");
     if (readLeU32(p + 4) != kFormatVersion) {
@@ -600,14 +674,18 @@ ArtifactStore::get(const ArtifactKey &key, ArtifactView &view)
     }
     const auto segment = std::find_if(
         segments_.begin(), segments_.end(),
-        [&](const Segment &s) { return s.id == entry.segment; });
+        [&](const Segment &s) { return s.uid == entry.segment; });
     if (segment == segments_.end()) {
         ++stats_.misses;
         return Status::error(ErrorCode::StoreCorrupt,
                              "segment dropped");
     }
-    view.data = segment->map + entry.payloadOffset;
+    view.data = segment->map->base + entry.payloadOffset;
     view.size = static_cast<std::size_t>(entry.payloadBytes);
+    // Pin the mapping: the caller may consume the view after this
+    // mutex is released, racing a flush whose size budget drops the
+    // segment — the munmap is deferred until the view is gone.
+    view.pin = segment->map;
     ++stats_.hits;
     stats_.bytesRead += view.size;
     c_read.add(view.size);

@@ -25,9 +25,14 @@
  * length and a CRC-64 over everything before the checksum. Reads go
  * through a read-only mmap of the segment; a record is validated once
  * (magic + version + key echo + CRC) and then served as a zero-copy
- * view into the mapping. Validation failure quarantines the record for
- * the lifetime of the store — it is never retried, never trusted, and
- * the caller falls back to fresh derivation (fail closed).
+ * view into the mapping. Every view *pins* its segment mapping
+ * (shared ownership): when the size budget drops a segment — or the
+ * store itself is destroyed — the file is unlinked and forgotten
+ * immediately, but the munmap is deferred until the last outstanding
+ * view is gone, so a concurrent reader can never touch unmapped
+ * memory. Validation failure quarantines the record for the lifetime
+ * of the store — it is never retried, never trusted, and the caller
+ * falls back to fresh derivation (fail closed).
  *
  * Invalidation is by *unreachability*, not deletion: recalibration
  * bumps the generation component of the key, so every artifact of the
@@ -35,10 +40,14 @@
  * physically reclaimed by the size budget (QPULSE_CACHE_MAX_BYTES),
  * which drops the oldest whole segments at flush time.
  *
- * Thread safety: all public methods are mutex-protected. Cross-process
- * writers are coordinated by the atomic-rename protocol (each process
- * writes its own segments; the index is last-writer-wins and
- * self-healing).
+ * Thread safety: all public methods are mutex-protected, and views
+ * returned by get() stay readable without the mutex (their mapping is
+ * pinned, see above). Cross-process writers are coordinated by the
+ * atomic-rename protocol: each process writes its own segments under
+ * a (sequence, writer-tag) identity that is unique across writers, so
+ * two processes flushing into one directory can never collide on a
+ * name or an index identity; the index is last-writer-wins and
+ * self-healing.
  */
 #ifndef QPULSE_STORE_ARTIFACT_STORE_H
 #define QPULSE_STORE_ARTIFACT_STORE_H
@@ -89,11 +98,18 @@ struct ArtifactKeyHash
     std::size_t operator()(const ArtifactKey &key) const;
 };
 
-/** Zero-copy view of a validated record payload inside an mmap. */
+/**
+ * Zero-copy view of a validated record payload inside an mmap. The
+ * view co-owns the segment mapping (`pin`): the bytes stay mapped —
+ * and `data` stays readable — until every view of the segment is
+ * destroyed, even if a concurrent flush's size budget drops the
+ * segment or the store itself is destroyed in the meantime.
+ */
 struct ArtifactView
 {
     const std::uint8_t *data = nullptr;
     std::size_t size = 0;
+    std::shared_ptr<const void> pin;
 };
 
 /** Monotonic per-store counters (also mirrored into cache.persist.*). */
@@ -155,9 +171,10 @@ class ArtifactStore
 
     /**
      * Look up `key` and validate its record (first access only).
-     * Ok: `view` points at the payload inside the segment mapping,
-     * valid until the store is destroyed or the segment is dropped by
-     * the size budget — consume before the next flush().
+     * Ok: `view` points at the payload inside the segment mapping and
+     * pins that mapping — the bytes stay valid for the lifetime of
+     * the view regardless of concurrent flushes, size-budget drops,
+     * or even store destruction.
      * Miss: StoreCorrupt/StoreVersionMismatch for quarantined records,
      * InvalidArgument("not found") for absent keys.
      */
@@ -179,11 +196,33 @@ class ArtifactStore
   private:
     ArtifactStore(std::string dir, std::uint64_t max_bytes);
 
+    /**
+     * One read-only mapped segment file. Shared ownership of the
+     * mapping: munmap runs when the last reference (the store's
+     * Segment entry or any pinned ArtifactView) is released.
+     */
+    struct Mapping
+    {
+        Mapping() = default;
+        ~Mapping();
+        Mapping(const Mapping &) = delete;
+        Mapping &operator=(const Mapping &) = delete;
+
+        const std::uint8_t *base = nullptr;
+        std::size_t size = 0;
+    };
+
     struct Segment
     {
-        std::uint32_t id = 0;
+        /**
+         * Unique identity: (sequence << 32) | writer tag, both parsed
+         * from the filename. The sequence orders segments by age for
+         * budget eviction; the tag disambiguates two writers that
+         * raced to the same sequence number in one directory.
+         */
+        std::uint64_t uid = 0;
         std::string path;
-        const std::uint8_t *map = nullptr; ///< Read-only mmap base.
+        std::shared_ptr<const Mapping> map;
         std::size_t size = 0;
     };
 
@@ -197,7 +236,7 @@ class ArtifactStore
 
     struct IndexEntry
     {
-        std::uint32_t segment = 0;
+        std::uint64_t segment = 0; ///< Segment::uid.
         std::uint64_t offset = 0;
         std::uint64_t recordBytes = 0;
         RecordState state = RecordState::Unvalidated;
@@ -213,10 +252,11 @@ class ArtifactStore
     Status readIndexFile(bool &usable);
     Status enforceBudget();
     Status validate(const ArtifactKey &key, IndexEntry &entry);
-    std::uint32_t nextSegmentId() const;
+    std::uint32_t nextSegmentSeq() const;
 
     std::string dir_;
     std::uint64_t maxBytes_ = 0;
+    std::uint32_t writerTag_ = 0; ///< Unique per live writer.
     std::vector<Segment> segments_; ///< Ascending id order.
     std::unordered_map<ArtifactKey, IndexEntry, ArtifactKeyHash>
         index_;

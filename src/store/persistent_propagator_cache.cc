@@ -68,6 +68,9 @@ PersistentPropagatorCache::loadFromDisk(const PropagatorKey &key,
         std::lock_guard<std::mutex> lock(persistMutex_);
         disk = diskKey(key);
     }
+    // The view pins its segment mapping, so deserializing below — with
+    // no store lock held — is safe against a concurrent flush whose
+    // size budget drops (and would otherwise munmap) the segment.
     ArtifactView view;
     const Status status = store_->get(disk, view);
     if (!status.ok()) {

@@ -281,8 +281,11 @@ ByteReader::str(std::string &v)
     std::uint64_t size = 0;
     if (Status s = u64(size); !s.ok())
         return s;
-    if (Status s = need(static_cast<std::size_t>(size)); !s.ok())
-        return s;
+    // Compare in u64 before narrowing: on a 32-bit size_t a huge
+    // length would otherwise truncate and pass the bounds check.
+    if (size > remaining())
+        return corrupt("string of " + std::to_string(size) +
+                       " bytes beyond the payload");
     v.assign(reinterpret_cast<const char *>(data_ + pos_),
              static_cast<std::size_t>(size));
     pos_ += static_cast<std::size_t>(size);
@@ -292,8 +295,11 @@ ByteReader::str(std::string &v)
 Status
 ByteReader::i64Array(std::int64_t *dst, std::size_t count)
 {
-    if (Status s = need(count * sizeof(std::int64_t)); !s.ok())
-        return s;
+    // Division, not `need(count * 8)`: a huge count must not wrap the
+    // byte total past the bounds check.
+    if (count > remaining() / sizeof(std::int64_t))
+        return corrupt("array of " + std::to_string(count) +
+                       " words beyond the payload");
     if constexpr (kHostLittleEndian) {
         std::memcpy(dst, data_ + pos_, count * sizeof(std::int64_t));
         pos_ += count * sizeof(std::int64_t);
@@ -307,8 +313,9 @@ ByteReader::i64Array(std::int64_t *dst, std::size_t count)
 Status
 ByteReader::f64Array(double *dst, std::size_t count)
 {
-    if (Status s = need(count * sizeof(double)); !s.ok())
-        return s;
+    if (count > remaining() / sizeof(double))
+        return corrupt("array of " + std::to_string(count) +
+                       " values beyond the payload");
     if constexpr (kHostLittleEndian) {
         std::memcpy(dst, data_ + pos_, count * sizeof(double));
         pos_ += count * sizeof(double);
@@ -345,8 +352,12 @@ deserializeMatrix(ByteReader &r, Matrix &out)
         return s;
     // Entries are 16 bytes each; bound the claimed shape by the bytes
     // actually present so a corrupt header cannot trigger a huge
-    // allocation before the payload read fails.
-    if (rows * cols > r.remaining() / 16 + 1)
+    // allocation before the payload read fails. The product is tested
+    // by division — `rows * cols` itself can wrap u64 (e.g. 2^33 x
+    // 2^33) and slip past a multiplied check, yielding a Matrix whose
+    // rows()/cols() disagree with its backing storage.
+    const std::uint64_t max_entries = r.remaining() / 16;
+    if (rows != 0 && cols > max_entries / rows)
         return corrupt("matrix header claims " + std::to_string(rows) +
                        "x" + std::to_string(cols) +
                        " entries beyond the payload");
@@ -369,7 +380,7 @@ deserializePropagatorKey(ByteReader &r, PropagatorKey &out)
     std::uint64_t count = 0;
     if (Status s = r.u64(count); !s.ok())
         return s;
-    if (count > r.remaining() / 8 + 1)
+    if (count > r.remaining() / 8)
         return corrupt("propagator key claims " + std::to_string(count) +
                        " words beyond the payload");
     out.words.resize(static_cast<std::size_t>(count));
@@ -454,7 +465,7 @@ deserializeSchedule(ByteReader &r, Schedule &out)
         std::uint64_t sampleCount = 0;
         if (Status s = r.u64(sampleCount); !s.ok())
             return s;
-        if (sampleCount > r.remaining() / 16 + 1)
+        if (sampleCount > r.remaining() / 16)
             return corrupt("waveform claims " +
                            std::to_string(sampleCount) +
                            " samples beyond the payload");
@@ -525,7 +536,7 @@ deserializeBackendConfig(ByteReader &r, BackendConfig &out)
     std::uint64_t count = 0;
     if (Status s = r.u64(count); !s.ok())
         return s;
-    if (count > r.remaining() / 40 + 1)
+    if (count > r.remaining() / 40)
         return corrupt("config claims too many qubits");
     out.qubits.resize(static_cast<std::size_t>(count));
     for (TransmonParams &q : out.qubits) {
@@ -542,7 +553,7 @@ deserializeBackendConfig(ByteReader &r, BackendConfig &out)
     }
     if (Status s = r.u64(count); !s.ok())
         return s;
-    if (count > r.remaining() / 24 + 1)
+    if (count > r.remaining() / 24)
         return corrupt("config claims too many couplings");
     out.couplings.resize(static_cast<std::size_t>(count));
     for (CouplingEdge &edge : out.couplings) {
@@ -558,7 +569,7 @@ deserializeBackendConfig(ByteReader &r, BackendConfig &out)
     }
     if (Status s = r.u64(count); !s.ok())
         return s;
-    if (count > r.remaining() / 16 + 1)
+    if (count > r.remaining() / 16)
         return corrupt("config claims too many readout entries");
     out.readout.resize(static_cast<std::size_t>(count));
     for (ReadoutError &err : out.readout) {
@@ -636,7 +647,7 @@ deserializePulseLibrary(ByteReader &r, PulseLibrary &out)
     std::uint64_t count = 0;
     if (Status s = r.u64(count); !s.ok())
         return s;
-    if (count > r.remaining() / 64 + 1)
+    if (count > r.remaining() / 64)
         return corrupt("library claims too many qubit calibrations");
     out.qubits.resize(static_cast<std::size_t>(count));
     for (QubitCalibration &cal : out.qubits) {
@@ -659,7 +670,7 @@ deserializePulseLibrary(ByteReader &r, PulseLibrary &out)
     }
     if (Status s = r.u64(count); !s.ok())
         return s;
-    if (count > r.remaining() / 96 + 1)
+    if (count > r.remaining() / 96)
         return corrupt("library claims too many CR calibrations");
     out.crs.resize(static_cast<std::size_t>(count));
     for (CrCalibration &cr : out.crs) {
@@ -691,7 +702,7 @@ deserializePulseLibrary(ByteReader &r, PulseLibrary &out)
         std::uint64_t fixCount = 0;
         if (Status s = r.u64(fixCount); !s.ok())
             return s;
-        if (fixCount > r.remaining() / 32 + 1)
+        if (fixCount > r.remaining() / 32)
             return corrupt("CR fix table beyond the payload");
         cr.fixTable.resize(static_cast<std::size_t>(fixCount));
         for (CrCalibration::PhaseFixPoint &fix : cr.fixTable) {

@@ -12,6 +12,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -239,6 +240,33 @@ TEST(Serde, PropagatorKeyRoundTrips)
     PropagatorKey out;
     ASSERT_TRUE(store::deserializePropagatorKey(r, out).ok());
     EXPECT_TRUE(out == key);
+}
+
+TEST(Serde, OverflowingDimensionsFailClosed)
+{
+    // rows*cols wraps u64 (2^33 * 2^33 = 2^66 = 0 mod 2^64): the
+    // division-based guard must reject the shape before any
+    // allocation or a rows()/cols()-vs-storage mismatch.
+    store::ByteWriter w;
+    w.u64(1ull << 33);
+    w.u64(1ull << 33);
+    w.f64(0.0); // A few payload bytes, far short of the claim.
+    const std::vector<std::uint8_t> bytes = w.take();
+    store::ByteReader r(bytes.data(), bytes.size());
+    Matrix out;
+    EXPECT_EQ(store::deserializeMatrix(r, out).code(),
+              ErrorCode::StoreCorrupt);
+
+    // A word count near 2^64 must not wrap the byte-total bound
+    // inside the bulk array read either.
+    store::ByteWriter kw;
+    kw.u64(~0ull - 3);
+    kw.u64(0);
+    const std::vector<std::uint8_t> kb = kw.take();
+    store::ByteReader kr(kb.data(), kb.size());
+    PropagatorKey key;
+    EXPECT_EQ(store::deserializePropagatorKey(kr, key).code(),
+              ErrorCode::StoreCorrupt);
 }
 
 TEST(Serde, ScheduleRoundTripsAndHashIsContentSensitive)
@@ -508,6 +536,139 @@ TEST(ArtifactStore, SizeBudgetDropsOldestSegments)
     ASSERT_TRUE(store->get(testKey(1005), view).ok());
     // The oldest was reclaimed.
     EXPECT_FALSE(store->get(testKey(1000), view).ok());
+}
+
+TEST(ArtifactStore, WrappingRecordLengthTerminatesTheScan)
+{
+    TempDir dir;
+    const store::ArtifactKey key = testKey();
+    // Frame a record claiming a payload of 2^64-56 bytes: the total
+    // record span (header + payload + trailer) wraps u64 to exactly
+    // 0. open() must quarantine the damage and terminate — an
+    // unbounded span check would pass and the scan would never
+    // advance past the record.
+    store::ByteWriter w;
+    w.u32(0x52535051u); // Record magic "QPSR".
+    w.u32(store::kFormatVersion);
+    w.u32(key.kind);
+    w.u32(0);
+    w.u64(key.contentHash);
+    w.u64(key.generation);
+    w.u64(key.configFingerprint);
+    w.u64(~0ull - 55); // payloadBytes = 2^64 - 56.
+    w.u64(0xDEADBEEFu); // Trailing bytes the scan would spin on.
+    writeFile(dir.path / "seg-000001-1.qps", w.bytes());
+
+    auto store = store::ArtifactStore::open(dir.str(), 1 << 20);
+    ASSERT_NE(store, nullptr);
+    EXPECT_EQ(store->size(), 0u);
+    store::ArtifactView view;
+    EXPECT_FALSE(store->get(key, view).ok());
+    EXPECT_GE(store->stats().quarantined, 1u);
+}
+
+TEST(ArtifactStore, ViewOutlivesBudgetDropAndStoreDestruction)
+{
+    TempDir dir;
+    const std::vector<std::uint8_t> payload(1024, 0xA5);
+    store::ArtifactView view;
+    {
+        auto store = store::ArtifactStore::open(dir.str(), 3000);
+        ASSERT_NE(store, nullptr);
+        ASSERT_TRUE(store->put(testKey(1), payload).ok());
+        ASSERT_TRUE(store->flush().ok());
+        ASSERT_TRUE(store->get(testKey(1), view).ok());
+
+        // Flush until the size budget drops the segment the view
+        // points into.
+        for (std::uint64_t k = 2; k < 8; ++k) {
+            ASSERT_TRUE(store->put(testKey(k), payload).ok());
+            ASSERT_TRUE(store->flush().ok());
+        }
+        store::ArtifactView gone;
+        ASSERT_FALSE(store->get(testKey(1), gone).ok());
+
+        // The pinned bytes are still mapped and intact (ASan-checked).
+        ASSERT_EQ(view.size, payload.size());
+        EXPECT_EQ(std::vector<std::uint8_t>(view.data,
+                                            view.data + view.size),
+                  payload);
+    } // Store destroyed; the view alone keeps the mapping alive.
+    EXPECT_EQ(
+        std::vector<std::uint8_t>(view.data, view.data + view.size),
+        payload);
+}
+
+/**
+ * The use-after-munmap regression (run under ASan in CI): a reader
+ * consumes views with no store lock held while a writer's flushes
+ * evict the segment being read. Before views pinned their mappings,
+ * enforceBudget()'s munmap could yank the bytes out from under the
+ * reader mid-consumption.
+ */
+TEST(ArtifactStore, ConcurrentReadsSurviveBudgetEviction)
+{
+    TempDir dir;
+    auto store = store::ArtifactStore::open(dir.str(), 3000);
+    ASSERT_NE(store, nullptr);
+    const std::vector<std::uint8_t> payload(1024, 0x3C);
+    ASSERT_TRUE(store->put(testKey(0), payload).ok());
+    ASSERT_TRUE(store->flush().ok());
+
+    std::atomic<bool> stop{false};
+    std::thread reader([&store, &stop] {
+        while (!stop.load()) {
+            store::ArtifactView view;
+            if (!store->get(testKey(0), view).ok())
+                continue; // Evicted: later gets simply miss.
+            std::uint32_t sum = 0;
+            for (std::size_t i = 0; i < view.size; ++i)
+                sum += view.data[i];
+            EXPECT_EQ(sum, 0x3Cu * 1024u);
+        }
+    });
+    for (std::uint64_t k = 1; k <= 32; ++k) {
+        ASSERT_TRUE(store->put(testKey(k), payload).ok());
+        ASSERT_TRUE(store->flush().ok());
+    }
+    stop.store(true);
+    reader.join();
+}
+
+TEST(ArtifactStore, TwoWritersOneDirectoryKeepAllRecordsAddressable)
+{
+    TempDir dir;
+    // Two stores (standing in for two processes) open the same empty
+    // directory, so both compute segment sequence number 1.
+    auto a = store::ArtifactStore::open(dir.str(), 1 << 20);
+    auto b = store::ArtifactStore::open(dir.str(), 1 << 20);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    ASSERT_TRUE(a->put(testKey(1), {0xAA}).ok());
+    ASSERT_TRUE(a->flush().ok());
+    ASSERT_TRUE(b->put(testKey(2), {0xBB}).ok());
+    ASSERT_TRUE(b->flush().ok());
+
+    // Distinct writer tags: neither rename clobbered the other.
+    std::size_t segment_files = 0;
+    for (const auto &entry : fs::directory_iterator(dir.str()))
+        segment_files += entry.path().extension() == ".qps";
+    EXPECT_EQ(segment_files, 2u);
+
+    // A fresh open serves BOTH writers' records: same-sequence
+    // segments must not alias in the index, and the writer that lost
+    // the last-writer-wins index race is healed by segment scan.
+    auto c = store::ArtifactStore::open(dir.str(), 1 << 20);
+    ASSERT_NE(c, nullptr);
+    store::ArtifactView view;
+    ASSERT_TRUE(c->get(testKey(1), view).ok());
+    ASSERT_EQ(view.size, 1u);
+    EXPECT_EQ(view.data[0], 0xAA);
+    ASSERT_TRUE(c->get(testKey(2), view).ok());
+    ASSERT_EQ(view.size, 1u);
+    EXPECT_EQ(view.data[0], 0xBB);
+    EXPECT_EQ(c->stats().corrupt, 0u);
+    EXPECT_EQ(c->stats().quarantined, 0u);
 }
 
 TEST(ArtifactStore, EnvGateOffMeansNoStore)
