@@ -3,7 +3,10 @@
 #include <cmath>
 
 #include "common/constants.h"
+#include "compile/compile_cache.h"
 #include "device/schedule_validation.h"
+#include "store/artifact_store.h"
+#include "store/serde.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
@@ -23,6 +26,26 @@ PulseCompiler::PulseCompiler(std::shared_ptr<const PulseBackend> backend,
     for (const auto &cr : backend_->library().crs)
         target_.edges.emplace_back(cr.control, cr.target);
     target_.augmented = mode_ == CompileMode::Optimized;
+    generation_ = calibrationGeneration(backend_->library(), 0);
+    passFingerprint_ = passConfigFingerprint(target_, mode_);
+}
+
+void
+PulseCompiler::setCompileCache(std::shared_ptr<CompileCache> cache)
+{
+    cache_ = std::move(cache);
+}
+
+CompileKey
+PulseCompiler::cacheKey(const QuantumCircuit &circuit) const
+{
+    CompileKey key;
+    key.circuitFingerprint =
+        circuitFingerprint(circuit, backend_->config());
+    key.mode = static_cast<std::uint32_t>(mode_);
+    key.calibrationGeneration = generation_;
+    key.passConfigFingerprint = passFingerprint_;
+    return key;
 }
 
 QuantumCircuit
@@ -68,6 +91,47 @@ PulseCompiler::compile(const QuantumCircuit &circuit) const
     telemetry::TraceSpan total_span("compile.total");
 
     CompileResult result = [&] {
+        if (cache_ == nullptr)
+            return compileUncached(circuit);
+        bool from_cache = false;
+        CompileResult cached = cache_->getOrCompile(
+            cacheKey(circuit),
+            [&] { return compileUncached(circuit); }, &from_cache);
+        if (from_cache) {
+            // A hit skips every pass, but is never trusted blindly:
+            // re-validate against the *current* library and channel
+            // budget so a miscalibrated cmd_def (or a stale record)
+            // cannot be served unchecked.
+            telemetry::TraceSpan span("compile.validate");
+            cached.validation =
+                validateSchedule(cached.schedule, backend_->config());
+        }
+        return cached;
+    }();
+
+    c_gates_out.add(result.basisCircuit.gates().size());
+    c_pulses.add(result.pulseCount);
+    // Wall-clock is scheduling-dependent by nature, so it lives in a
+    // histogram (excluded from the cross-thread determinism contract)
+    // rather than a counter. compile.wall_us covers *every* compile
+    // (cache hits included); compile.uncached_wall_us, observed in
+    // compileUncached, isolates fresh pipeline runs.
+    h_wall.observe(
+        static_cast<double>(telemetry::Tracer::nowNs() - t0) / 1e3);
+    return result;
+}
+
+CompileResult
+PulseCompiler::compileUncached(const QuantumCircuit &circuit) const
+{
+    telemetry::MetricsRegistry &registry =
+        telemetry::MetricsRegistry::global();
+    static telemetry::Histogram &h_uncached =
+        registry.histogram("compile.uncached_wall_us",
+                           telemetry::defaultLatencyBoundsUs());
+    const std::uint64_t t0 = telemetry::Tracer::nowNs();
+
+    CompileResult result = [&] {
         telemetry::TraceSpan span("compile.transpile");
         return CompileResult{transpile(circuit)};
     }();
@@ -93,12 +157,7 @@ PulseCompiler::compile(const QuantumCircuit &circuit) const
         result.validation =
             validateSchedule(result.schedule, backend_->config());
     }
-    c_gates_out.add(result.basisCircuit.gates().size());
-    c_pulses.add(result.pulseCount);
-    // Wall-clock is scheduling-dependent by nature, so it lives in a
-    // histogram (excluded from the cross-thread determinism contract)
-    // rather than a counter.
-    h_wall.observe(
+    h_uncached.observe(
         static_cast<double>(telemetry::Tracer::nowNs() - t0) / 1e3);
     return result;
 }
@@ -159,6 +218,48 @@ makeCalibratedBackend(const BackendConfig &config, bool include_qutrit)
     Calibrator calibrator(config);
     return std::make_shared<const PulseBackend>(
         calibrator.calibrateAll(include_qutrit));
+}
+
+std::shared_ptr<const PulseBackend>
+makeCalibratedBackend(const BackendConfig &config, bool include_qutrit,
+                      const std::shared_ptr<store::ArtifactStore> &store,
+                      bool *loaded_from_snapshot)
+{
+    telemetry::MetricsRegistry &registry =
+        telemetry::MetricsRegistry::global();
+    static telemetry::Counter &c_loads =
+        registry.counter("calibration.snapshot.loads");
+    static telemetry::Counter &c_writes =
+        registry.counter("calibration.snapshot.writes");
+
+    if (loaded_from_snapshot != nullptr)
+        *loaded_from_snapshot = false;
+    if (store == nullptr)
+        return makeCalibratedBackend(config, include_qutrit);
+
+    const store::ArtifactKey key =
+        calibrationSnapshotKey(config, include_qutrit);
+    PulseLibrary library;
+    if (store::getPulseLibrary(*store, key, library).ok() &&
+        store::hashBackendConfig(library.config) ==
+            store::hashBackendConfig(config)) {
+        // The snapshot's embedded config matches the requested one
+        // exactly — bootstrap from it and skip the full sweep.
+        c_loads.increment();
+        if (loaded_from_snapshot != nullptr)
+            *loaded_from_snapshot = true;
+        return std::make_shared<const PulseBackend>(std::move(library));
+    }
+
+    // Miss, corrupt record, or foreign config: run the sweep and
+    // persist its result (flushed immediately so a concurrent or
+    // subsequent process can bootstrap).
+    Calibrator calibrator(config);
+    PulseLibrary fresh = calibrator.calibrateAll(include_qutrit);
+    if (store::putPulseLibrary(*store, key, fresh).ok() &&
+        store->flush().ok())
+        c_writes.increment();
+    return std::make_shared<const PulseBackend>(std::move(fresh));
 }
 
 } // namespace qpulse

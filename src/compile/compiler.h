@@ -20,6 +20,7 @@
 #ifndef QPULSE_COMPILE_COMPILER_H
 #define QPULSE_COMPILE_COMPILER_H
 
+#include <cstdint>
 #include <memory>
 
 #include "device/pulse_backend.h"
@@ -28,6 +29,12 @@
 #include "transpile/routing.h"
 
 namespace qpulse {
+
+class CompileCache;
+struct CompileKey;
+namespace store {
+class ArtifactStore;
+}
 
 /** Which of the two Figure 1 flows to run. */
 enum class CompileMode
@@ -89,8 +96,39 @@ class PulseCompiler
      */
     RoutingResult route(const QuantumCircuit &circuit) const;
 
-    /** Full lowering: assembly -> basis gates -> pulse schedule. */
+    /**
+     * Full lowering: assembly -> basis gates -> pulse schedule. With a
+     * compile cache attached, a key hit skips the whole pipeline but
+     * still re-runs validateSchedule against the current library
+     * before the result is returned (a stale or miscalibrated record
+     * can never be served unchecked).
+     */
     CompileResult compile(const QuantumCircuit &circuit) const;
+
+    /**
+     * Attach a (shareable) two-tier compile cache; nullptr detaches.
+     * Without a cache, compile() behaves exactly as before — the
+     * no-cache path stays bit-identical.
+     */
+    void setCompileCache(std::shared_ptr<CompileCache> cache);
+    const std::shared_ptr<CompileCache> &compileCache() const
+    {
+        return cache_;
+    }
+
+    /**
+     * Generation component of this compiler's cache keys. Defaults to
+     * calibrationGeneration(library, 0); recalibration owners bump it
+     * so schedules compiled under the old calibration miss.
+     */
+    std::uint64_t compileGeneration() const { return generation_; }
+    void setCompileGeneration(std::uint64_t generation)
+    {
+        generation_ = generation;
+    }
+
+    /** The exact key compile(circuit) memoizes under (for dedup). */
+    CompileKey cacheKey(const QuantumCircuit &circuit) const;
 
     /**
      * Per-gate noise accounting for the DensitySimulator, computed
@@ -103,15 +141,35 @@ class PulseCompiler
     DensitySimulator makeSimulator() const;
 
   private:
+    /** The original uncached pipeline (transpile/schedule/validate). */
+    CompileResult compileUncached(const QuantumCircuit &circuit) const;
+
     std::shared_ptr<const PulseBackend> backend_;
     CompileMode mode_;
     TranspilerTarget target_;
+    std::shared_ptr<CompileCache> cache_;
+    std::uint64_t generation_ = 0;
+    std::uint64_t passFingerprint_ = 0;
 };
 
 /** Build a calibrated backend for a config (runs the calibration). */
 std::shared_ptr<const PulseBackend>
 makeCalibratedBackend(const BackendConfig &config,
                       bool include_qutrit = false);
+
+/**
+ * Snapshot-bootstrapped calibration: when `store` holds a
+ * CalibrationSnapshot for this exact config (hashBackendConfig keyed),
+ * the backend is built from the persisted PulseLibrary and the full
+ * calibration sweep is skipped entirely; otherwise the sweep runs and
+ * its library is written back (and flushed) for the next process.
+ * `loaded_from_snapshot` reports which path ran. A corrupt or
+ * mismatched snapshot falls back to the fresh sweep (fail closed).
+ */
+std::shared_ptr<const PulseBackend>
+makeCalibratedBackend(const BackendConfig &config, bool include_qutrit,
+                      const std::shared_ptr<store::ArtifactStore> &store,
+                      bool *loaded_from_snapshot = nullptr);
 
 } // namespace qpulse
 

@@ -96,30 +96,29 @@ validateScheduleImpl(const Schedule &schedule,
                                      instContext(inst));
 
         // One pass over the samples covers both the finiteness and the
-        // saturation check without materialising the waveform twice.
+        // saturation check; the scan is memoized per (immutable)
+        // waveform object, so re-validating a schedule whose pulses are
+        // already known — e.g. a compile-cache hit checked against the
+        // current calibration — costs O(instructions), not O(samples).
         const long duration = inst.waveform->duration();
         if (duration <= 0)
             return Status::error(
                 ErrorCode::ZeroDurationPlay,
                 "zero-duration Play of '" + inst.waveform->name() +
                     "' on " + instContext(inst));
-        double peak = 0.0;
-        for (long k = 0; k < duration; ++k) {
-            const Complex d = inst.waveform->sample(k);
-            if (!std::isfinite(d.real()) || !std::isfinite(d.imag()))
-                return Status::error(
-                    ErrorCode::NonFiniteSample,
-                    "non-finite sample " + std::to_string(k) +
-                        " in '" + inst.waveform->name() + "' on " +
-                        instContext(inst));
-            peak = std::max(peak, std::abs(d));
-        }
-        if (peak > 1.0 + 1e-9)
+        const WaveformScan &scan = inst.waveform->sampleScan();
+        if (scan.firstNonFinite >= 0)
+            return Status::error(
+                ErrorCode::NonFiniteSample,
+                "non-finite sample " +
+                    std::to_string(scan.firstNonFinite) + " in '" +
+                    inst.waveform->name() + "' on " + instContext(inst));
+        if (scan.peak > 1.0 + 1e-9)
             return Status::error(
                 ErrorCode::AmplitudeSaturation,
                 "pulse '" + inst.waveform->name() + "' on " +
                     instContext(inst) + " saturates the AWG (peak |d|=" +
-                    std::to_string(peak) + " > 1)");
+                    std::to_string(scan.peak) + " > 1)");
 
         play_spans[inst.channel].emplace_back(inst.startTime,
                                               inst.endTime());

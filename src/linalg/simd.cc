@@ -44,6 +44,20 @@ avx512Supported()
 #endif
 }
 
+bool
+pclmulSupported()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    // Tied to the active dispatch mode so QPULSE_SIMD=0 (or
+    // setActiveSimd(Scalar)) forces the table CRC path as well.
+    return activeSimd() != SimdMode::Scalar &&
+           __builtin_cpu_supports("pclmul") != 0 &&
+           __builtin_cpu_supports("sse2") != 0;
+#else
+    return false;
+#endif
+}
+
 namespace {
 
 /** -1 = unresolved; otherwise a SimdMode value. */

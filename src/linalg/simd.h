@@ -57,6 +57,14 @@ bool avx2Supported();
 bool avx512Supported();
 
 /**
+ * True when the CPU supports carry-less multiply (PCLMULQDQ; false on
+ * non-x86). Gate for the folding CRC-64 fast path in store/serde.cc.
+ * Honours the QPULSE_SIMD escape hatch: forcing scalar disables this
+ * probe too, so the table CRC stays reachable for differential tests.
+ */
+bool pclmulSupported();
+
+/**
  * The active dispatch mode, resolved once on first use from
  * QPULSE_SIMD: 0/"scalar" forces Scalar; "sse2"/"avx2"/"avx512" pin a
  * tier (falling back to the highest supported one, with a warning,

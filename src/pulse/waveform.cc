@@ -27,10 +27,47 @@ Waveform::absArea() const
 double
 Waveform::peakAmplitude() const
 {
-    double peak = 0.0;
-    for (long t = 0; t < duration(); ++t)
-        peak = std::max(peak, std::abs(sample(t)));
-    return peak;
+    return sampleScan().peak;
+}
+
+WaveformScan
+Waveform::scanSamples() const
+{
+    WaveformScan scan;
+    const long n = duration();
+    for (long t = 0; t < n; ++t) {
+        const Complex d = sample(t);
+        if (scan.firstNonFinite < 0 &&
+            (!std::isfinite(d.real()) || !std::isfinite(d.imag())))
+            scan.firstNonFinite = t;
+        scan.peak = std::max(scan.peak, std::abs(d));
+    }
+    return scan;
+}
+
+const WaveformScan &
+Waveform::sampleScan() const
+{
+    if (!scanReady_.load(std::memory_order_acquire)) {
+        std::lock_guard<std::mutex> lock(scanMutex_);
+        if (!scanReady_.load(std::memory_order_relaxed)) {
+            scan_ = scanSamples();
+            scanReady_.store(true, std::memory_order_release);
+        }
+    }
+    return scan_;
+}
+
+void
+Waveform::seedSampleScan(const WaveformScan &scan) const
+{
+    if (scanReady_.load(std::memory_order_acquire))
+        return;
+    std::lock_guard<std::mutex> lock(scanMutex_);
+    if (scanReady_.load(std::memory_order_relaxed))
+        return;
+    scan_ = scan;
+    scanReady_.store(true, std::memory_order_release);
 }
 
 GaussianWaveform::GaussianWaveform(long duration, double sigma, Complex amp)
@@ -99,6 +136,20 @@ SampledWaveform::SampledWaveform(std::vector<Complex> samples,
     : samples_(std::move(samples)), label_(std::move(label))
 {
     qpulseRequire(!samples_.empty(), "sampled waveform must be nonempty");
+}
+
+WaveformScan
+SampledWaveform::scanSamples() const
+{
+    WaveformScan scan;
+    for (std::size_t t = 0; t < samples_.size(); ++t) {
+        const Complex d = samples_[t];
+        if (scan.firstNonFinite < 0 &&
+            (!std::isfinite(d.real()) || !std::isfinite(d.imag())))
+            scan.firstNonFinite = static_cast<long>(t);
+        scan.peak = std::max(scan.peak, std::abs(d));
+    }
+    return scan;
 }
 
 ScaledWaveform::ScaledWaveform(WaveformPtr base, Complex scale)

@@ -13,13 +13,28 @@
 #ifndef QPULSE_PULSE_WAVEFORM_H
 #define QPULSE_PULSE_WAVEFORM_H
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/constants.h"
 
 namespace qpulse {
+
+/**
+ * One full pass over a waveform's samples, summarised for validation:
+ * the peak |d(t)| and the index of the first non-finite sample (-1 if
+ * every sample is finite). Computed once per Waveform object and
+ * memoized — envelopes are immutable, so repeated schedule validation
+ * (e.g. re-validating a cached compile result against the current
+ * calibration) costs O(instructions) instead of O(samples).
+ */
+struct WaveformScan {
+    double peak = 0.0;
+    long firstNonFinite = -1;
+};
 
 /**
  * A complex pulse envelope defined over an integer number of AWG
@@ -47,6 +62,37 @@ class Waveform
 
     /** Largest |d(t)|; OpenPulse requires this to be <= 1. */
     double peakAmplitude() const;
+
+    /** Memoized full-sample scan (thread-safe; computed on first use). */
+    const WaveformScan &sampleScan() const;
+
+    /**
+     * Pre-fill the scan memo with a value computed elsewhere (e.g.
+     * persisted alongside a compiled-schedule record, so re-validating
+     * a deserialized schedule skips the full sample pass). No-op when
+     * the memo is already populated; the caller is responsible for the
+     * seed actually matching scanSamples() — a wrong seed only skews
+     * validation, never the samples themselves.
+     */
+    void seedSampleScan(const WaveformScan &scan) const;
+
+  protected:
+    Waveform() = default;
+    // The memoized scan is derived data: copies start with a fresh
+    // (uncomputed) memo rather than sharing the source's state.
+    Waveform(const Waveform &) {}
+    Waveform &operator=(const Waveform &) { return *this; }
+
+    /** One pass over all samples; subclasses may override with a
+     *  direct (non-virtual) loop when they hold materialised samples. */
+    virtual WaveformScan scanSamples() const;
+
+  private:
+    // Double-checked memo: scanReady_ (acquire/release) publishes
+    // scan_; scanMutex_ serialises the one computing/seeding writer.
+    mutable std::atomic<bool> scanReady_{false};
+    mutable std::mutex scanMutex_;
+    mutable WaveformScan scan_;
 };
 
 using WaveformPtr = std::shared_ptr<const Waveform>;
@@ -152,6 +198,9 @@ class SampledWaveform : public Waveform
     }
     Complex sample(long t) const override { return samples_[t]; }
     std::string name() const override { return label_; }
+
+  protected:
+    WaveformScan scanSamples() const override;
 
   private:
     std::vector<Complex> samples_;

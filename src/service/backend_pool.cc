@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/rng.h"
+#include "compile/compile_cache.h"
 #include "store/persistent_propagator_cache.h"
 #include "store/serde.h"
 #include "telemetry/metrics.h"
@@ -100,6 +101,8 @@ BackendPool::Entry::Entry(std::string name_,
 {
 }
 
+BackendPool::BackendPool() : BackendPool(Policies{}) {}
+
 BackendPool::BackendPool(Policies policies)
     : policies_(std::move(policies))
 {
@@ -108,6 +111,14 @@ BackendPool::BackendPool(Policies policies)
     throwIfError(validateProbePolicy(policies_.probe));
     store_ = policies_.artifactStore ? policies_.artifactStore
                                      : store::ArtifactStore::openFromEnv();
+    // One compile cache for the whole fleet: member compilers key by
+    // their own calibration generation, so members sharing a
+    // calibration share compiled schedules (the failover path serves
+    // hop recompiles from cache) while distinct calibrations miss.
+    compileCache_ = policies_.compileCache
+                        ? policies_.compileCache
+                        : std::make_shared<CompileCache>(
+                              CompileCache::kDefaultCapacity, store_);
 }
 
 void
@@ -145,6 +156,11 @@ BackendPool::addBackend(std::string name,
                 memberGeneration(entry->sim, entry->name,
                                  entry->persistEpoch),
                 store::simConfigFingerprint(entry->sim));
+    entry->compiler = std::make_unique<PulseCompiler>(
+        entry->backend, policies_.compileMode);
+    entry->compiler->setCompileCache(compileCache_);
+    entry->compiler->setCompileGeneration(calibrationGeneration(
+        entry->backend->library(), entry->persistEpoch));
     // The drift watchdog's targeted refresh re-tunes the member: its
     // calibration is fresh again, the fleet counts the event, and any
     // persisted propagators from the stale calibration are retired.
@@ -531,17 +547,43 @@ BackendPool::flushPersistence()
         if (!status.ok() && first.ok())
             first = status;
     }
+    if (compileCache_) {
+        const Status status = compileCache_->flush();
+        if (!status.ok() && first.ok())
+            first = status;
+    }
     return first;
+}
+
+PulseCompiler &
+BackendPool::compiler(const std::string &name)
+{
+    return *find(name).compiler;
+}
+
+std::uint64_t
+BackendPool::compileGeneration(const std::string &name) const
+{
+    return find(name).compiler->compileGeneration();
 }
 
 void
 BackendPool::bumpPersistGeneration(Entry &entry)
 {
-    if (!entry.persistCache)
-        return;
+    // The epoch always advances: compiled schedules keyed under the
+    // old calibration generation must miss even when the persistent
+    // tier is off (the memory tier invalidates the same way).
     ++entry.persistEpoch;
-    entry.persistCache->setGeneration(
-        memberGeneration(entry.sim, entry.name, entry.persistEpoch));
+    if (entry.persistCache)
+        entry.persistCache->setGeneration(memberGeneration(
+            entry.sim, entry.name, entry.persistEpoch));
+    if (entry.compiler)
+        entry.compiler->setCompileGeneration(calibrationGeneration(
+            entry.backend->library(), entry.persistEpoch));
+    // A fresh snapshot marks the recalibration point for the next
+    // process's bootstrap (newest-wins on the fixed snapshot key).
+    if (store_)
+        writeCalibrationSnapshot(*store_, entry.backend->library());
 }
 
 void

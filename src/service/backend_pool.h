@@ -41,11 +41,14 @@
 #include <vector>
 
 #include "common/status.h"
+#include "compile/compiler.h"
 #include "device/fault_injector.h"
 #include "device/resilient_executor.h"
 #include "service/circuit_breaker.h"
 
 namespace qpulse {
+
+class CompileCache;
 
 namespace store {
 class ArtifactStore;
@@ -123,6 +126,19 @@ class BackendPool
          * (docs/PERSISTENCE.md).
          */
         std::shared_ptr<store::ArtifactStore> artifactStore;
+
+        /** Compile mode every member's compiler lowers in. */
+        CompileMode compileMode = CompileMode::Optimized;
+
+        /**
+         * Compile cache shared by every member's compiler (null: the
+         * pool builds one over its artifact store — the memory tier
+         * exists even store-less, so failover hops between members
+         * sharing a calibration generation hit instead of re-running
+         * the pass pipeline). Keys carry each member's calibration
+         * generation, so distinct calibrations never cross-serve.
+         */
+        std::shared_ptr<CompileCache> compileCache;
     };
 
     /** Result of routing one job to one member. */
@@ -132,8 +148,12 @@ class BackendPool
         ResilientOutcome outcome;
     };
 
-    /** Throws StatusError on a degenerate breaker/health policy. */
-    explicit BackendPool(Policies policies = {});
+    /** Throws StatusError on a degenerate breaker/health policy.
+     *  (Two overloads rather than one defaulted argument: a `= {}`
+     *  default would be parsed before Policies' member initializers
+     *  are complete.) */
+    BackendPool();
+    explicit BackendPool(Policies policies);
 
     /**
      * Register a fleet member. Names must be unique and non-empty.
@@ -239,6 +259,23 @@ class BackendPool
     /** Drain every member's write-back queue into the store. */
     Status flushPersistence();
 
+    /**
+     * One member's gate-to-pulse compiler, wired to the pool's shared
+     * compile cache. Its generation tracks the member's recalibration
+     * epoch: drift-watchdog refresh and drain/readmit both advance it,
+     * so schedules compiled under the old calibration miss.
+     */
+    PulseCompiler &compiler(const std::string &name);
+
+    /** One member's current compile-key calibration generation. */
+    std::uint64_t compileGeneration(const std::string &name) const;
+
+    /** The compile cache every member's compiler shares (never null). */
+    const std::shared_ptr<CompileCache> &compileCache() const
+    {
+        return compileCache_;
+    }
+
   private:
     struct Entry
     {
@@ -261,6 +298,8 @@ class BackendPool
         std::shared_ptr<store::PersistentPropagatorCache> persistCache;
         /** Monotonic recalibration count keyed into the generation. */
         std::uint64_t persistEpoch = 0;
+        /** Member compiler over the pool's shared compile cache. */
+        std::unique_ptr<PulseCompiler> compiler;
 
         Entry(std::string name_,
               std::shared_ptr<const PulseBackend> backend_,
@@ -280,11 +319,13 @@ class BackendPool
     void runProbe(Entry &entry);
     /** Refresh the fleet.* admin gauges after a state change. */
     void updateGauges() const;
-    /** Advance `entry`'s generation after a recalibration. */
+    /** Advance `entry`'s generations (propagator + compile) after a
+     *  recalibration, and persist a fresh calibration snapshot. */
     void bumpPersistGeneration(Entry &entry);
 
     Policies policies_;
     std::shared_ptr<store::ArtifactStore> store_;
+    std::shared_ptr<CompileCache> compileCache_;
     std::vector<std::unique_ptr<Entry>> entries_;
     FleetStats stats_;
 };

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <iterator>
+#include <unordered_set>
 
 #include "common/env.h"
+#include "common/thread_pool.h"
+#include "compile/compile_cache.h"
 #include "store/persistent_propagator_cache.h"
 #include "store/serde.h"
 #include "telemetry/metrics.h"
@@ -106,6 +109,19 @@ ExecutionService::ExecutionService(
                 artifactStore_,
                 store::mixHash(sim_->basisVersion(), recalEpoch_),
                 store::simConfigFingerprint(*sim_));
+    // Circuit-carrying jobs compile through a memoized two-tier cache:
+    // the memory tier always exists; the persistent tier rides the
+    // same artifact store as the propagators.
+    compileCache_ = policy_.compileCache
+                        ? policy_.compileCache
+                        : std::make_shared<CompileCache>(
+                              CompileCache::kDefaultCapacity,
+                              artifactStore_);
+    compiler_ = std::make_unique<PulseCompiler>(backend_,
+                                                policy_.compileMode);
+    compiler_->setCompileCache(compileCache_);
+    compiler_->setCompileGeneration(
+        calibrationGeneration(backend_->library(), recalEpoch_));
     // Composite hook: a recalibration means the calibration the
     // persisted propagators were derived under is gone — retire the
     // generation before any user-visible bookkeeping runs.
@@ -115,11 +131,20 @@ ExecutionService::ExecutionService(
 void
 ExecutionService::onRecalibration()
 {
-    if (persistCache_) {
-        ++recalEpoch_;
+    // The epoch always advances: compiled schedules keyed under the
+    // old calibration generation must miss even when persistence is
+    // off (the memory tier invalidates by the same unreachability).
+    ++recalEpoch_;
+    if (persistCache_)
         persistCache_->setGeneration(
             store::mixHash(sim_->basisVersion(), recalEpoch_));
-    }
+    if (compiler_)
+        compiler_->setCompileGeneration(
+            calibrationGeneration(backend_->library(), recalEpoch_));
+    // A fresh snapshot marks the recalibration point for the next
+    // process's bootstrap (newest-wins on the fixed snapshot key).
+    if (artifactStore_ && backend_)
+        writeCalibrationSnapshot(*artifactStore_, backend_->library());
     if (userRecalHook_)
         userRecalHook_();
 }
@@ -130,13 +155,25 @@ ExecutionService::artifactStore() const
     return pool_ != nullptr ? pool_->artifactStore() : artifactStore_;
 }
 
+std::shared_ptr<CompileCache>
+ExecutionService::compileCache() const
+{
+    return pool_ != nullptr ? pool_->compileCache() : compileCache_;
+}
+
 Status
 ExecutionService::flushPersistence()
 {
     if (pool_ != nullptr)
         return pool_->flushPersistence();
-    return persistCache_ ? persistCache_->flush()
-                         : Status::okStatus();
+    Status first = persistCache_ ? persistCache_->flush()
+                                 : Status::okStatus();
+    if (compileCache_) {
+        const Status compile = compileCache_->flush();
+        if (!compile.ok() && first.ok())
+            first = compile;
+    }
+    return first;
 }
 
 ExecutionService::ExecutionService(std::shared_ptr<BackendPool> pool,
@@ -315,6 +352,29 @@ ExecutionService::submit(JobRequest request)
     return Status::okStatus();
 }
 
+Status
+ExecutionService::compileCircuit(const PulseCompiler &compiler,
+                                 const QuantumCircuit &circuit,
+                                 Schedule &out)
+{
+    try {
+        CompileResult result = compiler.compile(circuit);
+        // A failed validation is the compiler saying the current
+        // cmd_def cannot express this circuit within the channel
+        // budget — structurally terminal, never executed.
+        if (!result.validation.ok())
+            return result.validation;
+        out = std::move(result.schedule);
+        return Status::okStatus();
+    } catch (const StatusError &error) {
+        return error.status();
+    } catch (const std::exception &error) {
+        return Status::error(ErrorCode::InvalidArgument,
+                             std::string("compile failed: ") +
+                                 error.what());
+    }
+}
+
 JobOutcome
 ExecutionService::executeJob(PendingJob &job)
 {
@@ -368,6 +428,22 @@ ExecutionService::executeJob(PendingJob &job)
     request.key = job.request.key;
     request.fallback = job.request.fallback;
     request.baselineProxy = job.request.baselineProxy;
+
+    // Circuit-carrying job: lower it through the memoized compile
+    // cache (the drain-time precompile usually makes this a hit). A
+    // compile failure terminates the job here — it never reaches the
+    // backend, and the breaker records nothing (a bad circuit says
+    // nothing about backend health).
+    if (job.request.circuit) {
+        if (Status compiled = compileCircuit(
+                *compiler_, *job.request.circuit, request.schedule);
+            !compiled.ok()) {
+            out.status = std::move(compiled);
+            noteTerminal(out.status, /*executed=*/false);
+            h_wall.observe(wallUsSince(t0));
+            return out;
+        }
+    }
 
     PulseShotOptions opts;
     opts.shots = job.request.shots;
@@ -514,6 +590,26 @@ ExecutionService::executeFleetJob(PendingJob &job)
         if (hops >= budget)
             break;
         ++hops;
+        // Circuit-carrying job: lower it for *this* member through its
+        // compiler. All member compilers share one CompileCache, and
+        // the key carries the calibration generation — members sharing
+        // a calibration serve the hop from cache instead of re-running
+        // the pass pipeline per failover hop.
+        if (job.request.circuit) {
+            if (Status compiled = compileCircuit(
+                    pool_->compiler(name), *job.request.circuit,
+                    request.schedule);
+                !compiled.ok()) {
+                out.path.push_back(
+                    FailoverHop{name, compiled.code()});
+                out.backend = name;
+                out.execution = ResilientOutcome{};
+                out.execution.status = std::move(compiled);
+                if (!failoverEligible(out.execution.status.code()))
+                    break;
+                continue;
+            }
+        }
         BackendPool::PoolRun run = pool_->runOn(name, request, opts);
         out.path.push_back(FailoverHop{name, run.outcome.status.code()});
         out.backend = name;
@@ -560,6 +656,52 @@ ExecutionService::executeFleetJob(PendingJob &job)
     return out;
 }
 
+void
+ExecutionService::precompileQueued(std::vector<PendingJob> &jobs)
+{
+    // The compiler the drain will (first) lower against: the service's
+    // own in single-backend mode, the healthiest routable member's in
+    // fleet mode (failover hops recompile per member, but a shared
+    // calibration generation makes those hops cache hits).
+    const PulseCompiler *compiler = compiler_.get();
+    if (pool_ != nullptr) {
+        const std::vector<std::string> order = pool_->routingOrder();
+        if (order.empty())
+            return;
+        compiler = &pool_->compiler(order.front());
+    }
+    if (compiler == nullptr)
+        return;
+
+    // Dedup BEFORE fanning out: each distinct CompileKey compiles
+    // exactly once, so the compile.cache.* counters are thread-count
+    // invariant (one miss per distinct key; duplicates become memory
+    // hits at execute time) — concurrent same-key compiles would
+    // instead split miss/coalesced by scheduling. Compile errors are
+    // swallowed here; the per-job compile reports them with the job's
+    // identity attached.
+    std::vector<const QuantumCircuit *> distinct;
+    std::unordered_set<CompileKey, CompileKeyHash> seen;
+    for (const PendingJob &job : jobs) {
+        if (!job.request.circuit)
+            continue;
+        if (seen.insert(compiler->cacheKey(*job.request.circuit))
+                .second)
+            distinct.push_back(&*job.request.circuit);
+    }
+    if (distinct.empty())
+        return;
+
+    telemetry::TraceSpan span("service.precompile");
+    ThreadPool::global().parallelFor(
+        distinct.size(),
+        [&](std::size_t i) {
+            Schedule lowered;
+            (void)compileCircuit(*compiler, *distinct[i], lowered);
+        },
+        policy_.maxThreads);
+}
+
 std::vector<JobOutcome>
 ExecutionService::drain()
 {
@@ -572,6 +714,10 @@ ExecutionService::drain()
         std::make_move_iterator(queue_.end()));
     queue_.clear();
     g_depth.set(0.0);
+
+    // Warm the compile cache for every distinct pending circuit
+    // concurrently before the (sequential) execution loop starts.
+    precompileQueued(jobs);
 
     std::vector<JobOutcome> outcomes = std::move(shedOutcomes_);
     shedOutcomes_.clear();

@@ -64,11 +64,14 @@
 
 #include "common/cancellation.h"
 #include "common/status.h"
+#include "compile/compiler.h"
 #include "device/resilient_executor.h"
 #include "service/backend_pool.h"
 #include "service/circuit_breaker.h"
 
 namespace qpulse {
+
+class CompileCache;
 
 /** Per-tenant admission quota and fair-share weight (fleet mode). */
 struct TenantQuota
@@ -124,12 +127,38 @@ struct ServicePolicy
      * (BackendPool::Policies::artifactStore).
      */
     std::shared_ptr<store::ArtifactStore> artifactStore;
+
+    /** Compile mode for circuit-carrying jobs (single-backend mode;
+     *  fleet members compile via BackendPool::Policies::compileMode). */
+    CompileMode compileMode = CompileMode::Optimized;
+
+    /**
+     * Two-tier compile cache for circuit-carrying jobs (null: the
+     * service builds one over its artifact store — the memory tier
+     * always exists; the persistent tier only with a store). Pass a
+     * shared instance to pool compile results across services.
+     * Fleet-mode services ignore this — the BackendPool owns the
+     * shared cache there (BackendPool::Policies::compileCache).
+     */
+    std::shared_ptr<CompileCache> compileCache;
 };
 
 /** One unit of work a client submits. */
 struct JobRequest
 {
     Schedule schedule; ///< Primary schedule to execute.
+    /**
+     * Assembly circuit to compile instead of a pre-built schedule.
+     * When set, `schedule` is ignored: the service lowers the circuit
+     * through its memoized compile cache at drain time — distinct
+     * pending circuits compile concurrently on the shared ThreadPool,
+     * duplicates coalesce to one compile (single-flight), and fleet
+     * failover recompiles per hop through each member's compiler (a
+     * shared calibration generation makes the hop compile a cache
+     * hit). A compile whose validation fails terminates the job with
+     * that structured Status before anything executes.
+     */
+    std::optional<QuantumCircuit> circuit;
     /** Standard-flow decomposition to degrade to (optional). */
     std::optional<Schedule> fallback;
     /** Stale-tracking identity (ResilientRequest::key). */
@@ -276,6 +305,24 @@ class ExecutionService
     }
 
     /**
+     * The compile cache circuit-carrying jobs go through: this
+     * service's own in single-backend mode, the pool's shared one in
+     * fleet mode. Never null.
+     */
+    std::shared_ptr<CompileCache> compileCache() const;
+
+    /** The single-backend compiler (fatals in fleet mode: each pool
+     *  member owns its own — BackendPool::compiler). */
+    PulseCompiler &compiler()
+    {
+        qpulseRequire(compiler_ != nullptr,
+                      "ExecutionService::compiler: fleet-mode "
+                      "services keep per-backend compilers inside "
+                      "the BackendPool");
+        return *compiler_;
+    }
+
+    /**
      * Push every queued propagator write-back to disk — this
      * service's cache, or every pool member's in fleet mode. drain()
      * already calls this at the end of each drain; call it directly
@@ -344,12 +391,31 @@ class ExecutionService
     /** Composite recalibration handler: retire the persisted
      *  generation, then run the user hook (single-backend mode). */
     void onRecalibration();
+    /**
+     * Drain-time warm-up: compile every distinct pending circuit
+     * concurrently on the shared ThreadPool (deduped by CompileKey
+     * first, so counters stay deterministic: one miss per distinct
+     * key regardless of thread count). Compile errors are swallowed
+     * here — the per-job compile in executeJob reports them with the
+     * job's identity attached.
+     */
+    void precompileQueued(std::vector<PendingJob> &jobs);
+    /**
+     * Lower `circuit` through `compiler`'s cache into `out`. Non-Ok:
+     * the compile threw (structured) or its validation failed; the
+     * job must terminate without executing.
+     */
+    static Status compileCircuit(const PulseCompiler &compiler,
+                                 const QuantumCircuit &circuit,
+                                 Schedule &out);
 
     std::shared_ptr<const PulseBackend> backend_;
     std::optional<PulseSimulator> sim_;   ///< Single-backend mode.
     ServicePolicy policy_;
     std::size_t capacity_ = 0;
     std::unique_ptr<ResilientExecutor> executor_; ///< Single-backend.
+    std::unique_ptr<PulseCompiler> compiler_;     ///< Single-backend.
+    std::shared_ptr<CompileCache> compileCache_;  ///< Single-backend.
     std::shared_ptr<BackendPool> pool_;           ///< Fleet mode.
     std::shared_ptr<store::ArtifactStore> artifactStore_;
     std::shared_ptr<store::PersistentPropagatorCache> persistCache_;

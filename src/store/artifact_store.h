@@ -65,6 +65,7 @@
 namespace qpulse {
 
 class Schedule;
+struct PulseLibrary;
 
 namespace store {
 
@@ -275,6 +276,18 @@ Status putSchedule(ArtifactStore &store, const ArtifactKey &key,
                    const Schedule &schedule);
 Status getSchedule(ArtifactStore &store, const ArtifactKey &key,
                    Schedule &out);
+
+/**
+ * CalibrationSnapshot conveniences (serialized PulseLibrary). The
+ * payload leads with hashBackendConfig(library.config) as an echo
+ * guard: a hash-colliding or mis-keyed record is rejected
+ * (StoreCorrupt) instead of bootstrapping a backend from another
+ * device's calibration.
+ */
+Status putPulseLibrary(ArtifactStore &store, const ArtifactKey &key,
+                       const PulseLibrary &library);
+Status getPulseLibrary(ArtifactStore &store, const ArtifactKey &key,
+                       PulseLibrary &out);
 
 } // namespace store
 } // namespace qpulse

@@ -1,8 +1,13 @@
 #include "store/serde.h"
 
 #include <array>
+#include <atomic>
 #include <bit>
 #include <cstring>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
 
 #include "common/constants.h"
 #include "linalg/simd.h"
@@ -63,14 +68,17 @@ byteswap64(std::uint64_t v)
     return (v << 32) | (v >> 32);
 }
 
-} // namespace
-
+/**
+ * Raw CRC state update (no pre/post inversion): runs the slice-by-16
+ * table loop over `size` bytes starting from `crc`. Both the public
+ * crc64() and the carry-less-multiply fast path bottom out here (the
+ * latter for its residual block and tail).
+ */
 std::uint64_t
-crc64(const void *bytes, std::size_t size, std::uint64_t seed)
+crcTableUpdate(std::uint64_t crc, const std::uint8_t *p,
+               std::size_t size)
 {
     const auto &t = crcTables();
-    const auto *p = static_cast<const std::uint8_t *>(bytes);
-    std::uint64_t crc = ~seed;
     while (size >= 16) {
         std::uint64_t lo, hi;
         std::memcpy(&lo, p, 8);
@@ -106,7 +114,199 @@ crc64(const void *bytes, std::size_t size, std::uint64_t seed)
     }
     for (std::size_t i = 0; i < size; ++i)
         crc = t[0][(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+    return crc;
+}
+
+#if defined(__x86_64__)
+
+/**
+ * Solve A(k) = target over GF(2), where the linear operator A is given
+ * by its images on the 64 basis vectors (img[i] = A(e_i)). Gaussian
+ * elimination via an XOR basis; returns false when target is outside
+ * A's column space.
+ */
+bool
+solveGf2(const std::array<std::uint64_t, 64> &img,
+         std::uint64_t target, std::uint64_t &solution)
+{
+    std::array<std::uint64_t, 64> val{};  // Basis value, leading bit b.
+    std::array<std::uint64_t, 64> coef{}; // e_i combination behind it.
+    for (int i = 0; i < 64; ++i) {
+        std::uint64_t v = img[static_cast<std::size_t>(i)];
+        std::uint64_t c = 1ull << i;
+        for (int b = 63; b >= 0 && v != 0; --b) {
+            if (((v >> b) & 1) == 0)
+                continue;
+            if (val[static_cast<std::size_t>(b)] == 0) {
+                val[static_cast<std::size_t>(b)] = v;
+                coef[static_cast<std::size_t>(b)] = c;
+                break;
+            }
+            v ^= val[static_cast<std::size_t>(b)];
+            c ^= coef[static_cast<std::size_t>(b)];
+        }
+    }
+    std::uint64_t v = target;
+    std::uint64_t s = 0;
+    for (int b = 63; b >= 0 && v != 0; --b) {
+        if (((v >> b) & 1) == 0)
+            continue;
+        if (val[static_cast<std::size_t>(b)] == 0)
+            return false;
+        v ^= val[static_cast<std::size_t>(b)];
+        s ^= coef[static_cast<std::size_t>(b)];
+    }
+    solution = s;
+    return true;
+}
+
+/**
+ * Folding constants for the PCLMULQDQ CRC path, derived numerically
+ * from the table CRC instead of transcribed from a reference: the
+ * 16-byte fold step must satisfy crc0(fold(V)) == crc0(V || 0^16) for
+ * every 128-bit accumulator V, which (by linearity in each 64-bit
+ * half) pins klo/khi as the solutions of A16(k) = crc0(e_0 || 0^16)
+ * and A16(k) = crc0(e_64 || 0^16), where A16 is the advance-by-16-
+ * zero-bytes state operator. A one-time differential self-check
+ * (clmulCrcUsable) guards the whole path, so a derivation bug can
+ * only ever cost speed, never correctness.
+ */
+struct ClmulCrcConsts
+{
+    std::uint64_t klo = 0;
+    std::uint64_t khi = 0;
+    bool solved = false;
+};
+
+const ClmulCrcConsts &
+clmulCrcConsts()
+{
+    static const ClmulCrcConsts consts = [] {
+        ClmulCrcConsts out;
+        std::array<std::uint64_t, 64> img{};
+        const std::uint8_t zeros[16] = {};
+        for (int i = 0; i < 64; ++i)
+            img[static_cast<std::size_t>(i)] =
+                crcTableUpdate(1ull << i, zeros, 16);
+        std::uint8_t msg[32] = {};
+        msg[0] = 1;
+        const std::uint64_t clo = crcTableUpdate(0, msg, 32);
+        msg[0] = 0;
+        msg[8] = 1;
+        const std::uint64_t chi = crcTableUpdate(0, msg, 32);
+        out.solved = solveGf2(img, clo, out.klo) &&
+                     solveGf2(img, chi, out.khi);
+        return out;
+    }();
+    return consts;
+}
+
+/**
+ * Fold `blocks` 16-byte blocks into one 128-bit residual: V' =
+ * clmul(V.lo, klo) ^ clmul(V.hi, khi) ^ D maintains crc0(V as 16-byte
+ * message) == crc0(prefix), with the initial CRC state injected into
+ * the first block's low half (the standard reflected-CRC identity).
+ * The caller finishes by running the table CRC over the residual plus
+ * any tail bytes. Requires blocks >= 1.
+ */
+__attribute__((target("pclmul,sse2"))) void
+crc64ClmulFold(std::uint64_t state, const std::uint8_t *p,
+               std::size_t blocks, std::uint8_t out[16])
+{
+    const ClmulCrcConsts &cc = clmulCrcConsts();
+    const __m128i k = _mm_set_epi64x(static_cast<long long>(cc.khi),
+                                     static_cast<long long>(cc.klo));
+    __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(p));
+    v = _mm_xor_si128(v, _mm_cvtsi64_si128(
+                             static_cast<long long>(state)));
+    p += 16;
+    for (std::size_t i = 1; i < blocks; ++i, p += 16) {
+        const __m128i d =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(p));
+        v = _mm_xor_si128(
+            _mm_xor_si128(_mm_clmulepi64_si128(v, k, 0x00),
+                          _mm_clmulepi64_si128(v, k, 0x11)),
+            d);
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(out), v);
+}
+
+std::uint64_t
+crc64Clmul(const std::uint8_t *p, std::size_t size, std::uint64_t seed)
+{
+    const std::size_t blocks = size / 16;
+    std::uint8_t residual[16];
+    crc64ClmulFold(~seed, p, blocks, residual);
+    std::uint64_t crc = crcTableUpdate(0, residual, 16);
+    crc = crcTableUpdate(crc, p + blocks * 16, size % 16);
     return ~crc;
+}
+
+/**
+ * One-time differential check of the carry-less path against the
+ * table path (varied lengths, tails and seeds). Only ever consulted
+ * after pclmulSupported() returned true.
+ */
+bool
+clmulCrcUsable()
+{
+    static std::atomic<int> verdict{-1};
+    int v = verdict.load(std::memory_order_relaxed);
+    if (v < 0) {
+        bool ok = clmulCrcConsts().solved;
+        if (ok) {
+            std::uint8_t buf[257];
+            std::uint32_t x = 0x6d5a56e1u;
+            for (auto &b : buf) {
+                x = x * 1664525u + 1013904223u;
+                b = static_cast<std::uint8_t>(x >> 24);
+            }
+            static constexpr std::size_t kSizes[] = {16, 32, 64, 96,
+                                                     240, 255, 257};
+            static constexpr std::uint64_t kSeeds[] = {
+                0, 0xDEADBEEFCAFEF00Dull};
+            for (std::size_t n : kSizes)
+                for (std::uint64_t seed : kSeeds)
+                    ok = ok &&
+                         crc64Clmul(buf, n, seed) ==
+                             ~crcTableUpdate(~seed, buf, n);
+        }
+        v = ok ? 1 : 0;
+        verdict.store(v, std::memory_order_relaxed);
+    }
+    return v == 1;
+}
+
+#endif // defined(__x86_64__)
+
+/** Minimum size for which the folding path is dispatched. */
+constexpr std::size_t kClmulMinBytes = 64;
+
+} // namespace
+
+std::uint64_t
+crc64(const void *bytes, std::size_t size, std::uint64_t seed)
+{
+    const auto *p = static_cast<const std::uint8_t *>(bytes);
+#if defined(__x86_64__)
+    if (size >= kClmulMinBytes && kernels::pclmulSupported() &&
+        clmulCrcUsable())
+        return crc64Clmul(p, size, seed);
+#endif
+    return ~crcTableUpdate(~seed, p, size);
+}
+
+const char *
+crc64ActivePath(std::size_t size)
+{
+#if defined(__x86_64__)
+    if (size >= kClmulMinBytes && kernels::pclmulSupported() &&
+        clmulCrcUsable())
+        return "clmul";
+#endif
+    (void)size;
+    return "table";
 }
 
 std::uint64_t
@@ -391,8 +591,111 @@ deserializePropagatorKey(ByteReader &r, PropagatorKey &out)
 // Schedule
 // ------------------------------------------------------------------
 
+namespace {
+
+/** Run detection compares bit patterns, not values: -0.0 vs 0.0 and
+ *  NaN payloads must round-trip exactly (a NaN sample is precisely
+ *  what schedule validation exists to catch). */
+bool
+sameSampleBits(const Complex &a, const Complex &b)
+{
+    return std::memcmp(&a, &b, sizeof(Complex)) == 0;
+}
+
+/** Runs shorter than this stay in literal blocks (a run block costs
+ *  21 bytes; four literal samples cost 64). */
+constexpr std::size_t kMinRun = 4;
+
+/** Decoder guard: a corrupt run count must not balloon allocation. */
+constexpr std::uint64_t kMaxRleSamples = 1ull << 22;
+
+/**
+ * Sample block codec for the RLE schedule encoding: a sequence of
+ * tagged blocks covering sampleCount samples in order. Tag 0 is a
+ * literal block (u32 count, count c128 samples); tag 1 is a run
+ * (u32 count, one c128 repeated). Calibrated pulses are dominated by
+ * gaussian-square flat-tops — long runs of one sample value — so this
+ * typically shrinks records ~3x, which the cold-start serve path pays
+ * for directly in CRC + page-in + decode time.
+ */
 void
-serializeSchedule(const Schedule &schedule, ByteWriter &w)
+writeSampleBlocks(const std::vector<Complex> &samples, ByteWriter &w)
+{
+    const std::size_t n = samples.size();
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t run = 1;
+        while (i + run < n && sameSampleBits(samples[i + run], samples[i]))
+            ++run;
+        if (run >= kMinRun) {
+            w.u8(1);
+            w.u32(static_cast<std::uint32_t>(run));
+            w.c128(samples[i]);
+            i += run;
+            continue;
+        }
+        // Literal block: extend until the next >= kMinRun run starts.
+        std::size_t j = i;
+        while (j < n) {
+            std::size_t r = 1;
+            while (j + r < n && sameSampleBits(samples[j + r], samples[j]))
+                ++r;
+            if (r >= kMinRun)
+                break;
+            j += r;
+        }
+        w.u8(0);
+        w.u32(static_cast<std::uint32_t>(j - i));
+        w.f64Array(reinterpret_cast<const double *>(samples.data() + i),
+                   (j - i) * 2);
+        i = j;
+    }
+}
+
+Status
+readSampleBlocks(ByteReader &r, std::uint64_t sampleCount,
+                 std::vector<Complex> &samples)
+{
+    if (sampleCount > kMaxRleSamples)
+        return corrupt("RLE waveform claims " +
+                       std::to_string(sampleCount) + " samples");
+    samples.resize(static_cast<std::size_t>(sampleCount));
+    std::size_t pos = 0;
+    while (pos < samples.size()) {
+        std::uint8_t tag = 0;
+        std::uint32_t count = 0;
+        if (Status s = r.u8(tag); !s.ok())
+            return s;
+        if (Status s = r.u32(count); !s.ok())
+            return s;
+        if (count == 0 || count > samples.size() - pos)
+            return corrupt("RLE block of " + std::to_string(count) +
+                           " samples overflows the waveform");
+        if (tag == 1) {
+            Complex value;
+            if (Status s = r.c128(value); !s.ok())
+                return s;
+            std::fill(samples.begin() + static_cast<std::ptrdiff_t>(pos),
+                      samples.begin() +
+                          static_cast<std::ptrdiff_t>(pos + count),
+                      value);
+        } else if (tag == 0) {
+            if (Status s = r.f64Array(
+                    reinterpret_cast<double *>(samples.data() + pos),
+                    static_cast<std::size_t>(count) * 2);
+                !s.ok())
+                return s;
+        } else {
+            return corrupt("unknown RLE block tag " +
+                           std::to_string(tag));
+        }
+        pos += count;
+    }
+    return Status::okStatus();
+}
+
+void
+serializeScheduleImpl(const Schedule &schedule, ByteWriter &w, bool rle)
 {
     w.str(schedule.name());
     const auto &instructions = schedule.instructions();
@@ -411,8 +714,16 @@ serializeSchedule(const Schedule &schedule, ByteWriter &w)
                 instr.waveform->samples();
             w.str(instr.waveform->name());
             w.u64(samples.size());
-            for (const Complex &sample : samples)
-                w.c128(sample);
+            if (rle) {
+                writeSampleBlocks(samples, w);
+            } else {
+                // Same consecutive little-endian (re, im) f64 pairs
+                // the per-sample c128 calls produce, via the bulk
+                // fast path.
+                w.f64Array(
+                    reinterpret_cast<const double *>(samples.data()),
+                    samples.size() * 2);
+            }
         } else {
             w.str(std::string());
             w.u64(0);
@@ -420,8 +731,24 @@ serializeSchedule(const Schedule &schedule, ByteWriter &w)
     }
 }
 
+} // namespace
+
+void
+serializeSchedule(const Schedule &schedule, ByteWriter &w)
+{
+    serializeScheduleImpl(schedule, w, /*rle=*/false);
+}
+
+void
+serializeScheduleRle(const Schedule &schedule, ByteWriter &w)
+{
+    serializeScheduleImpl(schedule, w, /*rle=*/true);
+}
+
+namespace {
+
 Status
-deserializeSchedule(ByteReader &r, Schedule &out)
+deserializeScheduleImpl(ByteReader &r, Schedule &out, bool rle)
 {
     std::string name;
     if (Status s = r.str(name); !s.ok())
@@ -465,22 +792,45 @@ deserializeSchedule(ByteReader &r, Schedule &out)
         std::uint64_t sampleCount = 0;
         if (Status s = r.u64(sampleCount); !s.ok())
             return s;
-        if (sampleCount > r.remaining() / 16)
+        if (!rle && sampleCount > r.remaining() / 16)
             return corrupt("waveform claims " +
                            std::to_string(sampleCount) +
                            " samples beyond the payload");
         if (sampleCount > 0) {
-            std::vector<Complex> samples(
-                static_cast<std::size_t>(sampleCount));
-            for (Complex &sample : samples)
-                if (Status s = r.c128(sample); !s.ok())
+            std::vector<Complex> samples;
+            if (rle) {
+                if (Status s =
+                        readSampleBlocks(r, sampleCount, samples);
+                    !s.ok())
                     return s;
+            } else {
+                samples.resize(static_cast<std::size_t>(sampleCount));
+                if (Status s = r.f64Array(
+                        reinterpret_cast<double *>(samples.data()),
+                        samples.size() * 2);
+                    !s.ok())
+                    return s;
+            }
             instr.waveform = std::make_shared<SampledWaveform>(
                 std::move(samples), std::move(label));
         }
         out.addInstruction(std::move(instr));
     }
     return Status::okStatus();
+}
+
+} // namespace
+
+Status
+deserializeSchedule(ByteReader &r, Schedule &out)
+{
+    return deserializeScheduleImpl(r, out, /*rle=*/false);
+}
+
+Status
+deserializeScheduleRle(ByteReader &r, Schedule &out)
+{
+    return deserializeScheduleImpl(r, out, /*rle=*/true);
 }
 
 // ------------------------------------------------------------------
@@ -720,6 +1070,80 @@ deserializePulseLibrary(ByteReader &r, PulseLibrary &out)
 }
 
 // ------------------------------------------------------------------
+// QuantumCircuit
+// ------------------------------------------------------------------
+
+void
+serializeCircuit(const QuantumCircuit &circuit, ByteWriter &w)
+{
+    w.u64(circuit.numQubits());
+    w.u64(circuit.gates().size());
+    for (const Gate &gate : circuit.gates()) {
+        w.u32(static_cast<std::uint32_t>(gate.type));
+        w.u64(gate.qubits.size());
+        for (std::size_t q : gate.qubits)
+            w.u64(q);
+        w.u64(gate.params.size());
+        w.f64Array(gate.params.data(), gate.params.size());
+    }
+}
+
+Status
+deserializeCircuit(ByteReader &r, QuantumCircuit &out)
+{
+    std::uint64_t numQubits = 0, gateCount = 0;
+    if (Status s = r.u64(numQubits); !s.ok())
+        return s;
+    if (numQubits == 0)
+        return corrupt("circuit claims zero qubits");
+    if (Status s = r.u64(gateCount); !s.ok())
+        return s;
+    // Each gate costs at least 20 bytes (type + two counts).
+    if (gateCount > r.remaining() / 20)
+        return corrupt("circuit claims " + std::to_string(gateCount) +
+                       " gates beyond the payload");
+    out = QuantumCircuit(static_cast<std::size_t>(numQubits));
+    for (std::uint64_t i = 0; i < gateCount; ++i) {
+        std::uint32_t type = 0;
+        if (Status s = r.u32(type); !s.ok())
+            return s;
+        if (type > static_cast<std::uint32_t>(GateType::Barrier))
+            return corrupt("unknown gate type " + std::to_string(type));
+        Gate gate;
+        gate.type = static_cast<GateType>(type);
+        std::uint64_t count = 0;
+        if (Status s = r.u64(count); !s.ok())
+            return s;
+        if (count > r.remaining() / 8)
+            return corrupt("gate wire list beyond the payload");
+        gate.qubits.resize(static_cast<std::size_t>(count));
+        for (std::size_t &q : gate.qubits) {
+            std::uint64_t wire = 0;
+            if (Status s = r.u64(wire); !s.ok())
+                return s;
+            // Bounds-check here (fail closed) rather than letting the
+            // circuit builder's fatal wire validation fire on corrupt
+            // payloads.
+            if (wire >= numQubits)
+                return corrupt("gate wire " + std::to_string(wire) +
+                               " outside a " + std::to_string(numQubits) +
+                               "-qubit register");
+            q = static_cast<std::size_t>(wire);
+        }
+        if (Status s = r.u64(count); !s.ok())
+            return s;
+        if (count > r.remaining() / 8)
+            return corrupt("gate parameter list beyond the payload");
+        gate.params.resize(static_cast<std::size_t>(count));
+        if (Status s = r.f64Array(gate.params.data(), gate.params.size());
+            !s.ok())
+            return s;
+        out.gates().push_back(std::move(gate));
+    }
+    return Status::okStatus();
+}
+
+// ------------------------------------------------------------------
 // Content hashes / fingerprints
 // ------------------------------------------------------------------
 
@@ -736,6 +1160,15 @@ hashPulseLibrary(const PulseLibrary &library)
 {
     ByteWriter w;
     serializePulseLibrary(library, w);
+    return hashBytes(w.bytes().data(), w.size());
+}
+
+std::uint64_t
+hashBackendConfig(const BackendConfig &config)
+{
+    ByteWriter w;
+    w.u32(kFormatVersion);
+    serializeBackendConfig(config, w);
     return hashBytes(w.bytes().data(), w.size());
 }
 

@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "circuit/circuit.h"
 #include "common/status.h"
 #include "device/calibration.h"
 #include "linalg/matrix.h"
@@ -57,6 +58,16 @@ inline constexpr std::uint32_t kFormatVersion = 1;
 /** CRC-64/XZ (ECMA-182 polynomial, reflected) over a byte range. */
 std::uint64_t crc64(const void *bytes, std::size_t size,
                     std::uint64_t seed = 0);
+
+/**
+ * Which implementation crc64() dispatches to for a `size`-byte input:
+ * "clmul" (PCLMULQDQ 16-byte folding — used for large inputs when the
+ * CPU supports carry-less multiply and the one-time differential
+ * self-check against the table path passed) or "table" (slice-by-16).
+ * Both produce identical CRCs; exposed so tests can assert the fast
+ * path is actually live on capable hardware.
+ */
+const char *crc64ActivePath(std::size_t size);
 
 /** FNV-1a over a byte range (content hashing, not integrity). */
 std::uint64_t hashBytes(const void *bytes, std::size_t size,
@@ -153,8 +164,32 @@ Status deserializePropagatorKey(ByteReader &r, PropagatorKey &out);
 void serializeSchedule(const Schedule &schedule, ByteWriter &w);
 Status deserializeSchedule(ByteReader &r, Schedule &out);
 
+/**
+ * Schedule encoding with run-length-coded samples: identical to the
+ * serializeSchedule layout except each waveform's samples are stored
+ * as tagged literal/run blocks (bit-exact round trip, including NaN
+ * payloads and signed zeros). Calibrated pulses are dominated by
+ * gaussian-square flat-tops, so this typically shrinks records ~3x —
+ * used by the CompiledSchedule payload, where record size is paid on
+ * every cold-start serve (CRC + page-in + decode). Not interchangeable
+ * with the plain encoding; a record must be read with the variant it
+ * was written with.
+ */
+void serializeScheduleRle(const Schedule &schedule, ByteWriter &w);
+Status deserializeScheduleRle(ByteReader &r, Schedule &out);
+
 void serializePulseLibrary(const PulseLibrary &library, ByteWriter &w);
 Status deserializePulseLibrary(ByteReader &r, PulseLibrary &out);
+
+/**
+ * Circuit encoding: register width + gate list (type, wires, params).
+ * Used to round-trip the transpiled basis circuit inside a
+ * CompiledSchedule record; the decoder bounds-checks wire indices so a
+ * corrupt record fails closed instead of tripping the circuit
+ * builder's fatal validation.
+ */
+void serializeCircuit(const QuantumCircuit &circuit, ByteWriter &w);
+Status deserializeCircuit(ByteReader &r, QuantumCircuit &out);
 
 // ------------------------------------------------------------------
 // Content hashes / fingerprints (key components, docs/PERSISTENCE.md).
@@ -170,6 +205,14 @@ std::uint64_t hashSchedule(const Schedule &schedule);
 
 /** Content hash of a calibration snapshot. */
 std::uint64_t hashPulseLibrary(const PulseLibrary &library);
+
+/**
+ * Content hash of a backend configuration (device parameters, coupling
+ * map, noise and pulse defaults). Keys CalibrationSnapshot records: a
+ * snapshot is only served back to the exact device description it was
+ * calibrated for.
+ */
+std::uint64_t hashBackendConfig(const BackendConfig &config);
 
 /**
  * Fingerprint of the simulation configuration an artifact was derived
