@@ -1,0 +1,396 @@
+/**
+ * @file
+ * Ingestion-boundary bench: a faulted streaming run through the
+ * RequestFrontEnd and emit BENCH_ingest.json.
+ *
+ * Sixty client documents — a well-formed x180 job envelope or, every
+ * fifth document, a deliberately malformed payload cycling through the
+ * parser's rejection taxonomy — are each delivered over their own
+ * logical connection through a FaultInjector whose ingest classes
+ * (truncate/corrupt/dup-key/disconnect) sum to a 25% fault rate. The
+ * acceptance embedded in the JSON is the robustness contract of
+ * docs/ROBUSTNESS.md "Ingestion boundary":
+ *
+ *   - zero crashes: the whole faulted run completes without an
+ *     exception escaping the boundary;
+ *   - every malformed document that reaches the parser intact is
+ *     rejected with a structured ErrorCode carrying byte context, and
+ *     no malformed document ever completes;
+ *   - >= 95% of well-formed jobs whose bytes arrive unmutated
+ *     complete with full counts;
+ *   - the run is bit-identical across QPULSE_THREADS: a shadow copy
+ *     of the fault plan predicts every mutation, chunk seeds derive
+ *     from (job seed, chunk), and counters count work — CI diffs the
+ *     printed `determinism-fingerprint:` line across 1 and 8 threads.
+ */
+#include <cstdio>
+#include <exception>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "device/fault_injector.h"
+#include "ingest/frontend.h"
+#include "pulse/qobj.h"
+#include "telemetry/metrics.h"
+
+using namespace qpulse;
+using namespace qpulse::ingest;
+
+namespace {
+
+constexpr int kDocuments = 60;       ///< Every 5th one is malformed.
+constexpr std::uint64_t kSeed = 0x1A9E57;
+constexpr long kBatchShots = 16;
+
+/** One malformed exemplar per parser rejection class (the same
+ *  taxonomy as tests/corpus/ingest/invalid). */
+const char *const kMalformed[] = {
+    "{\"name\": \"a\", \"name\": \"a\"}",               // duplicate-key
+    "{\"name\": \"cut",                                  // unexpected-end
+    "{\"a\": 01}",                                       // malformed-json
+    "{\"a\": \"\xC0\xAF\"}",                             // invalid-utf8
+    "{\"d\": 1e999}",                                    // number-out-of-range
+    "{\"name\": \"x\", \"instructions\": [], \"zzz\": 1}", // unknown-field
+    "{\"instructions\": 3}",                             // schema-error
+};
+constexpr int kMalformedKinds =
+    static_cast<int>(sizeof kMalformed / sizeof kMalformed[0]);
+
+/** 80-deep nesting (depth-limit) built at runtime. */
+std::string
+deepDocument()
+{
+    std::string doc;
+    for (int i = 0; i < 80; ++i)
+        doc.push_back('[');
+    for (int i = 0; i < 80; ++i)
+        doc.push_back(']');
+    return doc;
+}
+
+/** What the bench expects of one delivered document. */
+struct DocPlan
+{
+    int connection = -1;
+    bool wellFormed = false;
+    bool mutated = false;      ///< Shadow-predicted payload mutation.
+    bool disconnected = false; ///< Shadow-predicted mid-stream cut.
+    long shots = 0;
+};
+
+/** Per-connection event roll-up. */
+struct ConnOutcome
+{
+    bool completed = false;
+    bool rejectedStructured = false; ///< >=1 reject, all with codes.
+    bool rejectedUnstructured = false;
+    bool rejectLacksByteContext = false;
+    long shotsCompleted = 0;
+};
+
+std::string
+fingerprint(const FrontEndStats &stats,
+            const std::vector<StreamEvent> &events)
+{
+    std::string fp =
+        "bytes=" + std::to_string(stats.bytesReceived) +
+        " documents=" + std::to_string(stats.documents) +
+        " accepted=" + std::to_string(stats.accepted) +
+        " rejected=" + std::to_string(stats.rejected) +
+        " completed=" + std::to_string(stats.completed) +
+        " failed=" + std::to_string(stats.failed) +
+        " disconnected=" + std::to_string(stats.disconnected) +
+        " overflow=" + std::to_string(stats.overflowDrops) +
+        " chunks=" + std::to_string(stats.chunksExecuted) +
+        " faults=" + std::to_string(stats.ingestFaults) + " |";
+    // Terminal events only: one segment per document outcome, plus a
+    // counts digest for completions (bit-identical across threads).
+    for (const StreamEvent &ev : events) {
+        if (ev.kind == StreamEventKind::Accepted ||
+            ev.kind == StreamEventKind::Partial)
+            continue;
+        fp += " c" + std::to_string(ev.connection) + ":" +
+              streamEventKindName(ev.kind) + ":" +
+              errorCodeName(ev.status.code());
+        if (ev.kind == StreamEventKind::Completed) {
+            fp += ":" + std::to_string(ev.shotsCompleted) + "[";
+            for (std::size_t i = 0; i < ev.counts.size(); ++i) {
+                if (i != 0u)
+                    fp += ",";
+                fp += std::to_string(ev.counts[i]);
+            }
+            fp += "]";
+        }
+    }
+    return fp;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Ingestion boundary: faulted streaming over the defensive "
+        "parser",
+        "(engineering bench) malformed and transport-faulted "
+        "documents reject with structured codes while well-formed "
+        "jobs stream to completion");
+
+    const BackendConfig config = almadenLineConfig(1);
+    const auto backend = makeCalibratedBackend(config);
+    Calibrator calibrator(config);
+    const QubitCalibration cal = calibrator.calibrateQubit(0);
+    const PulseSimulator sim(calibrator.qubitModel(0));
+
+    Schedule x180("x180");
+    x180.play(driveChannel(0), cal.x180Pulse());
+    QobjWriteOptions wire;
+    wire.includeSamples = true;
+    const std::string qobj = scheduleToQobjJson(x180, wire);
+    const std::string deep = deepDocument();
+
+    // Every pump submits one chunk per active stream, so the queue
+    // must hold the whole concurrent stream set (48 well-formed docs).
+    ServicePolicy servicePolicy;
+    servicePolicy.queueCapacity = kDocuments;
+    ExecutionService service(backend, sim, servicePolicy);
+
+    FrontEndPolicy policy;
+    policy.budget = ChannelBudget::fromConfig(config);
+    policy.streamBatchShots = kBatchShots;
+
+    RequestFrontEnd front(service, policy);
+    std::vector<StreamEvent> events;
+    front.setEventSink(
+        [&](const StreamEvent &ev) { events.push_back(ev); });
+
+    // The transport: 25% of deliveries are faulted. The shadow
+    // injector replays the same deterministic stream so the bench
+    // knows, per document, whether its bytes arrived intact.
+    FaultPlan plan;
+    plan.seed = kSeed;
+    plan.ingestTruncateRate = 0.08;
+    plan.ingestCorruptRate = 0.08;
+    plan.ingestDupKeyRate = 0.04;
+    plan.ingestDisconnectRate = 0.05;
+    const double faultRate =
+        plan.ingestTruncateRate + plan.ingestCorruptRate +
+        plan.ingestDupKeyRate + plan.ingestDisconnectRate;
+    front.setFaultInjector(std::make_shared<FaultInjector>(plan));
+    FaultInjector shadow(plan);
+
+    bool zeroCrashes = true;
+    std::vector<DocPlan> docs;
+    docs.reserve(kDocuments);
+    try {
+        for (int i = 0; i < kDocuments; ++i) {
+            DocPlan doc;
+            doc.wellFormed = (i % 5) != 4;
+            std::string payload;
+            if (doc.wellFormed) {
+                doc.shots = 24 + (i % 3) * 8;
+                payload =
+                    "{\"qobj\": " + qobj +
+                    ", \"shots\": " + std::to_string(doc.shots) +
+                    ", \"seed\": " +
+                    // Wire seeds must sit in [0, 2^53): JSON integers
+                    // beyond that are rejected as number-out-of-range.
+                    std::to_string(
+                        Rng::deriveSeed(kSeed,
+                                        static_cast<std::uint64_t>(i)) &
+                        ((1ull << 53) - 1)) +
+                    ", \"key\": \"well/" + std::to_string(i) + "\"}";
+            } else {
+                const int kind = (i / 5) % (kMalformedKinds + 1);
+                payload = kind == kMalformedKinds ? deep
+                                                  : kMalformed[kind];
+            }
+
+            const FaultInjector::IngestInjection predicted =
+                shadow.injectIngest(
+                    payload, static_cast<std::uint64_t>(i));
+            doc.mutated = predicted.mutated();
+            doc.disconnected = predicted.disconnected;
+
+            doc.connection = front.open();
+            (void)front.deliver(doc.connection, payload);
+            front.finish(doc.connection);
+            docs.push_back(doc);
+        }
+        front.run();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "bench_ingest: boundary threw: %s\n",
+                     e.what());
+        zeroCrashes = false;
+    } catch (...) {
+        std::fprintf(stderr,
+                     "bench_ingest: boundary threw a non-standard "
+                     "exception\n");
+        zeroCrashes = false;
+    }
+
+    // Roll events up per connection (one document per connection).
+    std::map<int, ConnOutcome> outcomes;
+    for (const StreamEvent &ev : events) {
+        ConnOutcome &out = outcomes[ev.connection];
+        switch (ev.kind) {
+        case StreamEventKind::Completed:
+            out.completed = true;
+            out.shotsCompleted = ev.shotsCompleted;
+            break;
+        case StreamEventKind::Rejected:
+            if (ev.status.ok())
+                out.rejectedUnstructured = true;
+            else
+                out.rejectedStructured = true;
+            if (ev.status.message().find(" at byte ") ==
+                std::string::npos)
+                out.rejectLacksByteContext = true;
+            break;
+        default:
+            break;
+        }
+    }
+
+    long wellClean = 0, wellCleanCompleted = 0;
+    long wellFaulted = 0, malformedTotal = 0, malformedIntact = 0;
+    bool malformedRejected = true;
+    bool structuredRejections = true;
+    for (const DocPlan &doc : docs) {
+        const ConnOutcome out = outcomes.count(doc.connection) != 0u
+                                    ? outcomes[doc.connection]
+                                    : ConnOutcome{};
+        if (out.rejectedUnstructured)
+            structuredRejections = false;
+        if (doc.wellFormed) {
+            if (doc.mutated || doc.disconnected) {
+                ++wellFaulted;
+            } else {
+                ++wellClean;
+                if (out.completed &&
+                    out.shotsCompleted == doc.shots)
+                    ++wellCleanCompleted;
+            }
+            continue;
+        }
+        ++malformedTotal;
+        // A malformed document must never complete, faulted or not.
+        if (out.completed)
+            malformedRejected = false;
+        // One that arrived intact must carry a located structured
+        // rejection.
+        if (!doc.mutated && !doc.disconnected) {
+            ++malformedIntact;
+            if (!out.rejectedStructured || out.rejectLacksByteContext)
+                malformedRejected = false;
+        }
+    }
+
+    const FrontEndStats &stats = front.stats();
+    const double completion =
+        wellClean > 0 ? static_cast<double>(wellCleanCompleted) /
+                            static_cast<double>(wellClean)
+                      : 0.0;
+
+    TextTable table({"counter", "value"});
+    table.addRow({"documents delivered", std::to_string(kDocuments)});
+    table.addRow({"bytes received",
+                  std::to_string(stats.bytesReceived)});
+    table.addRow({"frames parsed", std::to_string(stats.documents)});
+    table.addRow({"accepted", std::to_string(stats.accepted)});
+    table.addRow({"rejected", std::to_string(stats.rejected)});
+    table.addRow({"completed", std::to_string(stats.completed)});
+    table.addRow({"failed", std::to_string(stats.failed)});
+    table.addRow({"disconnected",
+                  std::to_string(stats.disconnected)});
+    table.addRow({"shot chunks", std::to_string(stats.chunksExecuted)});
+    table.addRow({"transport faults",
+                  std::to_string(stats.ingestFaults)});
+    table.addRow({"well-formed, clean transport",
+                  std::to_string(wellClean)});
+    table.addRow({"  ... completed with full counts",
+                  std::to_string(wellCleanCompleted)});
+    table.addRow({"well-formed, faulted transport",
+                  std::to_string(wellFaulted)});
+    table.addRow({"malformed (intact / total)",
+                  std::to_string(malformedIntact) + " / " +
+                      std::to_string(malformedTotal)});
+    table.addRow({"clean completion fraction", fmtFixed(completion, 4)});
+    std::printf("%s\n", table.render().c_str());
+
+    const std::string fp = fingerprint(stats, events);
+    std::printf("determinism-fingerprint: %s\n", fp.c_str());
+
+    // Acceptance.
+    const bool accounted =
+        stats.documents == stats.accepted + stats.rejected &&
+        stats.accepted == stats.completed + stats.failed +
+                              stats.disconnected &&
+        front.activeRequests() == 0;
+    const bool faulted =
+        faultRate >= 0.2 && stats.ingestFaults > 0;
+    const bool completionOk = wellClean > 0 && completion >= 0.95;
+    const bool pass = zeroCrashes && accounted && faulted &&
+                      malformedRejected && structuredRejections &&
+                      completionOk;
+    std::printf(
+        "acceptance: zero_crashes=%s accounted=%s fault_rate=%.2f "
+        "faulted=%s malformed_rejected=%s structured=%s "
+        "completion=%.4f completion_ok=%s => %s\n",
+        zeroCrashes ? "yes" : "no", accounted ? "yes" : "no",
+        faultRate, faulted ? "yes" : "no",
+        malformedRejected ? "yes" : "no",
+        structuredRejections ? "yes" : "no", completion,
+        completionOk ? "yes" : "no", pass ? "PASS" : "FAIL");
+
+    bench::printTelemetry();
+    std::FILE *out = bench::openBenchJson("BENCH_ingest.json");
+    if (out == nullptr)
+        return pass ? 0 : 1;
+    std::fprintf(out, "{\n");
+    bench::writeBenchHeader(out, "ingest");
+    std::fprintf(out, "  \"documents\": %d,\n", kDocuments);
+    std::fprintf(out, "  \"batch_shots\": %ld,\n", kBatchShots);
+    std::fprintf(out, "  \"fault_plan\": \"%s\",\n",
+                 plan.toString().c_str());
+    std::fprintf(out, "  \"fault_rate\": %.4f,\n", faultRate);
+    std::fprintf(
+        out,
+        "  \"stats\": {\"bytes\": %ld, \"documents\": %ld, "
+        "\"accepted\": %ld, \"rejected\": %ld, \"completed\": %ld, "
+        "\"failed\": %ld, \"disconnected\": %ld, \"overflow\": %ld, "
+        "\"chunks\": %ld, \"ingest_faults\": %ld},\n",
+        stats.bytesReceived, stats.documents, stats.accepted,
+        stats.rejected, stats.completed, stats.failed,
+        stats.disconnected, stats.overflowDrops, stats.chunksExecuted,
+        stats.ingestFaults);
+    std::fprintf(out,
+                 "  \"well_formed\": {\"clean\": %ld, "
+                 "\"clean_completed\": %ld, \"faulted\": %ld, "
+                 "\"completion\": %.4f},\n",
+                 wellClean, wellCleanCompleted, wellFaulted,
+                 completion);
+    std::fprintf(out,
+                 "  \"malformed\": {\"total\": %ld, \"intact\": %ld},\n",
+                 malformedTotal, malformedIntact);
+    std::fprintf(out, "  \"fingerprint\": \"%s\",\n", fp.c_str());
+    bench::writeTelemetryField(out);
+    std::fprintf(
+        out,
+        "  \"acceptance\": {\"zero_crashes\": %s, \"accounted\": %s, "
+        "\"faulted\": %s, \"malformed_rejected\": %s, "
+        "\"structured_rejections\": %s, \"wellformed_completion\": "
+        "%.4f, \"completion_ok\": %s, \"pass\": %s}\n",
+        zeroCrashes ? "true" : "false", accounted ? "true" : "false",
+        faulted ? "true" : "false",
+        malformedRejected ? "true" : "false",
+        structuredRejections ? "true" : "false", completion,
+        completionOk ? "true" : "false", pass ? "true" : "false");
+    std::fprintf(out, "}\n");
+    bench::closeBenchJson(out, "BENCH_ingest.json");
+    return pass ? 0 : 1;
+}

@@ -7,7 +7,8 @@
  * silent fallback: QPULSE_THREADS (thread_pool.cc), QPULSE_BATCH
  * (envBatchWidth below), QPULSE_SERVICE_QUEUE (execution_service.cc),
  * QPULSE_FAULT_PLAN (fault_injector.cc), QPULSE_CACHE_DIR /
- * QPULSE_CACHE_MAX_BYTES (src/store). QPULSE_SANITIZE is consumed
+ * QPULSE_CACHE_MAX_BYTES (src/store), QPULSE_INGEST_MAX_BYTES
+ * (src/ingest). QPULSE_SANITIZE is consumed
  * by CMake at configure time, not here; see docs/ROBUSTNESS.md for
  * the full list.
  */
@@ -59,6 +60,23 @@ std::optional<std::string> envCacheDir();
  * warning; clamped to [1 MiB, 1 TiB] with a warning.
  */
 long envCacheMaxBytes();
+
+/**
+ * Read a byte-count environment variable with the same warn-and-clamp
+ * contract as envLong, plus an optional binary suffix: "8M" = 8 MiB,
+ * "64K", "2G", "1T" (case-insensitive, K/M/G/T only). A bare integer
+ * is bytes. Garbage or a suffix that overflows `long` -> `fallback`
+ * with a warning; out-of-range -> clamped with a warning.
+ */
+long envBytes(const char *name, long fallback, long lo, long hi);
+
+/**
+ * QPULSE_INGEST_MAX_BYTES: per-connection receive-buffer budget of
+ * the RequestFrontEnd (src/ingest/frontend.h) and default document
+ * size limit (JsonLimits::maxBytes). Unset -> 8 MiB; accepts K/M/G
+ * suffixes via envBytes; clamped to [4 KiB, 1 GiB] with a warning.
+ */
+long envIngestMaxBytes();
 
 } // namespace qpulse
 

@@ -54,6 +54,20 @@ enum class ErrorCode
 
     ParseError, ///< Spec string (e.g. QPULSE_FAULT_PLAN) is malformed.
 
+    // Ingestion boundary (src/ingest, docs/ROBUSTNESS.md). Every
+    // rejection of an untrusted OpenPulse-JSON payload is one of these
+    // distinct classes — never an exception, never a crash — with a
+    // byte-offset + line/column context message.
+    MalformedJson,      ///< JSON syntax violation (token-level).
+    UnexpectedEnd,      ///< Input ended inside a value (truncation).
+    InvalidUtf8,        ///< Payload is not well-formed UTF-8.
+    DepthLimitExceeded, ///< Nesting deeper than the ingest limit.
+    SizeLimitExceeded,  ///< Payload/string/node budget exceeded.
+    NumberOutOfRange,   ///< Number overflows or violates a field range.
+    DuplicateKey,       ///< An object repeats a member key.
+    SchemaError,        ///< Wrong type / missing required field.
+    UnknownField,       ///< A field the schema does not define.
+
     // Persistent artifact store (src/store, docs/PERSISTENCE.md).
     // Both classes fail *closed*: the loader quarantines the record
     // and the caller falls back to fresh derivation.
@@ -84,6 +98,15 @@ errorCodeName(ErrorCode code)
       case ErrorCode::ResourceExhausted:   return "resource-exhausted";
       case ErrorCode::Unavailable:         return "unavailable";
       case ErrorCode::ParseError:          return "parse-error";
+      case ErrorCode::MalformedJson:       return "malformed-json";
+      case ErrorCode::UnexpectedEnd:       return "unexpected-end";
+      case ErrorCode::InvalidUtf8:         return "invalid-utf8";
+      case ErrorCode::DepthLimitExceeded:  return "depth-limit";
+      case ErrorCode::SizeLimitExceeded:   return "size-limit";
+      case ErrorCode::NumberOutOfRange:    return "number-out-of-range";
+      case ErrorCode::DuplicateKey:        return "duplicate-key";
+      case ErrorCode::SchemaError:         return "schema-error";
+      case ErrorCode::UnknownField:        return "unknown-field";
       case ErrorCode::StoreCorrupt:        return "store-corrupt";
       case ErrorCode::StoreVersionMismatch:
           return "store-version-mismatch";

@@ -18,6 +18,7 @@ constexpr std::uint64_t kDriftSalt = 0xD21F7A5Eull;
 constexpr std::uint64_t kAttemptSalt = 0xA77E3B17ull;
 constexpr std::uint64_t kReadoutSalt = 0x2EAD0375ull;
 constexpr std::uint64_t kFleetSalt = 0xF1EE7BACull;
+constexpr std::uint64_t kIngestSalt = 0x169E5707ull;
 
 /** Peak |d| above which a clipped upload sits (DAC saturation). */
 constexpr double kClipPeak = 1.5;
@@ -39,7 +40,9 @@ FaultPlan::enabled() const
     return transientRate > 0.0 || timeoutRate > 0.0 ||
            driftRate > 0.0 || awgNanRate > 0.0 || awgClipRate > 0.0 ||
            awgDropRate > 0.0 || readoutFlipRate > 0.0 ||
-           readoutDropRate > 0.0;
+           readoutDropRate > 0.0 || ingestTruncateRate > 0.0 ||
+           ingestCorruptRate > 0.0 || ingestDupKeyRate > 0.0 ||
+           ingestDisconnectRate > 0.0;
 }
 
 std::string
@@ -59,7 +62,11 @@ FaultPlan::toString() const
            ",awg_clip=" + fmt(awgClipRate) +
            ",awg_drop=" + fmt(awgDropRate) +
            ",ro_flip=" + fmt(readoutFlipRate) +
-           ",ro_drop=" + fmt(readoutDropRate);
+           ",ro_drop=" + fmt(readoutDropRate) +
+           ",ingest_trunc=" + fmt(ingestTruncateRate) +
+           ",ingest_corrupt=" + fmt(ingestCorruptRate) +
+           ",ingest_dupkey=" + fmt(ingestDupKeyRate) +
+           ",ingest_disc=" + fmt(ingestDisconnectRate);
 }
 
 Status
@@ -139,6 +146,14 @@ FaultPlan::parse(const std::string &spec, FaultPlan &out)
             plan.readoutFlipRate = number;
         else if (key == "ro_drop")
             plan.readoutDropRate = number;
+        else if (key == "ingest_trunc")
+            plan.ingestTruncateRate = number;
+        else if (key == "ingest_corrupt")
+            plan.ingestCorruptRate = number;
+        else if (key == "ingest_dupkey")
+            plan.ingestDupKeyRate = number;
+        else if (key == "ingest_disc")
+            plan.ingestDisconnectRate = number;
         else
             return Status::error(ErrorCode::ParseError,
                                  "unknown fault-plan key '" + key +
@@ -325,6 +340,62 @@ FaultInjector::inject(const Schedule &clean, std::uint64_t run,
         injection.driftApplied = true;
     }
     injection.schedule = std::move(result);
+    return injection;
+}
+
+FaultInjector::IngestInjection
+FaultInjector::injectIngest(const std::string &document,
+                            std::uint64_t request)
+{
+    IngestInjection injection;
+    injection.payload = document;
+    if (document.empty())
+        return injection;
+
+    Rng rng(Rng::deriveSeed(plan_.seed ^ kIngestSalt, request));
+
+    // Fixed draw order (as in inject()): every class consumes its
+    // uniform whether or not it fires, so enabling one class never
+    // shifts another's stream.
+    const bool trunc = rng.uniform() < plan_.ingestTruncateRate;
+    const bool corrupt = rng.uniform() < plan_.ingestCorruptRate;
+    const bool dupkey = rng.uniform() < plan_.ingestDupKeyRate;
+    const bool disconnect = rng.uniform() < plan_.ingestDisconnectRate;
+
+    // At most one payload mutation fires (priority truncate > corrupt
+    // > dup-key); the disconnect decision is independent because a
+    // connection can die regardless of what the bytes look like.
+    if (trunc && document.size() > 1) {
+        injection.truncated = true;
+        injection.payload.resize(
+            1 + rng.uniformInt(document.size() - 1));
+    } else if (corrupt) {
+        injection.corrupted = true;
+        const std::size_t at = rng.uniformInt(document.size());
+        injection.payload[at] = static_cast<char>(
+            static_cast<unsigned char>(injection.payload[at]) ^
+            static_cast<unsigned char>(1 + rng.uniformInt(255)));
+    } else if (dupkey) {
+        injection.duplicatedKey = true;
+        const std::size_t brace = injection.payload.find('{');
+        const std::string dup = "\"__dup__\":0,\"__dup__\":0,";
+        if (brace == std::string::npos)
+            injection.payload = "{" + dup.substr(0, dup.size() - 1) +
+                                "}";
+        else
+            injection.payload.insert(brace + 1, dup);
+    }
+
+    if (disconnect) {
+        injection.disconnected = true;
+        injection.disconnectAfter =
+            rng.uniformInt(injection.payload.size());
+    }
+
+    if (injection.mutated() || injection.disconnected) {
+        ++stats_.faultsInjected;
+        ++stats_.ingestFaults;
+    }
     return injection;
 }
 

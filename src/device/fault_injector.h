@@ -58,6 +58,13 @@ struct FaultPlan
     double readoutFlipRate = 0.0; ///< Outcome flipped to another state.
     double readoutDropRate = 0.0; ///< Shot dropped and re-triggered.
 
+    // Ingestion faults (per document, applied to the raw payload at
+    // the request boundary before parsing; src/ingest/frontend.h).
+    double ingestTruncateRate = 0.0;   ///< Payload tail dropped.
+    double ingestCorruptRate = 0.0;    ///< One payload byte flipped.
+    double ingestDupKeyRate = 0.0;     ///< Duplicate member key spliced in.
+    double ingestDisconnectRate = 0.0; ///< Connection cut mid-stream.
+
     /** True when any fault class can fire. */
     bool enabled() const;
 
@@ -67,7 +74,8 @@ struct FaultPlan
     /**
      * Parse a "key=value,key=value" spec (',' or ';' separators).
      * Keys: seed, transient, timeout, drift, drift_khz, drift_amp,
-     * awg_nan, awg_clip, awg_drop, ro_flip, ro_drop. Rates must lie in
+     * awg_nan, awg_clip, awg_drop, ro_flip, ro_drop, ingest_trunc,
+     * ingest_corrupt, ingest_dupkey, ingest_disc. Rates must lie in
      * [0, 1]. Returns ParseError (and leaves `out` untouched) on an
      * unknown key, bad number, or out-of-range rate.
      */
@@ -143,6 +151,37 @@ class FaultInjector
     long applyReadoutFaults(std::vector<long> &counts,
                             const std::vector<double> &populations,
                             std::uint64_t run, int attempt);
+
+    /** What the injector decided for one ingested document. */
+    struct IngestInjection
+    {
+        bool truncated = false;    ///< Payload tail was dropped.
+        bool corrupted = false;    ///< One payload byte was flipped.
+        bool duplicatedKey = false; ///< Duplicate key spliced in.
+        bool disconnected = false; ///< Connection cut mid-document.
+        /** Bytes delivered before the cut (when disconnected). */
+        std::size_t disconnectAfter = 0;
+        /** The payload to actually deliver to the parser. */
+        std::string payload;
+
+        /** True when the payload bytes differ from the original. */
+        bool mutated() const
+        {
+            return truncated || corrupted || duplicatedKey;
+        }
+    };
+
+    /**
+     * Deterministic ingest-boundary injection for document `request`:
+     * draws truncation/corruption/duplicate-key mutations (at most one
+     * fires, priority truncate > corrupt > dup-key) and an independent
+     * mid-stream disconnect decision from the (seed, request) stream.
+     * The returned payload is what the front end should feed the
+     * parser; when `disconnected`, only the first `disconnectAfter`
+     * bytes arrive before the connection dies.
+     */
+    IngestInjection injectIngest(const std::string &document,
+                                 std::uint64_t request);
 
     /** Injected-side counters accumulated over this injector's life. */
     const ResilienceStats &stats() const { return stats_; }

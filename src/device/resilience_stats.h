@@ -31,6 +31,7 @@ struct ResilienceStats
     long fallbacks = 0;        ///< Standard-decomposition fallbacks.
     long degradedRuns = 0;     ///< Accepted below-baseline results.
     long readoutFaultShots = 0;///< Shots hit by readout flips/dropouts.
+    long ingestFaults = 0;     ///< Ingest payload faults injected.
     double backoffTotalMs = 0.0; ///< Accumulated backoff delay.
 
     ResilienceStats &
@@ -49,6 +50,7 @@ struct ResilienceStats
         fallbacks += other.fallbacks;
         degradedRuns += other.degradedRuns;
         readoutFaultShots += other.readoutFaultShots;
+        ingestFaults += other.ingestFaults;
         backoffTotalMs += other.backoffTotalMs;
         return *this;
     }

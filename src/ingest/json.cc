@@ -1,0 +1,722 @@
+#include "ingest/json.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+namespace qpulse {
+namespace ingest {
+
+namespace {
+
+/** npos sentinel for findInvalidUtf8. */
+constexpr std::size_t kNpos = std::string_view::npos;
+
+bool
+isJsonSpace(char c)
+{
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+bool
+isDigit(char c)
+{
+    return c >= '0' && c <= '9';
+}
+
+/** Append a code point as UTF-8 (caller has range-checked it). */
+void
+appendUtf8(std::string &out, std::uint32_t cp)
+{
+    if (cp < 0x80) {
+        out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+        out += static_cast<char>(0xC0 | (cp >> 6));
+        out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+        out += static_cast<char>(0xE0 | (cp >> 12));
+        out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+        out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+        out += static_cast<char>(0xF0 | (cp >> 18));
+        out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+        out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+        out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+}
+
+/**
+ * One partially-built container on the explicit parse stack. The key
+ * set shadows the member vector so duplicate detection stays
+ * O(log n) per key even for adversarial member counts.
+ */
+struct Frame
+{
+    JsonValue container;
+    std::string pendingKey;
+    bool hasPendingKey = false;
+    std::set<std::string> keys;
+};
+
+/**
+ * The iterative parser. All state lives in this struct and the
+ * explicit `stack_`; nothing recurses.
+ */
+class Parser
+{
+  public:
+    Parser(std::string_view text, const JsonLimits &limits)
+        : text_(text), limits_(limits)
+    {}
+
+    Status
+    parse(JsonValue &out)
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            return fail(ErrorCode::UnexpectedEnd,
+                        "empty document", pos_);
+
+        // expectValue_ == true: the next token must start a value.
+        // false: the next token must continue/close a container.
+        bool expect_value = true;
+        while (true) {
+            skipSpace();
+            if (pos_ >= text_.size())
+                return fail(ErrorCode::UnexpectedEnd,
+                            stack_.empty()
+                                ? "input ended before a value"
+                                : "input ended inside a container",
+                            pos_);
+            const char c = text_[pos_];
+
+            if (expect_value) {
+                if (c == '{' || c == '[') {
+                    if (stack_.size() >= limits_.maxDepth)
+                        return fail(ErrorCode::DepthLimitExceeded,
+                                    "nesting deeper than " +
+                                        std::to_string(
+                                            limits_.maxDepth) +
+                                        " levels",
+                                    pos_);
+                    Status budget = chargeValue(pos_);
+                    if (!budget.ok())
+                        return budget;
+                    Frame frame;
+                    frame.container = c == '{'
+                                          ? JsonValue::makeObject(pos_)
+                                          : JsonValue::makeArray(pos_);
+                    stack_.push_back(std::move(frame));
+                    ++pos_;
+                    skipSpace();
+                    // Empty containers close immediately.
+                    if (pos_ < text_.size() &&
+                        ((c == '{' && text_[pos_] == '}') ||
+                         (c == '[' && text_[pos_] == ']'))) {
+                        ++pos_;
+                        Status closed = closeTop(out, expect_value);
+                        if (!closed.ok())
+                            return closed;
+                        if (done_)
+                            return Status::okStatus();
+                        continue;
+                    }
+                    if (c == '{') {
+                        Status key = parseObjectKey();
+                        if (!key.ok())
+                            return key;
+                    }
+                    // expect_value stays true: a value follows the
+                    // key (object) or starts the array.
+                    continue;
+                }
+
+                JsonValue value;
+                Status scalar = parseScalar(value);
+                if (!scalar.ok())
+                    return scalar;
+                Status attached = attach(std::move(value), out,
+                                         expect_value);
+                if (!attached.ok())
+                    return attached;
+                if (done_)
+                    return Status::okStatus();
+                continue;
+            }
+
+            // Continuation inside a container: ',' or the closer.
+            Frame &top = stack_.back();
+            const bool in_object = top.container.isObject();
+            if (c == ',') {
+                ++pos_;
+                if (in_object) {
+                    Status key = parseObjectKey();
+                    if (!key.ok())
+                        return key;
+                }
+                expect_value = true;
+                continue;
+            }
+            if ((in_object && c == '}') || (!in_object && c == ']')) {
+                ++pos_;
+                Status closed = closeTop(out, expect_value);
+                if (!closed.ok())
+                    return closed;
+                if (done_)
+                    return Status::okStatus();
+                continue;
+            }
+            return fail(ErrorCode::MalformedJson,
+                        std::string("expected ',' or '") +
+                            (in_object ? '}' : ']') + "', found '" +
+                            printable(c) + "'",
+                        pos_);
+        }
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() && isJsonSpace(text_[pos_]))
+            ++pos_;
+    }
+
+    /** Printable rendering of a byte for error messages. */
+    static std::string
+    printable(char c)
+    {
+        const unsigned char u = static_cast<unsigned char>(c);
+        if (u >= 0x20 && u < 0x7F)
+            return std::string(1, c);
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\x%02X", u);
+        return std::string(buf);
+    }
+
+    Status
+    fail(ErrorCode code, const std::string &detail,
+         std::size_t offset) const
+    {
+        return Status::error(code,
+                             detail + locationSuffix(text_, offset));
+    }
+
+    /** Enforce the total node budget. */
+    Status
+    chargeValue(std::size_t offset)
+    {
+        if (++valueCount_ > limits_.maxValues)
+            return fail(ErrorCode::SizeLimitExceeded,
+                        "document exceeds " +
+                            std::to_string(limits_.maxValues) +
+                            " values",
+                        offset);
+        return Status::okStatus();
+    }
+
+    /** Parse `"key" :` into the top frame, rejecting duplicates. */
+    Status
+    parseObjectKey()
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            return fail(ErrorCode::UnexpectedEnd,
+                        "input ended before an object key", pos_);
+        if (text_[pos_] != '"')
+            return fail(ErrorCode::MalformedJson,
+                        std::string("expected '\"' to open an object "
+                                    "key, found '") +
+                            printable(text_[pos_]) + "'",
+                        pos_);
+        const std::size_t key_offset = pos_;
+        std::string key;
+        Status parsed = parseStringBody(key);
+        if (!parsed.ok())
+            return parsed;
+        Frame &top = stack_.back();
+        if (!top.keys.insert(key).second)
+            return fail(ErrorCode::DuplicateKey,
+                        "object repeats key \"" + key + "\"",
+                        key_offset);
+        skipSpace();
+        if (pos_ >= text_.size())
+            return fail(ErrorCode::UnexpectedEnd,
+                        "input ended after an object key", pos_);
+        if (text_[pos_] != ':')
+            return fail(ErrorCode::MalformedJson,
+                        std::string("expected ':' after an object "
+                                    "key, found '") +
+                            printable(text_[pos_]) + "'",
+                        pos_);
+        ++pos_;
+        top.pendingKey = std::move(key);
+        top.hasPendingKey = true;
+        return Status::okStatus();
+    }
+
+    /** Parse one scalar (string, number, true/false/null). */
+    Status
+    parseScalar(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        const char c = text_[pos_];
+        Status budget = chargeValue(start);
+        if (!budget.ok())
+            return budget;
+        if (c == '"') {
+            std::string value;
+            Status parsed = parseStringBody(value);
+            if (!parsed.ok())
+                return parsed;
+            out = JsonValue::makeString(std::move(value), start);
+            return Status::okStatus();
+        }
+        if (c == '-' || isDigit(c))
+            return parseNumber(out);
+        if (text_.compare(pos_, 4, "true") == 0) {
+            pos_ += 4;
+            out = JsonValue::makeBool(true, start);
+            return Status::okStatus();
+        }
+        if (text_.compare(pos_, 5, "false") == 0) {
+            pos_ += 5;
+            out = JsonValue::makeBool(false, start);
+            return Status::okStatus();
+        }
+        if (text_.compare(pos_, 4, "null") == 0) {
+            pos_ += 4;
+            out = JsonValue::makeNull(start);
+            return Status::okStatus();
+        }
+        // A truncated keyword is a truncation, not a typo.
+        if (text_.compare(pos_, text_.size() - pos_, "true", 0,
+                          text_.size() - pos_) == 0 ||
+            text_.compare(pos_, text_.size() - pos_, "false", 0,
+                          text_.size() - pos_) == 0 ||
+            text_.compare(pos_, text_.size() - pos_, "null", 0,
+                          text_.size() - pos_) == 0)
+            return fail(ErrorCode::UnexpectedEnd,
+                        "input ended inside a literal", start);
+        return fail(ErrorCode::MalformedJson,
+                    std::string("unexpected character '") +
+                        printable(c) + "'",
+                    start);
+    }
+
+    /**
+     * Parse a string starting at the opening quote; leaves pos_ after
+     * the closing quote and the decoded UTF-8 bytes in `out`.
+     */
+    Status
+    parseStringBody(std::string &out)
+    {
+        const std::size_t start = pos_;
+        ++pos_; // Opening quote.
+        out.clear();
+        while (true) {
+            if (pos_ >= text_.size())
+                return fail(ErrorCode::UnexpectedEnd,
+                            "input ended inside a string", start);
+            const unsigned char c =
+                static_cast<unsigned char>(text_[pos_]);
+            if (c == '"') {
+                ++pos_;
+                return Status::okStatus();
+            }
+            if (c < 0x20)
+                return fail(ErrorCode::MalformedJson,
+                            "raw control character " + printable(c) +
+                                " inside a string (escape it)",
+                            pos_);
+            if (out.size() >= limits_.maxStringBytes)
+                return fail(ErrorCode::SizeLimitExceeded,
+                            "string longer than " +
+                                std::to_string(
+                                    limits_.maxStringBytes) +
+                                " bytes",
+                            start);
+            if (c != '\\') {
+                out += static_cast<char>(c);
+                ++pos_;
+                continue;
+            }
+            // Escape sequence.
+            const std::size_t esc = pos_;
+            if (++pos_ >= text_.size())
+                return fail(ErrorCode::UnexpectedEnd,
+                            "input ended inside an escape", esc);
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                std::uint32_t cp = 0;
+                Status hex = parseHex4(esc, cp);
+                if (!hex.ok())
+                    return hex;
+                if (cp >= 0xD800 && cp <= 0xDBFF) {
+                    // High surrogate: a \uDC00..\uDFFF must follow.
+                    if (pos_ + 1 >= text_.size() ||
+                        text_[pos_] != '\\' || text_[pos_ + 1] != 'u')
+                        return fail(ErrorCode::InvalidUtf8,
+                                    "lone high surrogate escape",
+                                    esc);
+                    pos_ += 2;
+                    std::uint32_t lo = 0;
+                    Status hex2 = parseHex4(esc, lo);
+                    if (!hex2.ok())
+                        return hex2;
+                    if (lo < 0xDC00 || lo > 0xDFFF)
+                        return fail(ErrorCode::InvalidUtf8,
+                                    "invalid low surrogate escape",
+                                    esc);
+                    cp = 0x10000 + ((cp - 0xD800) << 10) +
+                         (lo - 0xDC00);
+                } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                    return fail(ErrorCode::InvalidUtf8,
+                                "lone low surrogate escape", esc);
+                }
+                appendUtf8(out, cp);
+                break;
+              }
+              default:
+                return fail(ErrorCode::MalformedJson,
+                            std::string("invalid escape '\\") +
+                                printable(e) + "'",
+                            esc);
+            }
+        }
+    }
+
+    /** Parse exactly four hex digits at pos_ into `out`. */
+    Status
+    parseHex4(std::size_t esc_offset, std::uint32_t &out)
+    {
+        if (pos_ + 4 > text_.size())
+            return fail(ErrorCode::UnexpectedEnd,
+                        "input ended inside a \\u escape",
+                        esc_offset);
+        std::uint32_t value = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_ + i];
+            std::uint32_t digit;
+            if (h >= '0' && h <= '9')
+                digit = static_cast<std::uint32_t>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+                digit = static_cast<std::uint32_t>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+                digit = static_cast<std::uint32_t>(h - 'A' + 10);
+            else
+                return fail(ErrorCode::MalformedJson,
+                            std::string("non-hex digit '") +
+                                printable(h) + "' in a \\u escape",
+                            esc_offset);
+            value = (value << 4) | digit;
+        }
+        pos_ += 4;
+        out = value;
+        return Status::okStatus();
+    }
+
+    /** Strict JSON number grammar, then a finite-range check. */
+    Status
+    parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        if (text_[pos_] == '-')
+            ++pos_;
+        if (pos_ >= text_.size())
+            return fail(ErrorCode::UnexpectedEnd,
+                        "input ended inside a number", start);
+        // Integer part: 0, or [1-9][0-9]* — leading zeros rejected.
+        if (text_[pos_] == '0') {
+            ++pos_;
+            if (pos_ < text_.size() && isDigit(text_[pos_]))
+                return fail(ErrorCode::MalformedJson,
+                            "leading zero in number", start);
+        } else if (isDigit(text_[pos_])) {
+            while (pos_ < text_.size() && isDigit(text_[pos_]))
+                ++pos_;
+        } else {
+            return fail(ErrorCode::MalformedJson,
+                        "number has no digits", start);
+        }
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (pos_ >= text_.size())
+                return fail(ErrorCode::UnexpectedEnd,
+                            "input ended inside a number", start);
+            if (!isDigit(text_[pos_]))
+                return fail(ErrorCode::MalformedJson,
+                            "no digits after decimal point", start);
+            while (pos_ < text_.size() && isDigit(text_[pos_]))
+                ++pos_;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (pos_ >= text_.size())
+                return fail(ErrorCode::UnexpectedEnd,
+                            "input ended inside a number", start);
+            if (!isDigit(text_[pos_]))
+                return fail(ErrorCode::MalformedJson,
+                            "no digits in exponent", start);
+            while (pos_ < text_.size() && isDigit(text_[pos_]))
+                ++pos_;
+        }
+        // The grammar above admits only what strtod parses in the C
+        // locale; a bounded copy keeps strtod off the raw buffer
+        // (string_view is not NUL-terminated).
+        const std::string token(text_.substr(start, pos_ - start));
+        errno = 0;
+        char *end = nullptr;
+        const double value = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size() ||
+            !std::isfinite(value))
+            return fail(ErrorCode::NumberOutOfRange,
+                        "number '" + token +
+                            "' overflows a finite double",
+                        start);
+        out = JsonValue::makeNumber(value, start);
+        return Status::okStatus();
+    }
+
+    /**
+     * Attach a completed value to the top frame (or make it the
+     * root). Sets done_ once the root value closes and only trailing
+     * whitespace remains.
+     */
+    Status
+    attach(JsonValue value, JsonValue &out, bool &expect_value)
+    {
+        if (stack_.empty()) {
+            skipSpace();
+            if (pos_ < text_.size())
+                return fail(ErrorCode::MalformedJson,
+                            "trailing content after the document",
+                            pos_);
+            out = std::move(value);
+            done_ = true;
+            return Status::okStatus();
+        }
+        Frame &top = stack_.back();
+        if (top.container.isObject()) {
+            top.container.mutableMembers().emplace_back(
+                std::move(top.pendingKey), std::move(value));
+            top.hasPendingKey = false;
+        } else {
+            top.container.mutableItems().push_back(std::move(value));
+        }
+        expect_value = false;
+        return Status::okStatus();
+    }
+
+    /** Pop the top container and attach it one level down. */
+    Status
+    closeTop(JsonValue &out, bool &expect_value)
+    {
+        JsonValue completed = std::move(stack_.back().container);
+        stack_.pop_back();
+        return attach(std::move(completed), out, expect_value);
+    }
+
+    std::string_view text_;
+    const JsonLimits &limits_;
+    std::size_t pos_ = 0;
+    std::size_t valueCount_ = 0;
+    std::vector<Frame> stack_;
+    bool done_ = false;
+};
+
+} // namespace
+
+const char *
+JsonValue::kindName() const
+{
+    switch (kind_) {
+      case Kind::Null:   return "null";
+      case Kind::Bool:   return "bool";
+      case Kind::Number: return "number";
+      case Kind::String: return "string";
+      case Kind::Array:  return "array";
+      case Kind::Object: return "object";
+    }
+    return "unknown";
+}
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    for (const Member &member : members_)
+        if (member.first == key)
+            return &member.second;
+    return nullptr;
+}
+
+JsonValue
+JsonValue::makeNull(std::size_t offset)
+{
+    JsonValue v;
+    v.kind_ = Kind::Null;
+    v.offset_ = offset;
+    return v;
+}
+
+JsonValue
+JsonValue::makeBool(bool value, std::size_t offset)
+{
+    JsonValue v;
+    v.kind_ = Kind::Bool;
+    v.bool_ = value;
+    v.offset_ = offset;
+    return v;
+}
+
+JsonValue
+JsonValue::makeNumber(double value, std::size_t offset)
+{
+    JsonValue v;
+    v.kind_ = Kind::Number;
+    v.number_ = value;
+    v.offset_ = offset;
+    return v;
+}
+
+JsonValue
+JsonValue::makeString(std::string value, std::size_t offset)
+{
+    JsonValue v;
+    v.kind_ = Kind::String;
+    v.string_ = std::move(value);
+    v.offset_ = offset;
+    return v;
+}
+
+JsonValue
+JsonValue::makeArray(std::size_t offset)
+{
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    v.offset_ = offset;
+    return v;
+}
+
+JsonValue
+JsonValue::makeObject(std::size_t offset)
+{
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    v.offset_ = offset;
+    return v;
+}
+
+TextLocation
+locateOffset(std::string_view text, std::size_t offset)
+{
+    TextLocation loc;
+    const std::size_t end = std::min(offset, text.size());
+    for (std::size_t i = 0; i < end; ++i) {
+        if (text[i] == '\n') {
+            ++loc.line;
+            loc.column = 1;
+        } else {
+            ++loc.column;
+        }
+    }
+    return loc;
+}
+
+std::string
+locationSuffix(std::string_view text, std::size_t offset)
+{
+    const TextLocation loc = locateOffset(text, offset);
+    return " at byte " + std::to_string(offset) + " (line " +
+           std::to_string(loc.line) + ", column " +
+           std::to_string(loc.column) + ")";
+}
+
+std::size_t
+findInvalidUtf8(std::string_view text)
+{
+    const std::size_t n = text.size();
+    std::size_t i = 0;
+    while (i < n) {
+        const unsigned char b0 = static_cast<unsigned char>(text[i]);
+        if (b0 < 0x80) {
+            ++i;
+            continue;
+        }
+        std::size_t len;
+        std::uint32_t cp;
+        if ((b0 & 0xE0) == 0xC0) {
+            len = 2;
+            cp = b0 & 0x1F;
+        } else if ((b0 & 0xF0) == 0xE0) {
+            len = 3;
+            cp = b0 & 0x0F;
+        } else if ((b0 & 0xF8) == 0xF0) {
+            len = 4;
+            cp = b0 & 0x07;
+        } else {
+            return i; // Continuation or invalid lead byte.
+        }
+        if (i + len > n)
+            return i; // Truncated sequence.
+        for (std::size_t k = 1; k < len; ++k) {
+            const unsigned char bk =
+                static_cast<unsigned char>(text[i + k]);
+            if ((bk & 0xC0) != 0x80)
+                return i;
+            cp = (cp << 6) | (bk & 0x3F);
+        }
+        // Overlong encodings, surrogates and out-of-range points.
+        if ((len == 2 && cp < 0x80) || (len == 3 && cp < 0x800) ||
+            (len == 4 && cp < 0x10000) ||
+            (cp >= 0xD800 && cp <= 0xDFFF) || cp > 0x10FFFF)
+            return i;
+        i += len;
+    }
+    return kNpos;
+}
+
+Status
+parseJson(std::string_view text, const JsonLimits &limits,
+          JsonValue &out)
+{
+    if (text.size() > limits.maxBytes)
+        return Status::error(
+            ErrorCode::SizeLimitExceeded,
+            "document of " + std::to_string(text.size()) +
+                " bytes exceeds the " +
+                std::to_string(limits.maxBytes) + "-byte limit" +
+                locationSuffix(text, limits.maxBytes));
+    const std::size_t bad_utf8 = findInvalidUtf8(text);
+    if (bad_utf8 != kNpos)
+        return Status::error(ErrorCode::InvalidUtf8,
+                             "invalid UTF-8 byte" +
+                                 locationSuffix(text, bad_utf8));
+    Parser parser(text, limits);
+    JsonValue root;
+    Status status = parser.parse(root);
+    if (!status.ok())
+        return status;
+    out = std::move(root);
+    return Status::okStatus();
+}
+
+} // namespace ingest
+} // namespace qpulse

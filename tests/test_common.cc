@@ -6,9 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <optional>
 #include <set>
 
 #include "common/constants.h"
+#include "common/env.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/ascii_plot.h"
@@ -257,6 +260,138 @@ TEST(AsciiPlot, FixedBoundsClamp)
     options.yLo = 0.0;
     options.yHi = 1.0;
     EXPECT_NO_THROW(renderAsciiPlot({series}, options));
+}
+
+
+/** RAII guard restoring an env var on scope exit. */
+struct EnvGuard
+{
+    EnvGuard(const char *name, const char *value) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        if (old != nullptr)
+            old_ = old;
+        if (value != nullptr)
+            setenv(name, value, 1);
+        else
+            unsetenv(name);
+    }
+    ~EnvGuard()
+    {
+        if (old_.has_value())
+            setenv(name_, old_->c_str(), 1);
+        else
+            unsetenv(name_);
+    }
+
+    const char *name_;
+    std::optional<std::string> old_;
+};
+
+TEST(Env, BytesSuffixesAndDefaults)
+{
+    constexpr long kDefault = 8L << 20;
+    {
+        EnvGuard guard("QPULSE_TEST_BYTES", nullptr);
+        EXPECT_EQ(envBytes("QPULSE_TEST_BYTES", kDefault, 1,
+                           1L << 40),
+                  kDefault);
+    }
+    {
+        EnvGuard guard("QPULSE_TEST_BYTES", "12345");
+        EXPECT_EQ(envBytes("QPULSE_TEST_BYTES", kDefault, 1,
+                           1L << 40),
+                  12345);
+    }
+    {
+        EnvGuard guard("QPULSE_TEST_BYTES", "64K");
+        EXPECT_EQ(envBytes("QPULSE_TEST_BYTES", kDefault, 1,
+                           1L << 40),
+                  64L << 10);
+    }
+    {
+        EnvGuard guard("QPULSE_TEST_BYTES", "2m");
+        EXPECT_EQ(envBytes("QPULSE_TEST_BYTES", kDefault, 1,
+                           1L << 40),
+                  2L << 20);
+    }
+    {
+        EnvGuard guard("QPULSE_TEST_BYTES", "1G");
+        EXPECT_EQ(envBytes("QPULSE_TEST_BYTES", kDefault, 1,
+                           1L << 40),
+                  1L << 30);
+    }
+}
+
+TEST(Env, BytesWarnsAndClampsLikeEnvLong)
+{
+    constexpr long kDefault = 8L << 20;
+    {
+        // Garbage value: default, not a crash or a silent zero.
+        EnvGuard guard("QPULSE_TEST_BYTES", "lots");
+        EXPECT_EQ(envBytes("QPULSE_TEST_BYTES", kDefault, 1,
+                           1L << 40),
+                  kDefault);
+    }
+    {
+        // Unknown suffix counts as garbage.
+        EnvGuard guard("QPULSE_TEST_BYTES", "12Q");
+        EXPECT_EQ(envBytes("QPULSE_TEST_BYTES", kDefault, 1,
+                           1L << 40),
+                  kDefault);
+    }
+    {
+        // Trailing junk after the suffix counts as garbage.
+        EnvGuard guard("QPULSE_TEST_BYTES", "12MB");
+        EXPECT_EQ(envBytes("QPULSE_TEST_BYTES", kDefault, 1,
+                           1L << 40),
+                  kDefault);
+    }
+    {
+        // Out of range: warn-and-clamp, matching envLong.
+        EnvGuard guard("QPULSE_TEST_BYTES", "4T");
+        EXPECT_EQ(envBytes("QPULSE_TEST_BYTES", kDefault, 1,
+                           1L << 40),
+                  1L << 40);
+    }
+    {
+        // A suffix that would overflow `long` saturates, then clamps.
+        EnvGuard guard("QPULSE_TEST_BYTES", "99999999999T");
+        EXPECT_EQ(envBytes("QPULSE_TEST_BYTES", kDefault, 1,
+                           1L << 40),
+                  1L << 40);
+    }
+    {
+        EnvGuard guard("QPULSE_TEST_BYTES", "0");
+        EXPECT_EQ(envBytes("QPULSE_TEST_BYTES", kDefault, 1,
+                           1L << 40),
+                  1);
+    }
+}
+
+TEST(Env, CacheAndIngestBudgetsRouteThroughEnvBytes)
+{
+    {
+        EnvGuard guard("QPULSE_CACHE_MAX_BYTES", "64M");
+        EXPECT_EQ(envCacheMaxBytes(), 64L << 20);
+    }
+    {
+        // Below the 1 MiB floor: warn-and-clamp, never a zero budget.
+        EnvGuard guard("QPULSE_CACHE_MAX_BYTES", "3");
+        EXPECT_EQ(envCacheMaxBytes(), 1L << 20);
+    }
+    {
+        EnvGuard guard("QPULSE_INGEST_MAX_BYTES", nullptr);
+        EXPECT_EQ(envIngestMaxBytes(), 8L << 20);
+    }
+    {
+        EnvGuard guard("QPULSE_INGEST_MAX_BYTES", "256K");
+        EXPECT_EQ(envIngestMaxBytes(), 256L << 10);
+    }
+    {
+        EnvGuard guard("QPULSE_INGEST_MAX_BYTES", "1");
+        EXPECT_EQ(envIngestMaxBytes(), 4L << 10);
+    }
 }
 
 TEST(AsciiPlot, Validation)
